@@ -1,0 +1,93 @@
+// E9 / Figure 7: sub-space ablation on PageRank and TeraSort. Three arms:
+// full 30-parameter space, a fixed small space (the 6 most important
+// parameters of Table 5), and the adaptive sub-space. Left panel: cost
+// reduction vs default after the budget; right panel: the optimization
+// curve on TeraSort.
+//
+// Paper reference: the sub-space arms dominate the full space everywhere;
+// small wins on PageRank (and adaptive shrinks to match it), but on
+// TeraSort the small space misses the near-optimal region and adaptive wins
+// by growing K.
+#include <cmath>
+
+#include "baselines/ours.h"
+#include "bench_util.h"
+
+using namespace sparktune;
+using namespace sparktune::bench;
+
+namespace {
+
+OursOptions ArmOptions(const std::string& arm) {
+  OursOptions opts;
+  if (arm == "full") {
+    opts.advisor.enable_subspace = false;
+  } else if (arm == "small") {
+    // Fixed 6-parameter space: adaptive machinery pinned at K = 6.
+    opts.advisor.subspace.k_init = 6;
+    opts.advisor.subspace.k_min = 6;
+    opts.advisor.subspace.k_max = 6;
+    opts.advisor.subspace.fanova_min_obs = 1 << 20;  // freeze the ranking
+  } else {
+    // Adaptive defaults: K_init 10, K in [4, 30].
+  }
+  return opts;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const int budget = IntFlag(argc, argv, "budget", 30);
+  const int seeds = IntFlag(argc, argv, "seeds", 5);
+
+  const char* arms[] = {"full", "small", "adaptive"};
+  const char* tasks[] = {"PageRank", "TeraSort"};
+
+  // ---- Left panel: reduction vs default after `budget` iterations ----
+  TablePrinter left({"Task", "Full space (30)", "Small space (6)",
+                     "Adaptive sub-space"});
+  std::map<std::string, std::vector<double>> terasort_curves;
+  for (const char* task : tasks) {
+    TaskEnv env(task);
+    std::vector<std::string> row = {task};
+    for (const char* arm : arms) {
+      double mean_reduction = 0.0;
+      std::vector<double> curve(static_cast<size_t>(budget), 0.0);
+      for (int s = 0; s < seeds; ++s) {
+        uint64_t seed = 500 + static_cast<uint64_t>(s);
+        TuningObjective obj = env.ObjectiveWithConstraints(0.5, seed);
+        auto base = env.DefaultRun(seed);
+        double default_cost = obj.Value(base.runtime_sec, base.resource_rate);
+        OursMethod method(ArmOptions(arm), std::string("Ours-") + arm);
+        RunHistory h = RunMethod(&method, env, obj, budget, seed);
+        mean_reduction += (1.0 - BestOf(h) / default_cost) / seeds;
+        auto c = IncumbentCurve(h);
+        for (int i = 0; i < budget; ++i) {
+          curve[static_cast<size_t>(i)] += c[static_cast<size_t>(i)] / seeds;
+        }
+      }
+      row.push_back(Pct(mean_reduction));
+      if (std::string(task) == "TeraSort") {
+        terasort_curves[arm] = curve;
+      }
+    }
+    left.AddRow(row);
+  }
+  std::printf("Figure 7(a): cost reduction vs default config after %d "
+              "iterations (%d seeds)\n%s\n",
+              budget, seeds, left.ToString().c_str());
+
+  // ---- Right panel: optimization curve on TeraSort ----
+  TablePrinter right({"Iteration", "Full space", "Small space",
+                      "Adaptive sub-space"});
+  for (int i = 0; i < budget; ++i) {
+    right.AddRow({StrFormat("%d", i + 1),
+                  StrFormat("%.1f", terasort_curves["full"][static_cast<size_t>(i)]),
+                  StrFormat("%.1f", terasort_curves["small"][static_cast<size_t>(i)]),
+                  StrFormat("%.1f",
+                            terasort_curves["adaptive"][static_cast<size_t>(i)])});
+  }
+  std::printf("Figure 7(b): average best cost per iteration on TeraSort\n%s",
+              right.ToString().c_str());
+  return 0;
+}

@@ -1,0 +1,134 @@
+// E3 / Table 3: tuning overhead analysis on the production fleet. Compares
+// per-execution metrics (memory usage, CPU usage, runtime):
+//   * under-tuning (average over the 20 search executions) vs pre-tuning
+//     (manual config), and
+//   * post-tuning (the best configuration applied) vs pre-tuning.
+// Tasks run through the TuningService with progressive harvesting, like
+// the paper's deployment — meta warm starts are what keep the search
+// executions from costing much more than the manual runs they replace.
+//
+// Paper reference: under vs pre = +2.28% memory / -5.82% CPU / +1.63%
+// runtime; post vs pre = 57.00% / 34.93% / 10.72% reductions; the CPU
+// overhead amortizes within <= 4 extra executions.
+#include <cmath>
+#include <memory>
+
+#include "bench_util.h"
+#include "service/tuning_service.h"
+#include "sparksim/production.h"
+
+using namespace sparktune;
+using namespace sparktune::bench;
+
+int main(int argc, char** argv) {
+  const int num_tasks = IntFlag(argc, argv, "tasks", 200);
+  const int budget = IntFlag(argc, argv, "budget", 20);
+
+  ProductionFleetOptions fleet_opts;
+  fleet_opts.num_tasks = num_tasks;
+  auto fleet = GenerateProductionFleet(fleet_opts, 424242);
+
+  ConfigSpace etl_space = BuildSparkSpace(ClusterSpec::ProductionGroup());
+  ConfigSpace sql_space = BuildSparkSpace(ClusterSpec::SmallSqlGroup());
+  TuningServiceOptions sopts;
+  sopts.tuner.budget = budget;
+  sopts.tuner.ei_stop_threshold = 0.0;
+  sopts.tuner.advisor.objective.beta = 0.5;
+  sopts.tuner.advisor.expert_ranking = ExpertParameterRanking();
+  sopts.min_tasks_for_transfer = 3;
+  TuningService etl_service(&etl_space, sopts);
+  TuningService sql_service(&sql_space, sopts);
+  std::vector<std::unique_ptr<SimulatorEvaluator>> evaluators;
+
+  // Fleet-aggregate sums (the platform-level view the paper reports; a
+  // mean of per-task ratios would be dominated by the smallest tasks).
+  double pre_mem = 0.0, pre_cpu = 0.0, pre_rt = 0.0;
+  double sum_under_mem = 0.0, sum_under_cpu = 0.0, sum_under_rt = 0.0;
+  double sum_post_mem = 0.0, sum_post_cpu = 0.0, sum_post_rt = 0.0;
+  double fleet_overhead_cpu = 0.0, fleet_saving_cpu = 0.0;
+  int counted = 0;
+
+  for (size_t t = 0; t < fleet.size(); ++t) {
+    const ProductionTask& task = fleet[t];
+    bool is_sql = task.workload.is_sql;
+    TuningService& service = is_sql ? sql_service : etl_service;
+    ConfigSpace& space = is_sql ? sql_space : etl_space;
+
+    SimulatorEvaluatorOptions eopts;
+    eopts.seed = 3 + t;
+    eopts.period_hours = task.period_hours;
+    evaluators.push_back(std::make_unique<SimulatorEvaluator>(
+        &space, task.workload, task.cluster, task.drift, eopts));
+    TunerOptions per_task = sopts.tuner;
+    per_task.advisor.seed = 11 * t + 5;
+    if (!service
+             .RegisterTask(task.id, evaluators.back().get(),
+                           task.manual_config, per_task)
+             .ok()) {
+      continue;
+    }
+
+    auto pre = service.ExecutePeriodic(task.id);  // manual baseline
+    if (!pre.ok()) continue;
+    double tune_mem = 0.0, tune_cpu = 0.0, tune_rt = 0.0;
+    for (int i = 0; i < budget; ++i) {
+      auto o = service.ExecutePeriodic(task.id);
+      if (!o.ok()) break;
+      tune_mem += o->memory_gb_hours / budget;
+      tune_cpu += o->cpu_core_hours / budget;
+      tune_rt += o->runtime_sec / budget;
+    }
+    // Post-tuning: average over a few applied executions.
+    double post_mem_t = 0.0, post_cpu_t = 0.0, post_rt_t = 0.0;
+    const int post_runs = 4;
+    for (int i = 0; i < post_runs; ++i) {
+      auto o = service.ExecutePeriodic(task.id);
+      if (!o.ok()) break;
+      post_mem_t += o->memory_gb_hours / post_runs;
+      post_cpu_t += o->cpu_core_hours / post_runs;
+      post_rt_t += o->runtime_sec / post_runs;
+    }
+    (void)service.HarvestTask(task.id);
+    if (pre->memory_gb_hours <= 0.0 || pre->cpu_core_hours <= 0.0) continue;
+    ++counted;
+    pre_mem += pre->memory_gb_hours;
+    pre_cpu += pre->cpu_core_hours;
+    pre_rt += pre->runtime_sec;
+    sum_under_mem += tune_mem;
+    sum_under_cpu += tune_cpu;
+    sum_under_rt += tune_rt;
+    sum_post_mem += post_mem_t;
+    sum_post_cpu += post_cpu_t;
+    sum_post_rt += post_rt_t;
+
+    // Fleet-aggregate CPU overhead of tuning and per-execution saving
+    // (the paper's amortization number is the aggregate ratio).
+    fleet_overhead_cpu += budget * (tune_cpu - pre->cpu_core_hours);
+    fleet_saving_cpu += pre->cpu_core_hours - post_cpu_t;
+  }
+
+  auto red = [&](double v, double pre) { return Pct(1.0 - v / pre); };
+  TablePrinter table({"Metric", "Cost Reduction(under vs. pre)",
+                      "Cost Reduction(post vs. pre)"});
+  table.AddRow({"Memory usage", red(sum_under_mem, pre_mem),
+                red(sum_post_mem, pre_mem)});
+  table.AddRow({"CPU usage", red(sum_under_cpu, pre_cpu),
+                red(sum_post_cpu, pre_cpu)});
+  table.AddRow({"Runtime", red(sum_under_rt, pre_rt),
+                red(sum_post_rt, pre_rt)});
+
+  std::printf("Table 3: under-tuning and post-tuning reductions vs manual "
+              "pre-tuning on %d tasks ('-' in the paper = increase)\n"
+              "(paper: under = 2.28%% / -5.82%% / 1.63%%, "
+              "post = 57.00%% / 34.93%% / 10.72%%)\n%s\n",
+              counted, table.ToString().c_str());
+  // Fleet-aggregate breakeven: how many post-tuning executions (per task)
+  // until the cumulative savings cover the tuning overhead.
+  double amortize = fleet_saving_cpu > 0.0
+                        ? std::max(0.0, fleet_overhead_cpu / fleet_saving_cpu)
+                        : -1.0;
+  std::printf("Average executions to amortize the CPU tuning overhead: %.2f "
+              "(paper: <= 4)\n",
+              amortize);
+  return 0;
+}

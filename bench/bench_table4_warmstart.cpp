@@ -1,0 +1,107 @@
+// E6 / Table 4: warm-starting via meta-learned task similarity. For each
+// (target, source) pair, the knowledge base is populated by tuning the
+// source task; the target task then evaluates the source's top-3
+// configurations alongside its default and a hand-tuned "manual" config.
+//
+// Paper reference (TeraSort<-Sort, TeraSort<-WordCount, LR<-PageRank,
+// KMeans<-SVD): transferring top-3 configurations cuts the evaluation cost
+// by 66.03-95.19% vs default and 25.44-55.93% vs manual within the first 3
+// trials, and the best source config is not always the best on the target.
+#include <cmath>
+
+#include "baselines/ours.h"
+#include "bench_util.h"
+#include "meta/knowledge_base.h"
+#include "meta/meta_features.h"
+
+using namespace sparktune;
+using namespace sparktune::bench;
+
+namespace {
+
+// A sensible hand-tuned configuration (what an engineer would write after
+// an afternoon of fiddling): moderate executors, kryo, decent parallelism.
+Configuration ManualConfig(const ConfigSpace& space) {
+  Configuration c = space.Default();
+  namespace sp = spark_param;
+  space.Set(&c, sp::kExecutorInstances, 48);
+  space.Set(&c, sp::kExecutorCores, 4);
+  space.Set(&c, sp::kExecutorMemory, 8);
+  space.Set(&c, sp::kDefaultParallelism, 384);
+  space.Set(&c, sp::kSerializer, 1);  // kryo
+  return space.Legalize(c);
+}
+
+double CostOf(const TaskEnv& env, const Configuration& c, uint64_t seed) {
+  SimulatorEvaluator eval = env.MakeEvaluator(seed);
+  auto out = eval.Run(c);
+  TuningObjective obj;
+  obj.beta = 0.5;
+  return obj.Value(out.runtime_sec, out.resource_rate);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const int source_budget = IntFlag(argc, argv, "source_budget", 30);
+
+  struct Pair {
+    const char* target;
+    const char* source;
+  };
+  const Pair pairs[] = {{"TeraSort", "Sort"},
+                        {"TeraSort", "WordCount"},
+                        {"LR", "PageRank"},
+                        {"KMeans", "SVD"}};
+
+  TablePrinter table({"Target Task", "Source Task", "Default", "Manual",
+                      "Top1", "Top2", "Top3"});
+
+  for (const Pair& p : pairs) {
+    // ---- Tune the source task, harvest its top configurations ----
+    TaskEnv source_env(p.source);
+    TuningObjective src_obj =
+        source_env.ObjectiveWithConstraints(0.5, /*seed=*/61);
+    OursMethod ours;
+    RunHistory src_history = RunMethod(&ours, source_env, src_obj,
+                                       source_budget, /*seed=*/61);
+    SimulatorEvaluator src_probe = source_env.MakeEvaluator(62);
+    auto src_log = src_probe.Run(source_env.space.Default());
+    KnowledgeBase kb(&source_env.space);
+    Status st = kb.AddTask(p.source, ExtractMetaFeatures(src_log.event_log),
+                           src_history);
+    if (!st.ok()) {
+      std::fprintf(stderr, "harvest failed: %s\n", st.ToString().c_str());
+      return 1;
+    }
+    const TaskRecord& rec = kb.records().front();
+
+    // ---- Evaluate transfers on the target task ----
+    TaskEnv target_env(p.target);
+    uint64_t eval_seed = 71;
+    double cost_default =
+        CostOf(target_env, target_env.space.Default(), eval_seed);
+    double cost_manual =
+        CostOf(target_env, ManualConfig(target_env.space), eval_seed);
+    std::vector<std::string> row = {p.target, p.source,
+                                    StrFormat("%.2f", cost_default),
+                                    StrFormat("%.2f", cost_manual)};
+    for (int k = 0; k < 3; ++k) {
+      if (k < static_cast<int>(rec.top_configs.size())) {
+        double c = CostOf(target_env, rec.top_configs[static_cast<size_t>(k)],
+                          eval_seed);
+        row.push_back(StrFormat("%.2f", c));
+      } else {
+        row.push_back("-");
+      }
+    }
+    table.AddRow(row);
+  }
+
+  std::printf("Table 4: execution cost of top-3 source-task configurations "
+              "on the target task (beta = 0.5)\n"
+              "(paper: top-3 transfer beats default by 66-95%% and manual by "
+              "25-56%%; the source's best is not always the target's best)\n%s",
+              table.ToString().c_str());
+  return 0;
+}

@@ -1,0 +1,89 @@
+// E8 / Table 5: top-10 Spark parameters by fANOVA importance (mean +- std
+// across tasks). For each task, a batch of random configurations is
+// evaluated on the simulator and fANOVA decomposes the cost variance over
+// the 30-parameter unit cube.
+//
+// Paper reference: spark.executor.instances (0.3788) and
+// spark.executor.memory (0.1501) dominate; memory.storageFraction,
+// default.parallelism, memory.fraction, executor.cores follow; the tail is
+// below 0.02.
+#include <algorithm>
+#include <cmath>
+
+#include "bench_util.h"
+#include "fanova/fanova.h"
+
+using namespace sparktune;
+using namespace sparktune::bench;
+
+int main(int argc, char** argv) {
+  const int samples = IntFlag(argc, argv, "samples", 80);
+  const int tasks = IntFlag(argc, argv, "tasks", 8);
+
+  auto all = AllHiBenchTasks();
+  ClusterSpec cluster = ClusterSpec::HiBenchCluster();
+  ConfigSpace space = BuildSparkSpace(cluster);
+  TuningObjective obj;
+  obj.beta = 0.5;
+
+  std::vector<std::vector<double>> per_task_scores;
+  for (int t = 0; t < tasks && t < static_cast<int>(all.size()); ++t) {
+    SimulatorEvaluatorOptions eopts;
+    eopts.seed = 900 + static_cast<uint64_t>(t);
+    SimulatorEvaluator eval(&space, all[static_cast<size_t>(t)], cluster,
+                            DriftModel::None(), eopts);
+    Rng rng(1000 + static_cast<uint64_t>(t));
+    std::vector<std::vector<double>> x;
+    std::vector<double> y;
+    for (int i = 0; i < samples; ++i) {
+      Configuration c = space.Sample(&rng);
+      auto out = eval.Run(c);
+      x.push_back(space.ToUnit(c));
+      // Log-cost stabilizes the variance decomposition across the huge
+      // dynamic range that failures introduce.
+      y.push_back(std::log(
+          std::max(1e-6, obj.Value(out.runtime_sec, out.resource_rate))));
+    }
+    FanovaOptions fopts;
+    fopts.compute_pairwise = false;  // 30 dims: mains only, like the online
+                                     // sub-space update
+    auto result = Fanova::Analyze(x, y, fopts);
+    if (!result.ok()) {
+      std::fprintf(stderr, "%s\n", result.status().ToString().c_str());
+      return 1;
+    }
+    per_task_scores.push_back(result->main_effect);
+  }
+
+  // Mean +- std across tasks, ranked by mean.
+  size_t dims = space.size();
+  std::vector<double> mean(dims, 0.0), sd(dims, 0.0);
+  for (const auto& scores : per_task_scores) {
+    for (size_t d = 0; d < dims; ++d) mean[d] += scores[d];
+  }
+  for (auto& m : mean) m /= per_task_scores.size();
+  for (const auto& scores : per_task_scores) {
+    for (size_t d = 0; d < dims; ++d) {
+      sd[d] += (scores[d] - mean[d]) * (scores[d] - mean[d]);
+    }
+  }
+  for (auto& s : sd) s = std::sqrt(s / per_task_scores.size());
+
+  std::vector<size_t> order(dims);
+  for (size_t d = 0; d < dims; ++d) order[d] = d;
+  std::sort(order.begin(), order.end(),
+            [&](size_t a, size_t b) { return mean[a] > mean[b]; });
+
+  TablePrinter table({"#", "Parameter Name", "Importance Score (mean±std)"});
+  for (int rank = 0; rank < 10; ++rank) {
+    size_t d = order[static_cast<size_t>(rank)];
+    table.AddRow({StrFormat("%d", rank + 1), space.param(d).name(),
+                  StrFormat("%.4f ± %.4f", mean[d], sd[d])});
+  }
+  std::printf("Table 5: top-10 Spark parameters by fANOVA importance over "
+              "%d tasks x %d random configs\n(paper: executor.instances "
+              "0.3788, executor.memory 0.1501 lead; tail < 0.02)\n%s",
+              static_cast<int>(per_task_scores.size()), samples,
+              table.ToString().c_str());
+  return 0;
+}

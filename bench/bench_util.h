@@ -1,0 +1,106 @@
+// Shared plumbing for the experiment harnesses (bench_fig*/bench_table*):
+// task setup, constraint derivation from default configs, method execution
+// and small aggregation helpers. Each harness prints the rows/series of the
+// corresponding paper artifact.
+#pragma once
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "baselines/tuning_method.h"
+#include "common/stats.h"
+#include "common/strings.h"
+#include "common/table.h"
+#include "sparksim/hibench.h"
+#include "tuner/evaluator.h"
+
+namespace sparktune {
+namespace bench {
+
+// Parse "--name=value" style integer flags; returns fallback when absent.
+inline int IntFlag(int argc, char** argv, const char* name, int fallback) {
+  std::string prefix = std::string("--") + name + "=";
+  for (int i = 1; i < argc; ++i) {
+    if (StartsWith(argv[i], prefix)) {
+      return std::atoi(argv[i] + prefix.size());
+    }
+  }
+  return fallback;
+}
+
+struct TaskEnv {
+  WorkloadSpec workload;
+  ClusterSpec cluster;
+  ConfigSpace space;
+
+  explicit TaskEnv(const std::string& task_name,
+                   ClusterSpec c = ClusterSpec::HiBenchCluster())
+      : cluster(std::move(c)) {
+    auto w = HiBenchTask(task_name);
+    if (!w.ok()) {
+      std::fprintf(stderr, "unknown task %s\n", task_name.c_str());
+      std::abort();
+    }
+    workload = std::move(*w);
+    space = BuildSparkSpace(cluster);
+  }
+
+  SimulatorEvaluator MakeEvaluator(uint64_t seed) const {
+    SimulatorEvaluatorOptions opts;
+    opts.seed = seed;
+    return SimulatorEvaluator(&space, workload, cluster,
+                              DriftModel::Diurnal(0.15, 0.05), opts);
+  }
+
+  // Execute the default configuration once; used to derive the runtime
+  // constraint ("twice the runtime of the default configurations", §6.3).
+  JobEvaluator::Outcome DefaultRun(uint64_t seed) const {
+    SimulatorEvaluator eval = MakeEvaluator(seed ^ 0xD00D);
+    return eval.Run(space.Default());
+  }
+
+  TuningObjective ObjectiveWithConstraints(double beta, uint64_t seed) const {
+    auto base = DefaultRun(seed);
+    TuningObjective obj;
+    obj.beta = beta;
+    obj.runtime_max = base.runtime_sec * 2.0;
+    return obj;
+  }
+};
+
+// Run one method for `budget` iterations on a fresh evaluator.
+inline RunHistory RunMethod(TuningMethod* method, const TaskEnv& env,
+                            const TuningObjective& objective, int budget,
+                            uint64_t seed) {
+  SimulatorEvaluator eval = env.MakeEvaluator(seed);
+  return method->Tune(env.space, &eval, objective, budget, seed);
+}
+
+// Best objective value found in a history (infinity when nothing feasible).
+inline double BestOf(const RunHistory& h) { return h.BestObjective(); }
+
+// Best-so-far curve of a history (feasible observations only; carries the
+// incumbent forward, starts at the first observation's objective).
+inline std::vector<double> IncumbentCurve(const RunHistory& h) {
+  std::vector<double> curve;
+  double best = std::numeric_limits<double>::infinity();
+  for (const auto& o : h.observations()) {
+    if (!o.failed && o.feasible) best = std::min(best, o.objective);
+    double shown = std::isfinite(best) ? best : o.objective;
+    curve.push_back(shown);
+  }
+  return curve;
+}
+
+inline std::string Pct(double fraction) {
+  return StrFormat("%.2f%%", 100.0 * fraction);
+}
+
+}  // namespace bench
+}  // namespace sparktune

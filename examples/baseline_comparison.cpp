@@ -1,0 +1,77 @@
+// Head-to-head comparison of every implemented tuning method on one task,
+// printing the incumbent cost after each iteration — a miniature of the
+// paper's Figure 5 experiment you can eyeball in seconds.
+#include <cmath>
+#include <cstdio>
+#include <memory>
+
+#include "baselines/cherrypick.h"
+#include "baselines/dac.h"
+#include "baselines/locat.h"
+#include "baselines/ours.h"
+#include "baselines/random_search.h"
+#include "baselines/rfhoc.h"
+#include "baselines/tuneful.h"
+#include "common/strings.h"
+#include "common/table.h"
+#include "sparksim/hibench.h"
+#include "tuner/evaluator.h"
+
+using namespace sparktune;
+
+int main() {
+  ClusterSpec cluster = ClusterSpec::HiBenchCluster();
+  ConfigSpace space = BuildSparkSpace(cluster);
+  auto workload = HiBenchTask("WordCount");
+  if (!workload.ok()) return 1;
+
+  SimulatorEvaluatorOptions popts;
+  popts.seed = 3;
+  SimulatorEvaluator probe(&space, *workload, cluster, DriftModel::None(),
+                           popts);
+  auto reference = probe.Run(space.Default());
+  TuningObjective obj;
+  obj.beta = 0.5;
+  obj.runtime_max = reference.runtime_sec * 2.0;
+
+  std::vector<std::unique_ptr<TuningMethod>> methods;
+  methods.push_back(std::make_unique<RandomSearch>());
+  methods.push_back(std::make_unique<Rfhoc>());
+  methods.push_back(std::make_unique<Dac>());
+  methods.push_back(std::make_unique<CherryPick>());
+  methods.push_back(std::make_unique<Tuneful>());
+  methods.push_back(std::make_unique<Locat>());
+  methods.push_back(std::make_unique<OursMethod>());
+
+  const int budget = 25;
+  std::vector<std::string> header = {"iter"};
+  std::vector<std::vector<double>> curves;
+  for (auto& m : methods) {
+    header.push_back(m->name());
+    SimulatorEvaluatorOptions eopts;
+    eopts.seed = 15;
+    SimulatorEvaluator eval(&space, *workload, cluster,
+                            DriftModel::Diurnal(), eopts);
+    RunHistory h = m->Tune(space, &eval, obj, budget, /*seed=*/44);
+    std::vector<double> curve;
+    double best = std::numeric_limits<double>::infinity();
+    for (const auto& o : h.observations()) {
+      if (!o.failed && o.feasible) best = std::min(best, o.objective);
+      curve.push_back(std::isfinite(best) ? best : o.objective);
+    }
+    curves.push_back(std::move(curve));
+  }
+
+  TablePrinter table(header);
+  for (int i = 0; i < budget; ++i) {
+    std::vector<std::string> row = {StrFormat("%d", i + 1)};
+    for (const auto& c : curves) {
+      row.push_back(StrFormat("%.1f", c[static_cast<size_t>(i)]));
+    }
+    table.AddRow(row);
+  }
+  std::printf("Best execution cost so far per method on WordCount "
+              "(beta = 0.5, single seed):\n%s",
+              table.ToString().c_str());
+  return 0;
+}

@@ -1,0 +1,66 @@
+// Dynamic workloads and re-tuning (paper §3.3): a periodic job whose input
+// grows steadily. After the initial tuning converges and the best config is
+// applied, the growing data makes the applied configuration degrade; the
+// controller detects the continuous degradation and restarts tuning, which
+// adapts the configuration to the new scale.
+#include <cstdio>
+
+#include "common/strings.h"
+#include "common/table.h"
+#include "sparksim/hibench.h"
+#include "tuner/online_tuner.h"
+
+using namespace sparktune;
+
+int main() {
+  ClusterSpec cluster = ClusterSpec::HiBenchCluster();
+  ConfigSpace space = BuildSparkSpace(cluster);
+  auto workload = HiBenchTask("Aggregation");
+  if (!workload.ok()) return 1;
+
+  // Hourly job whose data grows 8% per day — after a couple of simulated
+  // weeks the input has tripled.
+  DriftModel drift = DriftModel::Diurnal(0.1, 0.04);
+  drift.trend_per_day = 0.08;
+
+  SimulatorEvaluatorOptions eopts;
+  eopts.period_hours = 1.0;
+  eopts.seed = 17;
+  SimulatorEvaluator evaluator(&space, *workload, cluster, drift, eopts);
+
+  TunerOptions opts;
+  opts.budget = 12;
+  opts.ei_stop_threshold = 0.10;  // allow early stop
+  opts.min_iterations_before_stop = 6;
+  opts.degradation_factor = 1.35;
+  opts.degradation_window = 3;
+  opts.advisor.objective.beta = 0.5;
+  opts.advisor.expert_ranking = ExpertParameterRanking();
+  opts.advisor.seed = 4;
+
+  OnlineTuner tuner(&space, &evaluator, opts);
+
+  TablePrinter table({"execution", "data(GB)", "cost", "phase", "restarts"});
+  int last_restarts = 0;
+  for (int i = 0; i < 400; ++i) {
+    Observation obs = tuner.Step();
+    const char* phase = tuner.phase() == TunerPhase::kBaseline ? "baseline"
+                        : tuner.phase() == TunerPhase::kTuning ? "tuning"
+                                                               : "applying";
+    bool interesting = i < 2 || tuner.restarts() != last_restarts ||
+                       i % 40 == 0;
+    if (interesting) {
+      table.AddRow({StrFormat("%d", i), StrFormat("%.0f", obs.data_size_gb),
+                    StrFormat("%.1f", obs.objective), phase,
+                    StrFormat("%d", tuner.restarts())});
+    }
+    last_restarts = tuner.restarts();
+    if (tuner.restarts() >= 2) break;
+  }
+  std::printf("%s\n", table.ToString().c_str());
+  std::printf("Restarts triggered: %d — the controller re-entered tuning "
+              "when the applied configuration's cost degraded for %d "
+              "consecutive executions (workload drift, §3.3).\n",
+              tuner.restarts(), opts.degradation_window);
+  return 0;
+}

@@ -1,0 +1,62 @@
+// Quickstart: tune the execution cost of a HiBench WordCount job online.
+//
+// Demonstrates the minimal API surface:
+//   1. build the 30-parameter Spark space for a cluster,
+//   2. wrap a workload in a SimulatorEvaluator (stand-in for the data
+//      platform executing the periodic job),
+//   3. run the OnlineTuner for a 20-iteration budget,
+//   4. inspect the best configuration found.
+#include <cstdio>
+
+#include "common/strings.h"
+#include "sparksim/hibench.h"
+#include "tuner/online_tuner.h"
+
+using namespace sparktune;
+
+int main() {
+  // The 4-node cluster from the paper's HiBench experiments.
+  ClusterSpec cluster = ClusterSpec::HiBenchCluster();
+  ConfigSpace space = BuildSparkSpace(cluster);
+
+  auto workload = HiBenchTask("WordCount");
+  if (!workload.ok()) {
+    std::fprintf(stderr, "%s\n", workload.status().ToString().c_str());
+    return 1;
+  }
+
+  SimulatorEvaluatorOptions eval_opts;
+  eval_opts.period_hours = 1.0;
+  eval_opts.seed = 7;
+  SimulatorEvaluator evaluator(&space, *workload, cluster,
+                               DriftModel::Diurnal(), eval_opts);
+
+  TunerOptions opts;
+  opts.budget = 20;
+  opts.advisor.objective.beta = 0.5;  // execution cost
+  opts.advisor.expert_ranking = ExpertParameterRanking();
+  opts.advisor.seed = 1;
+
+  OnlineTuner tuner(&space, &evaluator, opts);
+
+  std::printf("iter |    runtime(s) |  resource R(x) |     objective | note\n");
+  for (int i = 0; i <= opts.budget; ++i) {
+    Observation obs = tuner.Step();
+    std::printf("%4d | %13.1f | %14.1f | %13.1f | %s%s%s\n", i,
+                obs.runtime_sec, obs.resource_rate, obs.objective,
+                i == 0 ? "baseline (manual)" : "",
+                obs.failed ? "FAILED" : "",
+                !obs.failed && !obs.feasible ? "constraint violated" : "");
+    if (tuner.phase() == TunerPhase::kApplying) break;
+  }
+
+  const Observation* best = tuner.history().BestFeasible();
+  std::printf("\nBest objective: %.1f (baseline %.1f, reduction %.1f%%)\n",
+              tuner.BestObjective(),
+              tuner.baseline_observation()->objective,
+              100.0 * (1.0 - tuner.BestObjective() /
+                                 tuner.baseline_observation()->objective));
+  std::printf("Best configuration:\n  %s\n",
+              space.Format(best->config).c_str());
+  return 0;
+}

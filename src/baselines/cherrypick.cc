@@ -1,0 +1,32 @@
+#include "baselines/cherrypick.h"
+
+#include "bo/advisor.h"
+
+namespace sparktune {
+
+RunHistory CherryPick::Tune(const ConfigSpace& space, JobEvaluator* evaluator,
+                            const TuningObjective& objective, int budget,
+                            uint64_t seed) {
+  AdvisorOptions opts;
+  opts.objective = objective;
+  opts.init_samples = options_.init_samples;
+  opts.enable_safety = false;     // EIC only, no safe region
+  opts.enable_agd = false;
+  opts.enable_subspace = false;   // full-space GP
+  opts.datasize_aware = false;
+  opts.seed = seed;
+  opts.resource_fn = [evaluator](const Configuration& c) {
+    return evaluator->ResourceRate(c);
+  };
+
+  Advisor advisor(&space, opts);
+  for (int i = 0; i < budget; ++i) {
+    Configuration c = advisor.Suggest(evaluator->NextDataSizeHintGb(),
+                                      evaluator->NextHours());
+    Observation obs = EvaluateConfig(space, evaluator, objective, c, i);
+    advisor.Observe(obs);
+  }
+  return advisor.history();
+}
+
+}  // namespace sparktune

@@ -1,0 +1,29 @@
+// CherryPick baseline (Alipourfard et al. 2017): vanilla GP Bayesian
+// optimization with expected improvement weighted by the probability of
+// meeting a runtime threshold (EIC), no search-space reduction, no
+// data-size awareness, no safe-region filtering.
+#pragma once
+
+#include "baselines/tuning_method.h"
+
+namespace sparktune {
+
+struct CherryPickOptions {
+  int init_samples = 3;
+};
+
+class CherryPick final : public TuningMethod {
+ public:
+  explicit CherryPick(CherryPickOptions options = {}) : options_(options) {}
+
+  std::string name() const override { return "CherryPick"; }
+
+  RunHistory Tune(const ConfigSpace& space, JobEvaluator* evaluator,
+                  const TuningObjective& objective, int budget,
+                  uint64_t seed) override;
+
+ private:
+  CherryPickOptions options_;
+};
+
+}  // namespace sparktune

@@ -1,0 +1,33 @@
+// LOCAT baseline (Xin et al. 2022): low-overhead online BO for Spark SQL —
+// a data-size-aware GP (DAGP: data size joins the kernel inputs) plus
+// importance-based parameter elimination after a warm phase (QCSA:
+// Spearman-correlation screening keeps only configuration-sensitive
+// parameters).
+#pragma once
+
+#include "baselines/tuning_method.h"
+
+namespace sparktune {
+
+struct LocatOptions {
+  int init_samples = 3;
+  // Eliminate insensitive parameters once this many observations exist.
+  int qcsa_at = 12;
+  int keep_params = 10;
+};
+
+class Locat final : public TuningMethod {
+ public:
+  explicit Locat(LocatOptions options = {}) : options_(options) {}
+
+  std::string name() const override { return "LOCAT"; }
+
+  RunHistory Tune(const ConfigSpace& space, JobEvaluator* evaluator,
+                  const TuningObjective& objective, int budget,
+                  uint64_t seed) override;
+
+ private:
+  LocatOptions options_;
+};
+
+}  // namespace sparktune

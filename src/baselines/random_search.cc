@@ -1,0 +1,20 @@
+#include "baselines/random_search.h"
+
+#include "common/rng.h"
+
+namespace sparktune {
+
+RunHistory RandomSearch::Tune(const ConfigSpace& space,
+                              JobEvaluator* evaluator,
+                              const TuningObjective& objective, int budget,
+                              uint64_t seed) {
+  Rng rng(seed);
+  RunHistory history;
+  for (int i = 0; i < budget; ++i) {
+    Configuration c = space.Sample(&rng);
+    history.Add(EvaluateConfig(space, evaluator, objective, c, i));
+  }
+  return history;
+}
+
+}  // namespace sparktune

@@ -1,0 +1,18 @@
+// Random Search baseline (Bergstra & Bengio 2012): uniform sampling of the
+// configuration space, one fresh sample per iteration.
+#pragma once
+
+#include "baselines/tuning_method.h"
+
+namespace sparktune {
+
+class RandomSearch final : public TuningMethod {
+ public:
+  std::string name() const override { return "RandomSearch"; }
+
+  RunHistory Tune(const ConfigSpace& space, JobEvaluator* evaluator,
+                  const TuningObjective& objective, int budget,
+                  uint64_t seed) override;
+};
+
+}  // namespace sparktune

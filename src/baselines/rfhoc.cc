@@ -1,0 +1,50 @@
+#include "baselines/rfhoc.h"
+
+#include <algorithm>
+
+namespace sparktune {
+
+RunHistory Rfhoc::Tune(const ConfigSpace& space, JobEvaluator* evaluator,
+                       const TuningObjective& objective, int budget,
+                       uint64_t seed) {
+  Rng rng(seed);
+  RunHistory history;
+  int init = std::clamp(static_cast<int>(options_.init_fraction * budget), 1,
+                        budget);
+  for (int i = 0; i < init; ++i) {
+    Configuration c = space.Sample(&rng);
+    history.Add(EvaluateConfig(space, evaluator, objective, c, i));
+  }
+
+  GeneticAlgorithm ga(options_.ga);
+  for (int i = init; i < budget; ++i) {
+    // Refresh the forest on everything observed so far.
+    std::vector<std::vector<double>> x;
+    std::vector<double> y;
+    for (const auto& o : history.observations()) {
+      x.push_back(space.ToUnit(o.config));
+      y.push_back(o.objective);
+    }
+    ForestOptions fopts = options_.forest;
+    fopts.seed = seed + static_cast<uint64_t>(i);
+    RandomForest forest(fopts);
+    Configuration next;
+    if (forest.Fit(x, y).ok()) {
+      auto fitness = [&](const Configuration& c) {
+        return forest.Predict(space.ToUnit(c)).mean;
+      };
+      std::vector<Configuration> seeds;
+      if (const Observation* best = history.BestFeasible()) {
+        seeds.push_back(best->config);
+      }
+      next = ga.Minimize(space, fitness, &rng, seeds);
+      if (history.Contains(next)) next = space.Sample(&rng);
+    } else {
+      next = space.Sample(&rng);
+    }
+    history.Add(EvaluateConfig(space, evaluator, objective, next, i));
+  }
+  return history;
+}
+
+}  // namespace sparktune

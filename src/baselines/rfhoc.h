@@ -1,0 +1,40 @@
+// RFHOC baseline (Bei et al. 2015): random-forest performance models per
+// application plus a genetic algorithm exploring the model. Adapted to the
+// online budget: an initial random sampling phase trains the forest, then
+// each remaining iteration evaluates the GA-optimum of the refreshed model.
+#pragma once
+
+#include "baselines/ga.h"
+#include "baselines/tuning_method.h"
+#include "forest/random_forest.h"
+
+namespace sparktune {
+
+struct RfhocOptions {
+  // Fraction of the budget spent on random model-training samples.
+  double init_fraction = 0.4;
+  ForestOptions forest = {.num_trees = 24,
+                          .tree = {.max_depth = 12, .min_samples_leaf = 2,
+                                   .min_samples_split = 4,
+                                   .max_features = -1},
+                          .feature_fraction = 0.7,
+                          .bootstrap_fraction = 1.0,
+                          .seed = 5};
+  GaOptions ga;
+};
+
+class Rfhoc final : public TuningMethod {
+ public:
+  explicit Rfhoc(RfhocOptions options = {}) : options_(options) {}
+
+  std::string name() const override { return "RFHOC"; }
+
+  RunHistory Tune(const ConfigSpace& space, JobEvaluator* evaluator,
+                  const TuningObjective& objective, int budget,
+                  uint64_t seed) override;
+
+ private:
+  RfhocOptions options_;
+};
+
+}  // namespace sparktune

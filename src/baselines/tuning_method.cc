@@ -1,0 +1,26 @@
+#include "baselines/tuning_method.h"
+
+namespace sparktune {
+
+Observation EvaluateConfig(const ConfigSpace& space, JobEvaluator* evaluator,
+                           const TuningObjective& objective,
+                           const Configuration& config, int iteration) {
+  Configuration legal = space.Legalize(config);
+  JobEvaluator::Outcome outcome = evaluator->Run(legal);
+  Observation obs;
+  obs.config = std::move(legal);
+  obs.runtime_sec = outcome.runtime_sec;
+  obs.resource_rate = outcome.resource_rate;
+  obs.memory_gb_hours = outcome.memory_gb_hours;
+  obs.cpu_core_hours = outcome.cpu_core_hours;
+  obs.data_size_gb = outcome.data_size_gb;
+  obs.hours = outcome.hours;
+  obs.failed = outcome.failed;
+  obs.objective = objective.Value(outcome.runtime_sec, outcome.resource_rate);
+  obs.feasible = !outcome.failed &&
+                 objective.Feasible(outcome.runtime_sec, outcome.resource_rate);
+  obs.iteration = iteration;
+  return obs;
+}
+
+}  // namespace sparktune

@@ -1,0 +1,35 @@
+// Common interface for the compared tuning methods (paper §6.1): Random
+// Search, RFHOC, DAC, CherryPick, Tuneful, LOCAT and ours. A method spends
+// `budget` online evaluations on the evaluator and returns the run history.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "bo/history.h"
+#include "tuner/evaluator.h"
+#include "tuner/objective.h"
+
+namespace sparktune {
+
+class TuningMethod {
+ public:
+  virtual ~TuningMethod() = default;
+
+  virtual std::string name() const = 0;
+
+  // Run `budget` evaluations. `objective` carries beta and (optional)
+  // constraint thresholds; methods that do not support constraints ignore
+  // them (feasibility is still recorded per observation for analysis).
+  virtual RunHistory Tune(const ConfigSpace& space, JobEvaluator* evaluator,
+                          const TuningObjective& objective, int budget,
+                          uint64_t seed) = 0;
+};
+
+// Shared helper: evaluate one configuration and produce a fully-populated
+// Observation.
+Observation EvaluateConfig(const ConfigSpace& space, JobEvaluator* evaluator,
+                           const TuningObjective& objective,
+                           const Configuration& config, int iteration);
+
+}  // namespace sparktune

@@ -1,0 +1,116 @@
+#include "bo/acq_optimizer.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace sparktune {
+
+AcquisitionOptimizer::AcquisitionOptimizer(AcqOptOptions options)
+    : options_(options) {}
+
+AcqOptResult AcquisitionOptimizer::Maximize(
+    const Subspace& subspace, const EncodeFn& encode, const EicAcquisition& acq,
+    const SafeFn& safe, const UnsafetyFn& unsafety, const RunHistory* history,
+    Rng* rng) const {
+  struct Scored {
+    Configuration config;
+    double value;
+  };
+  std::vector<Scored> pool;
+  pool.reserve(static_cast<size_t>(options_.num_candidates));
+
+  // Least-unsafe fallback bookkeeping.
+  Configuration least_unsafe;
+  double least_unsafety = std::numeric_limits<double>::infinity();
+  bool have_any = false;
+
+  auto consider = [&](Configuration c) {
+    if (history != nullptr && history->Contains(c)) return;
+    if (unsafety) {
+      double u = unsafety(c);
+      if (!have_any || u < least_unsafety) {
+        least_unsafety = u;
+        least_unsafe = c;
+        have_any = true;
+      }
+    } else if (!have_any) {
+      least_unsafe = c;
+      have_any = true;
+    }
+    if (safe && !safe(c)) return;
+    pool.push_back({std::move(c), 0.0});
+  };
+
+  // Scattered candidates.
+  for (int i = 0; i < options_.num_candidates; ++i) {
+    consider(subspace.Sample(rng));
+  }
+  // Exploit neighborhood of the incumbent and recent configurations.
+  if (history != nullptr && !history->empty()) {
+    const Observation* best = history->BestFeasible();
+    if (best != nullptr) {
+      for (int i = 0; i < options_.num_candidates / 8; ++i) {
+        consider(subspace.Neighbor(subspace.Project(best->config),
+                                   options_.local_sigma, rng));
+      }
+    }
+    size_t recent =
+        std::min<size_t>(3, history->size());
+    for (size_t k = history->size() - recent; k < history->size(); ++k) {
+      consider(subspace.Neighbor(subspace.Project(history->at(k).config),
+                                 options_.local_sigma, rng));
+    }
+  }
+
+  AcqOptResult result;
+  if (pool.empty()) {
+    // Safe set empty: suggest the configuration whose worst-case constraint
+    // violation is smallest — the point most likely to extend the safe
+    // region (SafeOpt-style expansion).
+    result.safe_fallback_used = true;
+    result.config = have_any ? least_unsafe : subspace.Sample(rng);
+    result.acq_value = 0.0;
+    result.raw_ei = acq.RawEi(encode(result.config));
+    return result;
+  }
+
+  for (auto& s : pool) {
+    s.value = acq.Eval(encode(s.config));
+  }
+  std::sort(pool.begin(), pool.end(),
+            [](const Scored& a, const Scored& b) { return a.value > b.value; });
+
+  // Local hill-climbing from the top starts.
+  int starts = std::min<int>(options_.num_local_starts,
+                             static_cast<int>(pool.size()));
+  Configuration best_config = pool[0].config;
+  double best_value = pool[0].value;
+  for (int s = 0; s < starts; ++s) {
+    Configuration cur = pool[static_cast<size_t>(s)].config;
+    double cur_value = pool[static_cast<size_t>(s)].value;
+    double sigma = options_.local_sigma;
+    for (int step = 0; step < options_.local_steps; ++step) {
+      Configuration cand = subspace.Neighbor(cur, sigma, rng);
+      if (history != nullptr && history->Contains(cand)) continue;
+      if (safe && !safe(cand)) continue;
+      double v = acq.Eval(encode(cand));
+      if (v > cur_value) {
+        cur = std::move(cand);
+        cur_value = v;
+      } else {
+        sigma *= 0.9;  // anneal toward fine-grained moves
+      }
+    }
+    if (cur_value > best_value) {
+      best_value = cur_value;
+      best_config = cur;
+    }
+  }
+
+  result.config = best_config;
+  result.acq_value = best_value;
+  result.raw_ei = acq.RawEi(encode(best_config));
+  return result;
+}
+
+}  // namespace sparktune

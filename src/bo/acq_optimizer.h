@@ -1,0 +1,54 @@
+// Acquisition maximization over the candidate region S = safe region ∩
+// sub-space (paper §4.2, Algorithm 2 line 8): scattered candidates plus
+// hill-climbing local search, with a graceful "least-unsafe" fallback when
+// the provably-safe set is empty (expands the safe region at its boundary).
+#pragma once
+
+#include <functional>
+
+#include "bo/acquisition.h"
+#include "bo/history.h"
+#include "common/rng.h"
+#include "space/subspace.h"
+
+namespace sparktune {
+
+struct AcqOptOptions {
+  int num_candidates = 512;
+  int num_local_starts = 6;
+  int local_steps = 24;
+  double local_sigma = 0.08;
+};
+
+struct AcqOptResult {
+  Configuration config;
+  double acq_value = 0.0;
+  // EI of the chosen point without constraint weighting (stopping
+  // criterion input).
+  double raw_ei = 0.0;
+  // True when no candidate was inside the safe region and the
+  // least-unsafe fallback was used.
+  bool safe_fallback_used = false;
+};
+
+class AcquisitionOptimizer {
+ public:
+  using EncodeFn = std::function<std::vector<double>(const Configuration&)>;
+  // Safe-region membership; null = no safety filtering.
+  using SafeFn = std::function<bool(const Configuration&)>;
+  // Degree of safe-region violation (<= 0 means safe); used to rank
+  // fallback candidates.
+  using UnsafetyFn = std::function<double(const Configuration&)>;
+
+  explicit AcquisitionOptimizer(AcqOptOptions options = {});
+
+  AcqOptResult Maximize(const Subspace& subspace, const EncodeFn& encode,
+                        const EicAcquisition& acq, const SafeFn& safe,
+                        const UnsafetyFn& unsafety, const RunHistory* history,
+                        Rng* rng) const;
+
+ private:
+  AcqOptOptions options_;
+};
+
+}  // namespace sparktune

@@ -1,0 +1,67 @@
+#include "bo/acquisition.h"
+
+#include <cassert>
+#include <cmath>
+
+#include "common/normal.h"
+
+namespace sparktune {
+
+double ExpectedImprovement(double mean, double variance, double best) {
+  double sigma = std::sqrt(std::max(variance, 0.0));
+  if (sigma < 1e-12) {
+    return best > mean ? best - mean : 0.0;
+  }
+  double gamma = (best - mean) / sigma;
+  return sigma * (gamma * NormCdf(gamma) + NormPdf(gamma));
+}
+
+double ProbabilityBelow(double mean, double variance, double threshold) {
+  double sigma = std::sqrt(std::max(variance, 0.0));
+  if (sigma < 1e-12) return mean <= threshold ? 1.0 : 0.0;
+  return NormCdf((threshold - mean) / sigma);
+}
+
+double ProbabilisticConstraint::SatisfactionProbability(
+    const std::vector<double>& features) const {
+  assert(surrogate != nullptr);
+  Prediction p = surrogate->Predict(features);
+  return ProbabilityBelow(p.mean, p.variance, threshold);
+}
+
+double ProbabilisticConstraint::UpperBound(const std::vector<double>& features,
+                                           double gamma) const {
+  assert(surrogate != nullptr);
+  Prediction p = surrogate->Predict(features);
+  return p.mean + gamma * std::sqrt(std::max(p.variance, 0.0));
+}
+
+bool ProbabilisticConstraint::InSafeRegion(const std::vector<double>& features,
+                                           double gamma) const {
+  return UpperBound(features, gamma) <= threshold;
+}
+
+EicAcquisition::EicAcquisition(const Surrogate* objective_surrogate,
+                               double incumbent)
+    : objective_(objective_surrogate), incumbent_(incumbent) {
+  assert(objective_ != nullptr);
+}
+
+double EicAcquisition::RawEi(const std::vector<double>& features) const {
+  Prediction p = objective_->Predict(features);
+  return ExpectedImprovement(p.mean, p.variance, incumbent_);
+}
+
+double EicAcquisition::Eval(const std::vector<double>& features) const {
+  for (const auto& fn : deterministic_) {
+    if (!fn(features)) return 0.0;
+  }
+  double acq = RawEi(features);
+  if (acq <= 0.0) return 0.0;
+  for (const auto& c : constraints_) {
+    acq *= c.SatisfactionProbability(features);
+  }
+  return acq;
+}
+
+}  // namespace sparktune

@@ -1,0 +1,64 @@
+// Acquisition functions (paper §3.3 Eq. 3, §4.2 Eq. 6-8): Expected
+// Improvement, EI with Constraints, and the safe-region upper bound test.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "model/surrogate.h"
+
+namespace sparktune {
+
+// Closed-form EI for minimization: E[max(best - y, 0)] under
+// y ~ N(mean, variance).
+double ExpectedImprovement(double mean, double variance, double best);
+
+// Pr[g(x) <= threshold] under g ~ N(mean, variance).
+double ProbabilityBelow(double mean, double variance, double threshold);
+
+// One probabilistic inequality constraint g(x) <= threshold, with g modeled
+// by a surrogate over the same feature encoding as the objective.
+struct ProbabilisticConstraint {
+  const Surrogate* surrogate = nullptr;
+  double threshold = 0.0;
+
+  double SatisfactionProbability(const std::vector<double>& features) const;
+
+  // Safe-region membership (Eq. 8): mu(x) + gamma * sigma(x) <= threshold.
+  bool InSafeRegion(const std::vector<double>& features, double gamma) const;
+  // The upper bound u(x) itself (for "least unsafe" fallbacks).
+  double UpperBound(const std::vector<double>& features, double gamma) const;
+};
+
+// EIC acquisition (Eq. 6): EI(x) * prod_i Pr[constraint_i satisfied] *
+// prod_j [deterministic constraint_j satisfied].
+class EicAcquisition {
+ public:
+  EicAcquisition(const Surrogate* objective_surrogate, double incumbent);
+
+  void AddConstraint(ProbabilisticConstraint c) {
+    constraints_.push_back(c);
+  }
+  // Exact white-box constraint (e.g. resource function): returns true when
+  // satisfied.
+  void AddDeterministicConstraint(
+      std::function<bool(const std::vector<double>&)> fn) {
+    deterministic_.push_back(std::move(fn));
+  }
+
+  double Eval(const std::vector<double>& features) const;
+  // EI alone (no constraint weighting), for the stopping criterion.
+  double RawEi(const std::vector<double>& features) const;
+
+  const std::vector<ProbabilisticConstraint>& constraints() const {
+    return constraints_;
+  }
+
+ private:
+  const Surrogate* objective_;
+  double incumbent_;
+  std::vector<ProbabilisticConstraint> constraints_;
+  std::vector<std::function<bool(const std::vector<double>&)>> deterministic_;
+};
+
+}  // namespace sparktune

@@ -1,0 +1,402 @@
+#include "bo/advisor.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <memory>
+
+namespace sparktune {
+
+namespace {
+
+// Cap the objective values of failed runs so they do not wreck target
+// standardization: 1.5x the worst real value seen.
+std::vector<double> CappedObjectives(const RunHistory& history) {
+  double worst_real = 0.0;
+  bool any_real = false;
+  for (const auto& o : history.observations()) {
+    if (!o.failed && std::isfinite(o.objective)) {
+      worst_real = std::max(worst_real, o.objective);
+      any_real = true;
+    }
+  }
+  double cap = any_real ? worst_real * 1.5 : 1.0;
+  std::vector<double> y;
+  y.reserve(history.size());
+  for (const auto& o : history.observations()) {
+    double v = o.objective;
+    if (o.failed || !std::isfinite(v) || v > cap) v = cap;
+    y.push_back(v);
+  }
+  return y;
+}
+
+// Read-only adapter exposing a log-space surrogate in linear units
+// (lognormal moments). Used by AGD, which needs T(x) itself.
+class ExpAdapter final : public Surrogate {
+ public:
+  explicit ExpAdapter(const Surrogate* inner) : inner_(inner) {}
+  Status Fit(const std::vector<std::vector<double>>&,
+             const std::vector<double>&) override {
+    return Status::FailedPrecondition("ExpAdapter is read-only");
+  }
+  Prediction Predict(const std::vector<double>& x) const override {
+    Prediction p = inner_->Predict(x);
+    double mean = std::exp(p.mean + 0.5 * p.variance);
+    double var = (std::exp(p.variance) - 1.0) * mean * mean;
+    return {mean, var};
+  }
+  size_t num_observations() const override {
+    return inner_->num_observations();
+  }
+
+ private:
+  const Surrogate* inner_;
+};
+
+}  // namespace
+
+Advisor::Advisor(const ConfigSpace* space, AdvisorOptions options)
+    : space_(space),
+      options_(std::move(options)),
+      rng_(options_.seed),
+      subspace_(space, options_.subspace, options_.expert_ranking),
+      agd_(space, options_.agd),
+      acq_opt_(options_.acq),
+      init_sampler_(static_cast<int>(space->size()),
+                    options_.seed ^ 0x5bf03635ULL) {
+  assert(space_ != nullptr);
+  if (!options_.resource_fn) {
+    options_.resource_fn = [](const Configuration&) { return 1.0; };
+  }
+  objective_factory_ = [this](const std::vector<FeatureKind>& schema) {
+    return std::make_unique<GaussianProcess>(schema, options_.gp);
+  };
+}
+
+void Advisor::SetWarmStartConfigs(std::vector<Configuration> configs) {
+  warm_start_ = std::move(configs);
+}
+
+void Advisor::SetObjectiveSurrogateFactory(SurrogateFactory factory) {
+  objective_factory_ = std::move(factory);
+}
+
+void Advisor::SeedImportance(const std::vector<double>& scores,
+                             double weight) {
+  subspace_.SeedImportance(scores, weight);
+}
+
+std::vector<FeatureKind> Advisor::Schema() const {
+  int context = 0;
+  if (options_.datasize_aware) context = use_time_context_ ? 2 : 1;
+  return BuildFeatureSchema(*space_, context);
+}
+
+std::vector<double> Advisor::Encode(const Configuration& c,
+                                    double data_size_gb,
+                                    double hours) const {
+  std::vector<double> context;
+  if (options_.datasize_aware) {
+    if (use_time_context_) {
+      context = TimeOfDayContext(hours >= 0.0 ? hours : 0.0);
+    } else {
+      double ds = data_size_gb >= 0.0 ? data_size_gb : 0.0;
+      context.push_back(
+          NormalizeDataSize(ds, options_.datasize_reference_gb));
+    }
+  }
+  return EncodeFeatures(*space_, c, context);
+}
+
+Configuration Advisor::BestConfig() const {
+  const Observation* best = history_.BestFeasible();
+  return best != nullptr ? best->config : space_->Default();
+}
+
+void Advisor::ResetForRestart() {
+  suggestions_ = 0;
+  last_raw_ei_ = 0.0;
+  // Keep run history and learned importance: the restart leverages prior
+  // knowledge (meta-learning on own history) rather than starting blind.
+}
+
+void Advisor::FitSurrogates(double datasize_hint_gb) {
+  (void)datasize_hint_gb;
+  // Context mode: fall back to time-of-day/day-of-week when no execution
+  // exposed its data size but start times are known (paper §3.3).
+  if (options_.datasize_aware && options_.time_context_fallback) {
+    bool any_ds = false;
+    bool any_hours = false;
+    for (const auto& o : history_.observations()) {
+      any_ds |= o.data_size_gb >= 0.0;
+      any_hours |= o.hours >= 0.0;
+    }
+    use_time_context_ = !any_ds && any_hours;
+  }
+  std::vector<std::vector<double>> x;
+  std::vector<double> y_obj;
+  std::vector<double> y_rt;
+  x.reserve(history_.size());
+  y_rt.reserve(history_.size());
+  for (const auto& o : history_.observations()) {
+    x.push_back(Encode(o.config, o.data_size_gb, o.hours));
+    y_rt.push_back(o.runtime_sec);
+  }
+  y_obj = CappedObjectives(history_);
+  if (options_.log_targets) {
+    for (auto& v : y_obj) v = std::log(std::max(v, 1e-9));
+    for (auto& v : y_rt) v = std::log(std::max(v, 1e-9));
+  }
+
+  auto schema = Schema();
+  objective_surrogate_ = objective_factory_(schema);
+  Status s1 = objective_surrogate_->Fit(x, y_obj);
+  runtime_surrogate_ = std::make_unique<GaussianProcess>(schema, options_.gp);
+  Status s2 = runtime_surrogate_->Fit(x, y_rt);
+  // A failed fit leaves a prior-only surrogate; Suggest degrades to
+  // near-random search which is the correct fallback.
+  (void)s1;
+  (void)s2;
+}
+
+Configuration Advisor::Suggest(double datasize_hint_gb,
+                               double hours_hint) {
+  ++suggestions_;
+  last_was_agd_ = false;
+  last_safe_fallback_ = false;
+  last_was_initial_ = false;
+  last_raw_ei_ = 0.0;
+
+  // ---- Initial design ----
+  // With meta warm-starting, the transferred configurations ARE the initial
+  // design (paper §5.2) — no additional low-discrepancy samples. The served
+  // counter (not the history size) drives the phase, so external
+  // observations (e.g. the manual baseline) neither consume the budget nor
+  // skip warm-start entries.
+  size_t init_budget =
+      warm_start_.empty()
+          ? static_cast<size_t>(options_.init_samples)
+          : std::min(static_cast<size_t>(options_.init_samples),
+                     warm_start_.size());
+  if (init_served_ < init_budget) {
+    size_t served = init_served_++;
+    last_was_initial_ = true;
+    if (served < warm_start_.size()) {
+      return space_->Legalize(warm_start_[served]);
+    }
+    // Low-discrepancy samples, but never waste an online execution on a
+    // configuration that provably violates the white-box resource
+    // constraint (runtime feasibility is unknown before a model exists).
+    const bool check_resource = options_.enable_safety &&
+                                options_.objective.has_resource_constraint();
+    // Conservative initial design: with safety on and a feasible anchor
+    // already observed (the manual baseline in production), contract the
+    // low-discrepancy samples halfway toward the anchor. Keeps diversity
+    // for the surrogate while bounding the worst-case exploration cost of
+    // the runs no runtime model can vet yet.
+    const bool anchored =
+        options_.enable_safety && history_.BestFeasible() != nullptr;
+    std::vector<double> anchor_u;
+    if (anchored) anchor_u = space_->ToUnit(BestConfig());
+    Configuration fallback = space_->Default();
+    for (int attempt = 0; attempt < 64; ++attempt) {
+      std::vector<double> u = init_sampler_.Next();
+      if (anchored) {
+        for (size_t i = 0; i < u.size(); ++i) {
+          u[i] = 0.5 * (u[i] + anchor_u[i]);
+        }
+      }
+      Configuration c = space_->FromUnit(u);
+      if (history_.Contains(c)) continue;
+      if (check_resource &&
+          options_.resource_fn(c) > options_.objective.resource_max) {
+        fallback = std::move(c);
+        continue;
+      }
+      return c;
+    }
+    // Shrink the last rejected sample toward the (feasible) incumbent or
+    // default until the resource constraint holds.
+    Configuration anchor = BestConfig();
+    std::vector<double> u = space_->ToUnit(fallback);
+    std::vector<double> a = space_->ToUnit(anchor);
+    for (int step = 0; step < 6; ++step) {
+      for (size_t i = 0; i < u.size(); ++i) u[i] = 0.5 * (u[i] + a[i]);
+      Configuration c = space_->FromUnit(u);
+      if (!check_resource ||
+          options_.resource_fn(c) <= options_.objective.resource_max) {
+        if (!history_.Contains(c)) return c;
+      }
+    }
+    return space_->Sample(&rng_);
+  }
+
+  FitSurrogates(datasize_hint_gb);
+
+  Configuration base = BestConfig();
+  auto encode = [this, datasize_hint_gb, hours_hint](const Configuration& c) {
+    return Encode(c, datasize_hint_gb, hours_hint);
+  };
+
+  // ---- AGD branch (Algorithm 2, lines 2-4) ----
+  if (options_.enable_agd && history_.BestFeasible() != nullptr &&
+      (static_cast<int>(history_.size()) + 1) % options_.agd.period == 0) {
+    last_was_agd_ = true;
+    std::unique_ptr<Surrogate> linear_runtime;
+    const Surrogate* rt_for_agd = runtime_surrogate_.get();
+    if (options_.log_targets) {
+      linear_runtime = std::make_unique<ExpAdapter>(runtime_surrogate_.get());
+      rt_for_agd = linear_runtime.get();
+    }
+    Configuration next = agd_.Step(base, *rt_for_agd, encode,
+                                   options_.resource_fn, options_.objective);
+    // AGD exploits from a feasible incumbent; backtrack the step toward the
+    // incumbent if it leaves the (white-box resource, predicted runtime)
+    // feasible region.
+    auto step_ok = [&](const Configuration& c) {
+      if (!options_.enable_safety) return true;
+      if (options_.objective.has_resource_constraint() &&
+          options_.resource_fn(c) > options_.objective.resource_max) {
+        return false;
+      }
+      if (options_.enable_safety &&
+          options_.objective.has_runtime_constraint()) {
+        Prediction p = runtime_surrogate_->Predict(encode(c));
+        double upper = p.mean + options_.safety_gamma *
+                                    std::sqrt(std::max(p.variance, 0.0));
+        double threshold = options_.log_targets
+                               ? std::log(options_.objective.runtime_max)
+                               : options_.objective.runtime_max;
+        if (upper > threshold) return false;
+      }
+      return true;
+    };
+    std::vector<double> u = space_->ToUnit(next);
+    std::vector<double> a = space_->ToUnit(base);
+    for (int shrink = 0; shrink < 5 && !step_ok(next); ++shrink) {
+      for (size_t i = 0; i < u.size(); ++i) u[i] = 0.5 * (u[i] + a[i]);
+      next = space_->FromUnit(u);
+    }
+    if (history_.Contains(next)) {
+      Subspace full = Subspace::Full(space_);
+      next = full.Neighbor(next, 0.03, &rng_);
+    }
+    return next;
+  }
+
+  // ---- BO branch (Algorithm 2, lines 6-8) ----
+  // Update importance + sub-space.
+  {
+    std::vector<std::vector<double>> x_unit;
+    std::vector<double> y = CappedObjectives(history_);
+    x_unit.reserve(history_.size());
+    for (const auto& o : history_.observations()) {
+      x_unit.push_back(space_->ToUnit(o.config));
+    }
+    subspace_.MaybeUpdateImportance(x_unit, y);
+  }
+  Subspace sub = options_.enable_subspace ? subspace_.Current(base)
+                                          : Subspace::Full(space_);
+  // A second candidate source pins the non-tuned parameters at their
+  // defaults instead of the incumbent: a mediocre incumbent then cannot
+  // poison the pinned dimensions for the whole run.
+  std::optional<Subspace> sub_default;
+  if (options_.enable_subspace && !(base == space_->Default())) {
+    sub_default.emplace(subspace_.Current(space_->Default()));
+  }
+
+  double incumbent = history_.BestObjective();
+  if (!std::isfinite(incumbent)) {
+    // No feasible point yet: guide by the raw objective values.
+    auto y = CappedObjectives(history_);
+    incumbent = *std::min_element(y.begin(), y.end());
+  }
+  if (options_.log_targets) incumbent = std::log(std::max(incumbent, 1e-9));
+  const double runtime_threshold =
+      options_.log_targets ? std::log(options_.objective.runtime_max)
+                           : options_.objective.runtime_max;
+
+  EicAcquisition acq(objective_surrogate_.get(), incumbent);
+
+  ProbabilisticConstraint runtime_constraint;
+  const bool use_runtime_constraint =
+      options_.enable_eic && options_.objective.has_runtime_constraint();
+  if (use_runtime_constraint) {
+    runtime_constraint.surrogate = runtime_surrogate_.get();
+    runtime_constraint.threshold = runtime_threshold;
+    acq.AddConstraint(runtime_constraint);
+  }
+  const bool use_resource_constraint =
+      options_.enable_eic && options_.objective.has_resource_constraint();
+
+  // Deterministic white-box resource check inside the acquisition.
+  AcquisitionOptimizer::SafeFn safe;
+  AcquisitionOptimizer::UnsafetyFn unsafety;
+  double gamma = options_.safety_gamma;
+  if (options_.enable_safety &&
+      (use_runtime_constraint || use_resource_constraint)) {
+    safe = [&, gamma](const Configuration& c) {
+      if (use_resource_constraint &&
+          options_.resource_fn(c) > options_.objective.resource_max) {
+        return false;
+      }
+      if (use_runtime_constraint &&
+          !runtime_constraint.InSafeRegion(encode(c), gamma)) {
+        return false;
+      }
+      return true;
+    };
+    unsafety = [&, gamma](const Configuration& c) {
+      double worst = 0.0;
+      if (use_resource_constraint) {
+        worst = std::max(worst,
+                         options_.resource_fn(c) /
+                                 options_.objective.resource_max -
+                             1.0);
+      }
+      if (use_runtime_constraint) {
+        worst = std::max(worst, runtime_constraint.UpperBound(encode(c),
+                                                              gamma) /
+                                        runtime_threshold -
+                                    1.0);
+      }
+      return worst;
+    };
+  } else if (use_resource_constraint) {
+    // Even without the safety component, hard white-box constraints are
+    // honored inside EIC.
+    acq.AddDeterministicConstraint(
+        [this](const std::vector<double>&) { return true; });
+    safe = [&](const Configuration& c) {
+      return options_.resource_fn(c) <= options_.objective.resource_max;
+    };
+  }
+
+  AcqOptResult res = acq_opt_.Maximize(sub, encode, acq, safe, unsafety,
+                                       &history_, &rng_);
+  if (sub_default.has_value()) {
+    AcqOptResult alt = acq_opt_.Maximize(*sub_default, encode, acq, safe,
+                                         unsafety, &history_, &rng_);
+    if ((res.safe_fallback_used && !alt.safe_fallback_used) ||
+        (res.safe_fallback_used == alt.safe_fallback_used &&
+         alt.acq_value > res.acq_value)) {
+      res = std::move(alt);
+    }
+  }
+  last_raw_ei_ = res.raw_ei;
+  last_safe_fallback_ = res.safe_fallback_used;
+  return res.config;
+}
+
+void Advisor::Observe(Observation obs) {
+  double best_before = history_.BestObjective();
+  bool improved = !obs.failed && obs.feasible && obs.objective < best_before;
+  history_.Add(std::move(obs));
+  // The initial design should not shrink the sub-space.
+  if (history_.size() > static_cast<size_t>(options_.init_samples)) {
+    subspace_.ReportOutcome(improved);
+  }
+}
+
+}  // namespace sparktune

@@ -1,0 +1,72 @@
+#include "bo/agd.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace sparktune {
+
+Agd::Agd(const ConfigSpace* space, AgdOptions options)
+    : space_(space), options_(options) {
+  assert(space_ != nullptr);
+}
+
+Configuration Agd::Step(const Configuration& base,
+                        const Surrogate& runtime_surrogate,
+                        const EncodeFn& encode, const ResourceFn& resource_fn,
+                        const TuningObjective& objective) const {
+  std::vector<double> u = space_->ToUnit(base);
+  double t0 = std::max(1e-9, runtime_surrogate.Predict(encode(base)).mean);
+  double r0 = std::max(1e-9, resource_fn(base));
+  double f0 = objective.Value(t0, r0);
+  double df_dt = objective.DfDt(t0, r0);
+  double df_dr = objective.DfDr(t0, r0);
+
+  std::vector<double> grad(u.size(), 0.0);
+  for (size_t i = 0; i < u.size(); ++i) {
+    if (!space_->param(i).is_numeric()) continue;
+    double lo = std::max(0.0, u[i] - options_.fd_epsilon);
+    double hi = std::min(1.0, u[i] + options_.fd_epsilon);
+    if (hi - lo < 1e-9) continue;
+    std::vector<double> up = u, un = u;
+    up[i] = hi;
+    un[i] = lo;
+    Configuration cp = space_->FromUnit(up);
+    Configuration cn = space_->FromUnit(un);
+    double tp = runtime_surrogate.Predict(encode(cp)).mean;
+    double tn = runtime_surrogate.Predict(encode(cn)).mean;
+    double rp = resource_fn(cp);
+    double rn = resource_fn(cn);
+    double denom = hi - lo;
+    double dt = (tp - tn) / denom;
+    double dr = (rp - rn) / denom;
+    // Eq. 9, normalized by the incumbent objective for scale-free steps.
+    grad[i] = (df_dt * dt + df_dr * dr) / std::max(f0, 1e-9);
+  }
+
+  double eta = options_.learning_rate;
+  for (;;) {
+    std::vector<double> next = u;
+    for (size_t i = 0; i < u.size(); ++i) {
+      double step = std::clamp(eta * grad[i], -options_.max_step,
+                               options_.max_step);
+      next[i] = std::clamp(u[i] - step, 0.0, 1.0);
+    }
+    Configuration out = space_->FromUnit(next);
+    if (!(out == base)) return out;
+    // Rounding swallowed the step; amplify until something changes or the
+    // step hits the clip.
+    bool maxed = true;
+    for (size_t i = 0; i < u.size(); ++i) {
+      if (grad[i] != 0.0 &&
+          std::fabs(eta * grad[i]) < options_.max_step) {
+        maxed = false;
+        break;
+      }
+    }
+    if (maxed) return out;  // gradient is zero or steps are saturated
+    eta *= options_.amplify;
+  }
+}
+
+}  // namespace sparktune

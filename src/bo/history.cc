@@ -1,0 +1,36 @@
+#include "bo/history.h"
+
+namespace sparktune {
+
+int RunHistory::BestFeasibleIndex() const {
+  int best = -1;
+  double best_obj = std::numeric_limits<double>::infinity();
+  for (size_t i = 0; i < observations_.size(); ++i) {
+    const Observation& o = observations_[i];
+    if (o.failed || !o.feasible) continue;
+    if (o.objective < best_obj) {
+      best_obj = o.objective;
+      best = static_cast<int>(i);
+    }
+  }
+  return best;
+}
+
+const Observation* RunHistory::BestFeasible() const {
+  int i = BestFeasibleIndex();
+  return i < 0 ? nullptr : &observations_[static_cast<size_t>(i)];
+}
+
+double RunHistory::BestObjective() const {
+  const Observation* o = BestFeasible();
+  return o == nullptr ? std::numeric_limits<double>::infinity() : o->objective;
+}
+
+bool RunHistory::Contains(const Configuration& config) const {
+  for (const auto& o : observations_) {
+    if (o.config == config) return true;
+  }
+  return false;
+}
+
+}  // namespace sparktune

@@ -1,0 +1,54 @@
+// Run history: the observations a tuning task accumulates, one per online
+// job execution.
+#pragma once
+
+#include <limits>
+#include <vector>
+
+#include "space/config_space.h"
+
+namespace sparktune {
+
+struct Observation {
+  Configuration config;
+  double objective = 0.0;      // f(x) per the tuning objective
+  double runtime_sec = 0.0;    // T(x)
+  double resource_rate = 0.0;  // R(x)
+  double data_size_gb = -1.0;  // <0 if unobservable
+  // Hours since the tuning task started, at execution time; feeds the
+  // time-of-day/day-of-week context when data size is hidden (<0 = unknown).
+  double hours = -1.0;
+  double memory_gb_hours = 0.0;
+  double cpu_core_hours = 0.0;
+  bool feasible = true;        // all constraints satisfied
+  bool failed = false;         // execution failed outright
+  int iteration = 0;
+};
+
+class RunHistory {
+ public:
+  void Add(Observation obs) { observations_.push_back(std::move(obs)); }
+  void Clear() { observations_.clear(); }
+
+  size_t size() const { return observations_.size(); }
+  bool empty() const { return observations_.empty(); }
+  const std::vector<Observation>& observations() const {
+    return observations_;
+  }
+  const Observation& at(size_t i) const { return observations_[i]; }
+  const Observation& back() const { return observations_.back(); }
+
+  // Index of the best feasible non-failed observation; -1 if none.
+  int BestFeasibleIndex() const;
+  const Observation* BestFeasible() const;
+  // Incumbent objective value (+inf when no feasible observation).
+  double BestObjective() const;
+
+  // True if `config` was already evaluated (exact value match).
+  bool Contains(const Configuration& config) const;
+
+ private:
+  std::vector<Observation> observations_;
+};
+
+}  // namespace sparktune

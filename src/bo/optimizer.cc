@@ -1,0 +1,89 @@
+#include "bo/optimizer.h"
+
+#include <cmath>
+
+namespace sparktune {
+
+namespace {
+
+AdvisorOptions BuildAdvisorOptions(const OptimizerOptions& options) {
+  AdvisorOptions aopts = options.advisor;
+  aopts.objective.beta = options.resource_fn ? options.beta : 1.0;
+  aopts.objective.runtime_max = options.safety_bound;
+  aopts.objective.resource_max = options.resource_bound;
+  aopts.resource_fn = options.resource_fn;  // may be null -> constant 1
+  aopts.seed = options.seed;
+  // Generic problems carry no data-size context.
+  aopts.datasize_aware = false;
+  return aopts;
+}
+
+}  // namespace
+
+Optimizer::Optimizer(const ConfigSpace* space, OptimizerOptions options)
+    : space_(space),
+      options_(std::move(options)),
+      advisor_(space, BuildAdvisorOptions(options_)) {
+  objective_ = advisor_.options().objective;
+}
+
+Configuration Optimizer::Suggest() { return advisor_.Suggest(); }
+
+void Optimizer::Observe(const Configuration& config, double value) {
+  Observation obs;
+  obs.config = space_->Legalize(config);
+  obs.iteration = ++iteration_;
+  obs.failed = !std::isfinite(value);
+  double runtime = value;
+  if (obs.failed) {
+    // A failed evaluation must look *bad* to the value surrogate, not fast:
+    // pin it above everything observed (or the safety bound when set).
+    double worst = std::isfinite(options_.safety_bound)
+                       ? options_.safety_bound
+                       : 1.0;
+    for (const auto& o : advisor_.history().observations()) {
+      if (!o.failed) worst = std::max(worst, o.runtime_sec);
+    }
+    runtime = worst * 2.0;
+  }
+  double resource =
+      options_.resource_fn ? options_.resource_fn(obs.config) : 1.0;
+  obs.runtime_sec = runtime;
+  obs.resource_rate = resource;
+  obs.objective =
+      obs.failed ? std::numeric_limits<double>::infinity()
+                 : objective_.Value(runtime, resource);
+  obs.feasible = !obs.failed && objective_.Feasible(runtime, resource);
+  advisor_.Observe(std::move(obs));
+}
+
+OptimizerReport Optimizer::Minimize(const ObjectiveFn& fn) {
+  OptimizerReport report;
+  for (int i = 0; i < options_.budget; ++i) {
+    Configuration c = Suggest();
+    double value = fn(c);
+    Observe(c, value);
+    ++report.evaluations;
+    if (std::isfinite(value) && value > options_.safety_bound) {
+      ++report.violations;
+    }
+  }
+  const Observation* best = advisor_.history().BestFeasible();
+  if (best != nullptr) {
+    report.best_config = best->config;
+    report.best_value = best->runtime_sec;
+  } else if (!advisor_.history().empty()) {
+    // Nothing feasible: return the smallest observed value anyway.
+    double best_val = std::numeric_limits<double>::infinity();
+    for (const auto& o : advisor_.history().observations()) {
+      if (!o.failed && o.runtime_sec < best_val) {
+        best_val = o.runtime_sec;
+        report.best_config = o.config;
+        report.best_value = best_val;
+      }
+    }
+  }
+  return report;
+}
+
+}  // namespace sparktune

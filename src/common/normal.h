@@ -1,0 +1,15 @@
+// Standard normal pdf/cdf/inverse-cdf used by EI/EIC acquisition functions
+// and by the simulator's order-statistic straggler model.
+#pragma once
+
+namespace sparktune {
+
+// Standard normal probability density.
+double NormPdf(double x);
+// Standard normal cumulative distribution (via erfc, full precision).
+double NormCdf(double x);
+// Inverse standard normal CDF (Acklam's rational approximation, |eps| ~ 1e-9).
+// p must be in (0, 1).
+double NormInvCdf(double p);
+
+}  // namespace sparktune

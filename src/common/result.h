@@ -1,0 +1,63 @@
+// Result<T>: value-or-Status, in the style of arrow::Result.
+#pragma once
+
+#include <cassert>
+#include <optional>
+#include <utility>
+
+#include "common/status.h"
+
+namespace sparktune {
+
+template <typename T>
+class Result {
+ public:
+  // Implicit construction from a value or an error Status keeps call sites
+  // terse: `return value;` / `return Status::InvalidArgument(...)`.
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    assert(!status_.ok() && "Result constructed from OK status without value");
+  }
+
+  bool ok() const { return value_.has_value(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  T value_or(T fallback) const {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+ private:
+  std::optional<T> value_;
+  Status status_;
+};
+
+#define SPARKTUNE_RETURN_IF_ERROR(expr)            \
+  do {                                             \
+    ::sparktune::Status _st = (expr);              \
+    if (!_st.ok()) return _st;                     \
+  } while (0)
+
+#define SPARKTUNE_ASSIGN_OR_RETURN(lhs, expr)      \
+  auto lhs##_result = (expr);                      \
+  if (!lhs##_result.ok()) return lhs##_result.status(); \
+  auto& lhs = *lhs##_result
+
+}  // namespace sparktune

@@ -1,0 +1,62 @@
+// Descriptive statistics and rank correlation utilities shared by the
+// simulator (task metric summaries), the meta-learner (Kendall-tau task
+// distance) and the experiment harnesses.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace sparktune {
+
+double Mean(const std::vector<double>& v);
+// Population variance/stddev (divide by n); returns 0 for n < 2.
+double Variance(const std::vector<double>& v);
+double Stddev(const std::vector<double>& v);
+double Min(const std::vector<double>& v);
+double Max(const std::vector<double>& v);
+double Sum(const std::vector<double>& v);
+// Linear-interpolated quantile, q in [0, 1]. v need not be sorted.
+double Quantile(std::vector<double> v, double q);
+double Median(const std::vector<double>& v);
+// Skewness (Fisher-Pearson, population); 0 for degenerate inputs.
+double Skewness(const std::vector<double>& v);
+
+// Kendall rank correlation coefficient tau-a in [-1, 1].
+// Returns 0 for vectors shorter than 2. O(n^2); n is small in our usage
+// (random probe sets of a few hundred configs).
+double KendallTau(const std::vector<double>& a, const std::vector<double>& b);
+
+// Spearman rank correlation (Pearson on ranks, average ranks on ties).
+double SpearmanRho(const std::vector<double>& a, const std::vector<double>& b);
+
+// Pearson correlation; 0 when either side is constant.
+double PearsonR(const std::vector<double>& a, const std::vector<double>& b);
+
+// Ranks with ties resolved by averaging (1-based ranks).
+std::vector<double> AverageRanks(const std::vector<double>& v);
+
+// Simple fixed-width histogram over [lo, hi) with `bins` buckets; values
+// outside the range are clamped into the first/last bucket.
+std::vector<int> Histogram(const std::vector<double>& v, double lo, double hi,
+                           int bins);
+
+// Incremental mean/variance accumulator (Welford).
+class RunningStat {
+ public:
+  void Add(double x);
+  size_t count() const { return n_; }
+  double mean() const { return n_ > 0 ? mean_ : 0.0; }
+  double variance() const;
+  double stddev() const;
+  double min() const { return min_; }
+  double max() const { return max_; }
+
+ private:
+  size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+}  // namespace sparktune

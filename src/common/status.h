@@ -1,0 +1,59 @@
+// Status: lightweight error propagation in the style of RocksDB / Arrow.
+//
+// Library code returns Status (or Result<T>, see result.h) instead of
+// throwing; exceptions are reserved for programmer errors via CHECK macros.
+#pragma once
+
+#include <string>
+#include <utility>
+
+namespace sparktune {
+
+class Status {
+ public:
+  enum class Code {
+    kOk = 0,
+    kInvalidArgument,
+    kNotFound,
+    kOutOfRange,
+    kFailedPrecondition,
+    kInternal,
+    kUnavailable,
+  };
+
+  Status() : code_(Code::kOk) {}
+  Status(Code code, std::string msg) : code_(code), msg_(std::move(msg)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(Code::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(Code::kNotFound, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(Code::kOutOfRange, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(Code::kFailedPrecondition, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(Code::kInternal, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(Code::kUnavailable, std::move(msg));
+  }
+
+  bool ok() const { return code_ == Code::kOk; }
+  Code code() const { return code_; }
+  const std::string& message() const { return msg_; }
+
+  // Human-readable rendering, e.g. "InvalidArgument: beta must be in [0,1]".
+  std::string ToString() const;
+
+ private:
+  Code code_;
+  std::string msg_;
+};
+
+}  // namespace sparktune

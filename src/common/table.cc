@@ -1,0 +1,68 @@
+#include "common/table.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace sparktune {
+
+TablePrinter::TablePrinter(std::vector<std::string> header)
+    : header_(std::move(header)) {}
+
+void TablePrinter::AddRow(std::vector<std::string> row) {
+  assert(row.size() == header_.size());
+  rows_.push_back(std::move(row));
+}
+
+void TablePrinter::AddRow(std::initializer_list<std::string> row) {
+  AddRow(std::vector<std::string>(row));
+}
+
+std::string TablePrinter::ToString() const {
+  std::vector<size_t> widths(header_.size(), 0);
+  for (size_t c = 0; c < header_.size(); ++c) widths[c] = header_[c].size();
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  auto sep = [&]() {
+    std::string s = "+";
+    for (size_t w : widths) s += std::string(w + 2, '-') + "+";
+    s += "\n";
+    return s;
+  };
+  auto line = [&](const std::vector<std::string>& cells) {
+    std::string s = "|";
+    for (size_t c = 0; c < cells.size(); ++c) {
+      s += " " + cells[c] + std::string(widths[c] - cells[c].size(), ' ') +
+           " |";
+    }
+    s += "\n";
+    return s;
+  };
+  std::string out = sep() + line(header_) + sep();
+  for (const auto& row : rows_) out += line(row);
+  out += sep();
+  return out;
+}
+
+std::string TablePrinter::ToCsv() const {
+  auto cell = [](const std::string& s) {
+    if (s.find(',') == std::string::npos) return s;
+    return "\"" + s + "\"";
+  };
+  auto line = [&](const std::vector<std::string>& cells) {
+    std::string s;
+    for (size_t c = 0; c < cells.size(); ++c) {
+      if (c > 0) s += ",";
+      s += cell(cells[c]);
+    }
+    s += "\n";
+    return s;
+  };
+  std::string out = line(header_);
+  for (const auto& row : rows_) out += line(row);
+  return out;
+}
+
+}  // namespace sparktune

@@ -1,0 +1,30 @@
+// ASCII table / CSV emitters used by the experiment harnesses to print the
+// paper's tables and figure series in a uniform format.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace sparktune {
+
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> header);
+
+  void AddRow(std::vector<std::string> row);
+  // Convenience: format arbitrary cells; doubles use PrettyDouble.
+  void AddRow(std::initializer_list<std::string> row);
+
+  // Render with aligned columns and +--+ separators.
+  std::string ToString() const;
+  // Render as CSV (no escaping beyond quoting cells with commas).
+  std::string ToCsv() const;
+
+  size_t num_rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace sparktune

@@ -1,0 +1,71 @@
+#include "forest/random_forest.h"
+
+#include <cmath>
+
+namespace sparktune {
+
+RandomForest::RandomForest(ForestOptions options) : options_(options) {}
+
+Status RandomForest::Fit(const std::vector<std::vector<double>>& x,
+                         const std::vector<double>& y) {
+  if (x.empty() || x.size() != y.size()) {
+    return Status::InvalidArgument("forest needs matching non-empty X and y");
+  }
+  n_obs_ = x.size();
+  int nf = static_cast<int>(x[0].size());
+  int max_features;
+  if (options_.feature_fraction > 0.0) {
+    max_features = std::max(1, static_cast<int>(options_.feature_fraction * nf));
+  } else {
+    max_features = std::max(1, static_cast<int>(std::sqrt(nf)));
+  }
+
+  Rng rng(options_.seed);
+  trees_.clear();
+  trees_.reserve(static_cast<size_t>(options_.num_trees));
+  int n = static_cast<int>(x.size());
+  int boot_n =
+      std::max(1, static_cast<int>(options_.bootstrap_fraction * n));
+  for (int t = 0; t < options_.num_trees; ++t) {
+    Rng tree_rng = rng.Fork();
+    std::vector<int> sample(static_cast<size_t>(boot_n));
+    for (auto& s : sample) {
+      s = static_cast<int>(tree_rng.UniformInt(0, n - 1));
+    }
+    TreeOptions topts = options_.tree;
+    topts.max_features = max_features < nf ? max_features : -1;
+    RegressionTree tree(topts);
+    SPARKTUNE_RETURN_IF_ERROR(tree.Fit(x, y, sample, &tree_rng));
+    trees_.push_back(std::move(tree));
+  }
+  return Status::OK();
+}
+
+std::vector<double> RandomForest::FeatureImportance() const {
+  std::vector<double> imp;
+  if (trees_.empty()) return imp;
+  imp.assign(trees_[0].num_features(), 0.0);
+  for (const auto& tree : trees_) {
+    std::vector<double> ti = tree.FeatureImportance();
+    for (size_t i = 0; i < imp.size(); ++i) imp[i] += ti[i];
+  }
+  for (auto& v : imp) v /= static_cast<double>(trees_.size());
+  return imp;
+}
+
+Prediction RandomForest::Predict(const std::vector<double>& x) const {
+  Prediction pred;
+  if (trees_.empty()) return pred;
+  double sum = 0.0, sq = 0.0;
+  for (const auto& tree : trees_) {
+    double v = tree.Predict(x);
+    sum += v;
+    sq += v * v;
+  }
+  double n = static_cast<double>(trees_.size());
+  pred.mean = sum / n;
+  pred.variance = std::max(0.0, sq / n - pred.mean * pred.mean);
+  return pred;
+}
+
+}  // namespace sparktune

@@ -1,0 +1,181 @@
+#include "forest/tree.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <limits>
+#include <numeric>
+
+namespace sparktune {
+
+RegressionTree::RegressionTree(TreeOptions options) : options_(options) {}
+
+namespace {
+
+struct SplitResult {
+  bool found = false;
+  int feature = -1;
+  double threshold = 0.0;
+  double score = std::numeric_limits<double>::infinity();  // weighted SSE
+};
+
+// Best split for one feature by exhaustive scan of sorted unique midpoints.
+void BestSplitForFeature(const std::vector<std::vector<double>>& x,
+                         const std::vector<double>& y,
+                         const std::vector<int>& indices, int feature,
+                         int min_leaf, SplitResult* best) {
+  size_t n = indices.size();
+  // Sort index order by feature value.
+  std::vector<int> order(indices);
+  std::sort(order.begin(), order.end(), [&](int a, int b) {
+    return x[static_cast<size_t>(a)][static_cast<size_t>(feature)] <
+           x[static_cast<size_t>(b)][static_cast<size_t>(feature)];
+  });
+  // Prefix sums of y and y^2 in sorted order.
+  double total_sum = 0.0, total_sq = 0.0;
+  for (int i : order) {
+    total_sum += y[static_cast<size_t>(i)];
+    total_sq += y[static_cast<size_t>(i)] * y[static_cast<size_t>(i)];
+  }
+  double left_sum = 0.0, left_sq = 0.0;
+  for (size_t k = 0; k + 1 < n; ++k) {
+    double yi = y[static_cast<size_t>(order[k])];
+    left_sum += yi;
+    left_sq += yi * yi;
+    double xv = x[static_cast<size_t>(order[k])][static_cast<size_t>(feature)];
+    double xn =
+        x[static_cast<size_t>(order[k + 1])][static_cast<size_t>(feature)];
+    if (xn <= xv) continue;  // same value, no valid threshold
+    size_t nl = k + 1, nr = n - nl;
+    if (nl < static_cast<size_t>(min_leaf) ||
+        nr < static_cast<size_t>(min_leaf)) {
+      continue;
+    }
+    double right_sum = total_sum - left_sum;
+    double right_sq = total_sq - left_sq;
+    double sse_left = left_sq - left_sum * left_sum / static_cast<double>(nl);
+    double sse_right =
+        right_sq - right_sum * right_sum / static_cast<double>(nr);
+    double score = sse_left + sse_right;
+    if (score < best->score - 1e-15) {
+      best->found = true;
+      best->feature = feature;
+      best->threshold = 0.5 * (xv + xn);
+      best->score = score;
+    }
+  }
+}
+
+}  // namespace
+
+Status RegressionTree::Fit(const std::vector<std::vector<double>>& x,
+                           const std::vector<double>& y,
+                           const std::vector<int>& sample_indices, Rng* rng) {
+  if (x.empty() || x.size() != y.size()) {
+    return Status::InvalidArgument("tree needs matching non-empty X and y");
+  }
+  num_features_ = x[0].size();
+  nodes_.clear();
+  std::vector<int> indices;
+  if (sample_indices.empty()) {
+    indices.resize(x.size());
+    std::iota(indices.begin(), indices.end(), 0);
+  } else {
+    indices = sample_indices;
+  }
+  if (options_.max_features > 0 && rng == nullptr) {
+    return Status::InvalidArgument("feature subsampling requires an Rng");
+  }
+  Build(x, y, indices, 0, rng);
+  return Status::OK();
+}
+
+int RegressionTree::Build(const std::vector<std::vector<double>>& x,
+                          const std::vector<double>& y,
+                          std::vector<int>& indices, int depth, Rng* rng) {
+  int node_id = static_cast<int>(nodes_.size());
+  nodes_.emplace_back();
+  double sum = 0.0, sq = 0.0;
+  for (int i : indices) {
+    sum += y[static_cast<size_t>(i)];
+    sq += y[static_cast<size_t>(i)] * y[static_cast<size_t>(i)];
+  }
+  double mean = sum / static_cast<double>(indices.size());
+  double node_sse = sq - sum * mean;
+  nodes_[static_cast<size_t>(node_id)].value = mean;
+  nodes_[static_cast<size_t>(node_id)].num_samples =
+      static_cast<int>(indices.size());
+
+  if (depth >= options_.max_depth ||
+      static_cast<int>(indices.size()) < options_.min_samples_split) {
+    return node_id;
+  }
+
+  // Candidate features.
+  std::vector<int> features;
+  int nf = static_cast<int>(num_features_);
+  if (options_.max_features > 0 && options_.max_features < nf) {
+    features = rng->SampleWithoutReplacement(nf, options_.max_features);
+  } else {
+    features.resize(static_cast<size_t>(nf));
+    std::iota(features.begin(), features.end(), 0);
+  }
+
+  SplitResult best;
+  for (int f : features) {
+    BestSplitForFeature(x, y, indices, f, options_.min_samples_leaf, &best);
+  }
+  if (!best.found) return node_id;
+
+  std::vector<int> left_idx, right_idx;
+  for (int i : indices) {
+    if (x[static_cast<size_t>(i)][static_cast<size_t>(best.feature)] <=
+        best.threshold) {
+      left_idx.push_back(i);
+    } else {
+      right_idx.push_back(i);
+    }
+  }
+  if (left_idx.empty() || right_idx.empty()) return node_id;
+
+  // Free the parent index list before recursing (keeps peak memory linear).
+  indices.clear();
+  indices.shrink_to_fit();
+
+  int left = Build(x, y, left_idx, depth + 1, rng);
+  int right = Build(x, y, right_idx, depth + 1, rng);
+  Node& node = nodes_[static_cast<size_t>(node_id)];
+  node.is_leaf = false;
+  node.feature = best.feature;
+  node.threshold = best.threshold;
+  node.left = left;
+  node.right = right;
+  node.impurity_decrease = std::max(0.0, node_sse - best.score);
+  return node_id;
+}
+
+std::vector<double> RegressionTree::FeatureImportance() const {
+  std::vector<double> imp(num_features_, 0.0);
+  double total = 0.0;
+  for (const Node& n : nodes_) {
+    if (n.is_leaf) continue;
+    imp[static_cast<size_t>(n.feature)] += n.impurity_decrease;
+    total += n.impurity_decrease;
+  }
+  if (total > 0.0) {
+    for (auto& v : imp) v /= total;
+  }
+  return imp;
+}
+
+double RegressionTree::Predict(const std::vector<double>& x) const {
+  assert(!nodes_.empty());
+  int cur = 0;
+  while (!nodes_[static_cast<size_t>(cur)].is_leaf) {
+    const Node& n = nodes_[static_cast<size_t>(cur)];
+    cur = x[static_cast<size_t>(n.feature)] <= n.threshold ? n.left : n.right;
+  }
+  return nodes_[static_cast<size_t>(cur)].value;
+}
+
+}  // namespace sparktune

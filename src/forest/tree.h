@@ -1,0 +1,66 @@
+// CART regression tree: exact greedy variance-reduction splits. Exposes its
+// node structure so fANOVA can walk leaf cells and compute marginals.
+#pragma once
+
+#include <vector>
+
+#include "common/result.h"
+#include "common/rng.h"
+
+namespace sparktune {
+
+struct TreeOptions {
+  int max_depth = 14;
+  int min_samples_leaf = 2;
+  int min_samples_split = 4;
+  // Features considered per split; -1 = all (set by RandomForest for
+  // feature bagging).
+  int max_features = -1;
+};
+
+class RegressionTree {
+ public:
+  struct Node {
+    bool is_leaf = true;
+    int feature = -1;
+    double threshold = 0.0;
+    int left = -1;   // node index, x[feature] <= threshold
+    int right = -1;  // node index, x[feature] >  threshold
+    double value = 0.0;  // leaf prediction (mean of samples)
+    int num_samples = 0;
+    // SSE decrease achieved by this node's split (0 for leaves); basis of
+    // impurity feature importance.
+    double impurity_decrease = 0.0;
+  };
+
+  explicit RegressionTree(TreeOptions options = {});
+
+  // Fit on rows `x` (all the same width) and targets `y`. `sample_indices`
+  // selects a bootstrap subset (empty = all rows). `rng` drives feature
+  // subsampling; required when options.max_features != -1.
+  Status Fit(const std::vector<std::vector<double>>& x,
+             const std::vector<double>& y,
+             const std::vector<int>& sample_indices = {},
+             Rng* rng = nullptr);
+
+  double Predict(const std::vector<double>& x) const;
+
+  // Total impurity (SSE) decrease attributed to each feature, normalized to
+  // sum to 1 (all zeros for a stump).
+  std::vector<double> FeatureImportance() const;
+
+  const std::vector<Node>& nodes() const { return nodes_; }
+  int root() const { return nodes_.empty() ? -1 : 0; }
+  size_t num_features() const { return num_features_; }
+
+ private:
+  int Build(const std::vector<std::vector<double>>& x,
+            const std::vector<double>& y, std::vector<int>& indices, int depth,
+            Rng* rng);
+
+  TreeOptions options_;
+  std::vector<Node> nodes_;
+  size_t num_features_ = 0;
+};
+
+}  // namespace sparktune

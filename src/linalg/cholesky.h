@@ -1,0 +1,38 @@
+// Cholesky factorization with adaptive jitter, triangular solves and
+// log-determinant — the numerical core of GP posterior inference.
+#pragma once
+
+#include "common/result.h"
+#include "linalg/matrix.h"
+
+namespace sparktune {
+
+// Lower-triangular Cholesky factor of a symmetric positive-definite matrix.
+class Cholesky {
+ public:
+  // Factor A = L * L^T. If A is not numerically PD, progressively larger
+  // jitter (up to `max_jitter`) is added to the diagonal before failing.
+  static Result<Cholesky> Factor(const Matrix& a, double initial_jitter = 1e-10,
+                                 double max_jitter = 1e-2);
+
+  // Solve A x = b via forward/back substitution.
+  Vector Solve(const Vector& b) const;
+  // Solve L y = b (forward substitution only).
+  Vector SolveLower(const Vector& b) const;
+  // Solve A X = B column-wise.
+  Matrix SolveMatrix(const Matrix& b) const;
+
+  // log |A| = 2 * sum(log L_ii).
+  double LogDet() const;
+
+  // Jitter that was actually applied to make the factorization succeed.
+  double applied_jitter() const { return applied_jitter_; }
+
+  const Matrix& lower() const { return l_; }
+
+ private:
+  Matrix l_;
+  double applied_jitter_ = 0.0;
+};
+
+}  // namespace sparktune

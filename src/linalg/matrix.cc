@@ -1,0 +1,82 @@
+#include "linalg/matrix.h"
+
+#include <cmath>
+
+namespace sparktune {
+
+Matrix Matrix::Identity(size_t n) {
+  Matrix m(n, n, 0.0);
+  for (size_t i = 0; i < n; ++i) m(i, i) = 1.0;
+  return m;
+}
+
+Vector Matrix::MatVec(const Vector& x) const {
+  assert(x.size() == cols_);
+  Vector y(rows_, 0.0);
+  for (size_t r = 0; r < rows_; ++r) {
+    double acc = 0.0;
+    const double* row = &data_[r * cols_];
+    for (size_t c = 0; c < cols_; ++c) acc += row[c] * x[c];
+    y[r] = acc;
+  }
+  return y;
+}
+
+Matrix Matrix::MatMul(const Matrix& other) const {
+  assert(cols_ == other.rows_);
+  Matrix out(rows_, other.cols_, 0.0);
+  for (size_t r = 0; r < rows_; ++r) {
+    for (size_t k = 0; k < cols_; ++k) {
+      double a = (*this)(r, k);
+      if (a == 0.0) continue;
+      for (size_t c = 0; c < other.cols_; ++c) {
+        out(r, c) += a * other(k, c);
+      }
+    }
+  }
+  return out;
+}
+
+Matrix Matrix::Transpose() const {
+  Matrix out(cols_, rows_);
+  for (size_t r = 0; r < rows_; ++r) {
+    for (size_t c = 0; c < cols_; ++c) out(c, r) = (*this)(r, c);
+  }
+  return out;
+}
+
+void Matrix::AddDiagonal(double v) {
+  size_t n = std::min(rows_, cols_);
+  for (size_t i = 0; i < n; ++i) (*this)(i, i) += v;
+}
+
+double Dot(const Vector& a, const Vector& b) {
+  assert(a.size() == b.size());
+  double acc = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) acc += a[i] * b[i];
+  return acc;
+}
+
+Vector Add(const Vector& a, const Vector& b) {
+  assert(a.size() == b.size());
+  Vector out(a.size());
+  for (size_t i = 0; i < a.size(); ++i) out[i] = a[i] + b[i];
+  return out;
+}
+
+Vector Sub(const Vector& a, const Vector& b) {
+  assert(a.size() == b.size());
+  Vector out(a.size());
+  for (size_t i = 0; i < a.size(); ++i) out[i] = a[i] - b[i];
+  return out;
+}
+
+Vector Scale(const Vector& a, double s) {
+  Vector out(a.size());
+  for (size_t i = 0; i < a.size(); ++i) out[i] = a[i] * s;
+  return out;
+}
+
+double Norm2(const Vector& a) { return std::sqrt(Dot(a, a)); }
+
+}  // namespace sparktune

@@ -1,0 +1,58 @@
+// Dense row-major matrix and vector helpers sized for Gaussian-process
+// regression over tuning histories (tens to a few hundred rows). Clarity and
+// numerical robustness over raw speed.
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+#include <vector>
+
+namespace sparktune {
+
+using Vector = std::vector<double>;
+
+class Matrix {
+ public:
+  Matrix() : rows_(0), cols_(0) {}
+  Matrix(size_t rows, size_t cols, double fill = 0.0)
+      : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+  static Matrix Identity(size_t n);
+
+  size_t rows() const { return rows_; }
+  size_t cols() const { return cols_; }
+
+  double& operator()(size_t r, size_t c) {
+    assert(r < rows_ && c < cols_);
+    return data_[r * cols_ + c];
+  }
+  double operator()(size_t r, size_t c) const {
+    assert(r < rows_ && c < cols_);
+    return data_[r * cols_ + c];
+  }
+
+  // y = A * x
+  Vector MatVec(const Vector& x) const;
+  // C = A * B
+  Matrix MatMul(const Matrix& other) const;
+  Matrix Transpose() const;
+
+  // Add v to every diagonal element (jitter / noise term).
+  void AddDiagonal(double v);
+
+  const std::vector<double>& data() const { return data_; }
+
+ private:
+  size_t rows_;
+  size_t cols_;
+  std::vector<double> data_;
+};
+
+// Basic vector arithmetic.
+double Dot(const Vector& a, const Vector& b);
+Vector Add(const Vector& a, const Vector& b);
+Vector Sub(const Vector& a, const Vector& b);
+Vector Scale(const Vector& a, double s);
+double Norm2(const Vector& a);
+
+}  // namespace sparktune

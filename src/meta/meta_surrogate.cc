@@ -1,0 +1,125 @@
+#include "meta/meta_surrogate.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "common/stats.h"
+
+namespace sparktune {
+
+MetaEnsembleSurrogate::MetaEnsembleSurrogate(std::vector<FeatureKind> schema,
+                                             std::vector<BaseSurrogate> bases,
+                                             MetaEnsembleOptions options)
+    : schema_(std::move(schema)),
+      bases_(std::move(bases)),
+      options_(options) {}
+
+Status MetaEnsembleSurrogate::Fit(const std::vector<std::vector<double>>& x,
+                                  const std::vector<double>& y) {
+  n_obs_ = x.size();
+  target_mean_ = Mean(y);
+  target_scale_ = Stddev(y);
+  if (target_scale_ < 1e-12) target_scale_ = 1.0;
+
+  current_ = std::make_unique<GaussianProcess>(schema_, options_.gp);
+  SPARKTUNE_RETURN_IF_ERROR(current_->Fit(x, y));
+
+  // ---- Self weight via k-fold CV rank correlation ----
+  double self_raw = options_.min_self_weight;
+  int folds = options_.cv_folds;
+  if (static_cast<int>(x.size()) >= 2 * folds) {
+    std::vector<double> predicted(x.size(), 0.0);
+    for (int f = 0; f < folds; ++f) {
+      std::vector<std::vector<double>> train_x;
+      std::vector<double> train_y;
+      std::vector<size_t> test_idx;
+      for (size_t i = 0; i < x.size(); ++i) {
+        if (static_cast<int>(i) % folds == f) {
+          test_idx.push_back(i);
+        } else {
+          train_x.push_back(x[i]);
+          train_y.push_back(y[i]);
+        }
+      }
+      GaussianProcess fold_gp(schema_, options_.gp);
+      if (!fold_gp.Fit(train_x, train_y).ok()) continue;
+      for (size_t i : test_idx) predicted[i] = fold_gp.Predict(x[i]).mean;
+    }
+    double tau = KendallTau(predicted, y);
+    self_raw = std::clamp(tau, options_.min_self_weight, 1.0);
+  }
+
+  // ---- Normalize ----
+  double decay = 1.0;
+  if (options_.base_decay_horizon > 0) {
+    decay = std::max(0.0, 1.0 - static_cast<double>(n_obs_) /
+                               options_.base_decay_horizon);
+  }
+  base_weights_.resize(bases_.size());
+  double base_mass = 0.0;
+  for (size_t i = 0; i < bases_.size(); ++i) {
+    base_weights_[i] = std::max(0.0, bases_[i].similarity) * decay;
+    base_mass += base_weights_[i];
+  }
+  // The combined base mass never exceeds the self model's full confidence:
+  // many similar sources share their vote instead of out-voting the
+  // current task's own evidence.
+  if (base_mass > 1.0) {
+    for (auto& w : base_weights_) w /= base_mass;
+    base_mass = 1.0;
+  }
+  double total = self_raw + base_mass;
+  if (total <= 0.0) {
+    self_weight_ = 1.0;
+    std::fill(base_weights_.begin(), base_weights_.end(), 0.0);
+  } else {
+    self_weight_ = self_raw / total;
+    for (auto& w : base_weights_) w /= total;
+  }
+  return Status::OK();
+}
+
+Prediction MetaEnsembleSurrogate::Predict(const std::vector<double>& x) const {
+  Prediction out;
+  if (current_ == nullptr) {
+    // Not fitted: pure prior mix of base models in current scale (identity
+    // scale since no target stats).
+    double w = bases_.empty() ? 0.0 : 1.0 / static_cast<double>(bases_.size());
+    for (const auto& b : bases_) {
+      std::vector<double> xb(x.begin(),
+                             x.begin() + static_cast<long>(std::min(
+                                             b.input_dims, x.size())));
+      Prediction p = b.model->Predict(xb);
+      double std_mean = (p.mean - b.y_mean) / b.y_scale;
+      out.mean += w * std_mean;
+      out.variance += w * w * p.variance / (b.y_scale * b.y_scale);
+    }
+    return out;
+  }
+
+  Prediction self = current_->Predict(x);
+  out.mean = self_weight_ * self.mean;
+  out.variance = self_weight_ * self_weight_ * self.variance;
+  for (size_t i = 0; i < bases_.size(); ++i) {
+    double w = base_weights_[i];
+    if (w <= 0.0) continue;
+    const BaseSurrogate& b = bases_[i];
+    std::vector<double> xb(x.begin(),
+                           x.begin() + static_cast<long>(std::min(
+                                           b.input_dims, x.size())));
+    Prediction p = b.model->Predict(xb);
+    // Standardize in the base task's scale, re-express in the current
+    // task's scale.
+    double std_mean = (p.mean - b.y_mean) / b.y_scale;
+    double mean_here = target_mean_ + target_scale_ * std_mean;
+    double var_here =
+        p.variance / (b.y_scale * b.y_scale) * (target_scale_ * target_scale_);
+    out.mean += w * mean_here;
+    out.variance += w * w * var_here;
+  }
+  out.variance = std::max(out.variance, 1e-12);
+  return out;
+}
+
+}  // namespace sparktune

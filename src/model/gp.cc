@@ -1,0 +1,151 @@
+#include "model/gp.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+#include "common/stats.h"
+
+namespace sparktune {
+
+GaussianProcess::GaussianProcess(std::vector<FeatureKind> schema,
+                                 GpOptions options)
+    : kernel_(std::move(schema)), options_(options) {}
+
+Result<double> GaussianProcess::Refit(const KernelParams& params) {
+  kernel_.set_params(params);
+  size_t n = x_.size();
+  Matrix k(n, n);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j <= i; ++j) {
+      double v = kernel_.Eval(x_[i], x_[j]);
+      k(i, j) = v;
+      k(j, i) = v;
+    }
+  }
+  k.AddDiagonal(params.noise_variance + options_.noise_floor);
+  auto chol = Cholesky::Factor(k);
+  if (!chol.ok()) return chol.status();
+  Vector alpha = chol->Solve(y_std_);
+  double fit_term = -0.5 * Dot(y_std_, alpha);
+  double lml = fit_term - 0.5 * chol->LogDet() -
+               0.5 * static_cast<double>(n) *
+                   std::log(2.0 * std::numbers::pi);
+  chol_.emplace(std::move(*chol));
+  alpha_ = std::move(alpha);
+  lml_ = lml;
+  return lml;
+}
+
+Status GaussianProcess::Fit(const std::vector<std::vector<double>>& x,
+                            const std::vector<double>& y) {
+  if (x.empty() || x.size() != y.size()) {
+    return Status::InvalidArgument("GP needs matching non-empty X and y");
+  }
+  for (const auto& row : x) {
+    if (row.size() != kernel_.schema().size()) {
+      return Status::InvalidArgument("GP feature row size mismatch");
+    }
+  }
+  x_ = x;
+  y_raw_ = y;
+  y_mean_ = Mean(y);
+  y_scale_ = Stddev(y);
+  if (y_scale_ < 1e-12) y_scale_ = 1.0;
+  y_std_.resize(y.size());
+  for (size_t i = 0; i < y.size(); ++i) {
+    y_std_[i] = (y[i] - y_mean_) / y_scale_;
+  }
+
+  KernelParams best = kernel_.params();
+  auto first = Refit(best);
+  if (!first.ok()) return first.status();
+  if (!options_.optimize_hypers || x_.size() < 3) return Status::OK();
+
+  double best_lml = *first;
+  const std::vector<double> length_grid = {0.08, 0.15, 0.3, 0.5, 0.8,
+                                           1.2,  2.0,  3.0};
+  const std::vector<double> noise_grid = {1e-6, 1e-4, 1e-3, 1e-2, 5e-2};
+  const std::vector<double> hamming_grid = {0.25, 0.5, 1.0, 2.0, 4.0};
+
+  for (int sweep = 0; sweep < options_.hyper_sweeps; ++sweep) {
+    // Coordinate 1: numeric lengthscale.
+    for (double l : length_grid) {
+      KernelParams p = best;
+      p.length_numeric = l;
+      auto r = Refit(p);
+      if (r.ok() && *r > best_lml) {
+        best_lml = *r;
+        best = p;
+      }
+    }
+    // Coordinate 2: datasize lengthscale (only if present).
+    bool has_ds = std::any_of(
+        kernel_.schema().begin(), kernel_.schema().end(),
+        [](FeatureKind k) { return k == FeatureKind::kDataSize; });
+    if (has_ds) {
+      for (double l : length_grid) {
+        KernelParams p = best;
+        p.length_datasize = l;
+        auto r = Refit(p);
+        if (r.ok() && *r > best_lml) {
+          best_lml = *r;
+          best = p;
+        }
+      }
+    }
+    // Coordinate 3: hamming weight (only if categorical present).
+    bool has_cat = std::any_of(
+        kernel_.schema().begin(), kernel_.schema().end(),
+        [](FeatureKind k) { return k == FeatureKind::kCategorical; });
+    if (has_cat) {
+      for (double w : hamming_grid) {
+        KernelParams p = best;
+        p.hamming_weight = w;
+        auto r = Refit(p);
+        if (r.ok() && *r > best_lml) {
+          best_lml = *r;
+          best = p;
+        }
+      }
+    }
+    // Coordinate 4: noise.
+    for (double t : noise_grid) {
+      KernelParams p = best;
+      p.noise_variance = t;
+      auto r = Refit(p);
+      if (r.ok() && *r > best_lml) {
+        best_lml = *r;
+        best = p;
+      }
+    }
+  }
+  // Leave the model refit at the best parameters.
+  auto final_fit = Refit(best);
+  if (!final_fit.ok()) return final_fit.status();
+  return Status::OK();
+}
+
+Prediction GaussianProcess::Predict(const std::vector<double>& x) const {
+  Prediction pred;
+  if (!chol_.has_value() || x_.empty()) {
+    // Prior.
+    pred.mean = y_mean_;
+    pred.variance = y_scale_ * y_scale_ * kernel_.params().signal_variance;
+    return pred;
+  }
+  size_t n = x_.size();
+  Vector kstar(n);
+  for (size_t i = 0; i < n; ++i) kstar[i] = kernel_.Eval(x_[i], x);
+  double mean_std = Dot(kstar, alpha_);
+  // v = L^-1 k*; var = k** - v'v.
+  Vector v = chol_->SolveLower(kstar);
+  double kss = kernel_.Eval(x, x) + kernel_.params().noise_variance;
+  double var_std = kss - Dot(v, v);
+  var_std = std::max(var_std, 1e-12);
+  pred.mean = y_mean_ + y_scale_ * mean_std;
+  pred.variance = y_scale_ * y_scale_ * var_std;
+  return pred;
+}
+
+}  // namespace sparktune

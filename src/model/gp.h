@@ -1,0 +1,63 @@
+// Gaussian process regression with the mixed kernel (paper §3.3, Eq. 2/4).
+// Targets are standardized internally; kernel hyperparameters are fit by
+// maximizing the log marginal likelihood with two rounds of coordinate
+// descent over log-spaced grids (robust at small n, no gradients needed).
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "common/result.h"
+#include "linalg/cholesky.h"
+#include "model/kernel.h"
+#include "model/surrogate.h"
+
+namespace sparktune {
+
+struct GpOptions {
+  // Fixed observation noise floor added to the diagonal (tau^2 in Eq. 2).
+  double noise_floor = 1e-6;
+  // Optimize hyperparameters by log-marginal-likelihood coordinate descent.
+  bool optimize_hypers = true;
+  // Number of coordinate-descent sweeps.
+  int hyper_sweeps = 2;
+};
+
+class GaussianProcess final : public Surrogate {
+ public:
+  GaussianProcess(std::vector<FeatureKind> schema, GpOptions options = {});
+
+  Status Fit(const std::vector<std::vector<double>>& x,
+             const std::vector<double>& y) override;
+
+  // Predictive mean/variance in the original (unstandardized) target units.
+  Prediction Predict(const std::vector<double>& x) const override;
+
+  size_t num_observations() const override { return x_.size(); }
+
+  // Log marginal likelihood of the standardized targets under the current
+  // hyperparameters; meaningful after Fit.
+  double log_marginal_likelihood() const { return lml_; }
+  const KernelParams& kernel_params() const { return kernel_.params(); }
+  const std::vector<FeatureKind>& schema() const { return kernel_.schema(); }
+
+ private:
+  // Refactor the kernel matrix + alpha for given params; returns LML or
+  // error.
+  Result<double> Refit(const KernelParams& params);
+
+  MixedKernel kernel_;
+  GpOptions options_;
+
+  std::vector<std::vector<double>> x_;
+  std::vector<double> y_raw_;
+  std::vector<double> y_std_;  // standardized targets
+  double y_mean_ = 0.0;
+  double y_scale_ = 1.0;
+
+  std::optional<Cholesky> chol_;
+  Vector alpha_;  // (K + tau^2 I)^-1 y_std
+  double lml_ = 0.0;
+};
+
+}  // namespace sparktune

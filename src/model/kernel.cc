@@ -1,0 +1,61 @@
+#include "model/kernel.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace sparktune {
+
+MixedKernel::MixedKernel(std::vector<FeatureKind> schema, KernelParams params)
+    : schema_(std::move(schema)), params_(params) {
+  for (FeatureKind k : schema_) {
+    switch (k) {
+      case FeatureKind::kNumeric: ++num_numeric_; break;
+      case FeatureKind::kCategorical: ++num_categorical_; break;
+      case FeatureKind::kDataSize: ++num_datasize_; break;
+    }
+  }
+}
+
+double MixedKernel::Matern52(double r) {
+  static const double kSqrt5 = std::sqrt(5.0);
+  double s = kSqrt5 * r;
+  return (1.0 + s + s * s / 3.0) * std::exp(-s);
+}
+
+double MixedKernel::Eval(const std::vector<double>& a,
+                         const std::vector<double>& b) const {
+  assert(a.size() == schema_.size() && b.size() == schema_.size());
+  double num_d2 = 0.0;
+  double ds_d2 = 0.0;
+  double mismatches = 0.0;
+  for (size_t i = 0; i < schema_.size(); ++i) {
+    double diff = a[i] - b[i];
+    switch (schema_[i]) {
+      case FeatureKind::kNumeric:
+        num_d2 += diff * diff;
+        break;
+      case FeatureKind::kCategorical:
+        if (std::fabs(diff) > 1e-12) mismatches += 1.0;
+        break;
+      case FeatureKind::kDataSize:
+        ds_d2 += diff * diff;
+        break;
+    }
+  }
+  double k = params_.signal_variance;
+  if (num_numeric_ > 0) {
+    double r = std::sqrt(num_d2) / params_.length_numeric;
+    k *= Matern52(r);
+  }
+  if (num_categorical_ > 0) {
+    double frac = mismatches / static_cast<double>(num_categorical_);
+    k *= std::exp(-params_.hamming_weight * frac);
+  }
+  if (num_datasize_ > 0) {
+    double l = params_.length_datasize;
+    k *= std::exp(-0.5 * ds_d2 / (l * l));
+  }
+  return k;
+}
+
+}  // namespace sparktune

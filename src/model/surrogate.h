@@ -1,0 +1,31 @@
+// Surrogate model interface: anything that maps a normalized feature vector
+// to a Gaussian predictive distribution. Implemented by the GP surrogate
+// (model/gp.h), the random-forest surrogate (forest/random_forest.h via an
+// adapter in the baselines) and the meta-learning ensemble (meta/).
+#pragma once
+
+#include <vector>
+
+#include "common/status.h"
+
+namespace sparktune {
+
+struct Prediction {
+  double mean = 0.0;
+  double variance = 0.0;
+};
+
+class Surrogate {
+ public:
+  virtual ~Surrogate() = default;
+
+  // Fit on normalized feature rows X (each row the same length) and targets.
+  virtual Status Fit(const std::vector<std::vector<double>>& x,
+                     const std::vector<double>& y) = 0;
+
+  virtual Prediction Predict(const std::vector<double>& x) const = 0;
+
+  virtual size_t num_observations() const = 0;
+};
+
+}  // namespace sparktune

@@ -1,0 +1,180 @@
+#include "service/data_repository.h"
+
+#include <algorithm>
+#include <cctype>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "common/json.h"
+#include "common/strings.h"
+
+namespace fs = std::filesystem;
+
+namespace sparktune {
+
+namespace {
+
+// Task ids can contain spaces/colons; file names use a sanitized prefix
+// plus a stable hash for uniqueness. The real id lives inside the JSON.
+std::string SanitizedFileName(const std::string& id) {
+  std::string safe;
+  for (char c : id) {
+    safe.push_back(std::isalnum(static_cast<unsigned char>(c)) ? c : '_');
+  }
+  if (safe.size() > 48) safe.resize(48);
+  size_t h = std::hash<std::string>{}(id);
+  return StrFormat("%s-%016zx.json", safe.c_str(), h);
+}
+
+Json VectorToJson(const std::vector<double>& v) {
+  Json arr = Json::Array();
+  for (double x : v) arr.Append(Json::Number(x));
+  return arr;
+}
+
+std::vector<double> VectorFromJson(const Json& j) {
+  std::vector<double> v;
+  if (!j.is_array()) return v;
+  v.reserve(j.size());
+  for (const auto& e : j.elements()) {
+    v.push_back(e.is_number() ? e.AsNumber() : 0.0);
+  }
+  return v;
+}
+
+}  // namespace
+
+DataRepository::DataRepository(std::string root_dir)
+    : root_dir_(std::move(root_dir)) {
+  std::error_code ec;
+  fs::create_directories(root_dir_, ec);
+}
+
+std::string DataRepository::PathFor(const std::string& id) const {
+  return (fs::path(root_dir_) / SanitizedFileName(id)).string();
+}
+
+Json DataRepository::ObservationToJson(const Observation& obs) {
+  Json j = Json::Object();
+  j.Set("config", VectorToJson(obs.config.values()));
+  j.Set("objective", Json::Number(obs.objective));
+  j.Set("runtime_sec", Json::Number(obs.runtime_sec));
+  j.Set("resource_rate", Json::Number(obs.resource_rate));
+  j.Set("data_size_gb", Json::Number(obs.data_size_gb));
+  j.Set("memory_gb_hours", Json::Number(obs.memory_gb_hours));
+  j.Set("cpu_core_hours", Json::Number(obs.cpu_core_hours));
+  j.Set("feasible", Json::Bool(obs.feasible));
+  j.Set("failed", Json::Bool(obs.failed));
+  j.Set("iteration", Json::Number(obs.iteration));
+  return j;
+}
+
+Result<Observation> DataRepository::ObservationFromJson(
+    const Json& j, const ConfigSpace& space) {
+  if (!j.is_object()) {
+    return Status::InvalidArgument("observation is not a JSON object");
+  }
+  Observation obs;
+  const Json* config = j.Get("config");
+  if (config == nullptr || !config->is_array() ||
+      config->size() != space.size()) {
+    return Status::InvalidArgument("observation config size mismatch");
+  }
+  obs.config = Configuration(VectorFromJson(*config));
+  obs.objective = j.GetNumberOr("objective", 0.0);
+  obs.runtime_sec = j.GetNumberOr("runtime_sec", 0.0);
+  obs.resource_rate = j.GetNumberOr("resource_rate", 0.0);
+  obs.data_size_gb = j.GetNumberOr("data_size_gb", -1.0);
+  obs.memory_gb_hours = j.GetNumberOr("memory_gb_hours", 0.0);
+  obs.cpu_core_hours = j.GetNumberOr("cpu_core_hours", 0.0);
+  obs.feasible = j.GetBoolOr("feasible", true);
+  obs.failed = j.GetBoolOr("failed", false);
+  obs.iteration = static_cast<int>(j.GetNumberOr("iteration", 0.0));
+  return obs;
+}
+
+Status DataRepository::SaveTask(const StoredTask& task,
+                                const ConfigSpace& space) const {
+  (void)space;
+  Json doc = Json::Object();
+  doc.Set("id", Json::Str(task.id));
+  doc.Set("meta_features", VectorToJson(task.meta_features));
+  doc.Set("importance", VectorToJson(task.importance));
+  Json obs = Json::Array();
+  for (const auto& o : task.history.observations()) {
+    obs.Append(ObservationToJson(o));
+  }
+  doc.Set("observations", std::move(obs));
+
+  std::string path = PathFor(task.id);
+  std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::trunc);
+    if (!out.good()) {
+      return Status::Unavailable("cannot write " + tmp);
+    }
+    out << doc.Dump() << "\n";
+  }
+  std::error_code ec;
+  fs::rename(tmp, path, ec);
+  if (ec) return Status::Unavailable("rename failed: " + ec.message());
+  return Status::OK();
+}
+
+Result<StoredTask> DataRepository::LoadTask(const std::string& id,
+                                            const ConfigSpace& space) const {
+  std::ifstream in(PathFor(id));
+  if (!in.good()) return Status::NotFound("no stored task: " + id);
+  std::stringstream buf;
+  buf << in.rdbuf();
+  SPARKTUNE_ASSIGN_OR_RETURN(doc, Json::Parse(buf.str()));
+  StoredTask task;
+  task.id = doc.GetStringOr("id", id);
+  if (const Json* mf = doc.Get("meta_features")) {
+    task.meta_features = VectorFromJson(*mf);
+  }
+  if (const Json* imp = doc.Get("importance")) {
+    task.importance = VectorFromJson(*imp);
+  }
+  if (const Json* obs = doc.Get("observations"); obs && obs->is_array()) {
+    for (const auto& e : obs->elements()) {
+      SPARKTUNE_ASSIGN_OR_RETURN(o, ObservationFromJson(e, space));
+      task.history.Add(std::move(o));
+    }
+  }
+  return task;
+}
+
+std::vector<std::string> DataRepository::ListTaskIds() const {
+  std::vector<std::string> ids;
+  std::error_code ec;
+  for (const auto& entry : fs::directory_iterator(root_dir_, ec)) {
+    if (!entry.is_regular_file() || entry.path().extension() != ".json") {
+      continue;
+    }
+    std::ifstream in(entry.path());
+    std::stringstream buf;
+    buf << in.rdbuf();
+    auto doc = Json::Parse(buf.str());
+    if (doc.ok() && doc->is_object()) {
+      std::string id = doc->GetStringOr("id", "");
+      if (!id.empty()) ids.push_back(id);
+    }
+  }
+  std::sort(ids.begin(), ids.end());
+  return ids;
+}
+
+bool DataRepository::HasTask(const std::string& id) const {
+  return fs::exists(PathFor(id));
+}
+
+Status DataRepository::DeleteTask(const std::string& id) const {
+  std::error_code ec;
+  fs::remove(PathFor(id), ec);
+  if (ec) return Status::Unavailable("remove failed: " + ec.message());
+  return Status::OK();
+}
+
+}  // namespace sparktune

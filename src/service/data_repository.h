@@ -1,0 +1,50 @@
+// Data repository (paper Figure 1): persistent storage of tuning-related
+// data — run histories, meta-features and importance scores — as one JSON
+// document per task. This is what lets the meta-knowledge learner reuse
+// history across service restarts.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "bo/history.h"
+#include "common/json.h"
+#include "common/result.h"
+#include "space/config_space.h"
+
+namespace sparktune {
+
+struct StoredTask {
+  std::string id;
+  std::vector<double> meta_features;
+  std::vector<double> importance;
+  RunHistory history;
+};
+
+class DataRepository {
+ public:
+  // `root_dir` is created if missing.
+  explicit DataRepository(std::string root_dir);
+
+  Status SaveTask(const StoredTask& task, const ConfigSpace& space) const;
+  Result<StoredTask> LoadTask(const std::string& id,
+                              const ConfigSpace& space) const;
+  // Ids of every stored task (decoded from JSON documents on disk).
+  std::vector<std::string> ListTaskIds() const;
+  bool HasTask(const std::string& id) const;
+  Status DeleteTask(const std::string& id) const;
+
+  const std::string& root_dir() const { return root_dir_; }
+
+  // JSON codecs (exposed for tests).
+  static Json ObservationToJson(const Observation& obs);
+  static Result<Observation> ObservationFromJson(const Json& j,
+                                                 const ConfigSpace& space);
+
+ private:
+  std::string PathFor(const std::string& id) const;
+
+  std::string root_dir_;
+};
+
+}  // namespace sparktune

@@ -1,0 +1,147 @@
+#include "service/tuning_service.h"
+
+#include <cassert>
+
+namespace sparktune {
+
+TuningService::TuningService(const ConfigSpace* space,
+                             TuningServiceOptions options)
+    : space_(space),
+      options_(std::move(options)),
+      knowledge_(space, options_.knowledge) {
+  assert(space_ != nullptr);
+  if (!options_.repository_dir.empty()) {
+    repository_ = std::make_unique<DataRepository>(options_.repository_dir);
+  }
+}
+
+Status TuningService::RegisterTask(const std::string& id,
+                                   JobEvaluator* evaluator,
+                                   std::optional<Configuration> baseline,
+                                   std::optional<TunerOptions> override) {
+  if (tasks_.count(id) > 0) {
+    return Status::InvalidArgument("task already registered: " + id);
+  }
+  if (evaluator == nullptr) {
+    return Status::InvalidArgument("evaluator is null for task: " + id);
+  }
+  TaskState state;
+  state.evaluator = evaluator;
+  state.tuner = std::make_unique<OnlineTuner>(
+      space_, evaluator, override.value_or(options_.tuner),
+      std::move(baseline));
+  tasks_.emplace(id, std::move(state));
+  return Status::OK();
+}
+
+void TuningService::MaybeAttachMeta(TaskState* state) {
+  if (state->meta_attached || !options_.enable_meta) return;
+  if (state->meta_samples.empty()) return;
+  if (knowledge_.size() <
+      static_cast<size_t>(options_.min_tasks_for_transfer)) {
+    return;
+  }
+  std::vector<double> meta = AverageMetaFeatures(state->meta_samples);
+  // Warm-start configurations from the top-3 most similar tasks (§5.2).
+  std::vector<Configuration> warm = knowledge_.WarmStartConfigs(meta);
+  if (!warm.empty()) state->tuner->SetWarmStartConfigs(std::move(warm));
+  // Ensemble surrogate carrying meta-knowledge (Eq. 12).
+  state->tuner->SetObjectiveSurrogateFactory(
+      knowledge_.MakeMetaSurrogateFactory(meta));
+  // Sub-space suggestion by importance transfer (§5.2).
+  std::vector<double> importance = knowledge_.SuggestImportance(meta);
+  if (!importance.empty()) {
+    state->tuner->SeedImportance(std::move(importance), 2.0);
+  }
+  state->meta_attached = true;
+}
+
+Result<Observation> TuningService::ExecutePeriodic(const std::string& id) {
+  auto it = tasks_.find(id);
+  if (it == tasks_.end()) {
+    return Status::NotFound("unknown task: " + id);
+  }
+  TaskState& state = it->second;
+  Observation obs = state.tuner->Step();
+  if (!state.tuner->last_event_log().stages.empty()) {
+    state.meta_samples.push_back(
+        ExtractMetaFeatures(state.tuner->last_event_log()));
+    if (state.meta_samples.size() > 8) {
+      state.meta_samples.erase(state.meta_samples.begin());
+    }
+  }
+  // Attach meta-knowledge as soon as the first meta-features exist; the
+  // advisor consumes warm-start configs during its initial design.
+  MaybeAttachMeta(&state);
+  return obs;
+}
+
+Status TuningService::HarvestTask(const std::string& id) {
+  auto it = tasks_.find(id);
+  if (it == tasks_.end()) {
+    return Status::NotFound("unknown task: " + id);
+  }
+  TaskState& state = it->second;
+  if (state.meta_samples.empty()) {
+    return Status::FailedPrecondition("task has no meta-features yet: " + id);
+  }
+  const RunHistory& history = state.tuner->history();
+  if (history.size() < 3) {
+    return Status::FailedPrecondition("task history too small: " + id);
+  }
+  std::vector<double> meta = AverageMetaFeatures(state.meta_samples);
+  std::vector<double> importance;
+  if (const Advisor* advisor = state.tuner->advisor()) {
+    importance = advisor->subspace_manager().importance();
+  }
+  SPARKTUNE_RETURN_IF_ERROR(
+      knowledge_.AddTask(id, meta, history, importance));
+  state.harvested = true;
+
+  if (repository_ != nullptr) {
+    StoredTask stored;
+    stored.id = id;
+    stored.meta_features = std::move(meta);
+    stored.importance = std::move(importance);
+    stored.history = history;
+    SPARKTUNE_RETURN_IF_ERROR(repository_->SaveTask(stored, *space_));
+  }
+
+  // Refresh the similarity learner on a doubling schedule: training is
+  // quadratic in the number of tasks, so fleet-scale harvesting retrains at
+  // sizes 2, 4, 8, ... (the z-scored meta-feature fallback covers the gap).
+  size_t n = knowledge_.size();
+  if (n >= 2 && (n & (n - 1)) == 0) {
+    Status s = knowledge_.TrainSimilarityModel();
+    if (!s.ok()) return s;
+  }
+  return Status::OK();
+}
+
+Status TuningService::LoadRepository() {
+  if (repository_ == nullptr) {
+    return Status::FailedPrecondition("no repository configured");
+  }
+  for (const std::string& id : repository_->ListTaskIds()) {
+    SPARKTUNE_ASSIGN_OR_RETURN(stored, repository_->LoadTask(id, *space_));
+    Status s = knowledge_.AddTask(stored.id, stored.meta_features,
+                                  stored.history, stored.importance);
+    if (!s.ok() && s.code() != Status::Code::kFailedPrecondition) return s;
+  }
+  if (knowledge_.size() >= 2) {
+    return knowledge_.TrainSimilarityModel();
+  }
+  return Status::OK();
+}
+
+const OnlineTuner* TuningService::tuner(const std::string& id) const {
+  auto it = tasks_.find(id);
+  return it == tasks_.end() ? nullptr : it->second.tuner.get();
+}
+
+OnlineTuner* TuningService::tuner(const std::string& id) {
+  auto it = tasks_.find(id);
+  return it == tasks_.end() ? nullptr : it->second.tuner.get();
+}
+
+}  // namespace sparktune

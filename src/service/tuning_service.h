@@ -1,0 +1,75 @@
+// TuningService: the independent cloud service of §6.2. It multiplexes
+// OnlineTuners across registered periodic tasks, wires the meta-knowledge
+// learner into new tasks (warm start, ensemble surrogate, importance
+// transfer — once the task's first event log yields meta-features), and
+// harvests finished tuning histories into the knowledge base / data
+// repository.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "meta/knowledge_base.h"
+#include "service/data_repository.h"
+#include "tuner/online_tuner.h"
+
+namespace sparktune {
+
+struct TuningServiceOptions {
+  TunerOptions tuner;  // per-task defaults (objective, budget, safety...)
+  KnowledgeBaseOptions knowledge;
+  bool enable_meta = true;
+  // Transfer only kicks in once the knowledge base holds this many tasks.
+  int min_tasks_for_transfer = 2;
+  // Directory for persistence; empty = in-memory only.
+  std::string repository_dir;
+};
+
+class TuningService {
+ public:
+  TuningService(const ConfigSpace* space, TuningServiceOptions options = {});
+
+  // Register a periodic task. The evaluator must outlive the service.
+  Status RegisterTask(const std::string& id, JobEvaluator* evaluator,
+                      std::optional<Configuration> baseline = std::nullopt,
+                      std::optional<TunerOptions> override = std::nullopt);
+
+  // Handle one periodic execution of `id` (Steps 1-2 of Figure 1): pick a
+  // configuration, run it, record the result. Meta-knowledge is attached
+  // after the first execution produces meta-features.
+  Result<Observation> ExecutePeriodic(const std::string& id);
+
+  // Fold a task's accumulated history into the knowledge base (and the
+  // repository when persistence is enabled). Idempotent per task version.
+  Status HarvestTask(const std::string& id);
+
+  // Load previously persisted tasks into the knowledge base.
+  Status LoadRepository();
+
+  const OnlineTuner* tuner(const std::string& id) const;
+  OnlineTuner* tuner(const std::string& id);
+  KnowledgeBase& knowledge_base() { return knowledge_; }
+  const KnowledgeBase& knowledge_base() const { return knowledge_; }
+  size_t num_tasks() const { return tasks_.size(); }
+
+ private:
+  struct TaskState {
+    std::unique_ptr<OnlineTuner> tuner;
+    JobEvaluator* evaluator = nullptr;
+    std::vector<std::vector<double>> meta_samples;
+    bool meta_attached = false;
+    bool harvested = false;
+  };
+
+  void MaybeAttachMeta(TaskState* state);
+
+  const ConfigSpace* space_;
+  TuningServiceOptions options_;
+  std::map<std::string, TaskState> tasks_;
+  KnowledgeBase knowledge_;
+  std::unique_ptr<DataRepository> repository_;
+};
+
+}  // namespace sparktune

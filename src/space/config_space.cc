@@ -1,0 +1,96 @@
+#include "space/config_space.h"
+
+#include <cassert>
+#include <cmath>
+
+#include "common/strings.h"
+
+namespace sparktune {
+
+Status ConfigSpace::Add(Parameter p) {
+  if (index_.count(p.name()) > 0) {
+    return Status::InvalidArgument("duplicate parameter: " + p.name());
+  }
+  index_[p.name()] = params_.size();
+  params_.push_back(std::move(p));
+  return Status::OK();
+}
+
+int ConfigSpace::IndexOf(const std::string& name) const {
+  auto it = index_.find(name);
+  return it == index_.end() ? -1 : static_cast<int>(it->second);
+}
+
+Configuration ConfigSpace::Default() const {
+  std::vector<double> v(params_.size());
+  for (size_t i = 0; i < params_.size(); ++i) v[i] = params_[i].default_value();
+  return Configuration(std::move(v));
+}
+
+Configuration ConfigSpace::Sample(Rng* rng) const {
+  std::vector<double> u(params_.size());
+  for (auto& x : u) x = rng->Uniform();
+  return FromUnit(u);
+}
+
+std::vector<double> ConfigSpace::ToUnit(const Configuration& c) const {
+  assert(c.size() == params_.size());
+  std::vector<double> u(params_.size());
+  for (size_t i = 0; i < params_.size(); ++i) u[i] = params_[i].ToUnit(c[i]);
+  return u;
+}
+
+Configuration ConfigSpace::FromUnit(const std::vector<double>& u) const {
+  assert(u.size() == params_.size());
+  std::vector<double> v(params_.size());
+  for (size_t i = 0; i < params_.size(); ++i) v[i] = params_[i].FromUnit(u[i]);
+  return Configuration(std::move(v));
+}
+
+Configuration ConfigSpace::Legalize(const Configuration& c) const {
+  assert(c.size() == params_.size());
+  std::vector<double> v(params_.size());
+  for (size_t i = 0; i < params_.size(); ++i) v[i] = params_[i].Legalize(c[i]);
+  return Configuration(std::move(v));
+}
+
+Status ConfigSpace::Validate(const Configuration& c) const {
+  if (c.size() != params_.size()) {
+    return Status::InvalidArgument(
+        StrFormat("configuration has %zu values, space has %zu parameters",
+                  c.size(), params_.size()));
+  }
+  for (size_t i = 0; i < params_.size(); ++i) {
+    const Parameter& p = params_[i];
+    double legal = p.Legalize(c[i]);
+    if (std::fabs(legal - c[i]) > 1e-9) {
+      return Status::OutOfRange(StrFormat("parameter %s value %g out of domain",
+                                          p.name().c_str(), c[i]));
+    }
+  }
+  return Status::OK();
+}
+
+double ConfigSpace::Get(const Configuration& c, const std::string& name) const {
+  int i = IndexOf(name);
+  assert(i >= 0 && "unknown parameter name");
+  return c[static_cast<size_t>(i)];
+}
+
+void ConfigSpace::Set(Configuration* c, const std::string& name,
+                      double value) const {
+  int i = IndexOf(name);
+  assert(i >= 0 && "unknown parameter name");
+  (*c)[static_cast<size_t>(i)] = params_[static_cast<size_t>(i)].Legalize(value);
+}
+
+std::string ConfigSpace::Format(const Configuration& c) const {
+  std::vector<std::string> parts;
+  parts.reserve(params_.size());
+  for (size_t i = 0; i < params_.size(); ++i) {
+    parts.push_back(params_[i].name() + "=" + params_[i].FormatValue(c[i]));
+  }
+  return StrJoin(parts, ", ");
+}
+
+}  // namespace sparktune

@@ -1,0 +1,82 @@
+// ConfigSpace: an ordered collection of Parameters plus the Configuration
+// type (a point in the space, stored as internal numeric values).
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/rng.h"
+#include "space/parameter.h"
+
+namespace sparktune {
+
+class ConfigSpace;
+
+// A configuration instance: one internal numeric value per parameter, in
+// ConfigSpace order (ints as doubles, categoricals as category index,
+// bools as 0/1).
+class Configuration {
+ public:
+  Configuration() = default;
+  explicit Configuration(std::vector<double> values)
+      : values_(std::move(values)) {}
+
+  size_t size() const { return values_.size(); }
+  double operator[](size_t i) const { return values_[i]; }
+  double& operator[](size_t i) { return values_[i]; }
+  const std::vector<double>& values() const { return values_; }
+  std::vector<double>& mutable_values() { return values_; }
+
+  bool operator==(const Configuration& other) const {
+    return values_ == other.values_;
+  }
+
+ private:
+  std::vector<double> values_;
+};
+
+class ConfigSpace {
+ public:
+  ConfigSpace() = default;
+
+  // Append a parameter; fails if the name already exists.
+  Status Add(Parameter p);
+
+  size_t size() const { return params_.size(); }
+  const Parameter& param(size_t i) const { return params_[i]; }
+  const std::vector<Parameter>& params() const { return params_; }
+
+  // Index lookup by name; -1 if absent.
+  int IndexOf(const std::string& name) const;
+
+  // The configuration built from every parameter's default value.
+  Configuration Default() const;
+
+  // Uniform random configuration (uniform per parameter in unit space).
+  Configuration Sample(Rng* rng) const;
+
+  // Unit-cube codec over all parameters.
+  std::vector<double> ToUnit(const Configuration& c) const;
+  Configuration FromUnit(const std::vector<double>& u) const;
+
+  // Clamp/round every coordinate to its legal domain.
+  Configuration Legalize(const Configuration& c) const;
+
+  // Validity check: size match + every coordinate within its domain.
+  Status Validate(const Configuration& c) const;
+
+  // Typed accessors by name (asserts the name exists).
+  double Get(const Configuration& c, const std::string& name) const;
+  void Set(Configuration* c, const std::string& name, double value) const;
+
+  // Human-readable "name=value, ..." rendering.
+  std::string Format(const Configuration& c) const;
+
+ private:
+  std::vector<Parameter> params_;
+  std::map<std::string, size_t> index_;
+};
+
+}  // namespace sparktune

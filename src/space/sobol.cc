@@ -1,0 +1,169 @@
+#include "space/sobol.h"
+
+#include <cassert>
+#include <cmath>
+#include <memory>
+
+namespace sparktune {
+
+namespace {
+
+constexpr int kBits = 52;  // enough for double mantissa
+
+// Primitive polynomials over GF(2), encoded as (degree, interior coefficient
+// bits a_1..a_{d-1}); the leading and trailing coefficients are implicit 1.
+// Degrees 1..6 give 18 polynomials -> dimensions 2..19 (dimension 1 is the
+// van der Corput sequence).
+struct Poly {
+  int degree;
+  uint32_t coeffs;  // bit i (from MSB of interior) = a_{i+1}
+};
+
+const Poly kPolys[] = {
+    {1, 0x0},  // x + 1
+    {2, 0x1},  // x^2 + x + 1
+    {3, 0x1},  // x^3 + x + 1        (interior bits a1 a2 = 01)
+    {3, 0x2},  // x^3 + x^2 + 1      (interior bits a1 a2 = 10)
+    {4, 0x1},  // x^4 + x + 1
+    {4, 0x4},  // x^4 + x^3 + 1
+    {5, 0x2},   // x^5 + x^2 + 1
+    {5, 0x4},   // x^5 + x^3 + 1
+    {5, 0x7},   // x^5 + x^3 + x^2 + x + 1
+    {5, 0xB},   // x^5 + x^4 + x^2 + x + 1
+    {5, 0xD},   // x^5 + x^4 + x^3 + x + 1
+    {5, 0xE},   // x^5 + x^4 + x^3 + x^2 + 1
+    {6, 0x01},  // x^6 + x + 1
+    {6, 0x10},  // x^6 + x^5 + 1
+    {6, 0x13},  // x^6 + x^5 + x^2 + x + 1
+    {6, 0x0D},  // x^6 + x^4 + x^3 + x + 1
+    {6, 0x16},  // x^6 + x^5 + x^3 + x^2 + 1
+    {6, 0x19},  // x^6 + x^5 + x^4 + x + 1
+};
+
+}  // namespace
+
+SobolSequence::SobolSequence(int dim) : dim_(dim) {
+  assert(dim >= 1 && dim <= kMaxDimensions);
+  direction_.resize(dim);
+  x_.assign(dim, 0);
+  // Dimension 0: van der Corput — v_i = 1 / 2^(i+1), scaled to kBits.
+  for (int d = 0; d < dim; ++d) {
+    direction_[d].resize(kBits);
+  }
+  for (int i = 0; i < kBits; ++i) {
+    direction_[0][i] = 1ULL << (kBits - 1 - i);
+  }
+  for (int d = 1; d < dim; ++d) {
+    const Poly& poly = kPolys[d - 1];
+    int s = poly.degree;
+    // Initial direction numbers m_i = 1 (odd, < 2^i): a valid Sobol
+    // initialization (Bratley–Fox default when no table entry is given).
+    std::vector<uint64_t> m(kBits);
+    for (int i = 0; i < s && i < kBits; ++i) m[i] = 1;
+    for (int i = s; i < kBits; ++i) {
+      uint64_t v = m[i - s] ^ (m[i - s] << s);
+      for (int k = 1; k < s; ++k) {
+        int bit = (poly.coeffs >> (s - 1 - k)) & 1;
+        if (bit) v ^= m[i - k] << k;
+      }
+      m[i] = v;
+    }
+    for (int i = 0; i < kBits; ++i) {
+      direction_[d][i] = m[i] << (kBits - 1 - i);
+    }
+  }
+}
+
+std::vector<double> SobolSequence::Next() {
+  std::vector<double> out(dim_);
+  if (index_ == 0) {
+    // First point is the origin.
+    for (int d = 0; d < dim_; ++d) out[d] = 0.0;
+    ++index_;
+    return out;
+  }
+  // Gray-code update: flip direction number of the lowest zero bit of n-1.
+  uint64_t n = index_ - 1;
+  int c = 0;
+  while (n & 1) {
+    n >>= 1;
+    ++c;
+  }
+  for (int d = 0; d < dim_; ++d) {
+    x_[d] ^= direction_[d][c];
+    out[d] = static_cast<double>(x_[d]) / std::pow(2.0, kBits);
+  }
+  ++index_;
+  return out;
+}
+
+std::vector<int> FirstPrimes(int n) {
+  std::vector<int> primes;
+  int candidate = 2;
+  while (static_cast<int>(primes.size()) < n) {
+    bool is_prime = true;
+    for (int p : primes) {
+      if (p * p > candidate) break;
+      if (candidate % p == 0) {
+        is_prime = false;
+        break;
+      }
+    }
+    if (is_prime) primes.push_back(candidate);
+    ++candidate;
+  }
+  return primes;
+}
+
+HaltonSequence::HaltonSequence(int dim, uint64_t seed) : dim_(dim) {
+  assert(dim >= 1);
+  bases_ = FirstPrimes(dim);
+  perms_.resize(dim);
+  Rng rng(seed);
+  for (int d = 0; d < dim; ++d) {
+    int b = bases_[d];
+    // Random digit permutation fixing 0 (so 0 maps to 0, keeping the
+    // radical-inverse structure).
+    std::vector<int> perm(b);
+    for (int i = 0; i < b; ++i) perm[i] = i;
+    for (int i = b - 1; i > 1; --i) {
+      int j = static_cast<int>(rng.UniformInt(1, i));
+      std::swap(perm[i], perm[j]);
+    }
+    perms_[d] = std::move(perm);
+  }
+}
+
+std::vector<double> HaltonSequence::Next() {
+  // Skip the first point (all zeros) by starting at index 1; leapfrogging is
+  // unnecessary at our sample counts.
+  ++index_;
+  std::vector<double> out(dim_);
+  for (int d = 0; d < dim_; ++d) {
+    int b = bases_[d];
+    const std::vector<int>& perm = perms_[d];
+    double f = 1.0, r = 0.0;
+    uint64_t i = index_;
+    while (i > 0) {
+      f /= b;
+      r += f * perm[i % b];
+      i /= b;
+    }
+    out[d] = r;
+  }
+  return out;
+}
+
+QuasiRandomSampler::QuasiRandomSampler(int dim, uint64_t seed) : dim_(dim) {
+  if (dim <= SobolSequence::kMaxDimensions) {
+    sobol_ = std::make_unique<SobolSequence>(dim);
+  } else {
+    halton_ = std::make_unique<HaltonSequence>(dim, seed);
+  }
+}
+
+std::vector<double> QuasiRandomSampler::Next() {
+  return sobol_ ? sobol_->Next() : halton_->Next();
+}
+
+}  // namespace sparktune

@@ -1,0 +1,75 @@
+// Low-discrepancy sequences for initial-design sampling (paper §3.3 uses
+// low-discrepancy initialization [Sobol 1998]).
+//
+// Two generators are provided:
+//  * SobolSequence — classic Gray-code Sobol built from primitive polynomials
+//    over GF(2) (degrees 1..6, unit initial direction numbers), supporting up
+//    to 19 dimensions.
+//  * HaltonSequence — permutation-scrambled Halton, any dimensionality.
+// QuasiRandomSampler picks Sobol when the dimension fits and Halton
+// otherwise, which covers the 30-parameter (+datasize) Spark space.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace sparktune {
+
+class SobolSequence {
+ public:
+  static constexpr int kMaxDimensions = 19;
+
+  // dim must be in [1, kMaxDimensions].
+  explicit SobolSequence(int dim);
+
+  // Next point in [0,1)^dim.
+  std::vector<double> Next();
+
+  int dim() const { return dim_; }
+
+ private:
+  int dim_;
+  uint64_t index_ = 0;
+  std::vector<std::vector<uint64_t>> direction_;  // [dim][bit]
+  std::vector<uint64_t> x_;                       // current Gray-code state
+};
+
+class HaltonSequence {
+ public:
+  // Scrambling permutations are derived deterministically from `seed`.
+  explicit HaltonSequence(int dim, uint64_t seed = 7);
+
+  std::vector<double> Next();
+
+  int dim() const { return dim_; }
+
+ private:
+  int dim_;
+  uint64_t index_ = 0;
+  std::vector<int> bases_;
+  std::vector<std::vector<int>> perms_;  // digit scrambling per dimension
+};
+
+// Facade choosing the best available sequence for the dimension.
+class QuasiRandomSampler {
+ public:
+  explicit QuasiRandomSampler(int dim, uint64_t seed = 7);
+
+  std::vector<double> Next();
+
+  int dim() const { return dim_; }
+  bool using_sobol() const { return sobol_ != nullptr; }
+
+ private:
+  int dim_;
+  std::unique_ptr<SobolSequence> sobol_;
+  std::unique_ptr<HaltonSequence> halton_;
+};
+
+// First `n` primes (for Halton bases).
+std::vector<int> FirstPrimes(int n);
+
+}  // namespace sparktune

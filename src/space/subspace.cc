@@ -1,0 +1,90 @@
+#include "space/subspace.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace sparktune {
+
+Subspace::Subspace(const ConfigSpace* space, std::vector<int> free,
+                   Configuration base)
+    : space_(space), base_(std::move(base)) {
+  assert(space_ != nullptr);
+  assert(base_.size() == space_->size());
+  is_free_.assign(space_->size(), false);
+  for (int idx : free) {
+    assert(idx >= 0 && idx < static_cast<int>(space_->size()));
+    if (!is_free_[static_cast<size_t>(idx)]) {
+      is_free_[static_cast<size_t>(idx)] = true;
+      free_.push_back(idx);
+    }
+  }
+}
+
+Subspace Subspace::Full(const ConfigSpace* space) {
+  std::vector<int> all(space->size());
+  for (size_t i = 0; i < space->size(); ++i) all[i] = static_cast<int>(i);
+  return Subspace(space, std::move(all), space->Default());
+}
+
+bool Subspace::IsFree(int param_index) const {
+  assert(param_index >= 0 &&
+         param_index < static_cast<int>(is_free_.size()));
+  return is_free_[static_cast<size_t>(param_index)];
+}
+
+Configuration Subspace::Sample(Rng* rng) const {
+  Configuration c = base_;
+  for (int idx : free_) {
+    const Parameter& p = space_->param(static_cast<size_t>(idx));
+    c[static_cast<size_t>(idx)] = p.FromUnit(rng->Uniform());
+  }
+  return c;
+}
+
+Configuration Subspace::FromFreeUnit(const std::vector<double>& u) const {
+  assert(u.size() == free_.size());
+  Configuration c = base_;
+  for (size_t k = 0; k < free_.size(); ++k) {
+    size_t idx = static_cast<size_t>(free_[k]);
+    c[idx] = space_->param(idx).FromUnit(u[k]);
+  }
+  return c;
+}
+
+std::vector<double> Subspace::ToFreeUnit(const Configuration& c) const {
+  assert(c.size() == space_->size());
+  std::vector<double> u(free_.size());
+  for (size_t k = 0; k < free_.size(); ++k) {
+    size_t idx = static_cast<size_t>(free_[k]);
+    u[k] = space_->param(idx).ToUnit(c[idx]);
+  }
+  return u;
+}
+
+Configuration Subspace::Neighbor(const Configuration& c, double sigma,
+                                 Rng* rng) const {
+  std::vector<double> u = ToFreeUnit(c);
+  bool changed = false;
+  double p_mutate = free_.empty() ? 0.0 : 1.0 / static_cast<double>(free_.size());
+  for (size_t k = 0; k < u.size(); ++k) {
+    if (rng->Bernoulli(p_mutate)) {
+      u[k] = std::clamp(u[k] + rng->Normal(0.0, sigma), 0.0, 1.0);
+      changed = true;
+    }
+  }
+  if (!changed && !u.empty()) {
+    size_t k = static_cast<size_t>(rng->UniformInt(0, static_cast<int64_t>(u.size()) - 1));
+    u[k] = std::clamp(u[k] + rng->Normal(0.0, sigma), 0.0, 1.0);
+  }
+  return FromFreeUnit(u);
+}
+
+Configuration Subspace::Project(const Configuration& c) const {
+  Configuration out = base_;
+  for (int idx : free_) {
+    out[static_cast<size_t>(idx)] = c[static_cast<size_t>(idx)];
+  }
+  return out;
+}
+
+}  // namespace sparktune

@@ -1,0 +1,57 @@
+#include "sparksim/cluster.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace sparktune {
+
+ClusterSpec ClusterSpec::HiBenchCluster() {
+  ClusterSpec c;
+  c.name = "hibench-x86-4node";
+  c.num_nodes = 4;
+  c.cores_per_node = 96;  // 2x 48-core EPYC 7K62
+  c.mem_per_node_gb = 512.0;
+  c.core_speed = 1.0;
+  c.disk_mbps = 450.0;
+  c.net_mbps = 1200.0;
+  return c;
+}
+
+ClusterSpec ClusterSpec::ProductionGroup() {
+  ClusterSpec c;
+  c.name = "tencent-resource-group";
+  c.num_nodes = 100;  // 100 computing units
+  c.cores_per_node = 20;  // Xeon Platinum 8255C slices
+  c.mem_per_node_gb = 50.0;
+  c.core_speed = 0.9;
+  c.disk_mbps = 350.0;
+  c.net_mbps = 1000.0;
+  return c;
+}
+
+ClusterSpec ClusterSpec::SmallSqlGroup() {
+  ClusterSpec c;
+  c.name = "small-sql-group";
+  c.num_nodes = 8;
+  c.cores_per_node = 16;
+  c.mem_per_node_gb = 64.0;
+  c.core_speed = 0.9;
+  c.disk_mbps = 350.0;
+  c.net_mbps = 1000.0;
+  return c;
+}
+
+Placement PlaceExecutors(const ClusterSpec& cluster, int requested,
+                         int cores_per_executor, double mem_per_executor_gb) {
+  assert(cores_per_executor > 0 && mem_per_executor_gb > 0.0);
+  Placement p;
+  int by_cores = cluster.cores_per_node / cores_per_executor;
+  int by_mem = static_cast<int>(cluster.mem_per_node_gb / mem_per_executor_gb);
+  int per_node = std::max(0, std::min(by_cores, by_mem));
+  int capacity = per_node * cluster.num_nodes;
+  p.granted_executors = std::max(0, std::min(requested, capacity));
+  p.fully_granted = (p.granted_executors == requested);
+  return p;
+}
+
+}  // namespace sparktune

@@ -1,0 +1,46 @@
+// Cluster description and executor placement for the Spark simulator.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace sparktune {
+
+// Static description of the computing cluster a job runs on. Speeds are
+// relative: core_speed 1.0 is the reference CPU; disk/net are MB/s of
+// per-executor usable bandwidth.
+struct ClusterSpec {
+  std::string name = "cluster";
+  int num_nodes = 4;
+  int cores_per_node = 96;
+  double mem_per_node_gb = 512.0;
+  double core_speed = 1.0;
+  double disk_mbps = 400.0;
+  double net_mbps = 1100.0;
+
+  // Total schedulable resources.
+  int total_cores() const { return num_nodes * cores_per_node; }
+  double total_mem_gb() const { return num_nodes * mem_per_node_gb; }
+
+  // The 4-node HiBench cluster from the paper (2x AMD EPYC 7K62 48-core,
+  // 512 GB per node).
+  static ClusterSpec HiBenchCluster();
+  // A production resource group: 100 units x (20 cores, 50 GB).
+  static ClusterSpec ProductionGroup();
+  // Scaled-down group for small hourly SQL tasks.
+  static ClusterSpec SmallSqlGroup();
+};
+
+// How many executors of the requested shape actually fit on the cluster.
+// YARN-style packing: per node, limited by both cores and memory
+// (executor memory + overhead); requested executors beyond capacity are
+// simply not granted.
+struct Placement {
+  int granted_executors = 0;
+  bool fully_granted = false;
+};
+
+Placement PlaceExecutors(const ClusterSpec& cluster, int requested,
+                         int cores_per_executor, double mem_per_executor_gb);
+
+}  // namespace sparktune

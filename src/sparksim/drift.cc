@@ -1,0 +1,42 @@
+#include "sparksim/drift.h"
+
+#include <cmath>
+#include <numbers>
+
+#include "common/rng.h"
+
+namespace sparktune {
+
+double DriftModel::Multiplier(double hours, uint64_t seed,
+                              int execution_index) const {
+  double m = base_multiplier;
+  if (daily_amplitude != 0.0) {
+    m *= 1.0 + daily_amplitude *
+                   std::sin(2.0 * std::numbers::pi * (hours + phase_hours) /
+                            24.0);
+  }
+  if (weekly_amplitude != 0.0) {
+    m *= 1.0 + weekly_amplitude *
+                   std::sin(2.0 * std::numbers::pi * hours / (24.0 * 7.0));
+  }
+  if (trend_per_day != 0.0) {
+    m *= 1.0 + trend_per_day * hours / 24.0;
+  }
+  if (noise_sigma > 0.0) {
+    Rng rng(seed ^ (0x517CC1B727220A95ULL *
+                    static_cast<uint64_t>(execution_index + 1)));
+    m *= rng.LogNormal(-0.5 * noise_sigma * noise_sigma, noise_sigma);
+  }
+  return m > 0.0 ? m : 1e-3;
+}
+
+DriftModel DriftModel::None() { return DriftModel{}; }
+
+DriftModel DriftModel::Diurnal(double amplitude, double noise) {
+  DriftModel d;
+  d.daily_amplitude = amplitude;
+  d.noise_sigma = noise;
+  return d;
+}
+
+}  // namespace sparktune

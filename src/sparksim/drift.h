@@ -1,0 +1,28 @@
+// Data-size drift for periodic jobs (paper §3.3 "Dynamic Workload
+// Support"): the input of an hourly/daily job follows diurnal and weekly
+// patterns plus noise and a slow trend.
+#pragma once
+
+#include <cstdint>
+
+namespace sparktune {
+
+struct DriftModel {
+  double base_multiplier = 1.0;
+  double daily_amplitude = 0.0;    // fraction of base, sinusoidal over 24h
+  double weekly_amplitude = 0.0;   // fraction of base, sinusoidal over 7d
+  double noise_sigma = 0.0;        // lognormal run-to-run noise
+  double trend_per_day = 0.0;      // linear growth fraction per day
+  double phase_hours = 0.0;
+
+  // Multiplier for an execution that starts `hours` after t0. Noise is
+  // drawn deterministically from (seed, execution index).
+  double Multiplier(double hours, uint64_t seed, int execution_index) const;
+
+  // Stationary model (no drift).
+  static DriftModel None();
+  // Typical hourly production job: +-25% diurnal swing, 8% noise.
+  static DriftModel Diurnal(double amplitude = 0.25, double noise = 0.08);
+};
+
+}  // namespace sparktune

@@ -1,0 +1,37 @@
+#include "sparksim/event_log.h"
+
+namespace sparktune {
+
+int EventLog::TotalTasks() const {
+  int n = 0;
+  for (const auto& s : stages) n += s.num_tasks * s.iterations;
+  return n;
+}
+
+double EventLog::TotalShuffleMb() const {
+  double mb = 0.0;
+  for (const auto& s : stages) mb += s.shuffle_read_mb + s.shuffle_write_mb;
+  return mb;
+}
+
+double EventLog::TotalSpillMb() const {
+  double mb = 0.0;
+  for (const auto& s : stages) mb += s.spill_mb;
+  return mb;
+}
+
+TaskMetricSummary Summarize(const std::vector<double>& samples) {
+  TaskMetricSummary s;
+  if (samples.empty()) return s;
+  s.mean = Mean(samples);
+  s.stddev = Stddev(samples);
+  s.min = Min(samples);
+  s.max = Max(samples);
+  s.p50 = Quantile(samples, 0.5);
+  s.p90 = Quantile(samples, 0.9);
+  s.skewness = Skewness(samples);
+  s.total = Sum(samples);
+  return s;
+}
+
+}  // namespace sparktune

@@ -1,0 +1,169 @@
+#include "sparksim/event_log_json.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "common/json.h"
+#include "common/strings.h"
+
+namespace sparktune {
+
+namespace {
+
+Json SummaryToJson(const TaskMetricSummary& s) {
+  Json j = Json::Object();
+  j.Set("mean", Json::Number(s.mean));
+  j.Set("stddev", Json::Number(s.stddev));
+  j.Set("min", Json::Number(s.min));
+  j.Set("max", Json::Number(s.max));
+  j.Set("p50", Json::Number(s.p50));
+  j.Set("p90", Json::Number(s.p90));
+  j.Set("skewness", Json::Number(s.skewness));
+  j.Set("total", Json::Number(s.total));
+  return j;
+}
+
+TaskMetricSummary SummaryFromJson(const Json* j) {
+  TaskMetricSummary s;
+  if (j == nullptr || !j->is_object()) return s;
+  s.mean = j->GetNumberOr("mean", 0.0);
+  s.stddev = j->GetNumberOr("stddev", 0.0);
+  s.min = j->GetNumberOr("min", 0.0);
+  s.max = j->GetNumberOr("max", 0.0);
+  s.p50 = j->GetNumberOr("p50", 0.0);
+  s.p90 = j->GetNumberOr("p90", 0.0);
+  s.skewness = j->GetNumberOr("skewness", 0.0);
+  s.total = j->GetNumberOr("total", 0.0);
+  return s;
+}
+
+// StageOp <-> string (stable wire names).
+Result<StageOp> StageOpFromName(const std::string& name) {
+  static const StageOp kAll[] = {
+      StageOp::kSource,  StageOp::kMap,        StageOp::kReduceByKey,
+      StageOp::kGroupByKey, StageOp::kSortByKey, StageOp::kJoin,
+      StageOp::kBroadcastJoin, StageOp::kAggregate, StageOp::kSample,
+      StageOp::kIterUpdate, StageOp::kCollect, StageOp::kSink};
+  for (StageOp op : kAll) {
+    if (name == StageOpName(op)) return op;
+  }
+  return Status::InvalidArgument("unknown stage op: " + name);
+}
+
+}  // namespace
+
+std::string EventLogToJsonLines(const EventLog& log) {
+  std::string out;
+  {
+    Json header = Json::Object();
+    header.Set("Event", Json::Str("ApplicationStart"));
+    header.Set("App Name", Json::Str(log.app_name));
+    header.Set("Is SQL", Json::Bool(log.is_sql));
+    header.Set("Data Size GB", Json::Number(log.data_size_gb));
+    out += header.Dump();
+    out += "\n";
+  }
+  for (const auto& s : log.stages) {
+    Json j = Json::Object();
+    j.Set("Event", Json::Str("StageCompleted"));
+    j.Set("Stage Name", Json::Str(s.name));
+    j.Set("Op", Json::Str(StageOpName(s.op)));
+    j.Set("Number of Tasks", Json::Number(s.num_tasks));
+    j.Set("Iterations", Json::Number(s.iterations));
+    j.Set("Duration", Json::Number(s.duration_sec));
+    j.Set("Input MB", Json::Number(s.input_mb));
+    j.Set("Output MB", Json::Number(s.output_mb));
+    j.Set("Shuffle Read MB", Json::Number(s.shuffle_read_mb));
+    j.Set("Shuffle Write MB", Json::Number(s.shuffle_write_mb));
+    j.Set("Spill MB", Json::Number(s.spill_mb));
+    j.Set("Cached", Json::Bool(s.cached));
+    Json metrics = Json::Object();
+    metrics.Set("Duration", SummaryToJson(s.task_duration_sec));
+    metrics.Set("GC Time", SummaryToJson(s.task_gc_sec));
+    metrics.Set("Shuffle Read", SummaryToJson(s.task_shuffle_read_mb));
+    metrics.Set("Shuffle Write", SummaryToJson(s.task_shuffle_write_mb));
+    metrics.Set("Spill", SummaryToJson(s.task_spill_mb));
+    metrics.Set("CPU Fraction", SummaryToJson(s.task_cpu_fraction));
+    metrics.Set("IO Fraction", SummaryToJson(s.task_io_fraction));
+    metrics.Set("Input", SummaryToJson(s.task_input_mb));
+    j.Set("Task Metrics", std::move(metrics));
+    out += j.Dump();
+    out += "\n";
+  }
+  return out;
+}
+
+Result<EventLog> EventLogFromJsonLines(const std::string& text) {
+  EventLog log;
+  bool have_header = false;
+  std::istringstream in(text);
+  std::string line;
+  int lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    if (StrTrim(line).empty()) continue;
+    SPARKTUNE_ASSIGN_OR_RETURN(j, Json::Parse(line));
+    if (!j.is_object()) {
+      return Status::InvalidArgument(
+          StrFormat("line %d is not a JSON object", lineno));
+    }
+    std::string event = j.GetStringOr("Event", "");
+    if (event == "ApplicationStart") {
+      log.app_name = j.GetStringOr("App Name", "");
+      log.is_sql = j.GetBoolOr("Is SQL", false);
+      log.data_size_gb = j.GetNumberOr("Data Size GB", 0.0);
+      have_header = true;
+    } else if (event == "StageCompleted") {
+      StageLog s;
+      s.name = j.GetStringOr("Stage Name", "");
+      SPARKTUNE_ASSIGN_OR_RETURN(op,
+                                 StageOpFromName(j.GetStringOr("Op", "")));
+      s.op = op;
+      s.num_tasks = static_cast<int>(j.GetNumberOr("Number of Tasks", 0));
+      s.iterations = static_cast<int>(j.GetNumberOr("Iterations", 1));
+      s.duration_sec = j.GetNumberOr("Duration", 0.0);
+      s.input_mb = j.GetNumberOr("Input MB", 0.0);
+      s.output_mb = j.GetNumberOr("Output MB", 0.0);
+      s.shuffle_read_mb = j.GetNumberOr("Shuffle Read MB", 0.0);
+      s.shuffle_write_mb = j.GetNumberOr("Shuffle Write MB", 0.0);
+      s.spill_mb = j.GetNumberOr("Spill MB", 0.0);
+      s.cached = j.GetBoolOr("Cached", false);
+      const Json* metrics = j.Get("Task Metrics");
+      if (metrics != nullptr && metrics->is_object()) {
+        s.task_duration_sec = SummaryFromJson(metrics->Get("Duration"));
+        s.task_gc_sec = SummaryFromJson(metrics->Get("GC Time"));
+        s.task_shuffle_read_mb =
+            SummaryFromJson(metrics->Get("Shuffle Read"));
+        s.task_shuffle_write_mb =
+            SummaryFromJson(metrics->Get("Shuffle Write"));
+        s.task_spill_mb = SummaryFromJson(metrics->Get("Spill"));
+        s.task_cpu_fraction = SummaryFromJson(metrics->Get("CPU Fraction"));
+        s.task_io_fraction = SummaryFromJson(metrics->Get("IO Fraction"));
+        s.task_input_mb = SummaryFromJson(metrics->Get("Input"));
+      }
+      log.stages.push_back(std::move(s));
+    }
+    // Unknown events skipped (forward compatibility with real Spark logs).
+  }
+  if (!have_header) {
+    return Status::InvalidArgument("event log has no ApplicationStart line");
+  }
+  return log;
+}
+
+Status WriteEventLogFile(const EventLog& log, const std::string& path) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out.good()) return Status::Unavailable("cannot write " + path);
+  out << EventLogToJsonLines(log);
+  return Status::OK();
+}
+
+Result<EventLog> ReadEventLogFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in.good()) return Status::NotFound("no event log at " + path);
+  std::stringstream buf;
+  buf << in.rdbuf();
+  return EventLogFromJsonLines(buf.str());
+}
+
+}  // namespace sparktune

@@ -1,0 +1,31 @@
+// SparkEventLog-style JSON serialization of simulated event logs.
+//
+// Spark writes one JSON object per line to its event log
+// (SparkListenerApplicationStart, SparkListenerStageCompleted, ...). The
+// exporter emits a compatible-in-spirit subset — application metadata, one
+// stage-completed record per stage with task metric distributions — and the
+// parser reads it back, so the meta-feature pipeline (§5.1) can run on
+// persisted logs rather than in-memory structs, mirroring the paper's
+// "extract meta-features from SparkEventLog" workflow.
+#pragma once
+
+#include <string>
+
+#include "common/result.h"
+#include "sparksim/event_log.h"
+
+namespace sparktune {
+
+// One JSON object per line: a header line ("Event":"ApplicationStart")
+// followed by one "StageCompleted" line per stage.
+std::string EventLogToJsonLines(const EventLog& log);
+
+// Inverse of EventLogToJsonLines. Unknown events are skipped; a missing
+// header or malformed line yields an error.
+Result<EventLog> EventLogFromJsonLines(const std::string& text);
+
+// Convenience file I/O.
+Status WriteEventLogFile(const EventLog& log, const std::string& path);
+Result<EventLog> ReadEventLogFile(const std::string& path);
+
+}  // namespace sparktune

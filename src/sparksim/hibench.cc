@@ -1,0 +1,345 @@
+#include "sparksim/hibench.h"
+
+namespace sparktune {
+
+namespace {
+
+StageSpec Source(const std::string& name, double frac = 1.0,
+                 double cpu = 0.004) {
+  StageSpec s;
+  s.name = name;
+  s.op = StageOp::kSource;
+  s.input_frac = frac;
+  s.output_ratio = 1.0;
+  s.cpu_cost_per_mb = cpu;
+  s.mem_per_task_factor = 1.2;
+  s.skew = 0.15;
+  return s;
+}
+
+StageSpec Stage(const std::string& name, StageOp op, std::vector<int> deps) {
+  StageSpec s;
+  s.name = name;
+  s.op = op;
+  s.deps = std::move(deps);
+  return s;
+}
+
+WorkloadSpec WordCount() {
+  WorkloadSpec w;
+  w.name = "WordCount";
+  w.family = "micro";
+  w.input_gb = 300.0;
+  w.stages.push_back(Source("read"));
+  StageSpec split = Stage("split-map", StageOp::kMap, {0});
+  split.output_ratio = 1.2;
+  split.shuffle_write_ratio = 0.22;
+  split.cpu_cost_per_mb = 0.016;
+  split.mem_per_task_factor = 1.6;
+  split.skew = 0.25;
+  w.stages.push_back(split);
+  StageSpec reduce = Stage("count-reduce", StageOp::kReduceByKey, {1});
+  reduce.output_ratio = 0.04;
+  reduce.cpu_cost_per_mb = 0.012;
+  reduce.mem_per_task_factor = 2.4;
+  reduce.skew = 0.3;
+  w.stages.push_back(reduce);
+  StageSpec sink = Stage("save", StageOp::kSink, {2});
+  sink.output_ratio = 1.0;
+  sink.cpu_cost_per_mb = 0.002;
+  w.stages.push_back(sink);
+  return w;
+}
+
+WorkloadSpec Sort() {
+  WorkloadSpec w;
+  w.name = "Sort";
+  w.family = "micro";
+  w.input_gb = 250.0;
+  w.stages.push_back(Source("read"));
+  StageSpec map = Stage("key-map", StageOp::kMap, {0});
+  map.output_ratio = 1.0;
+  map.shuffle_write_ratio = 1.0;
+  map.cpu_cost_per_mb = 0.005;
+  map.mem_per_task_factor = 1.4;
+  w.stages.push_back(map);
+  StageSpec sort = Stage("sort", StageOp::kSortByKey, {1});
+  sort.output_ratio = 1.0;
+  sort.cpu_cost_per_mb = 0.009;
+  sort.mem_per_task_factor = 2.6;
+  sort.skew = 0.3;
+  w.stages.push_back(sort);
+  StageSpec sink = Stage("save", StageOp::kSink, {2});
+  sink.cpu_cost_per_mb = 0.002;
+  w.stages.push_back(sink);
+  return w;
+}
+
+WorkloadSpec TeraSort() {
+  WorkloadSpec w = Sort();
+  w.name = "TeraSort";
+  w.input_gb = 500.0;
+  w.stages[1].cpu_cost_per_mb = 0.004;
+  w.stages[2].mem_per_task_factor = 3.0;
+  w.stages[2].skew = 0.38;
+  w.stages[2].cpu_cost_per_mb = 0.011;
+  return w;
+}
+
+WorkloadSpec Repartition() {
+  WorkloadSpec w;
+  w.name = "Repartition";
+  w.family = "micro";
+  w.input_gb = 200.0;
+  w.stages.push_back(Source("read"));
+  StageSpec map = Stage("shuffle-map", StageOp::kMap, {0});
+  map.shuffle_write_ratio = 1.0;
+  map.cpu_cost_per_mb = 0.003;
+  w.stages.push_back(map);
+  StageSpec re = Stage("repartition", StageOp::kGroupByKey, {1});
+  re.output_ratio = 1.0;
+  re.cpu_cost_per_mb = 0.003;
+  re.mem_per_task_factor = 1.8;
+  w.stages.push_back(re);
+  StageSpec sink = Stage("save", StageOp::kSink, {2});
+  sink.cpu_cost_per_mb = 0.002;
+  w.stages.push_back(sink);
+  return w;
+}
+
+// Iterative ML template: parse+cache training data, then iterate an
+// update stage with a small aggregation shuffle per iteration.
+WorkloadSpec IterativeMl(const std::string& name, double input_gb, int iters,
+                         double update_cpu, double mem_factor,
+                         double shuffle_ratio) {
+  WorkloadSpec w;
+  w.name = name;
+  w.family = "ml";
+  w.input_gb = input_gb;
+  w.stages.push_back(Source("read", 1.0, 0.006));
+  StageSpec parse = Stage("parse-cache", StageOp::kMap, {0});
+  parse.output_ratio = 0.9;
+  parse.cpu_cost_per_mb = 0.02;
+  parse.mem_per_task_factor = 1.8;
+  parse.cached = true;
+  w.stages.push_back(parse);
+  StageSpec update = Stage("iterate", StageOp::kIterUpdate, {1});
+  update.output_ratio = 0.9;
+  update.shuffle_write_ratio = shuffle_ratio;
+  update.cpu_cost_per_mb = update_cpu;
+  update.mem_per_task_factor = mem_factor;
+  update.cached = true;
+  update.iterations = iters;
+  update.skew = 0.2;
+  w.stages.push_back(update);
+  StageSpec collect = Stage("model-collect", StageOp::kCollect, {2});
+  collect.output_ratio = 0.0005;
+  collect.cpu_cost_per_mb = 0.002;
+  w.stages.push_back(collect);
+  return w;
+}
+
+WorkloadSpec KMeans() { return IterativeMl("KMeans", 200.0, 8, 0.030, 1.9, 0.02); }
+WorkloadSpec LR() { return IterativeMl("LR", 150.0, 10, 0.036, 1.7, 0.015); }
+WorkloadSpec SVM() { return IterativeMl("SVM", 150.0, 12, 0.042, 1.8, 0.015); }
+WorkloadSpec ALS() { return IterativeMl("ALS", 120.0, 6, 0.034, 2.6, 0.30); }
+WorkloadSpec SVD() { return IterativeMl("SVD", 100.0, 5, 0.040, 3.0, 0.10); }
+
+WorkloadSpec PCA() {
+  WorkloadSpec w;
+  w.name = "PCA";
+  w.family = "ml";
+  w.input_gb = 80.0;
+  w.stages.push_back(Source("read", 1.0, 0.006));
+  StageSpec map = Stage("feature-map", StageOp::kMap, {0});
+  map.output_ratio = 1.0;
+  map.cpu_cost_per_mb = 0.022;
+  w.stages.push_back(map);
+  StageSpec gram = Stage("gram-aggregate", StageOp::kAggregate, {1});
+  gram.output_ratio = 0.01;
+  gram.shuffle_write_ratio = 0.15;
+  gram.cpu_cost_per_mb = 0.05;
+  gram.mem_per_task_factor = 4.2;
+  w.stages.push_back(gram);
+  StageSpec collect = Stage("collect", StageOp::kCollect, {2});
+  collect.output_ratio = 0.5;
+  w.stages.push_back(collect);
+  return w;
+}
+
+WorkloadSpec Bayes() {
+  WorkloadSpec w;
+  w.name = "Bayes";
+  w.family = "ml";
+  w.input_gb = 180.0;
+  w.stages.push_back(Source("read", 1.0, 0.005));
+  StageSpec tokenize = Stage("tokenize", StageOp::kMap, {0});
+  tokenize.output_ratio = 1.5;
+  tokenize.shuffle_write_ratio = 0.55;
+  tokenize.cpu_cost_per_mb = 0.028;
+  tokenize.mem_per_task_factor = 2.0;
+  tokenize.skew = 0.35;
+  w.stages.push_back(tokenize);
+  StageSpec agg = Stage("term-aggregate", StageOp::kGroupByKey, {1});
+  agg.output_ratio = 0.12;
+  agg.cpu_cost_per_mb = 0.018;
+  agg.mem_per_task_factor = 3.8;  // memory-pressure prone
+  agg.skew = 0.45;
+  w.stages.push_back(agg);
+  StageSpec model = Stage("model-map", StageOp::kMap, {2});
+  model.output_ratio = 0.3;
+  model.cpu_cost_per_mb = 0.012;
+  w.stages.push_back(model);
+  StageSpec collect = Stage("collect", StageOp::kCollect, {3});
+  collect.output_ratio = 0.05;
+  w.stages.push_back(collect);
+  return w;
+}
+
+WorkloadSpec PageRank() {
+  WorkloadSpec w;
+  w.name = "PageRank";
+  w.family = "websearch";
+  w.input_gb = 150.0;
+  w.stages.push_back(Source("read-edges", 1.0, 0.005));
+  StageSpec links = Stage("build-links", StageOp::kMap, {0});
+  links.output_ratio = 1.2;
+  links.cpu_cost_per_mb = 0.015;
+  links.cached = true;
+  w.stages.push_back(links);
+  StageSpec rank = Stage("rank-iterate", StageOp::kIterUpdate, {1});
+  rank.output_ratio = 1.0;
+  rank.shuffle_write_ratio = 0.8;  // contributions shuffle per iteration
+  rank.cpu_cost_per_mb = 0.02;
+  rank.mem_per_task_factor = 2.4;
+  rank.cached = true;
+  rank.iterations = 7;
+  rank.skew = 0.5;  // power-law degree distribution
+  w.stages.push_back(rank);
+  StageSpec sink = Stage("save-ranks", StageOp::kSink, {2});
+  sink.output_ratio = 0.2;
+  w.stages.push_back(sink);
+  return w;
+}
+
+WorkloadSpec NWeight() {
+  WorkloadSpec w;
+  w.name = "NWeight";
+  w.family = "graph";
+  w.input_gb = 90.0;
+  w.stages.push_back(Source("read-graph", 1.0, 0.005));
+  StageSpec prep = Stage("prepare", StageOp::kMap, {0});
+  prep.output_ratio = 1.1;
+  prep.cpu_cost_per_mb = 0.018;
+  prep.cached = true;
+  w.stages.push_back(prep);
+  StageSpec expand = Stage("expand-hops", StageOp::kIterUpdate, {1});
+  expand.output_ratio = 1.6;  // neighborhood expansion grows data
+  expand.shuffle_write_ratio = 1.2;
+  expand.cpu_cost_per_mb = 0.026;
+  expand.mem_per_task_factor = 3.2;
+  expand.cached = true;
+  expand.iterations = 3;
+  expand.skew = 0.45;
+  w.stages.push_back(expand);
+  StageSpec sink = Stage("save", StageOp::kSink, {2});
+  sink.output_ratio = 0.5;
+  w.stages.push_back(sink);
+  return w;
+}
+
+WorkloadSpec ScanSql() {
+  WorkloadSpec w;
+  w.name = "Scan";
+  w.family = "sql";
+  w.is_sql = true;
+  w.input_gb = 400.0;
+  w.stages.push_back(Source("table-scan", 1.0, 0.006));
+  StageSpec filter = Stage("filter-project", StageOp::kMap, {0});
+  filter.output_ratio = 0.3;
+  filter.cpu_cost_per_mb = 0.008;
+  w.stages.push_back(filter);
+  StageSpec sink = Stage("insert", StageOp::kSink, {2 - 1});
+  sink.cpu_cost_per_mb = 0.002;
+  w.stages.push_back(sink);
+  return w;
+}
+
+WorkloadSpec JoinSql() {
+  WorkloadSpec w;
+  w.name = "Join";
+  w.family = "sql";
+  w.is_sql = true;
+  w.input_gb = 300.0;
+  w.stages.push_back(Source("scan-uservisits", 0.85, 0.006));
+  w.stages.push_back(Source("scan-rankings", 0.15, 0.006));
+  StageSpec map0 = Stage("map-left", StageOp::kMap, {0});
+  map0.shuffle_write_ratio = 0.8;
+  map0.cpu_cost_per_mb = 0.007;
+  w.stages.push_back(map0);
+  StageSpec map1 = Stage("map-right", StageOp::kMap, {1});
+  map1.shuffle_write_ratio = 0.9;
+  map1.cpu_cost_per_mb = 0.007;
+  w.stages.push_back(map1);
+  StageSpec join = Stage("sort-merge-join", StageOp::kJoin, {2, 3});
+  join.output_ratio = 0.5;
+  join.cpu_cost_per_mb = 0.016;
+  join.mem_per_task_factor = 3.2;
+  join.skew = 0.4;
+  w.stages.push_back(join);
+  StageSpec agg = Stage("aggregate", StageOp::kAggregate, {4});
+  agg.output_ratio = 0.02;
+  agg.shuffle_write_ratio = 0.05;
+  agg.cpu_cost_per_mb = 0.01;
+  agg.mem_per_task_factor = 2.2;
+  w.stages.push_back(agg);
+  StageSpec sink = Stage("insert", StageOp::kSink, {5});
+  w.stages.push_back(sink);
+  return w;
+}
+
+WorkloadSpec AggregationSql() {
+  WorkloadSpec w;
+  w.name = "Aggregation";
+  w.family = "sql";
+  w.is_sql = true;
+  w.input_gb = 350.0;
+  w.stages.push_back(Source("table-scan", 1.0, 0.006));
+  StageSpec map = Stage("partial-agg", StageOp::kMap, {0});
+  map.output_ratio = 0.5;
+  map.shuffle_write_ratio = 0.45;
+  map.cpu_cost_per_mb = 0.012;
+  map.mem_per_task_factor = 2.4;
+  w.stages.push_back(map);
+  StageSpec agg = Stage("final-agg", StageOp::kAggregate, {1});
+  agg.output_ratio = 0.05;
+  agg.cpu_cost_per_mb = 0.014;
+  agg.mem_per_task_factor = 3.0;
+  agg.skew = 0.35;
+  w.stages.push_back(agg);
+  StageSpec sink = Stage("insert", StageOp::kSink, {2});
+  w.stages.push_back(sink);
+  return w;
+}
+
+}  // namespace
+
+std::vector<WorkloadSpec> AllHiBenchTasks() {
+  return {WordCount(), Sort(),   TeraSort(),  Repartition(), KMeans(),
+          Bayes(),     LR(),     SVM(),       ALS(),         SVD(),
+          PCA(),       ScanSql(), JoinSql(),  AggregationSql(), PageRank(),
+          NWeight()};
+}
+
+std::vector<WorkloadSpec> HeadlineHiBenchTasks() {
+  return {Bayes(), KMeans(), NWeight(), WordCount(), PageRank(), TeraSort()};
+}
+
+Result<WorkloadSpec> HiBenchTask(const std::string& name) {
+  for (auto& w : AllHiBenchTasks()) {
+    if (w.name == name) return w;
+  }
+  return Status::NotFound("unknown HiBench task: " + name);
+}
+
+}  // namespace sparktune

@@ -1,0 +1,26 @@
+// HiBench-style workload presets (paper §6.1). Six headline tasks (Bayes,
+// KMeans, NWeight, WordCount, PageRank, TeraSort) plus ten more used by the
+// meta-learning experiments, each modeled as a stage DAG whose operator mix
+// and data-flow ratios reproduce the qualitative profile of the real
+// benchmark (shuffle-heavy sort, cache-sensitive iterative ML, skewed graph
+// propagation, scan/join/aggregation SQL, ...).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "sparksim/workload.h"
+
+namespace sparktune {
+
+// All 16 presets, stable order.
+std::vector<WorkloadSpec> AllHiBenchTasks();
+
+// The six tasks used in the paper's headline Figures 4/5/8/9.
+std::vector<WorkloadSpec> HeadlineHiBenchTasks();
+
+// Lookup by name (e.g. "TeraSort"); NotFound if unknown.
+Result<WorkloadSpec> HiBenchTask(const std::string& name);
+
+}  // namespace sparktune

@@ -1,0 +1,64 @@
+#include "sparksim/workload.h"
+
+#include <algorithm>
+
+namespace sparktune {
+
+const char* StageOpName(StageOp op) {
+  switch (op) {
+    case StageOp::kSource: return "source";
+    case StageOp::kMap: return "map";
+    case StageOp::kReduceByKey: return "reduceByKey";
+    case StageOp::kGroupByKey: return "groupByKey";
+    case StageOp::kSortByKey: return "sortByKey";
+    case StageOp::kJoin: return "join";
+    case StageOp::kBroadcastJoin: return "broadcastJoin";
+    case StageOp::kAggregate: return "aggregate";
+    case StageOp::kSample: return "sample";
+    case StageOp::kIterUpdate: return "iterUpdate";
+    case StageOp::kCollect: return "collect";
+    case StageOp::kSink: return "sink";
+  }
+  return "unknown";
+}
+
+bool IsShuffleOp(StageOp op) {
+  switch (op) {
+    case StageOp::kReduceByKey:
+    case StageOp::kGroupByKey:
+    case StageOp::kSortByKey:
+    case StageOp::kJoin:
+    case StageOp::kAggregate:
+      return true;
+    default:
+      return false;
+  }
+}
+
+int WorkloadSpec::DagDepth() const {
+  std::vector<int> depth(stages.size(), 1);
+  int best = stages.empty() ? 0 : 1;
+  for (size_t i = 0; i < stages.size(); ++i) {
+    for (int d : stages[i].deps) {
+      depth[i] = std::max(depth[i], depth[static_cast<size_t>(d)] + 1);
+    }
+    best = std::max(best, depth[i]);
+  }
+  return best;
+}
+
+bool WorkloadSpec::Valid() const {
+  if (stages.empty()) return false;
+  for (size_t i = 0; i < stages.size(); ++i) {
+    for (int d : stages[i].deps) {
+      if (d < 0 || d >= static_cast<int>(i)) return false;
+    }
+    if (stages[i].iterations < 1) return false;
+    if (stages[i].op == StageOp::kSource && stages[i].input_frac <= 0.0) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace sparktune

@@ -1,0 +1,73 @@
+// Workload model: a Spark job is a DAG of stages; each stage has an operator
+// type and data-flow/compute characteristics. Presets for HiBench live in
+// hibench.h; synthetic production tasks in production.h.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace sparktune {
+
+// Operator categories, mirroring the action/transformation mix that the
+// paper's meta-features summarize from SparkEventLog (§5.1).
+enum class StageOp {
+  kSource,        // read input (textFile / table scan)
+  kMap,           // map / filter / flatMap pipelines
+  kReduceByKey,   // combine-style shuffle
+  kGroupByKey,    // wide shuffle without map-side combine
+  kSortByKey,     // range-partitioned sort shuffle
+  kJoin,          // shuffle hash / sort-merge join
+  kBroadcastJoin, // map-side join with broadcast
+  kAggregate,     // SQL-style hash aggregation
+  kSample,        // sampling / projection
+  kIterUpdate,    // per-iteration model/rank update (ML, graph)
+  kCollect,       // action pulling results to the driver
+  kSink,          // write output
+};
+
+const char* StageOpName(StageOp op);
+// True for operators whose input arrives via shuffle.
+bool IsShuffleOp(StageOp op);
+
+struct StageSpec {
+  std::string name;
+  StageOp op = StageOp::kMap;
+  std::vector<int> deps;  // indices of parent stages in the DAG
+
+  // For source stages: fraction of the job input this stage reads.
+  double input_frac = 0.0;
+  // Output bytes = input bytes * output_ratio.
+  double output_ratio = 1.0;
+  // Bytes written to the shuffle system per input byte (0 for result/sink
+  // stages).
+  double shuffle_write_ratio = 0.0;
+  // Compute intensity: CPU-seconds per MB of stage input on a speed-1.0
+  // core.
+  double cpu_cost_per_mb = 0.01;
+  // Peak per-task working set as a multiple of per-task input bytes
+  // (hash tables / sort buffers / model state).
+  double mem_per_task_factor = 1.5;
+  // Whether the stage caches its output for reuse by iterations.
+  bool cached = false;
+  // Times the stage body repeats (iterative ML / graph workloads).
+  int iterations = 1;
+  // Lognormal sigma of per-task data skew (0 = perfectly balanced).
+  double skew = 0.25;
+};
+
+struct WorkloadSpec {
+  std::string name;
+  std::string family;  // "micro", "ml", "sql", "websearch", "graph", "etl"
+  bool is_sql = false;
+  // Nominal input size; the actual per-run size is nominal * drift factor.
+  double input_gb = 100.0;
+  std::vector<StageSpec> stages;
+
+  // Longest path length in the stage DAG (1 for a single stage).
+  int DagDepth() const;
+  // Basic structural validation (deps in range, acyclic by construction:
+  // deps must point to earlier stages).
+  bool Valid() const;
+};
+
+}  // namespace sparktune

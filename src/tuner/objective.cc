@@ -1,0 +1,38 @@
+#include "tuner/objective.h"
+
+#include <cmath>
+
+namespace sparktune {
+
+double TuningObjective::Value(double runtime_sec,
+                              double resource_rate) const {
+  runtime_sec = std::max(runtime_sec, 1e-9);
+  resource_rate = std::max(resource_rate, 1e-9);
+  return std::pow(runtime_sec, beta) * std::pow(resource_rate, 1.0 - beta);
+}
+
+double TuningObjective::DfDt(double runtime_sec, double resource_rate) const {
+  runtime_sec = std::max(runtime_sec, 1e-9);
+  resource_rate = std::max(resource_rate, 1e-9);
+  // d/dT [T^b R^(1-b)] = b (T/R)^(b-1)
+  return beta * std::pow(runtime_sec / resource_rate, beta - 1.0);
+}
+
+double TuningObjective::DfDr(double runtime_sec, double resource_rate) const {
+  runtime_sec = std::max(runtime_sec, 1e-9);
+  resource_rate = std::max(resource_rate, 1e-9);
+  // d/dR [T^b R^(1-b)] = (1-b) (T/R)^b
+  return (1.0 - beta) * std::pow(runtime_sec / resource_rate, beta);
+}
+
+Status TuningObjective::Validate() const {
+  if (beta < 0.0 || beta > 1.0) {
+    return Status::InvalidArgument("beta must be in [0, 1]");
+  }
+  if (runtime_max <= 0.0 || resource_max <= 0.0) {
+    return Status::InvalidArgument("constraint thresholds must be positive");
+  }
+  return Status::OK();
+}
+
+}  // namespace sparktune

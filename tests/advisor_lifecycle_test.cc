@@ -1,0 +1,139 @@
+// Lifecycle tests for the Advisor: warm-start-driven initial design
+// (paper §5.2 — transferred configs ARE the init design), restart
+// semantics, and incumbent bookkeeping across phases.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "bo/advisor.h"
+
+namespace sparktune {
+namespace {
+
+ConfigSpace TwoD() {
+  ConfigSpace s;
+  EXPECT_TRUE(s.Add(Parameter::Float("a", 0.0, 1.0, 0.5)).ok());
+  EXPECT_TRUE(s.Add(Parameter::Float("b", 0.0, 1.0, 0.5)).ok());
+  return s;
+}
+
+Observation Obs(const Configuration& c, double objective) {
+  Observation o;
+  o.config = c;
+  o.objective = objective;
+  o.runtime_sec = objective;
+  o.resource_rate = 1.0;
+  o.data_size_gb = 10.0;
+  o.feasible = true;
+  return o;
+}
+
+TEST(AdvisorLifecycleTest, WarmStartShortensInitialDesign) {
+  ConfigSpace space = TwoD();
+  AdvisorOptions opts;
+  opts.init_samples = 5;
+  Advisor advisor(&space, opts);
+  Configuration w = space.Default();
+  w[0] = 0.9;
+  advisor.SetWarmStartConfigs({w});
+  // One warm config => exactly one initial suggestion, then model-driven.
+  Configuration first = advisor.Suggest(10.0);
+  EXPECT_TRUE(first == w);
+  EXPECT_TRUE(advisor.last_was_initial());
+  advisor.Observe(Obs(first, 5.0));
+  Configuration second = advisor.Suggest(10.0);
+  EXPECT_FALSE(advisor.last_was_initial());
+  EXPECT_FALSE(second == w);  // dedup: never resuggests an evaluated config
+}
+
+TEST(AdvisorLifecycleTest, NoWarmStartUsesFullInitBudget) {
+  ConfigSpace space = TwoD();
+  AdvisorOptions opts;
+  opts.init_samples = 4;
+  Advisor advisor(&space, opts);
+  Rng rng(1);
+  for (int i = 0; i < 4; ++i) {
+    Configuration c = advisor.Suggest(10.0);
+    EXPECT_TRUE(advisor.last_was_initial()) << "iteration " << i;
+    advisor.Observe(Obs(c, rng.Uniform(1.0, 2.0)));
+  }
+  advisor.Suggest(10.0);
+  EXPECT_FALSE(advisor.last_was_initial());
+}
+
+TEST(AdvisorLifecycleTest, RestartKeepsHistoryAndImportance) {
+  ConfigSpace space = TwoD();
+  AdvisorOptions opts;
+  opts.init_samples = 2;
+  Advisor advisor(&space, opts);
+  advisor.SeedImportance({0.1, 0.9}, 5.0);
+  Rng rng(2);
+  for (int i = 0; i < 8; ++i) {
+    Configuration c = advisor.Suggest(10.0);
+    advisor.Observe(Obs(c, rng.Uniform(1.0, 2.0)));
+  }
+  size_t history_before = advisor.history().size();
+  auto ranking_before = advisor.subspace_manager().Ranking();
+  advisor.ResetForRestart();
+  EXPECT_EQ(advisor.history().size(), history_before);
+  EXPECT_EQ(advisor.subspace_manager().Ranking(), ranking_before);
+  // Post-restart suggestions are model-driven (history intact, not init).
+  advisor.Suggest(10.0);
+  EXPECT_FALSE(advisor.last_was_initial());
+}
+
+TEST(AdvisorLifecycleTest, IncumbentTracksBestFeasibleOnly) {
+  ConfigSpace space = TwoD();
+  AdvisorOptions opts;
+  Advisor advisor(&space, opts);
+  Configuration a = space.Default();
+  a[0] = 0.1;
+  Configuration b = space.Default();
+  b[0] = 0.2;
+  Observation good = Obs(a, 10.0);
+  Observation better_but_infeasible = Obs(b, 1.0);
+  better_but_infeasible.feasible = false;
+  advisor.Observe(good);
+  advisor.Observe(better_but_infeasible);
+  EXPECT_DOUBLE_EQ(advisor.BestObjective(), 10.0);
+  EXPECT_TRUE(advisor.BestConfig() == a);
+}
+
+TEST(AdvisorLifecycleTest, ExternalBaselineDoesNotSkipWarmConfigs) {
+  // Production flow: the manual baseline is observed before the first
+  // suggestion. The warm-start list must still be served from its head.
+  ConfigSpace space = TwoD();
+  AdvisorOptions opts;
+  opts.init_samples = 5;
+  Advisor advisor(&space, opts);
+  Configuration baseline = space.Default();
+  advisor.Observe(Obs(baseline, 50.0));  // external (manual) run
+  Configuration w0 = space.Default();
+  w0[0] = 0.11;
+  Configuration w1 = space.Default();
+  w1[0] = 0.92;
+  advisor.SetWarmStartConfigs({w0, w1});
+  EXPECT_TRUE(advisor.Suggest(10.0) == w0);
+  advisor.Observe(Obs(w0, 20.0));
+  EXPECT_TRUE(advisor.Suggest(10.0) == w1);
+}
+
+TEST(AdvisorLifecycleTest, DuplicateWarmConfigsStillProgress) {
+  ConfigSpace space = TwoD();
+  AdvisorOptions opts;
+  opts.init_samples = 5;
+  Advisor advisor(&space, opts);
+  Configuration w = space.Default();
+  advisor.SetWarmStartConfigs({w, w, w});
+  // Even with duplicate warm entries the advisor keeps suggesting valid
+  // configurations and records them.
+  for (int i = 0; i < 5; ++i) {
+    Configuration c = advisor.Suggest(10.0);
+    ASSERT_TRUE(space.Validate(c).ok());
+    advisor.Observe(Obs(c, 5.0 + i));
+  }
+  EXPECT_EQ(advisor.history().size(), 5u);
+}
+
+}  // namespace
+}  // namespace sparktune

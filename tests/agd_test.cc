@@ -1,0 +1,139 @@
+// Tests for approximate gradient descent (Eq. 9-11).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "bo/agd.h"
+#include "model/surrogate.h"
+
+namespace sparktune {
+namespace {
+
+class FnSurrogate final : public Surrogate {
+ public:
+  explicit FnSurrogate(std::function<double(const std::vector<double>&)> fn)
+      : fn_(std::move(fn)) {}
+  Status Fit(const std::vector<std::vector<double>>&,
+             const std::vector<double>&) override {
+    return Status::OK();
+  }
+  Prediction Predict(const std::vector<double>& x) const override {
+    return {fn_(x), 0.0};
+  }
+  size_t num_observations() const override { return 10; }
+
+ private:
+  std::function<double(const std::vector<double>&)> fn_;
+};
+
+ConfigSpace MixedSpace() {
+  ConfigSpace s;
+  EXPECT_TRUE(s.Add(Parameter::Float("a", 0.0, 10.0, 5.0)).ok());
+  EXPECT_TRUE(s.Add(Parameter::Float("b", 0.0, 10.0, 5.0)).ok());
+  EXPECT_TRUE(s.Add(Parameter::Bool("flag", true)).ok());
+  return s;
+}
+
+TEST(AgdTest, StepMovesDownhillOnRuntime) {
+  ConfigSpace space = MixedSpace();
+  // Runtime is minimized at a = 10 (decreasing in a), flat in b.
+  FnSurrogate runtime([&space](const std::vector<double>& u) {
+    return 1000.0 * (1.0 - u[0]);
+  });
+  auto encode = [&](const Configuration& c) { return space.ToUnit(c); };
+  auto resource = [](const Configuration&) { return 50.0; };
+  TuningObjective obj;
+  obj.beta = 1.0;  // pure runtime
+  Agd agd(&space);
+  Configuration base = space.Default();
+  Configuration next = agd.Step(base, runtime, encode, resource, obj);
+  EXPECT_GT(next[0], base[0]);  // moved toward lower runtime
+}
+
+TEST(AgdTest, ResourceGradientPullsDownResource) {
+  ConfigSpace space = MixedSpace();
+  FnSurrogate runtime([](const std::vector<double>&) { return 100.0; });
+  auto encode = [&](const Configuration& c) { return space.ToUnit(c); };
+  // Resource grows with parameter b.
+  auto resource = [&space](const Configuration& c) {
+    return 10.0 + 5.0 * space.Get(c, "b");
+  };
+  TuningObjective obj;
+  obj.beta = 0.0;  // pure resource
+  Agd agd(&space);
+  Configuration base = space.Default();
+  Configuration next = agd.Step(base, runtime, encode, resource, obj);
+  EXPECT_LT(next[1], base[1]);
+  // Runtime-flat dimension barely moves.
+  EXPECT_NEAR(next[0], base[0], 0.5);
+}
+
+TEST(AgdTest, BooleanDimensionNeverMoves) {
+  ConfigSpace space = MixedSpace();
+  FnSurrogate runtime([](const std::vector<double>& u) {
+    return 100.0 * (u[0] + u[1] + u[2]);
+  });
+  auto encode = [&](const Configuration& c) { return space.ToUnit(c); };
+  auto resource = [](const Configuration&) { return 10.0; };
+  TuningObjective obj;
+  obj.beta = 0.5;
+  Agd agd(&space);
+  Configuration base = space.Default();
+  Configuration next = agd.Step(base, runtime, encode, resource, obj);
+  EXPECT_DOUBLE_EQ(next[2], base[2]);
+}
+
+TEST(AgdTest, ZeroGradientReturnsBase) {
+  ConfigSpace space = MixedSpace();
+  FnSurrogate runtime([](const std::vector<double>&) { return 100.0; });
+  auto encode = [&](const Configuration& c) { return space.ToUnit(c); };
+  auto resource = [](const Configuration&) { return 10.0; };
+  TuningObjective obj;
+  obj.beta = 0.5;
+  Agd agd(&space);
+  Configuration base = space.Default();
+  Configuration next = agd.Step(base, runtime, encode, resource, obj);
+  EXPECT_TRUE(next == base);
+}
+
+TEST(AgdTest, AmplifiesStepAcrossIntegerRounding) {
+  // Integer parameter with a wide range: a naive tiny step would round back
+  // to the same value; amplification must push it over the edge.
+  ConfigSpace space;
+  ASSERT_TRUE(space.Add(Parameter::Int("n", 1, 1000, 500)).ok());
+  FnSurrogate runtime([](const std::vector<double>& u) {
+    return 1000.0 * u[0];  // decreasing n lowers runtime
+  });
+  auto encode = [&](const Configuration& c) { return space.ToUnit(c); };
+  auto resource = [](const Configuration&) { return 10.0; };
+  TuningObjective obj;
+  obj.beta = 1.0;
+  AgdOptions opts;
+  opts.learning_rate = 1e-5;  // deliberately tiny
+  Agd agd(&space, opts);
+  Configuration base = space.Default();
+  Configuration next = agd.Step(base, runtime, encode, resource, obj);
+  EXPECT_LT(next[0], base[0]);
+}
+
+TEST(AgdTest, StepRespectsBounds) {
+  ConfigSpace space = MixedSpace();
+  // Huge gradient toward lower a; a must clamp at its lower bound.
+  FnSurrogate runtime([](const std::vector<double>& u) {
+    return 1e9 * u[0];
+  });
+  auto encode = [&](const Configuration& c) { return space.ToUnit(c); };
+  auto resource = [](const Configuration&) { return 10.0; };
+  TuningObjective obj;
+  obj.beta = 1.0;
+  AgdOptions opts;
+  opts.learning_rate = 100.0;
+  Agd agd(&space, opts);
+  Configuration base = space.Default();
+  Configuration next = agd.Step(base, runtime, encode, resource, obj);
+  EXPECT_GE(next[0], 0.0);
+  EXPECT_TRUE(space.Validate(next).ok());
+}
+
+}  // namespace
+}  // namespace sparktune

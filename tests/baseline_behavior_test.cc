@@ -1,0 +1,160 @@
+// Behavioral tests for the baseline-specific mechanisms: Tuneful's staged
+// dimension shrinking, LOCAT's QCSA elimination and data-size awareness,
+// RFHOC/DAC's model-then-GA phases.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "baselines/dac.h"
+#include "baselines/locat.h"
+#include "baselines/rfhoc.h"
+#include "baselines/tuneful.h"
+
+namespace sparktune {
+namespace {
+
+ConfigSpace WideSpace(int n = 12) {
+  ConfigSpace s;
+  for (int i = 0; i < n; ++i) {
+    EXPECT_TRUE(
+        s.Add(Parameter::Float("p" + std::to_string(i), 0.0, 1.0, 0.5)).ok());
+  }
+  return s;
+}
+
+// Only p0 and p1 matter; everything else is noise.
+class SparseEvaluator final : public JobEvaluator {
+ public:
+  explicit SparseEvaluator(const ConfigSpace* space) : space_(space) {}
+
+  Outcome Run(const Configuration& c) override {
+    ++runs_;
+    Outcome o;
+    o.runtime_sec = 100.0 + 400.0 * (std::pow(c[0] - 0.2, 2) +
+                                     std::pow(c[1] - 0.8, 2));
+    o.resource_rate = 10.0;
+    o.data_size_gb = 100.0 + 10.0 * std::sin(runs_ * 0.7);
+    o.hours = runs_;
+    return o;
+  }
+  double ResourceRate(const Configuration&) const override { return 10.0; }
+  double NextDataSizeHintGb() const override {
+    return 100.0 + 10.0 * std::sin((runs_ + 1) * 0.7);
+  }
+
+ private:
+  const ConfigSpace* space_;
+  int runs_ = 0;
+};
+
+// Count of parameters where two configs differ.
+int DiffCount(const Configuration& a, const Configuration& b) {
+  int n = 0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (std::fabs(a[i] - b[i]) > 1e-12) ++n;
+  }
+  return n;
+}
+
+TEST(TunefulBehaviorTest, ShrinksTunedDimensionsAfterStageOne) {
+  ConfigSpace space = WideSpace();
+  SparseEvaluator eval(&space);
+  TuningObjective obj;
+  obj.beta = 1.0;
+  TunefulOptions topts;
+  topts.init_samples = 3;
+  topts.stage1_at = 8;
+  topts.stage1_params = 4;
+  topts.stage2_at = 14;
+  topts.stage2_params = 2;
+  Tuneful tuneful(topts);
+  RunHistory h = tuneful.Tune(space, &eval, obj, 20, 3);
+  ASSERT_EQ(h.size(), 20u);
+  // After stage 2 engages, each suggestion differs from the incumbent at
+  // suggestion time in at most stage2_params dimensions. Verify against
+  // the best config over the prior prefix.
+  for (size_t i = 16; i < h.size(); ++i) {
+    double best_obj = std::numeric_limits<double>::infinity();
+    const Observation* best = nullptr;
+    for (size_t k = 0; k < i; ++k) {
+      if (h.at(k).feasible && h.at(k).objective < best_obj) {
+        best_obj = h.at(k).objective;
+        best = &h.at(k);
+      }
+    }
+    ASSERT_NE(best, nullptr);
+    EXPECT_LE(DiffCount(h.at(i).config, best->config), topts.stage2_params);
+  }
+}
+
+TEST(LocatBehaviorTest, QcsaKeepsOnlySensitiveParameters) {
+  ConfigSpace space = WideSpace();
+  SparseEvaluator eval(&space);
+  TuningObjective obj;
+  obj.beta = 1.0;
+  LocatOptions lopts;
+  lopts.init_samples = 3;
+  lopts.qcsa_at = 10;
+  lopts.keep_params = 3;
+  Locat locat(lopts);
+  RunHistory h = locat.Tune(space, &eval, obj, 22, 5);
+  ASSERT_EQ(h.size(), 22u);
+  for (size_t i = 14; i < h.size(); ++i) {
+    double best_obj = std::numeric_limits<double>::infinity();
+    const Observation* best = nullptr;
+    for (size_t k = 0; k < i; ++k) {
+      if (h.at(k).feasible && h.at(k).objective < best_obj) {
+        best_obj = h.at(k).objective;
+        best = &h.at(k);
+      }
+    }
+    ASSERT_NE(best, nullptr);
+    EXPECT_LE(DiffCount(h.at(i).config, best->config), lopts.keep_params);
+  }
+}
+
+TEST(LocatBehaviorTest, ConvergesOnSparseLandscape) {
+  ConfigSpace space = WideSpace();
+  SparseEvaluator eval(&space);
+  TuningObjective obj;
+  obj.beta = 1.0;
+  Locat locat;
+  RunHistory h = locat.Tune(space, &eval, obj, 25, 7);
+  EXPECT_LT(h.BestObjective(), 180.0);  // optimum is 100
+}
+
+TEST(RfhocBehaviorTest, ModelPhaseFollowsRandomPhase) {
+  ConfigSpace space = WideSpace(6);
+  SparseEvaluator eval(&space);
+  TuningObjective obj;
+  obj.beta = 1.0;
+  RfhocOptions ropts;
+  ropts.init_fraction = 0.5;
+  Rfhoc rfhoc(ropts);
+  RunHistory h = rfhoc.Tune(space, &eval, obj, 20, 9);
+  ASSERT_EQ(h.size(), 20u);
+  // The exploitation half should on average outperform the random half.
+  double random_mean = 0.0, model_mean = 0.0;
+  for (size_t i = 0; i < 10; ++i) random_mean += h.at(i).objective / 10.0;
+  for (size_t i = 10; i < 20; ++i) model_mean += h.at(i).objective / 10.0;
+  EXPECT_LT(model_mean, random_mean);
+}
+
+TEST(DacBehaviorTest, UsesDataSizeBuckets) {
+  ConfigSpace space = WideSpace(6);
+  SparseEvaluator eval(&space);
+  TuningObjective obj;
+  obj.beta = 1.0;
+  Dac dac;
+  RunHistory h = dac.Tune(space, &eval, obj, 20, 11);
+  ASSERT_EQ(h.size(), 20u);
+  // All observations recorded a data size (the hierarchy's input).
+  for (const auto& o : h.observations()) {
+    EXPECT_GT(o.data_size_gb, 0.0);
+  }
+  EXPECT_LT(h.BestObjective(), 300.0);
+}
+
+}  // namespace
+}  // namespace sparktune

@@ -1,0 +1,161 @@
+// Additional coverage: option edge cases and less-traveled paths across
+// the service, tuner, sub-space manager and Spark-conf decoding.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "bo/subspace_manager.h"
+#include "service/tuning_service.h"
+#include "sparksim/hibench.h"
+#include "tuner/online_tuner.h"
+
+namespace sparktune {
+namespace {
+
+TEST(SparkConfDecodeTest, RoundTripsEveryParameter) {
+  ClusterSpec cluster = ClusterSpec::HiBenchCluster();
+  ConfigSpace space = BuildSparkSpace(cluster);
+  Rng rng(77);
+  for (int i = 0; i < 50; ++i) {
+    Configuration c = space.Sample(&rng);
+    SparkConf conf = DecodeSparkConf(space, c);
+    // Every decoded field mirrors the configuration coordinates.
+    EXPECT_EQ(conf.executor_instances,
+              static_cast<int>(space.Get(c, spark_param::kExecutorInstances)));
+    EXPECT_DOUBLE_EQ(conf.memory_fraction,
+                     space.Get(c, spark_param::kMemoryFraction));
+    EXPECT_EQ(conf.shuffle_compress,
+              space.Get(c, spark_param::kShuffleCompress) >= 0.5);
+    EXPECT_EQ(static_cast<int>(conf.io_codec),
+              static_cast<int>(space.Get(c, spark_param::kIoCompressionCodec)));
+    EXPECT_DOUBLE_EQ(conf.network_timeout_sec,
+                     space.Get(c, spark_param::kNetworkTimeout));
+    // Resource function is strictly positive and finite.
+    double r = ResourceFunction(conf);
+    EXPECT_GT(r, 0.0);
+    EXPECT_TRUE(std::isfinite(r));
+  }
+}
+
+TEST(SubspaceManagerEdgeTest, KInitClampedIntoBounds) {
+  ConfigSpace space;
+  for (int i = 0; i < 6; ++i) {
+    ASSERT_TRUE(
+        space.Add(Parameter::Float("p" + std::to_string(i), 0, 1, 0.5)).ok());
+  }
+  SubspaceOptions opts;
+  opts.k_init = 50;   // beyond the space size
+  opts.k_min = 2;
+  SubspaceManager mgr(&space, opts, {});
+  EXPECT_EQ(mgr.K(), 6);
+  SubspaceOptions low;
+  low.k_init = 1;
+  low.k_min = 3;
+  SubspaceManager mgr2(&space, low, {});
+  EXPECT_EQ(mgr2.K(), 3);
+}
+
+TEST(SubspaceManagerEdgeTest, CustomKStep) {
+  ConfigSpace space;
+  for (int i = 0; i < 20; ++i) {
+    ASSERT_TRUE(
+        space.Add(Parameter::Float("p" + std::to_string(i), 0, 1, 0.5)).ok());
+  }
+  SubspaceOptions opts;
+  opts.k_step = 4;
+  SubspaceManager mgr(&space, opts, {});
+  for (int i = 0; i < 3; ++i) mgr.ReportOutcome(true);
+  EXPECT_EQ(mgr.K(), 14);  // 10 + 4
+}
+
+TEST(EvaluatorTest, PeriodHoursDrivesTheClock) {
+  ClusterSpec cluster = ClusterSpec::HiBenchCluster();
+  ConfigSpace space = BuildSparkSpace(cluster);
+  auto w = HiBenchTask("WordCount");
+  SimulatorEvaluatorOptions opts;
+  opts.period_hours = 24.0;  // daily job
+  SimulatorEvaluator eval(&space, *w, cluster, DriftModel::None(), opts);
+  EXPECT_DOUBLE_EQ(eval.NextHours(), 0.0);
+  auto o1 = eval.Run(space.Default());
+  EXPECT_DOUBLE_EQ(o1.hours, 0.0);
+  EXPECT_DOUBLE_EQ(eval.NextHours(), 24.0);
+  auto o2 = eval.Run(space.Default());
+  EXPECT_DOUBLE_EQ(o2.hours, 24.0);
+}
+
+TEST(TunerOptionsTest, ConstraintFactorsConfigurable) {
+  ClusterSpec cluster = ClusterSpec::HiBenchCluster();
+  ConfigSpace space = BuildSparkSpace(cluster);
+  auto w = HiBenchTask("WordCount");
+  SimulatorEvaluatorOptions eopts;
+  eopts.seed = 9;
+  SimulatorEvaluator eval(&space, *w, cluster, DriftModel::None(), eopts);
+  TunerOptions opts;
+  opts.constraint_runtime_factor = 3.0;
+  opts.constraint_resource_factor = 1.5;
+  OnlineTuner tuner(&space, &eval, opts);
+  Observation baseline = tuner.Step();
+  EXPECT_NEAR(tuner.objective().runtime_max, baseline.runtime_sec * 3.0,
+              1e-9);
+  EXPECT_NEAR(tuner.objective().resource_max, baseline.resource_rate * 1.5,
+              1e-9);
+}
+
+TEST(TunerOptionsTest, MinIterationsGateEarlyStop) {
+  // Flat landscape would stop immediately; the gate forces at least
+  // `min_iterations_before_stop` tuning steps.
+  ConfigSpace space;
+  ASSERT_TRUE(space.Add(Parameter::Float("x", 0, 1, 0.5)).ok());
+  class FlatEvaluator final : public JobEvaluator {
+   public:
+    Outcome Run(const Configuration&) override {
+      Outcome o;
+      o.runtime_sec = 100.0;
+      o.resource_rate = 10.0;
+      return o;
+    }
+    double ResourceRate(const Configuration&) const override { return 10.0; }
+  };
+  FlatEvaluator eval;
+  TunerOptions opts;
+  opts.budget = 30;
+  opts.min_iterations_before_stop = 12;
+  opts.advisor.enable_subspace = false;
+  opts.advisor.enable_agd = false;
+  OnlineTuner tuner(&space, &eval, opts);
+  while (tuner.phase() != TunerPhase::kApplying) tuner.Step();
+  EXPECT_GE(tuner.tuning_iterations(), 12);
+}
+
+TEST(ServiceOverrideTest, PerTaskOptionsRespected) {
+  ClusterSpec cluster = ClusterSpec::HiBenchCluster();
+  ConfigSpace space = BuildSparkSpace(cluster);
+  auto w = HiBenchTask("WordCount");
+  SimulatorEvaluatorOptions eopts;
+  eopts.seed = 5;
+  SimulatorEvaluator eval(&space, *w, cluster, DriftModel::None(), eopts);
+  TuningServiceOptions sopts;
+  sopts.tuner.budget = 20;
+  TuningService service(&space, sopts);
+  TunerOptions override = sopts.tuner;
+  override.budget = 2;
+  override.ei_stop_threshold = 0.0;
+  ASSERT_TRUE(service.RegisterTask("short", &eval, std::nullopt, override)
+                  .ok());
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(service.ExecutePeriodic("short").ok());
+  }
+  // Budget 2 => after baseline + 2 tuning steps the task applies.
+  EXPECT_EQ(service.tuner("short")->phase(), TunerPhase::kApplying);
+  EXPECT_EQ(service.tuner("short")->tuning_iterations(), 2);
+}
+
+TEST(ServiceOverrideTest, NullEvaluatorRejected) {
+  ClusterSpec cluster = ClusterSpec::HiBenchCluster();
+  ConfigSpace space = BuildSparkSpace(cluster);
+  TuningService service(&space, {});
+  EXPECT_FALSE(service.RegisterTask("x", nullptr).ok());
+}
+
+}  // namespace
+}  // namespace sparktune

@@ -1,0 +1,129 @@
+// Tests for fANOVA variance decomposition on synthetic functions with known
+// structure.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+
+#include "common/rng.h"
+#include "fanova/fanova.h"
+
+namespace sparktune {
+namespace {
+
+void MakeData(int n, int dims, uint64_t seed,
+              const std::function<double(const std::vector<double>&)>& f,
+              std::vector<std::vector<double>>* x, std::vector<double>* y) {
+  Rng rng(seed);
+  for (int i = 0; i < n; ++i) {
+    std::vector<double> row(static_cast<size_t>(dims));
+    for (auto& v : row) v = rng.Uniform();
+    y->push_back(f(row));
+    x->push_back(std::move(row));
+  }
+}
+
+TEST(FanovaTest, RejectsTinyOrOutOfRangeInputs) {
+  std::vector<std::vector<double>> x = {{0.1}, {0.2}};
+  std::vector<double> y = {1.0, 2.0};
+  EXPECT_FALSE(Fanova::Analyze(x, y).ok());
+  std::vector<std::vector<double>> bad = {{0.1}, {0.2}, {1.7}, {0.4}};
+  std::vector<double> yy = {1, 2, 3, 4};
+  EXPECT_FALSE(Fanova::Analyze(bad, yy).ok());
+}
+
+TEST(FanovaTest, SingleDominantMainEffect) {
+  std::vector<std::vector<double>> x;
+  std::vector<double> y;
+  MakeData(300, 4, 21,
+           [](const std::vector<double>& v) { return 10.0 * v[1] + 0.1 * v[3]; },
+           &x, &y);
+  auto result = Fanova::Analyze(x, y);
+  ASSERT_TRUE(result.ok());
+  // Feature 1 explains nearly all the variance.
+  EXPECT_GT(result->main_effect[1], 0.7);
+  EXPECT_LT(result->main_effect[0], 0.1);
+  EXPECT_LT(result->main_effect[2], 0.1);
+  EXPECT_GT(result->total_variance, 0.0);
+}
+
+TEST(FanovaTest, ImportanceFractionsBounded) {
+  std::vector<std::vector<double>> x;
+  std::vector<double> y;
+  MakeData(200, 3, 22,
+           [](const std::vector<double>& v) {
+             return v[0] + 2.0 * v[1] + 3.0 * v[2];
+           },
+           &x, &y);
+  auto result = Fanova::Analyze(x, y);
+  ASSERT_TRUE(result.ok());
+  double sum = std::accumulate(result->main_effect.begin(),
+                               result->main_effect.end(), 0.0);
+  EXPECT_LE(sum, 1.0 + 1e-6);
+  for (double v : result->main_effect) EXPECT_GE(v, 0.0);
+  // Monotone additive function: importance ordered by coefficient.
+  EXPECT_LT(result->main_effect[0], result->main_effect[2]);
+}
+
+TEST(FanovaTest, PureInteractionShowsInPairwiseNotMain) {
+  // XOR-like function: f = 1 if (x0>0.5) != (x1>0.5): zero main effects,
+  // pure pairwise interaction.
+  std::vector<std::vector<double>> x;
+  std::vector<double> y;
+  MakeData(600, 2, 23,
+           [](const std::vector<double>& v) {
+             return ((v[0] > 0.5) != (v[1] > 0.5)) ? 1.0 : 0.0;
+           },
+           &x, &y);
+  auto result = Fanova::Analyze(x, y);
+  ASSERT_TRUE(result.ok());
+  EXPECT_LT(result->main_effect[0], 0.2);
+  EXPECT_LT(result->main_effect[1], 0.2);
+  EXPECT_GT(result->interaction(0, 1), 0.5);
+  // CombinedImportance folds interactions into both participants.
+  auto combined = result->CombinedImportance();
+  EXPECT_GT(combined[0], result->main_effect[0]);
+}
+
+TEST(FanovaTest, InteractionMatrixSymmetricZeroDiagonal) {
+  std::vector<std::vector<double>> x;
+  std::vector<double> y;
+  MakeData(200, 3, 24,
+           [](const std::vector<double>& v) { return v[0] * v[1] + v[2]; },
+           &x, &y);
+  auto result = Fanova::Analyze(x, y);
+  ASSERT_TRUE(result.ok());
+  for (size_t i = 0; i < 3; ++i) {
+    EXPECT_DOUBLE_EQ(result->interaction(i, i), 0.0);
+    for (size_t j = 0; j < 3; ++j) {
+      EXPECT_DOUBLE_EQ(result->interaction(i, j), result->interaction(j, i));
+    }
+  }
+}
+
+TEST(FanovaTest, PairwiseCanBeDisabled) {
+  std::vector<std::vector<double>> x;
+  std::vector<double> y;
+  MakeData(100, 3, 25,
+           [](const std::vector<double>& v) { return v[0]; }, &x, &y);
+  FanovaOptions opts;
+  opts.compute_pairwise = false;
+  auto result = Fanova::Analyze(x, y, opts);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->interaction.rows(), 0u);
+  auto combined = result->CombinedImportance();
+  EXPECT_EQ(combined, result->main_effect);
+}
+
+TEST(FanovaTest, ConstantTargetGivesZeroImportance) {
+  std::vector<std::vector<double>> x;
+  std::vector<double> y;
+  MakeData(50, 2, 26, [](const std::vector<double>&) { return 5.0; }, &x, &y);
+  auto result = Fanova::Analyze(x, y);
+  ASSERT_TRUE(result.ok());
+  EXPECT_NEAR(result->total_variance, 0.0, 1e-9);
+  EXPECT_NEAR(result->main_effect[0], 0.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace sparktune

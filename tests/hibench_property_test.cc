@@ -1,0 +1,104 @@
+// Parameterized property sweep over all 16 HiBench workload presets: the
+// default configuration must execute successfully on every preset, the
+// event log must be complete and internally consistent, meta-features must
+// be finite, and core monotonicity properties must hold per task.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "meta/meta_features.h"
+#include "sparksim/hibench.h"
+#include "sparksim/runtime_model.h"
+
+namespace sparktune {
+namespace {
+
+class HiBenchPropertyTest : public ::testing::TestWithParam<std::string> {
+ protected:
+  HiBenchPropertyTest()
+      : cluster_(ClusterSpec::HiBenchCluster()),
+        space_(BuildSparkSpace(cluster_)) {
+    SimOptions opts;
+    opts.noise_sigma = 0.0;
+    sim_ = std::make_unique<SparkSimulator>(cluster_, opts);
+    workload_ = *HiBenchTask(GetParam());
+  }
+
+  ExecutionResult RunDefault(double scale = 1.0, uint64_t seed = 1) {
+    SparkConf conf = DecodeSparkConf(space_, space_.Default());
+    return sim_->Execute(workload_, conf, workload_.input_gb * scale, seed);
+  }
+
+  ClusterSpec cluster_;
+  ConfigSpace space_;
+  std::unique_ptr<SparkSimulator> sim_;
+  WorkloadSpec workload_;
+};
+
+TEST_P(HiBenchPropertyTest, DefaultConfigSucceeds) {
+  ExecutionResult r = RunDefault();
+  EXPECT_FALSE(r.failed) << FailureKindName(r.failure);
+  EXPECT_GT(r.runtime_sec, 1.0);
+  EXPECT_LT(r.runtime_sec, 1e6);
+  EXPECT_GT(r.cpu_core_hours, 0.0);
+  EXPECT_GT(r.memory_gb_hours, 0.0);
+}
+
+TEST_P(HiBenchPropertyTest, EventLogConsistent) {
+  ExecutionResult r = RunDefault();
+  ASSERT_FALSE(r.failed);
+  ASSERT_EQ(r.event_log.stages.size(), workload_.stages.size());
+  double stage_sum = 0.0;
+  for (size_t i = 0; i < r.event_log.stages.size(); ++i) {
+    const StageLog& log = r.event_log.stages[i];
+    EXPECT_GT(log.num_tasks, 0) << log.name;
+    EXPECT_GE(log.duration_sec, 0.0);
+    EXPECT_GE(log.input_mb, 0.0);
+    EXPECT_EQ(log.op, workload_.stages[i].op);
+    EXPECT_EQ(log.iterations, workload_.stages[i].iterations);
+    // Task duration stats are ordered.
+    EXPECT_LE(log.task_duration_sec.min, log.task_duration_sec.p50 + 1e-9);
+    EXPECT_LE(log.task_duration_sec.p50, log.task_duration_sec.p90 + 1e-9);
+    EXPECT_LE(log.task_duration_sec.p90, log.task_duration_sec.max + 1e-9);
+    stage_sum += log.duration_sec;
+  }
+  // The job cannot finish before its longest chain of stages.
+  EXPECT_LE(r.runtime_sec, stage_sum + 60.0);
+}
+
+TEST_P(HiBenchPropertyTest, RuntimeMonotoneInDataSize) {
+  double small = RunDefault(0.5).runtime_sec;
+  double large = RunDefault(2.0).runtime_sec;
+  EXPECT_GT(large, small);
+}
+
+TEST_P(HiBenchPropertyTest, MetaFeaturesFiniteAndStable) {
+  ExecutionResult r = RunDefault();
+  ASSERT_FALSE(r.failed);
+  auto f1 = ExtractMetaFeatures(r.event_log);
+  ASSERT_EQ(static_cast<int>(f1.size()), kNumMetaFeatures);
+  for (double v : f1) EXPECT_TRUE(std::isfinite(v));
+  // Deterministic runs give identical meta-features.
+  ExecutionResult r2 = RunDefault();
+  auto f2 = ExtractMetaFeatures(r2.event_log);
+  for (size_t i = 0; i < f1.size(); ++i) EXPECT_DOUBLE_EQ(f1[i], f2[i]);
+}
+
+TEST_P(HiBenchPropertyTest, ResourceRateIndependentOfDataSize) {
+  ExecutionResult a = RunDefault(0.5);
+  ExecutionResult b = RunDefault(2.0);
+  EXPECT_DOUBLE_EQ(a.resource_rate, b.resource_rate);
+}
+
+std::vector<std::string> AllTaskNames() {
+  std::vector<std::string> names;
+  for (const auto& w : AllHiBenchTasks()) names.push_back(w.name);
+  return names;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllTasks, HiBenchPropertyTest,
+                         ::testing::ValuesIn(AllTaskNames()),
+                         [](const auto& info) { return info.param; });
+
+}  // namespace
+}  // namespace sparktune

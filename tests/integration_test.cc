@@ -1,0 +1,146 @@
+// End-to-end integration tests: the full framework against the simulator,
+// checking the paper's qualitative claims at small scale — cost reduction
+// on HiBench tasks, safety improving the feasible-suggestion ratio, and
+// meta-learning accelerating a cold start.
+#include <gtest/gtest.h>
+
+#include "baselines/ours.h"
+#include "baselines/random_search.h"
+#include "meta/knowledge_base.h"
+#include "meta/meta_features.h"
+#include "sparksim/hibench.h"
+#include "tuner/online_tuner.h"
+
+namespace sparktune {
+namespace {
+
+struct Env {
+  Env() : cluster(ClusterSpec::HiBenchCluster()),
+          space(BuildSparkSpace(cluster)) {}
+
+  SimulatorEvaluator Evaluator(const std::string& task, uint64_t seed) {
+    auto w = HiBenchTask(task);
+    EXPECT_TRUE(w.ok());
+    SimulatorEvaluatorOptions opts;
+    opts.seed = seed;
+    return SimulatorEvaluator(&space, *w, cluster, DriftModel::Diurnal(),
+                              opts);
+  }
+
+  ClusterSpec cluster;
+  ConfigSpace space;
+};
+
+TEST(IntegrationTest, TwentyIterationsCutCostSubstantially) {
+  Env env;
+  SimulatorEvaluator eval = env.Evaluator("TeraSort", 11);
+  TunerOptions opts;
+  opts.budget = 20;
+  opts.ei_stop_threshold = 0.0;
+  opts.advisor.objective.beta = 0.5;
+  opts.advisor.expert_ranking = ExpertParameterRanking();
+  opts.advisor.seed = 2;
+  OnlineTuner tuner(&env.space, &eval, opts);
+  TuningReport report = tuner.RunToCompletion(21);
+  ASSERT_TRUE(report.baseline.has_value());
+  double reduction =
+      1.0 - report.best_objective / report.baseline->objective;
+  // The paper reports ~52% average reduction within 9 iterations on
+  // production tasks; demand a meaningful (>20%) reduction here.
+  EXPECT_GT(reduction, 0.20);
+}
+
+TEST(IntegrationTest, SafetyRaisesFeasibleSuggestionRatio) {
+  Env env;
+  TuningObjective obj;
+  obj.beta = 0.5;
+  // Constraint: 2x the default-config runtime (computed per seed below).
+  int safe_feasible = 0, unsafe_feasible = 0, total = 0;
+  for (uint64_t seed = 1; seed <= 3; ++seed) {
+    SimulatorEvaluator probe = env.Evaluator("WordCount", seed);
+    auto base = probe.Run(env.space.Default());
+    TuningObjective cobj = obj;
+    cobj.runtime_max = base.runtime_sec * 2.0;
+    cobj.resource_max = base.resource_rate * 2.0;
+
+    OursOptions safe_opts;
+    safe_opts.advisor.enable_safety = true;
+    OursMethod safe_method(safe_opts);
+    SimulatorEvaluator e1 = env.Evaluator("WordCount", seed);
+    RunHistory h1 = safe_method.Tune(env.space, &e1, cobj, 20, seed);
+
+    OursOptions unsafe_opts;
+    unsafe_opts.advisor.enable_safety = false;
+    OursMethod unsafe_method(unsafe_opts, "Ours-NoSafety");
+    SimulatorEvaluator e2 = env.Evaluator("WordCount", seed);
+    RunHistory h2 = unsafe_method.Tune(env.space, &e2, cobj, 20, seed);
+
+    for (const auto& o : h1.observations()) safe_feasible += o.feasible;
+    for (const auto& o : h2.observations()) unsafe_feasible += o.feasible;
+    total += 20;
+  }
+  EXPECT_GE(safe_feasible, unsafe_feasible);
+  EXPECT_GT(static_cast<double>(safe_feasible) / total, 0.6);
+}
+
+TEST(IntegrationTest, WarmStartBeatsColdStartEarly) {
+  Env env;
+  TuningObjective obj;
+  obj.beta = 0.5;
+
+  // Build a knowledge base from Sort, then tune TeraSort (similar task).
+  KnowledgeBaseOptions kb_opts;
+  KnowledgeBase kb(&env.space, kb_opts);
+  {
+    SimulatorEvaluator eval = env.Evaluator("Sort", 21);
+    OursMethod ours;
+    RunHistory h = ours.Tune(env.space, &eval, obj, 25, 21);
+    // Meta-features from one default run of Sort.
+    SimulatorEvaluator probe = env.Evaluator("Sort", 22);
+    auto out = probe.Run(env.space.Default());
+    ASSERT_TRUE(
+        kb.AddTask("Sort", ExtractMetaFeatures(out.event_log), h).ok());
+  }
+
+  SimulatorEvaluator probe = env.Evaluator("TeraSort", 23);
+  auto out = probe.Run(env.space.Default());
+  auto warm_configs = kb.WarmStartConfigs(ExtractMetaFeatures(out.event_log));
+  ASSERT_FALSE(warm_configs.empty());
+
+  // Compare the best objective within the first 3 iterations.
+  auto early_best = [&](bool warm, uint64_t seed) {
+    OursOptions oopts;
+    if (warm) oopts.warm_start = warm_configs;
+    OursMethod method(oopts);
+    SimulatorEvaluator eval = env.Evaluator("TeraSort", seed);
+    RunHistory h = method.Tune(env.space, &eval, obj, 3, seed);
+    return h.BestObjective();
+  };
+  double warm_total = 0.0, cold_total = 0.0;
+  for (uint64_t seed = 31; seed <= 33; ++seed) {
+    warm_total += early_best(true, seed);
+    cold_total += early_best(false, seed);
+  }
+  EXPECT_LT(warm_total, cold_total);
+}
+
+TEST(IntegrationTest, HiddenDataSizeStillTunes) {
+  Env env;
+  auto w = HiBenchTask("Scan");
+  SimulatorEvaluatorOptions eopts;
+  eopts.datasize_observable = false;  // privacy case (§3.3)
+  eopts.seed = 41;
+  SimulatorEvaluator eval(&env.space, *w, env.cluster,
+                          DriftModel::Diurnal(), eopts);
+  TunerOptions opts;
+  opts.budget = 15;
+  opts.ei_stop_threshold = 0.0;
+  opts.advisor.expert_ranking = ExpertParameterRanking();
+  OnlineTuner tuner(&env.space, &eval, opts);
+  TuningReport report = tuner.RunToCompletion(16);
+  ASSERT_TRUE(report.baseline.has_value());
+  EXPECT_LT(report.best_objective, report.baseline->objective);
+}
+
+}  // namespace
+}  // namespace sparktune

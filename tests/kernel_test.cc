@@ -1,0 +1,119 @@
+// Tests for the mixed GP kernel: symmetry, PSD, group behaviors.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "linalg/cholesky.h"
+#include "model/kernel.h"
+
+namespace sparktune {
+namespace {
+
+std::vector<FeatureKind> MixedSchema() {
+  return {FeatureKind::kNumeric, FeatureKind::kNumeric,
+          FeatureKind::kCategorical, FeatureKind::kCategorical,
+          FeatureKind::kDataSize};
+}
+
+std::vector<double> RandomPoint(const std::vector<FeatureKind>& schema,
+                                Rng* rng) {
+  std::vector<double> x(schema.size());
+  for (size_t i = 0; i < schema.size(); ++i) {
+    if (schema[i] == FeatureKind::kCategorical) {
+      x[i] = static_cast<double>(rng->UniformInt(0, 2)) / 3.0 + 1.0 / 6.0;
+    } else {
+      x[i] = rng->Uniform();
+    }
+  }
+  return x;
+}
+
+TEST(KernelTest, SelfSimilarityEqualsSignalVariance) {
+  MixedKernel k(MixedSchema());
+  Rng rng(1);
+  for (int i = 0; i < 20; ++i) {
+    auto x = RandomPoint(k.schema(), &rng);
+    EXPECT_NEAR(k.Eval(x, x), k.params().signal_variance, 1e-12);
+  }
+}
+
+TEST(KernelTest, Symmetry) {
+  MixedKernel k(MixedSchema());
+  Rng rng(2);
+  for (int i = 0; i < 20; ++i) {
+    auto a = RandomPoint(k.schema(), &rng);
+    auto b = RandomPoint(k.schema(), &rng);
+    EXPECT_DOUBLE_EQ(k.Eval(a, b), k.Eval(b, a));
+  }
+}
+
+TEST(KernelTest, Matern52Properties) {
+  EXPECT_DOUBLE_EQ(MixedKernel::Matern52(0.0), 1.0);
+  double prev = 1.0;
+  for (double r = 0.1; r < 5.0; r += 0.1) {
+    double v = MixedKernel::Matern52(r);
+    EXPECT_LT(v, prev);
+    EXPECT_GT(v, 0.0);
+    prev = v;
+  }
+}
+
+TEST(KernelTest, NumericDistanceDecaysCorrelation) {
+  std::vector<FeatureKind> schema = {FeatureKind::kNumeric};
+  MixedKernel k(schema);
+  double near = k.Eval({0.5}, {0.52});
+  double far = k.Eval({0.5}, {0.95});
+  EXPECT_GT(near, far);
+}
+
+TEST(KernelTest, HammingCountsMismatches) {
+  std::vector<FeatureKind> schema = {FeatureKind::kCategorical,
+                                     FeatureKind::kCategorical};
+  KernelParams params;
+  params.hamming_weight = 1.0;
+  MixedKernel k(schema, params);
+  double same = k.Eval({0.2, 0.8}, {0.2, 0.8});
+  double one = k.Eval({0.2, 0.8}, {0.2, 0.3});
+  double two = k.Eval({0.2, 0.8}, {0.7, 0.3});
+  EXPECT_DOUBLE_EQ(same, 1.0);
+  EXPECT_NEAR(one, std::exp(-0.5), 1e-12);
+  EXPECT_NEAR(two, std::exp(-1.0), 1e-12);
+}
+
+TEST(KernelTest, DataSizeUsesSquaredExponential) {
+  std::vector<FeatureKind> schema = {FeatureKind::kDataSize};
+  KernelParams params;
+  params.length_datasize = 0.5;
+  MixedKernel k(schema, params);
+  double d = 0.3;
+  EXPECT_NEAR(k.Eval({0.1}, {0.1 + d}),
+              std::exp(-0.5 * d * d / 0.25), 1e-12);
+}
+
+TEST(KernelTest, GramMatrixIsPsd) {
+  MixedKernel k(MixedSchema());
+  Rng rng(3);
+  const size_t n = 24;
+  std::vector<std::vector<double>> pts;
+  for (size_t i = 0; i < n; ++i) pts.push_back(RandomPoint(k.schema(), &rng));
+  Matrix gram(n, n);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j < n; ++j) gram(i, j) = k.Eval(pts[i], pts[j]);
+  }
+  gram.AddDiagonal(1e-8);
+  EXPECT_TRUE(Cholesky::Factor(gram).ok());
+}
+
+TEST(KernelTest, LengthscaleControlsSmoothing) {
+  std::vector<FeatureKind> schema = {FeatureKind::kNumeric};
+  KernelParams shortp, longp;
+  shortp.length_numeric = 0.1;
+  longp.length_numeric = 2.0;
+  MixedKernel ks(schema, shortp), kl(schema, longp);
+  // With a longer lengthscale distant points stay correlated.
+  EXPECT_LT(ks.Eval({0.0}, {0.5}), kl.Eval({0.0}, {0.5}));
+}
+
+}  // namespace
+}  // namespace sparktune

@@ -1,0 +1,144 @@
+// Tests for dense matrix ops and Cholesky factorization.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "linalg/cholesky.h"
+#include "linalg/matrix.h"
+
+namespace sparktune {
+namespace {
+
+TEST(MatrixTest, IdentityMatVec) {
+  Matrix m = Matrix::Identity(3);
+  Vector x = {1.0, 2.0, 3.0};
+  EXPECT_EQ(m.MatVec(x), x);
+}
+
+TEST(MatrixTest, MatMulKnownValue) {
+  Matrix a(2, 3);
+  Matrix b(3, 2);
+  double v = 1.0;
+  for (size_t r = 0; r < 2; ++r) {
+    for (size_t c = 0; c < 3; ++c) a(r, c) = v++;
+  }
+  v = 1.0;
+  for (size_t r = 0; r < 3; ++r) {
+    for (size_t c = 0; c < 2; ++c) b(r, c) = v++;
+  }
+  Matrix c = a.MatMul(b);
+  // [[1,2,3],[4,5,6]] * [[1,2],[3,4],[5,6]] = [[22,28],[49,64]]
+  EXPECT_DOUBLE_EQ(c(0, 0), 22.0);
+  EXPECT_DOUBLE_EQ(c(0, 1), 28.0);
+  EXPECT_DOUBLE_EQ(c(1, 0), 49.0);
+  EXPECT_DOUBLE_EQ(c(1, 1), 64.0);
+}
+
+TEST(MatrixTest, TransposeInvolution) {
+  Matrix a(2, 3);
+  a(0, 2) = 5.0;
+  a(1, 0) = -2.0;
+  Matrix t = a.Transpose();
+  EXPECT_EQ(t.rows(), 3u);
+  EXPECT_DOUBLE_EQ(t(2, 0), 5.0);
+  Matrix tt = t.Transpose();
+  EXPECT_DOUBLE_EQ(tt(1, 0), -2.0);
+}
+
+TEST(MatrixTest, AddDiagonal) {
+  Matrix m(3, 3, 1.0);
+  m.AddDiagonal(2.0);
+  EXPECT_DOUBLE_EQ(m(0, 0), 3.0);
+  EXPECT_DOUBLE_EQ(m(0, 1), 1.0);
+}
+
+TEST(VectorOps, DotAddSubScaleNorm) {
+  Vector a = {1, 2, 3}, b = {4, 5, 6};
+  EXPECT_DOUBLE_EQ(Dot(a, b), 32.0);
+  EXPECT_EQ(Add(a, b), (Vector{5, 7, 9}));
+  EXPECT_EQ(Sub(b, a), (Vector{3, 3, 3}));
+  EXPECT_EQ(Scale(a, 2.0), (Vector{2, 4, 6}));
+  EXPECT_DOUBLE_EQ(Norm2({3, 4}), 5.0);
+}
+
+Matrix RandomSpd(size_t n, Rng* rng) {
+  Matrix a(n, n);
+  for (size_t r = 0; r < n; ++r) {
+    for (size_t c = 0; c < n; ++c) a(r, c) = rng->Normal();
+  }
+  Matrix spd = a.MatMul(a.Transpose());
+  spd.AddDiagonal(static_cast<double>(n));  // well-conditioned
+  return spd;
+}
+
+TEST(CholeskyTest, ReconstructsMatrix) {
+  Rng rng(11);
+  Matrix a = RandomSpd(6, &rng);
+  auto chol = Cholesky::Factor(a);
+  ASSERT_TRUE(chol.ok());
+  Matrix l = chol->lower();
+  Matrix rec = l.MatMul(l.Transpose());
+  for (size_t r = 0; r < 6; ++r) {
+    for (size_t c = 0; c < 6; ++c) {
+      EXPECT_NEAR(rec(r, c), a(r, c), 1e-9);
+    }
+  }
+  EXPECT_EQ(chol->applied_jitter(), 0.0);
+}
+
+TEST(CholeskyTest, SolvesLinearSystem) {
+  Rng rng(13);
+  Matrix a = RandomSpd(8, &rng);
+  Vector x_true(8);
+  for (auto& v : x_true) v = rng.Normal();
+  Vector b = a.MatVec(x_true);
+  auto chol = Cholesky::Factor(a);
+  ASSERT_TRUE(chol.ok());
+  Vector x = chol->Solve(b);
+  for (size_t i = 0; i < 8; ++i) EXPECT_NEAR(x[i], x_true[i], 1e-8);
+}
+
+TEST(CholeskyTest, LogDetMatchesKnownDiagonal) {
+  Matrix d(3, 3, 0.0);
+  d(0, 0) = 2.0;
+  d(1, 1) = 3.0;
+  d(2, 2) = 4.0;
+  auto chol = Cholesky::Factor(d);
+  ASSERT_TRUE(chol.ok());
+  EXPECT_NEAR(chol->LogDet(), std::log(24.0), 1e-12);
+}
+
+TEST(CholeskyTest, JitterRescuesSingularMatrix) {
+  // Rank-1 matrix (singular): ones everywhere.
+  Matrix a(4, 4, 1.0);
+  auto chol = Cholesky::Factor(a);
+  ASSERT_TRUE(chol.ok());
+  EXPECT_GT(chol->applied_jitter(), 0.0);
+}
+
+TEST(CholeskyTest, RejectsNonSquare) {
+  Matrix a(2, 3);
+  EXPECT_FALSE(Cholesky::Factor(a).ok());
+}
+
+TEST(CholeskyTest, SolveMatrixColumnwise) {
+  Rng rng(17);
+  Matrix a = RandomSpd(5, &rng);
+  Matrix b(5, 2);
+  for (size_t r = 0; r < 5; ++r) {
+    b(r, 0) = rng.Normal();
+    b(r, 1) = rng.Normal();
+  }
+  auto chol = Cholesky::Factor(a);
+  ASSERT_TRUE(chol.ok());
+  Matrix x = chol->SolveMatrix(b);
+  Matrix ax = a.MatMul(x);
+  for (size_t r = 0; r < 5; ++r) {
+    EXPECT_NEAR(ax(r, 0), b(r, 0), 1e-8);
+    EXPECT_NEAR(ax(r, 1), b(r, 1), 1e-8);
+  }
+}
+
+}  // namespace
+}  // namespace sparktune

@@ -1,0 +1,117 @@
+// Tests for the generalized objective (Eq. 1) and its derivatives (Eq. 9).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "bo/history.h"
+#include "tuner/objective.h"
+
+namespace sparktune {
+namespace {
+
+TEST(ObjectiveTest, BetaExtremes) {
+  TuningObjective obj;
+  obj.beta = 1.0;
+  EXPECT_DOUBLE_EQ(obj.Value(120.0, 50.0), 120.0);  // pure runtime
+  obj.beta = 0.0;
+  EXPECT_DOUBLE_EQ(obj.Value(120.0, 50.0), 50.0);   // pure resource
+}
+
+TEST(ObjectiveTest, CostIsSqrtOfProduct) {
+  TuningObjective obj;
+  obj.beta = 0.5;
+  EXPECT_NEAR(obj.Value(100.0, 25.0), std::sqrt(100.0 * 25.0), 1e-9);
+}
+
+TEST(ObjectiveTest, RuntimeTendency) {
+  // beta = 0.7 rewards runtime reduction more than resource reduction.
+  TuningObjective obj;
+  obj.beta = 0.7;
+  double base = obj.Value(100.0, 100.0);
+  double faster = obj.Value(50.0, 100.0);
+  double leaner = obj.Value(100.0, 50.0);
+  EXPECT_LT(faster, leaner);
+  EXPECT_LT(leaner, base);
+}
+
+// Property sweep: closed-form partials (Eq. 9) match finite differences.
+class ObjectiveGradTest
+    : public ::testing::TestWithParam<std::tuple<double, double, double>> {};
+
+TEST_P(ObjectiveGradTest, DerivativesMatchFiniteDifference) {
+  auto [beta, t, r] = GetParam();
+  TuningObjective obj;
+  obj.beta = beta;
+  const double eps = 1e-5;
+  double dfdt_fd =
+      (obj.Value(t + eps, r) - obj.Value(t - eps, r)) / (2.0 * eps);
+  double dfdr_fd =
+      (obj.Value(t, r + eps) - obj.Value(t, r - eps)) / (2.0 * eps);
+  EXPECT_NEAR(obj.DfDt(t, r), dfdt_fd, 1e-4 * (1.0 + std::fabs(dfdt_fd)));
+  EXPECT_NEAR(obj.DfDr(t, r), dfdr_fd, 1e-4 * (1.0 + std::fabs(dfdr_fd)));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, ObjectiveGradTest,
+    ::testing::Combine(::testing::Values(0.0, 0.3, 0.5, 0.7, 1.0),
+                       ::testing::Values(10.0, 500.0),
+                       ::testing::Values(5.0, 300.0)));
+
+TEST(ObjectiveTest, FeasibilityChecks) {
+  TuningObjective obj;
+  EXPECT_FALSE(obj.has_runtime_constraint());
+  EXPECT_TRUE(obj.Feasible(1e12, 1e12));
+  obj.runtime_max = 100.0;
+  obj.resource_max = 50.0;
+  EXPECT_TRUE(obj.has_runtime_constraint());
+  EXPECT_TRUE(obj.Feasible(100.0, 50.0));   // boundary inclusive
+  EXPECT_FALSE(obj.Feasible(100.1, 50.0));
+  EXPECT_FALSE(obj.Feasible(100.0, 50.1));
+}
+
+TEST(ObjectiveTest, Validate) {
+  TuningObjective obj;
+  EXPECT_TRUE(obj.Validate().ok());
+  obj.beta = 1.5;
+  EXPECT_FALSE(obj.Validate().ok());
+  obj.beta = 0.5;
+  obj.runtime_max = -1.0;
+  EXPECT_FALSE(obj.Validate().ok());
+}
+
+TEST(HistoryTest, BestFeasibleSkipsFailedAndInfeasible) {
+  RunHistory h;
+  auto mk = [](double obj, bool feasible, bool failed) {
+    Observation o;
+    o.config = Configuration({1.0});
+    o.objective = obj;
+    o.feasible = feasible;
+    o.failed = failed;
+    return o;
+  };
+  h.Add(mk(10.0, false, false));  // infeasible
+  h.Add(mk(5.0, true, true));     // failed
+  h.Add(mk(7.0, true, false));    // best feasible
+  h.Add(mk(8.0, true, false));
+  EXPECT_EQ(h.BestFeasibleIndex(), 2);
+  EXPECT_DOUBLE_EQ(h.BestObjective(), 7.0);
+}
+
+TEST(HistoryTest, EmptyHistory) {
+  RunHistory h;
+  EXPECT_EQ(h.BestFeasibleIndex(), -1);
+  EXPECT_EQ(h.BestFeasible(), nullptr);
+  EXPECT_TRUE(std::isinf(h.BestObjective()));
+}
+
+TEST(HistoryTest, ContainsByValue) {
+  RunHistory h;
+  Observation o;
+  o.config = Configuration({1.0, 2.0});
+  h.Add(o);
+  EXPECT_TRUE(h.Contains(Configuration({1.0, 2.0})));
+  EXPECT_FALSE(h.Contains(Configuration({1.0, 2.1})));
+}
+
+}  // namespace
+}  // namespace sparktune

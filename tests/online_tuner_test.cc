@@ -1,0 +1,230 @@
+// Tests for the SimulatorEvaluator and the OnlineTune controller phases:
+// baseline measurement, constraint derivation, budget/EI stopping,
+// degradation-triggered restart.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "sparksim/hibench.h"
+#include "tuner/online_tuner.h"
+
+namespace sparktune {
+namespace {
+
+struct Fixture {
+  Fixture()
+      : cluster(ClusterSpec::HiBenchCluster()),
+        space(BuildSparkSpace(cluster)) {}
+
+  SimulatorEvaluator MakeEvaluator(const std::string& task,
+                                   uint64_t seed = 5) {
+    auto w = HiBenchTask(task);
+    EXPECT_TRUE(w.ok());
+    SimulatorEvaluatorOptions opts;
+    opts.seed = seed;
+    return SimulatorEvaluator(&space, *w, cluster, DriftModel::Diurnal(),
+                              opts);
+  }
+
+  ClusterSpec cluster;
+  ConfigSpace space;
+};
+
+TEST(SimulatorEvaluatorTest, AdvancesExecutionsAndDrift) {
+  Fixture f;
+  SimulatorEvaluator eval = f.MakeEvaluator("WordCount");
+  Configuration c = f.space.Default();
+  auto o1 = eval.Run(c);
+  auto o2 = eval.Run(c);
+  EXPECT_EQ(eval.executions(), 2);
+  EXPECT_GT(o1.data_size_gb, 0.0);
+  // Diurnal drift: sizes differ between executions.
+  EXPECT_NE(o1.data_size_gb, o2.data_size_gb);
+}
+
+TEST(SimulatorEvaluatorTest, HintTracksDriftWithoutNoise) {
+  Fixture f;
+  SimulatorEvaluator eval = f.MakeEvaluator("WordCount");
+  double hint = eval.NextDataSizeHintGb();
+  auto o = eval.Run(f.space.Default());
+  // The hint is the noiseless expectation of the executed size.
+  EXPECT_NEAR(hint, o.data_size_gb, o.data_size_gb * 0.4);
+}
+
+TEST(SimulatorEvaluatorTest, HiddenDataSizeMode) {
+  Fixture f;
+  auto w = HiBenchTask("WordCount");
+  SimulatorEvaluatorOptions opts;
+  opts.datasize_observable = false;
+  SimulatorEvaluator eval(&f.space, *w, f.cluster, DriftModel::None(), opts);
+  EXPECT_LT(eval.NextDataSizeHintGb(), 0.0);
+  auto o = eval.Run(f.space.Default());
+  EXPECT_LT(o.data_size_gb, 0.0);
+}
+
+TEST(SimulatorEvaluatorTest, ResourceRateMatchesExecution) {
+  Fixture f;
+  SimulatorEvaluator eval = f.MakeEvaluator("WordCount");
+  Configuration c = f.space.Default();
+  double white_box = eval.ResourceRate(c);
+  auto o = eval.Run(c);
+  EXPECT_DOUBLE_EQ(white_box, o.resource_rate);
+}
+
+TEST(OnlineTunerTest, BaselineSetsConstraints) {
+  Fixture f;
+  SimulatorEvaluator eval = f.MakeEvaluator("WordCount");
+  TunerOptions opts;
+  opts.budget = 5;
+  opts.constraint_runtime_factor = 2.0;
+  opts.constraint_resource_factor = 2.0;
+  OnlineTuner tuner(&f.space, &eval, opts);
+  EXPECT_EQ(tuner.phase(), TunerPhase::kBaseline);
+  Observation baseline = tuner.Step();
+  EXPECT_EQ(tuner.phase(), TunerPhase::kTuning);
+  EXPECT_TRUE(baseline.feasible);
+  EXPECT_NEAR(tuner.objective().runtime_max, baseline.runtime_sec * 2.0,
+              1e-9);
+  EXPECT_NEAR(tuner.objective().resource_max, baseline.resource_rate * 2.0,
+              1e-9);
+  ASSERT_TRUE(tuner.baseline_observation().has_value());
+}
+
+TEST(OnlineTunerTest, BudgetMovesToApplying) {
+  Fixture f;
+  SimulatorEvaluator eval = f.MakeEvaluator("WordCount");
+  TunerOptions opts;
+  opts.budget = 6;
+  opts.ei_stop_threshold = 0.0;  // disable early stop
+  OnlineTuner tuner(&f.space, &eval, opts);
+  for (int i = 0; i <= 6; ++i) tuner.Step();
+  EXPECT_EQ(tuner.phase(), TunerPhase::kApplying);
+  EXPECT_EQ(tuner.tuning_iterations(), 6);
+  // Applying phase replays the best config.
+  Configuration best = tuner.BestConfig();
+  Observation applied = tuner.Step();
+  EXPECT_TRUE(applied.config == best);
+}
+
+TEST(OnlineTunerTest, TuningImprovesOnBaseline) {
+  Fixture f;
+  SimulatorEvaluator eval = f.MakeEvaluator("WordCount");
+  TunerOptions opts;
+  opts.budget = 20;
+  opts.ei_stop_threshold = 0.0;
+  opts.advisor.expert_ranking = ExpertParameterRanking();
+  opts.advisor.seed = 3;
+  OnlineTuner tuner(&f.space, &eval, opts);
+  TuningReport report = tuner.RunToCompletion(21);
+  ASSERT_TRUE(report.baseline.has_value());
+  EXPECT_LT(report.best_objective, report.baseline->objective);
+}
+
+TEST(OnlineTunerTest, CustomBaselineConfigUsed) {
+  Fixture f;
+  SimulatorEvaluator eval = f.MakeEvaluator("WordCount");
+  Configuration manual = f.space.Default();
+  f.space.Set(&manual, spark_param::kExecutorInstances, 40);
+  TunerOptions opts;
+  opts.budget = 3;
+  OnlineTuner tuner(&f.space, &eval, opts, manual);
+  Observation baseline = tuner.Step();
+  EXPECT_DOUBLE_EQ(
+      f.space.Get(baseline.config, spark_param::kExecutorInstances), 40.0);
+}
+
+TEST(OnlineTunerTest, NoBaselineModeRequiresPresetConstraints) {
+  Fixture f;
+  SimulatorEvaluator eval = f.MakeEvaluator("WordCount");
+  TunerOptions opts;
+  opts.budget = 4;
+  opts.measure_baseline = false;
+  opts.advisor.objective.runtime_max = 1e9;
+  OnlineTuner tuner(&f.space, &eval, opts);
+  EXPECT_EQ(tuner.phase(), TunerPhase::kTuning);
+  EXPECT_NE(tuner.advisor(), nullptr);
+  tuner.Step();
+  EXPECT_EQ(tuner.history().size(), 1u);
+}
+
+// Evaluator whose cost landscape shifts abruptly mid-stream: the tuner must
+// detect continuous degradation and restart tuning (§3.3).
+class ShiftingEvaluator final : public JobEvaluator {
+ public:
+  explicit ShiftingEvaluator(const ConfigSpace* space) : space_(space) {}
+
+  Outcome Run(const Configuration& c) override {
+    ++runs_;
+    Outcome o;
+    double x = space_->param(0).ToUnit(c[0]);
+    // Before the shift the optimum is near x=0; afterwards runtime there
+    // becomes terrible.
+    bool shifted = runs_ > 25;
+    double center = shifted ? 0.9 : 0.1;
+    o.runtime_sec = 100.0 + 2000.0 * std::pow(x - center, 2);
+    o.resource_rate = 10.0;
+    o.data_size_gb = 50.0;
+    return o;
+  }
+  double ResourceRate(const Configuration&) const override { return 10.0; }
+
+  int runs() const { return runs_; }
+
+ private:
+  const ConfigSpace* space_;
+  int runs_ = 0;
+};
+
+TEST(OnlineTunerTest, DegradationTriggersRestart) {
+  ConfigSpace space;
+  ASSERT_TRUE(space.Add(Parameter::Float("x", 0.0, 1.0, 0.1)).ok());
+  ShiftingEvaluator eval(&space);
+  TunerOptions opts;
+  opts.budget = 12;
+  opts.ei_stop_threshold = 0.0;
+  opts.degradation_factor = 1.3;
+  opts.degradation_window = 3;
+  opts.advisor.enable_subspace = false;
+  opts.advisor.seed = 11;
+  OnlineTuner tuner(&space, &eval, opts);
+  // Baseline + 12 tuning + enough applying executions to cross the shift.
+  for (int i = 0; i < 45 && tuner.restarts() == 0; ++i) tuner.Step();
+  EXPECT_GE(tuner.restarts(), 1);
+  EXPECT_EQ(tuner.phase(), TunerPhase::kTuning);
+}
+
+TEST(OnlineTunerTest, EiStopActivates) {
+  // A totally flat landscape: EI collapses, tuning should stop before the
+  // budget runs out.
+  ConfigSpace space;
+  ASSERT_TRUE(space.Add(Parameter::Float("x", 0.0, 1.0, 0.5)).ok());
+  class FlatEvaluator final : public JobEvaluator {
+   public:
+    Outcome Run(const Configuration&) override {
+      Outcome o;
+      o.runtime_sec = 100.0;
+      o.resource_rate = 10.0;
+      o.data_size_gb = 1.0;
+      return o;
+    }
+    double ResourceRate(const Configuration&) const override { return 10.0; }
+  };
+  FlatEvaluator eval;
+  TunerOptions opts;
+  opts.budget = 30;
+  opts.ei_stop_threshold = 0.10;
+  opts.min_iterations_before_stop = 6;
+  opts.degradation_window = 0;
+  opts.advisor.enable_subspace = false;
+  opts.advisor.enable_agd = false;
+  OnlineTuner tuner(&space, &eval, opts);
+  for (int i = 0; i < 31 && tuner.phase() != TunerPhase::kApplying; ++i) {
+    tuner.Step();
+  }
+  EXPECT_EQ(tuner.phase(), TunerPhase::kApplying);
+  EXPECT_TRUE(tuner.stopped_early());
+  EXPECT_LT(tuner.tuning_iterations(), 30);
+}
+
+}  // namespace
+}  // namespace sparktune

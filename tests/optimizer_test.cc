@@ -1,0 +1,188 @@
+// Tests for the generic black-box Optimizer facade and the event-log JSON
+// round trip.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "bo/optimizer.h"
+#include "meta/meta_features.h"
+#include "sparksim/event_log_json.h"
+#include "sparksim/hibench.h"
+#include "sparksim/runtime_model.h"
+
+namespace sparktune {
+namespace {
+
+ConfigSpace Box2D() {
+  ConfigSpace s;
+  EXPECT_TRUE(s.Add(Parameter::Float("x", -5.0, 10.0, 0.0)).ok());
+  EXPECT_TRUE(s.Add(Parameter::Float("y", 0.0, 15.0, 5.0)).ok());
+  return s;
+}
+
+// Branin function; global minimum ~0.3979 at three points.
+double Branin(const Configuration& c) {
+  double x = c[0], y = c[1];
+  double a = 1.0, b = 5.1 / (4.0 * M_PI * M_PI), cc = 5.0 / M_PI;
+  double r = 6.0, s = 10.0, t = 1.0 / (8.0 * M_PI);
+  double term = y - b * x * x + cc * x - r;
+  return a * term * term + s * (1.0 - t) * std::cos(x) + s;
+}
+
+TEST(OptimizerTest, MinimizesBranin) {
+  ConfigSpace space = Box2D();
+  OptimizerOptions opts;
+  opts.budget = 40;
+  opts.seed = 3;
+  Optimizer optimizer(&space, opts);
+  OptimizerReport report = optimizer.Minimize(Branin);
+  EXPECT_EQ(report.evaluations, 40);
+  // Global optimum is ~0.398; demand solid progress within 40 evals.
+  EXPECT_LT(report.best_value, 3.0);
+}
+
+TEST(OptimizerTest, HonorsSafetyBoundMostly) {
+  ConfigSpace space = Box2D();
+  OptimizerOptions opts;
+  opts.budget = 30;
+  opts.safety_bound = 60.0;  // Branin ranges ~0.4..300 on this box
+  opts.seed = 5;
+  Optimizer optimizer(&space, opts);
+  OptimizerReport report = optimizer.Minimize(Branin);
+  EXPECT_LT(report.best_value, 60.0);
+  // The safe generator keeps most evaluations under the bound.
+  EXPECT_LT(report.violations, 12);
+  // An unconstrained run for comparison must not violate-count anything.
+  OptimizerOptions free_opts;
+  free_opts.budget = 10;
+  Optimizer free(&space, free_opts);
+  EXPECT_EQ(free.Minimize(Branin).violations, 0);
+}
+
+TEST(OptimizerTest, InfiniteValuesTreatedAsFailures) {
+  ConfigSpace space = Box2D();
+  OptimizerOptions opts;
+  opts.budget = 15;
+  opts.seed = 7;
+  Optimizer optimizer(&space, opts);
+  // A crash region: x > 5 "fails".
+  OptimizerReport report = optimizer.Minimize([](const Configuration& c) {
+    if (c[0] > 5.0) return std::numeric_limits<double>::infinity();
+    return Branin(c);
+  });
+  EXPECT_TRUE(std::isfinite(report.best_value));
+  EXPECT_LE(report.best_config[0], 5.0);
+}
+
+TEST(OptimizerTest, FailedObservationsRecordPenalizedRuntime) {
+  // Regression: a failed evaluation must look worse than anything observed,
+  // not like a zero-latency success (which would attract the safe region).
+  ConfigSpace space = Box2D();
+  OptimizerOptions opts;
+  opts.budget = 4;
+  Optimizer optimizer(&space, opts);
+  Configuration a = space.Default();
+  optimizer.Observe(a, 10.0);
+  Configuration b = space.Default();
+  b[0] = 1.0;
+  optimizer.Observe(b, std::numeric_limits<double>::infinity());
+  const Observation& failed = optimizer.history().back();
+  EXPECT_TRUE(failed.failed);
+  EXPECT_GE(failed.runtime_sec, 20.0);  // 2x the worst real value
+}
+
+TEST(OptimizerTest, WhiteBoxResourceTermShiftsOptimum) {
+  // Minimize f = value^0.5 * cost^0.5 where cost grows with y: the chosen
+  // point should sit at lower y than the pure minimum would.
+  ConfigSpace space = Box2D();
+  OptimizerOptions pure_opts;
+  pure_opts.budget = 35;
+  pure_opts.seed = 11;
+  Optimizer pure(&space, pure_opts);
+  auto value = [](const Configuration& c) {
+    return 1.0 + std::pow(c[0] - 2.0, 2) + 0.05 * std::pow(c[1] - 12.0, 2);
+  };
+  OptimizerReport pure_report = pure.Minimize(value);
+
+  OptimizerOptions cost_opts = pure_opts;
+  cost_opts.beta = 0.5;
+  cost_opts.resource_fn = [](const Configuration& c) {
+    return 1.0 + c[1];  // y is expensive
+  };
+  Optimizer costed(&space, cost_opts);
+  OptimizerReport cost_report = costed.Minimize(value);
+  EXPECT_LT(cost_report.best_config[1], pure_report.best_config[1]);
+}
+
+TEST(OptimizerTest, StepwiseApiMatchesHistory) {
+  ConfigSpace space = Box2D();
+  OptimizerOptions opts;
+  opts.budget = 5;
+  Optimizer optimizer(&space, opts);
+  for (int i = 0; i < 5; ++i) {
+    Configuration c = optimizer.Suggest();
+    optimizer.Observe(c, Branin(c));
+  }
+  EXPECT_EQ(optimizer.history().size(), 5u);
+  EXPECT_NE(optimizer.history().BestFeasible(), nullptr);
+}
+
+TEST(EventLogJsonTest, RoundTripPreservesMetaFeatures) {
+  ClusterSpec cluster = ClusterSpec::HiBenchCluster();
+  ConfigSpace space = BuildSparkSpace(cluster);
+  SimOptions sopts;
+  sopts.noise_sigma = 0.0;
+  SparkSimulator sim(cluster, sopts);
+  auto w = HiBenchTask("PageRank");
+  SparkConf conf = DecodeSparkConf(space, space.Default());
+  EventLog log = sim.Execute(*w, conf, w->input_gb, 5).event_log;
+
+  std::string lines = EventLogToJsonLines(log);
+  auto back = EventLogFromJsonLines(lines);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->app_name, log.app_name);
+  EXPECT_EQ(back->stages.size(), log.stages.size());
+  // The meta-feature pipeline sees identical inputs.
+  auto f1 = ExtractMetaFeatures(log);
+  auto f2 = ExtractMetaFeatures(*back);
+  ASSERT_EQ(f1.size(), f2.size());
+  for (size_t i = 0; i < f1.size(); ++i) {
+    EXPECT_NEAR(f1[i], f2[i], 1e-9) << MetaFeatureNames()[i];
+  }
+}
+
+TEST(EventLogJsonTest, FileRoundTrip) {
+  EventLog log;
+  log.app_name = "tiny";
+  log.is_sql = true;
+  log.data_size_gb = 3.5;
+  StageLog s;
+  s.name = "scan";
+  s.op = StageOp::kSource;
+  s.num_tasks = 4;
+  s.duration_sec = 1.5;
+  log.stages.push_back(s);
+  std::string path = "/tmp/sparktune-eventlog-test.jsonl";
+  ASSERT_TRUE(WriteEventLogFile(log, path).ok());
+  auto back = ReadEventLogFile(path);
+  ASSERT_TRUE(back.ok());
+  EXPECT_TRUE(back->is_sql);
+  EXPECT_DOUBLE_EQ(back->data_size_gb, 3.5);
+  ASSERT_EQ(back->stages.size(), 1u);
+  EXPECT_EQ(back->stages[0].op, StageOp::kSource);
+}
+
+TEST(EventLogJsonTest, RejectsHeaderlessAndMalformed) {
+  EXPECT_FALSE(EventLogFromJsonLines("").ok());
+  EXPECT_FALSE(EventLogFromJsonLines("{\"Event\":\"StageCompleted\"}").ok());
+  EXPECT_FALSE(EventLogFromJsonLines("not json\n").ok());
+  EXPECT_FALSE(ReadEventLogFile("/nonexistent/evlog").ok());
+  // Unknown events are tolerated.
+  auto ok = EventLogFromJsonLines(
+      "{\"Event\":\"ApplicationStart\",\"App Name\":\"a\"}\n"
+      "{\"Event\":\"SparkListenerSomethingNew\"}\n");
+  EXPECT_TRUE(ok.ok());
+}
+
+}  // namespace
+}  // namespace sparktune

@@ -1,0 +1,115 @@
+// Tests for the synthetic production fleet generator and the eight named
+// advertisement tasks (Table 2 substrate).
+#include <gtest/gtest.h>
+
+#include "sparksim/production.h"
+#include "sparksim/runtime_model.h"
+#include "sparksim/spark_conf.h"
+
+namespace sparktune {
+namespace {
+
+TEST(ProductionFleetTest, GeneratesRequestedCount) {
+  ProductionFleetOptions opts;
+  opts.num_tasks = 50;
+  auto fleet = GenerateProductionFleet(opts, 1);
+  EXPECT_EQ(fleet.size(), 50u);
+}
+
+TEST(ProductionFleetTest, DeterministicInSeed) {
+  ProductionFleetOptions opts;
+  opts.num_tasks = 10;
+  auto a = GenerateProductionFleet(opts, 7);
+  auto b = GenerateProductionFleet(opts, 7);
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].workload.name, b[i].workload.name);
+    EXPECT_TRUE(a[i].manual_config == b[i].manual_config);
+    EXPECT_DOUBLE_EQ(a[i].workload.input_gb, b[i].workload.input_gb);
+  }
+  auto c = GenerateProductionFleet(opts, 8);
+  bool any_diff = false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (!(a[i].manual_config == c[i].manual_config)) any_diff = true;
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(ProductionFleetTest, TasksAreWellFormed) {
+  ProductionFleetOptions opts;
+  opts.num_tasks = 40;
+  auto fleet = GenerateProductionFleet(opts, 3);
+  int sql = 0;
+  for (const auto& t : fleet) {
+    EXPECT_TRUE(t.workload.Valid()) << t.id;
+    ConfigSpace space = BuildSparkSpace(t.cluster);
+    EXPECT_TRUE(space.Validate(t.manual_config).ok()) << t.id;
+    if (t.workload.is_sql) {
+      ++sql;
+      EXPECT_DOUBLE_EQ(t.period_hours, 1.0);
+    } else {
+      EXPECT_DOUBLE_EQ(t.period_hours, 24.0);
+    }
+  }
+  // Roughly half SQL at the default fraction.
+  EXPECT_GT(sql, 8);
+  EXPECT_LT(sql, 32);
+}
+
+TEST(ProductionFleetTest, ManualConfigsRunnable) {
+  ProductionFleetOptions opts;
+  opts.num_tasks = 12;
+  auto fleet = GenerateProductionFleet(opts, 5);
+  for (const auto& t : fleet) {
+    ConfigSpace space = BuildSparkSpace(t.cluster);
+    SimOptions sopts;
+    sopts.noise_sigma = 0.0;
+    SparkSimulator sim(t.cluster, sopts);
+    SparkConf conf = DecodeSparkConf(space, t.manual_config);
+    ExecutionResult r =
+        sim.Execute(t.workload, conf, t.workload.input_gb, 1);
+    EXPECT_GT(r.runtime_sec, 0.0) << t.id;
+    // Over-provisioned manual configs should generally not fail outright.
+    EXPECT_NE(r.failure, FailureKind::kNoExecutors) << t.id;
+  }
+}
+
+TEST(EightTasksTest, MatchesPaperManualShapes) {
+  auto tasks = EightAdvertisementTasks();
+  ASSERT_EQ(tasks.size(), 8u);
+  // Table 2 manual executor settings for the first task.
+  const ProductionTask& fe = tasks[0];
+  EXPECT_EQ(fe.id, "Spark: Feature Extraction");
+  ConfigSpace space = BuildSparkSpace(fe.cluster);
+  EXPECT_DOUBLE_EQ(
+      space.Get(fe.manual_config, spark_param::kExecutorInstances), 300.0);
+  EXPECT_DOUBLE_EQ(space.Get(fe.manual_config, spark_param::kExecutorCores),
+                   2.0);
+  EXPECT_DOUBLE_EQ(space.Get(fe.manual_config, spark_param::kExecutorMemory),
+                   8.0);
+  // Four daily Spark + four hourly SQL.
+  for (size_t i = 0; i < 4; ++i) {
+    EXPECT_FALSE(tasks[i].workload.is_sql) << tasks[i].id;
+    EXPECT_DOUBLE_EQ(tasks[i].period_hours, 24.0);
+  }
+  for (size_t i = 4; i < 8; ++i) {
+    EXPECT_TRUE(tasks[i].workload.is_sql) << tasks[i].id;
+    EXPECT_DOUBLE_EQ(tasks[i].period_hours, 1.0);
+  }
+}
+
+TEST(EightTasksTest, AllManualConfigsValidAndRunnable) {
+  for (const auto& t : EightAdvertisementTasks()) {
+    ConfigSpace space = BuildSparkSpace(t.cluster);
+    ASSERT_TRUE(space.Validate(t.manual_config).ok()) << t.id;
+    SimOptions sopts;
+    sopts.noise_sigma = 0.0;
+    SparkSimulator sim(t.cluster, sopts);
+    SparkConf conf = DecodeSparkConf(space, t.manual_config);
+    ExecutionResult r =
+        sim.Execute(t.workload, conf, t.workload.input_gb, 2);
+    EXPECT_FALSE(r.failed) << t.id << ": " << FailureKindName(r.failure);
+  }
+}
+
+}  // namespace
+}  // namespace sparktune

@@ -1,0 +1,136 @@
+// Property sweeps: randomized round-trips through the persistence layer,
+// the unit-cube codec, and the ensemble mixing math.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <filesystem>
+
+#include "meta/meta_surrogate.h"
+#include "service/data_repository.h"
+#include "sparksim/spark_conf.h"
+
+namespace sparktune {
+namespace {
+
+class ObservationRoundTripTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(ObservationRoundTripTest, JsonPreservesEverything) {
+  ClusterSpec cluster = ClusterSpec::HiBenchCluster();
+  ConfigSpace space = BuildSparkSpace(cluster);
+  Rng rng(GetParam());
+  for (int i = 0; i < 20; ++i) {
+    Observation o;
+    o.config = space.Sample(&rng);
+    o.objective = rng.LogNormal(3.0, 2.0);
+    o.runtime_sec = rng.LogNormal(5.0, 1.0);
+    o.resource_rate = rng.Uniform(1.0, 5000.0);
+    o.data_size_gb = rng.Bernoulli(0.5) ? rng.Uniform(0.1, 900.0) : -1.0;
+    o.hours = rng.Uniform(0.0, 500.0);
+    o.memory_gb_hours = rng.Uniform(0.0, 100.0);
+    o.cpu_core_hours = rng.Uniform(0.0, 100.0);
+    o.feasible = rng.Bernoulli(0.7);
+    o.failed = rng.Bernoulli(0.1);
+    o.iteration = static_cast<int>(rng.UniformInt(0, 99));
+
+    Json j = DataRepository::ObservationToJson(o);
+    // Serialize-parse cycle (what hits disk).
+    auto parsed = Json::Parse(j.Dump());
+    ASSERT_TRUE(parsed.ok());
+    auto back = DataRepository::ObservationFromJson(*parsed, space);
+    ASSERT_TRUE(back.ok());
+    EXPECT_TRUE(back->config == o.config);
+    EXPECT_DOUBLE_EQ(back->objective, o.objective);
+    EXPECT_DOUBLE_EQ(back->runtime_sec, o.runtime_sec);
+    EXPECT_DOUBLE_EQ(back->resource_rate, o.resource_rate);
+    EXPECT_DOUBLE_EQ(back->data_size_gb, o.data_size_gb);
+    EXPECT_EQ(back->feasible, o.feasible);
+    EXPECT_EQ(back->failed, o.failed);
+    EXPECT_EQ(back->iteration, o.iteration);
+  }
+}
+
+TEST_P(ObservationRoundTripTest, UnitCubeCodecIsIdempotent) {
+  ClusterSpec cluster = ClusterSpec::ProductionGroup();
+  ConfigSpace space = BuildSparkSpace(cluster);
+  Rng rng(GetParam() ^ 0xABCD);
+  for (int i = 0; i < 50; ++i) {
+    Configuration c = space.Sample(&rng);
+    // FromUnit(ToUnit(x)) must be a fixed point after one application.
+    Configuration once = space.FromUnit(space.ToUnit(c));
+    Configuration twice = space.FromUnit(space.ToUnit(once));
+    for (size_t k = 0; k < space.size(); ++k) {
+      EXPECT_NEAR(once[k], twice[k], 1e-12) << space.param(k).name();
+    }
+    EXPECT_TRUE(space.Validate(once).ok());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ObservationRoundTripTest,
+                         ::testing::Values(1u, 7u, 99u, 4242u));
+
+class ConstSurrogate final : public Surrogate {
+ public:
+  ConstSurrogate(double mean, double var) : mean_(mean), var_(var) {}
+  Status Fit(const std::vector<std::vector<double>>&,
+             const std::vector<double>&) override {
+    return Status::OK();
+  }
+  Prediction Predict(const std::vector<double>&) const override {
+    return {mean_, var_};
+  }
+  size_t num_observations() const override { return 5; }
+
+ private:
+  double mean_, var_;
+};
+
+TEST(EnsembleMathTest, VarianceUsesSquaredWeights) {
+  // Eq. 12: sigma^2 = sum w_i^2 sigma_i^2. With two pure bases of equal
+  // weight and unit variance (in already-standardized scale), the mixed
+  // variance must be 2 * (w^2 * 1), not 2 * (w * 1).
+  std::vector<FeatureKind> schema = {FeatureKind::kNumeric};
+  auto b1 = std::make_shared<ConstSurrogate>(0.0, 1.0);
+  auto b2 = std::make_shared<ConstSurrogate>(0.0, 1.0);
+  BaseSurrogate s1{b1, 0.5, 1, 0.0, 1.0};
+  BaseSurrogate s2{b2, 0.5, 1, 0.0, 1.0};
+  MetaEnsembleOptions opts;
+  opts.min_self_weight = 0.0;  // drive self weight to ~0 with 2 points
+  MetaEnsembleSurrogate ens(schema, {s1, s2}, opts);
+  // Two observations: too few for CV, so self weight = floor = 0.
+  ASSERT_TRUE(ens.Fit({{0.1}, {0.9}}, {0.0, 0.0}).ok());
+  EXPECT_DOUBLE_EQ(ens.self_weight(), 0.0);
+  ASSERT_EQ(ens.base_weights().size(), 2u);
+  EXPECT_NEAR(ens.base_weights()[0], 0.5, 1e-9);
+  Prediction p = ens.Predict({0.5});
+  // target scale: y constant -> scale 1.0. var = 0.25 + 0.25 = 0.5.
+  EXPECT_NEAR(p.variance, 0.5, 1e-6);
+  EXPECT_NEAR(p.mean, 0.0, 1e-9);
+}
+
+TEST(EnsembleMathTest, BasePredictionsRescaledToTargetUnits) {
+  std::vector<FeatureKind> schema = {FeatureKind::kNumeric};
+  // Base task lives at mean 1000, scale 100; it predicts 1100 (=> +1 sigma).
+  auto base = std::make_shared<ConstSurrogate>(1100.0, 0.0);
+  BaseSurrogate s{base, 1.0, 1, 1000.0, 100.0};
+  MetaEnsembleOptions opts;
+  opts.min_self_weight = 0.0;
+  MetaEnsembleSurrogate ens(schema, {s}, opts);
+  // Target task lives at mean 10, scale 2 -> +1 sigma = 12.
+  ASSERT_TRUE(ens.Fit({{0.2}, {0.8}}, {8.0, 12.0}).ok());
+  Prediction p = ens.Predict({0.5});
+  EXPECT_NEAR(p.mean, 12.0, 1e-6);
+}
+
+TEST(EnsembleMathTest, UnfittedEnsembleStillPredicts) {
+  std::vector<FeatureKind> schema = {FeatureKind::kNumeric};
+  auto base = std::make_shared<ConstSurrogate>(3.0, 1.0);
+  BaseSurrogate s{base, 1.0, 1, 0.0, 1.0};
+  MetaEnsembleSurrogate ens(schema, {s});
+  Prediction p = ens.Predict({0.5});
+  EXPECT_TRUE(std::isfinite(p.mean));
+  EXPECT_GE(p.variance, 0.0);
+  EXPECT_EQ(ens.num_observations(), 0u);
+}
+
+}  // namespace
+}  // namespace sparktune

@@ -1,0 +1,243 @@
+// Tests for the simulator runtime model: determinism, monotonicity
+// properties, failure injection, and resource accounting. These pin down
+// the behaviors the tuner relies on (memory pressure -> spills/OOM,
+// parallelism -> wave count, compression trade-offs).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "sparksim/hibench.h"
+#include "sparksim/runtime_model.h"
+
+namespace sparktune {
+namespace {
+
+class RuntimeModelTest : public ::testing::Test {
+ protected:
+  RuntimeModelTest()
+      : cluster_(ClusterSpec::HiBenchCluster()),
+        space_(BuildSparkSpace(cluster_)) {
+    SimOptions opts;
+    opts.noise_sigma = 0.0;  // deterministic for monotonicity checks
+    sim_ = std::make_unique<SparkSimulator>(cluster_, opts);
+  }
+
+  SparkConf ConfWith(std::function<void(Configuration*)> edit) const {
+    Configuration c = space_.Default();
+    edit(&c);
+    return DecodeSparkConf(space_, space_.Legalize(c));
+  }
+
+  ExecutionResult Run(const std::string& task, const SparkConf& conf,
+                      double gb = -1.0, uint64_t seed = 1) const {
+    auto w = HiBenchTask(task);
+    EXPECT_TRUE(w.ok());
+    return sim_->Execute(*w, conf, gb > 0 ? gb : w->input_gb, seed);
+  }
+
+  ClusterSpec cluster_;
+  ConfigSpace space_;
+  std::unique_ptr<SparkSimulator> sim_;
+};
+
+TEST_F(RuntimeModelTest, DeterministicForSameSeed) {
+  SparkConf conf = ConfWith([](Configuration*) {});
+  ExecutionResult a = Run("WordCount", conf, 100.0, 7);
+  ExecutionResult b = Run("WordCount", conf, 100.0, 7);
+  EXPECT_DOUBLE_EQ(a.runtime_sec, b.runtime_sec);
+  EXPECT_DOUBLE_EQ(a.cpu_core_hours, b.cpu_core_hours);
+}
+
+TEST_F(RuntimeModelTest, NoiseVariesAcrossSeeds) {
+  SimOptions opts;
+  opts.noise_sigma = 0.05;
+  SparkSimulator noisy(cluster_, opts);
+  auto w = HiBenchTask("WordCount");
+  SparkConf conf = ConfWith([](Configuration*) {});
+  double r1 = noisy.Execute(*w, conf, 100.0, 1).runtime_sec;
+  double r2 = noisy.Execute(*w, conf, 100.0, 2).runtime_sec;
+  EXPECT_NE(r1, r2);
+  EXPECT_NEAR(r1 / r2, 1.0, 0.5);
+}
+
+TEST_F(RuntimeModelTest, MoreDataTakesLonger) {
+  SparkConf conf = ConfWith([](Configuration*) {});
+  double small = Run("WordCount", conf, 50.0).runtime_sec;
+  double large = Run("WordCount", conf, 400.0).runtime_sec;
+  EXPECT_GT(large, small * 2.0);
+}
+
+TEST_F(RuntimeModelTest, MoreExecutorsSpeedUpLargeJobs) {
+  SparkConf few = ConfWith([this](Configuration* c) {
+    space_.Set(c, spark_param::kExecutorInstances, 4);
+  });
+  SparkConf many = ConfWith([this](Configuration* c) {
+    space_.Set(c, spark_param::kExecutorInstances, 32);
+  });
+  double slow = Run("TeraSort", few).runtime_sec;
+  double fast = Run("TeraSort", many).runtime_sec;
+  EXPECT_LT(fast, slow);
+}
+
+TEST_F(RuntimeModelTest, TinyMemoryCausesSpillsOrWorse) {
+  SparkConf ample = ConfWith([this](Configuration* c) {
+    space_.Set(c, spark_param::kExecutorMemory, 16);
+    space_.Set(c, spark_param::kExecutorCores, 2);
+    // Enough partitions that per-task working sets fit in memory.
+    space_.Set(c, spark_param::kDefaultParallelism, 1024);
+  });
+  SparkConf starved = ConfWith([this](Configuration* c) {
+    space_.Set(c, spark_param::kExecutorMemory, 1);
+    space_.Set(c, spark_param::kExecutorCores, 8);
+    space_.Set(c, spark_param::kDefaultParallelism, 8);  // huge tasks
+  });
+  ExecutionResult good = Run("Bayes", ample);
+  ExecutionResult bad = Run("Bayes", starved);
+  EXPECT_EQ(good.event_log.TotalSpillMb(), 0.0);
+  // Memory starvation must show up as spill, OOM failure, or a slowdown.
+  bool degraded = bad.failed || bad.event_log.TotalSpillMb() > 0.0 ||
+                  bad.runtime_sec > good.runtime_sec;
+  EXPECT_TRUE(degraded);
+}
+
+TEST_F(RuntimeModelTest, ImpossibleExecutorShapeFailsFast) {
+  SparkConf conf = ConfWith([this](Configuration* c) {
+    space_.Set(c, spark_param::kExecutorMemory, 48);
+    space_.Set(c, spark_param::kExecutorMemoryOverhead, 4096);
+    space_.Set(c, spark_param::kExecutorCores, 8);
+  });
+  // 48+4 GB fits a 512 GB node, so craft a small cluster instead.
+  ClusterSpec tiny;
+  tiny.num_nodes = 1;
+  tiny.cores_per_node = 4;
+  tiny.mem_per_node_gb = 8.0;
+  SimOptions opts;
+  opts.noise_sigma = 0.0;
+  SparkSimulator sim(tiny, opts);
+  auto w = HiBenchTask("WordCount");
+  ExecutionResult r = sim.Execute(*w, conf, 10.0, 1);
+  EXPECT_TRUE(r.failed);
+  EXPECT_EQ(r.failure, FailureKind::kNoExecutors);
+  EXPECT_EQ(r.granted_executors, 0);
+}
+
+TEST_F(RuntimeModelTest, ResourceAccountingConsistent) {
+  SparkConf conf = ConfWith([this](Configuration* c) {
+    space_.Set(c, spark_param::kExecutorInstances, 10);
+    space_.Set(c, spark_param::kExecutorCores, 4);
+    space_.Set(c, spark_param::kExecutorMemory, 8);
+  });
+  ExecutionResult r = Run("WordCount", conf);
+  ASSERT_FALSE(r.failed);
+  ASSERT_EQ(r.granted_executors, 10);
+  double expected_cpu =
+      (10.0 * 4 + conf.driver_cores) * r.runtime_sec / 3600.0;
+  EXPECT_NEAR(r.cpu_core_hours, expected_cpu, 1e-9);
+  double expected_mem =
+      (10.0 * conf.container_mem_gb() + conf.driver_memory_gb) *
+      r.runtime_sec / 3600.0;
+  EXPECT_NEAR(r.memory_gb_hours, expected_mem, 1e-9);
+  EXPECT_DOUBLE_EQ(r.resource_rate, ResourceFunction(conf));
+}
+
+TEST_F(RuntimeModelTest, EventLogCoversAllStages) {
+  SparkConf conf = ConfWith([](Configuration*) {});
+  auto w = HiBenchTask("PageRank");
+  ExecutionResult r = sim_->Execute(*w, conf, w->input_gb, 1);
+  ASSERT_FALSE(r.failed);
+  EXPECT_EQ(r.event_log.stages.size(), w->stages.size());
+  EXPECT_GT(r.event_log.TotalTasks(), 0);
+  // Iterative stage recorded with its iteration count.
+  bool found_iter = false;
+  for (const auto& s : r.event_log.stages) {
+    if (s.op == StageOp::kIterUpdate) {
+      EXPECT_GT(s.iterations, 1);
+      found_iter = true;
+    }
+  }
+  EXPECT_TRUE(found_iter);
+}
+
+TEST_F(RuntimeModelTest, ShuffleHeavyJobMovesShuffleBytes) {
+  SparkConf conf = ConfWith([](Configuration*) {});
+  ExecutionResult r = Run("TeraSort", conf);
+  ASSERT_FALSE(r.failed);
+  EXPECT_GT(r.event_log.TotalShuffleMb(), 1000.0);
+}
+
+TEST_F(RuntimeModelTest, KryoBeatsJavaOnShuffleHeavyJob) {
+  SparkConf java = ConfWith([this](Configuration* c) {
+    space_.Set(c, spark_param::kSerializer, 0);
+  });
+  SparkConf kryo = ConfWith([this](Configuration* c) {
+    space_.Set(c, spark_param::kSerializer, 1);
+  });
+  EXPECT_LT(Run("TeraSort", kryo).runtime_sec,
+            Run("TeraSort", java).runtime_sec);
+}
+
+TEST_F(RuntimeModelTest, FailedRunReportsOverrun) {
+  // Force a driver OOM: tiny driver memory on a collect-heavy job.
+  ClusterSpec cluster = cluster_;
+  SimOptions opts;
+  opts.noise_sigma = 0.0;
+  opts.failure_overrun = 2.0;
+  SparkSimulator sim(cluster, opts);
+  auto w = HiBenchTask("PCA");  // ends with a large collect
+  SparkConf conf = ConfWith([this](Configuration* c) {
+    space_.Set(c, spark_param::kDriverMemory, 1);
+    // Keep executors healthy so only the driver can fail.
+    space_.Set(c, spark_param::kExecutorMemory, 32);
+    space_.Set(c, spark_param::kExecutorMemoryOverhead, 4096);
+    space_.Set(c, spark_param::kExecutorCores, 2);
+    space_.Set(c, spark_param::kDefaultParallelism, 2000);
+  });
+  ExecutionResult r = sim.Execute(*w, conf, 400.0, 1);
+  if (r.failed) {
+    EXPECT_EQ(r.failure, FailureKind::kDriverOom);
+    EXPECT_GT(r.runtime_sec, 0.0);
+  }
+  // With a large driver the same job succeeds.
+  SparkConf big = ConfWith([this](Configuration* c) {
+    space_.Set(c, spark_param::kDriverMemory, 16);
+    space_.Set(c, spark_param::kExecutorMemory, 32);
+    space_.Set(c, spark_param::kExecutorMemoryOverhead, 4096);
+    space_.Set(c, spark_param::kExecutorCores, 2);
+    space_.Set(c, spark_param::kDefaultParallelism, 2000);
+  });
+  ExecutionResult ok = sim.Execute(*w, big, 400.0, 1);
+  EXPECT_FALSE(ok.failed && ok.failure == FailureKind::kDriverOom);
+}
+
+TEST_F(RuntimeModelTest, SpeculationTrimsStragglerTail) {
+  SparkConf off = ConfWith([this](Configuration* c) {
+    space_.Set(c, spark_param::kSpeculation, 0);
+  });
+  SparkConf on = ConfWith([this](Configuration* c) {
+    space_.Set(c, spark_param::kSpeculation, 1);
+  });
+  // PageRank has highly skewed tasks; speculation should help runtime.
+  EXPECT_LT(Run("PageRank", on).runtime_sec,
+            Run("PageRank", off).runtime_sec * 1.02);
+}
+
+TEST_F(RuntimeModelTest, GrantedExecutorsCappedByCluster) {
+  SparkConf conf = ConfWith([this](Configuration* c) {
+    space_.Set(c, spark_param::kExecutorInstances, 1000);
+    space_.Set(c, spark_param::kExecutorCores, 8);
+    space_.Set(c, spark_param::kExecutorMemory, 16);
+  });
+  ExecutionResult r = Run("WordCount", conf);
+  EXPECT_LT(r.granted_executors, 1000);
+  EXPECT_GT(r.granted_executors, 0);
+}
+
+TEST(FailureKindTest, NamesAreStable) {
+  EXPECT_STREQ(FailureKindName(FailureKind::kNone), "none");
+  EXPECT_STREQ(FailureKindName(FailureKind::kExecutorOom), "executor-oom");
+  EXPECT_STREQ(FailureKindName(FailureKind::kDriverOom), "driver-oom");
+  EXPECT_STREQ(FailureKindName(FailureKind::kNoExecutors), "no-executors");
+}
+
+}  // namespace
+}  // namespace sparktune

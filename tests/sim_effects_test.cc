@@ -1,0 +1,233 @@
+// Parameter-effect tests for the simulator: each tuning knob the paper's
+// search space exposes must have its documented, directionally-correct
+// effect on the runtime model. These pin the response surface the tuner
+// learns from.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <functional>
+
+#include "sparksim/hibench.h"
+#include "sparksim/runtime_model.h"
+
+namespace sparktune {
+namespace {
+
+class SimEffectsTest : public ::testing::Test {
+ protected:
+  SimEffectsTest()
+      : cluster_(ClusterSpec::HiBenchCluster()),
+        space_(BuildSparkSpace(cluster_)) {
+    SimOptions opts;
+    opts.noise_sigma = 0.0;
+    sim_ = std::make_unique<SparkSimulator>(cluster_, opts);
+  }
+
+  double Runtime(const std::string& task,
+                 const std::function<void(Configuration*)>& edit,
+                 double gb = -1.0) const {
+    auto w = HiBenchTask(task);
+    EXPECT_TRUE(w.ok());
+    Configuration c = space_.Default();
+    edit(&c);
+    SparkConf conf = DecodeSparkConf(space_, space_.Legalize(c));
+    ExecutionResult r =
+        sim_->Execute(*w, conf, gb > 0 ? gb : w->input_gb, 3);
+    EXPECT_FALSE(r.failed) << FailureKindName(r.failure);
+    return r.runtime_sec;
+  }
+
+  ClusterSpec cluster_;
+  ConfigSpace space_;
+  std::unique_ptr<SparkSimulator> sim_;
+};
+
+TEST_F(SimEffectsTest, ShuffleCompressionSavesWireTimeOnFastCodec) {
+  namespace sp = spark_param;
+  double with = Runtime("TeraSort", [&](Configuration* c) {
+    space_.Set(c, sp::kShuffleCompress, 1);
+    space_.Set(c, sp::kIoCompressionCodec, 0);  // lz4
+  });
+  double without = Runtime("TeraSort", [&](Configuration* c) {
+    space_.Set(c, sp::kShuffleCompress, 0);
+  });
+  EXPECT_LT(with, without);
+}
+
+TEST_F(SimEffectsTest, ZstdTradesCpuForBytes) {
+  namespace sp = spark_param;
+  // zstd compresses harder (fewer bytes moved) but costs more CPU; on a
+  // network-bound shuffle it can win, but it must always differ from lz4.
+  double lz4 = Runtime("TeraSort", [&](Configuration* c) {
+    space_.Set(c, sp::kIoCompressionCodec, 0);
+  });
+  double zstd = Runtime("TeraSort", [&](Configuration* c) {
+    space_.Set(c, sp::kIoCompressionCodec, 2);
+  });
+  EXPECT_NE(lz4, zstd);
+  EXPECT_NEAR(lz4 / zstd, 1.0, 0.6);  // same order of magnitude
+}
+
+TEST_F(SimEffectsTest, LargerShuffleFileBufferReducesFlushOverhead) {
+  namespace sp = spark_param;
+  double small = Runtime("Sort", [&](Configuration* c) {
+    space_.Set(c, sp::kShuffleFileBuffer, 8);
+  });
+  double large = Runtime("Sort", [&](Configuration* c) {
+    space_.Set(c, sp::kShuffleFileBuffer, 256);
+  });
+  EXPECT_LT(large, small);
+}
+
+TEST_F(SimEffectsTest, MaxSizeInFlightReducesFetchRoundTrips) {
+  namespace sp = spark_param;
+  double small = Runtime("TeraSort", [&](Configuration* c) {
+    space_.Set(c, sp::kReducerMaxSizeInFlight, 8);
+  });
+  double large = Runtime("TeraSort", [&](Configuration* c) {
+    space_.Set(c, sp::kReducerMaxSizeInFlight, 256);
+  });
+  EXPECT_LT(large, small);
+}
+
+TEST_F(SimEffectsTest, MemoryFractionRelievesSpillPressure) {
+  namespace sp = spark_param;
+  // Force a spill-prone shape, then grow the unified region.
+  auto shape = [&](Configuration* c, double fraction) {
+    space_.Set(c, sp::kExecutorMemory, 4);
+    space_.Set(c, sp::kExecutorCores, 2);
+    space_.Set(c, sp::kDefaultParallelism, 512);
+    space_.Set(c, sp::kMemoryFraction, fraction);
+  };
+  double tight = Runtime("Bayes", [&](Configuration* c) { shape(c, 0.3); });
+  double roomy = Runtime("Bayes", [&](Configuration* c) { shape(c, 0.9); });
+  EXPECT_LT(roomy, tight);
+}
+
+TEST_F(SimEffectsTest, StorageFractionMattersForCachedIterativeJobs) {
+  namespace sp = spark_param;
+  // KMeans caches its training set; starving the storage region forces
+  // recomputation across iterations.
+  auto shape = [&](Configuration* c, double storage) {
+    space_.Set(c, sp::kExecutorInstances, 4);
+    space_.Set(c, sp::kExecutorMemory, 4);
+    space_.Set(c, sp::kMemoryStorageFraction, storage);
+  };
+  double starved =
+      Runtime("KMeans", [&](Configuration* c) { shape(c, 0.1); });
+  double fed = Runtime("KMeans", [&](Configuration* c) { shape(c, 0.9); });
+  EXPECT_LT(fed, starved);
+}
+
+TEST_F(SimEffectsTest, RddCompressShrinksCacheFootprint) {
+  namespace sp = spark_param;
+  // With compressed RDD caching, the same storage budget holds more data,
+  // so an iterative job under cache pressure speeds up.
+  auto shape = [&](Configuration* c, bool compress) {
+    space_.Set(c, sp::kExecutorInstances, 3);
+    space_.Set(c, sp::kExecutorMemory, 2);
+    space_.Set(c, sp::kRddCompress, compress ? 1 : 0);
+  };
+  double raw =
+      Runtime("PageRank", [&](Configuration* c) { shape(c, false); });
+  double packed =
+      Runtime("PageRank", [&](Configuration* c) { shape(c, true); });
+  EXPECT_LT(packed, raw * 1.05);  // at worst a small materialization cost
+}
+
+TEST_F(SimEffectsTest, ParallelismHasAnInteriorOptimumOnSmallJobs) {
+  namespace sp = spark_param;
+  // On a small (4 GB) SQL job, 8 partitions make oversized spilling tasks
+  // and 2000 partitions drown in scheduling overhead; a moderate count
+  // wins. (On 100 GB+ jobs more partitions keep helping much longer.)
+  auto run = [&](int partitions) {
+    return Runtime("Aggregation", [&](Configuration* c) {
+      space_.Set(c, sp::kSqlShufflePartitions, partitions);
+      space_.Set(c, sp::kDefaultParallelism, partitions);
+      space_.Set(c, sp::kExecutorInstances, 4);
+      space_.Set(c, sp::kExecutorCores, 2);
+      space_.Set(c, sp::kExecutorMemory, 1);
+    }, /*gb=*/4.0);
+  };
+  double low = run(8);
+  double mid = run(64);
+  double high = run(2000);
+  EXPECT_LT(mid, low);
+  EXPECT_LT(mid, high);
+}
+
+TEST_F(SimEffectsTest, TinyNetworkTimeoutKillsBigShuffles) {
+  namespace sp = spark_param;
+  auto w = HiBenchTask("TeraSort");
+  Configuration c = space_.Default();
+  space_.Set(&c, sp::kNetworkTimeout, 60);
+  space_.Set(&c, sp::kExecutorCores, 8);
+  space_.Set(&c, sp::kDefaultParallelism, 8);  // giant fetches per task
+  space_.Set(&c, sp::kExecutorMemory, 48);
+  space_.Set(&c, sp::kExecutorMemoryOverhead, 4096);
+  space_.Set(&c, sp::kReducerMaxSizeInFlight, 8);
+  SparkConf conf = DecodeSparkConf(space_, space_.Legalize(c));
+  ExecutionResult r = sim_->Execute(*w, conf, 2000.0, 3);
+  if (r.failed) {
+    EXPECT_EQ(r.failure, FailureKind::kFetchTimeout);
+  }
+  // With sane parallelism and a long timeout the fetch-timeout failure
+  // cannot trigger.
+  space_.Set(&c, sp::kNetworkTimeout, 600);
+  space_.Set(&c, sp::kDefaultParallelism, 384);
+  space_.Set(&c, sp::kExecutorMemoryOverhead, 4096);
+  conf = DecodeSparkConf(space_, space_.Legalize(c));
+  ExecutionResult ok = sim_->Execute(*w, conf, 2000.0, 3);
+  EXPECT_NE(ok.failure, FailureKind::kFetchTimeout);
+}
+
+TEST_F(SimEffectsTest, KryoBufferPenaltyWhenUndersized) {
+  namespace sp = spark_param;
+  double small = Runtime("TeraSort", [&](Configuration* c) {
+    space_.Set(c, sp::kSerializer, 1);
+    space_.Set(c, sp::kKryoBufferKb, 16);
+  });
+  double big = Runtime("TeraSort", [&](Configuration* c) {
+    space_.Set(c, sp::kSerializer, 1);
+    space_.Set(c, sp::kKryoBufferKb, 256);
+  });
+  EXPECT_LT(big, small);
+}
+
+TEST_F(SimEffectsTest, MoreDriverCoresCutSchedulingOverheadOnManyTasks) {
+  namespace sp = spark_param;
+  auto shape = [&](Configuration* c, int cores) {
+    space_.Set(c, sp::kDefaultParallelism, 2000);
+    space_.Set(c, sp::kDriverCores, cores);
+  };
+  double one = Runtime("WordCount", [&](Configuration* c) { shape(c, 1); });
+  double eight = Runtime("WordCount", [&](Configuration* c) { shape(c, 8); });
+  EXPECT_LT(eight, one);
+}
+
+TEST_F(SimEffectsTest, ExecutorOverProvisioningWastesResourcesNotTime) {
+  namespace sp = spark_param;
+  // Once partitions < slots, extra executors stop helping runtime but keep
+  // inflating the resource rate — the headroom the paper's tuner reclaims.
+  auto shape = [&](Configuration* c, int instances) {
+    space_.Set(c, sp::kDefaultParallelism, 64);
+    space_.Set(c, sp::kExecutorInstances, instances);
+    space_.Set(c, sp::kExecutorCores, 4);
+  };
+  Configuration c64 = space_.Default(), c128 = space_.Default();
+  shape(&c64, 16);   // 64 slots = 64 partitions
+  shape(&c128, 64);  // 256 slots for 64 partitions
+  auto w = HiBenchTask("WordCount");
+  SparkConf conf64 = DecodeSparkConf(space_, space_.Legalize(c64));
+  SparkConf conf128 = DecodeSparkConf(space_, space_.Legalize(c128));
+  ExecutionResult r64 = sim_->Execute(*w, conf64, w->input_gb, 3);
+  ExecutionResult r128 = sim_->Execute(*w, conf128, w->input_gb, 3);
+  ASSERT_FALSE(r64.failed);
+  ASSERT_FALSE(r128.failed);
+  // Runtime barely changes; resource rate quadruples.
+  EXPECT_NEAR(r128.runtime_sec / r64.runtime_sec, 1.0, 0.35);
+  EXPECT_GT(r128.resource_rate, r64.resource_rate * 3.0);
+}
+
+}  // namespace
+}  // namespace sparktune

@@ -1,0 +1,143 @@
+// Tests for low-discrepancy sequences: validity, determinism, and actual
+// low-discrepancy (better space coverage than iid uniform sampling).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "common/rng.h"
+#include "space/sobol.h"
+
+namespace sparktune {
+namespace {
+
+TEST(SobolTest, PointsInUnitCube) {
+  SobolSequence seq(5);
+  for (int i = 0; i < 500; ++i) {
+    auto p = seq.Next();
+    ASSERT_EQ(p.size(), 5u);
+    for (double v : p) {
+      ASSERT_GE(v, 0.0);
+      ASSERT_LT(v, 1.0);
+    }
+  }
+}
+
+TEST(SobolTest, Deterministic) {
+  SobolSequence a(4), b(4);
+  for (int i = 0; i < 64; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(SobolTest, FirstDimensionIsVanDerCorput) {
+  SobolSequence seq(1);
+  seq.Next();  // origin
+  EXPECT_DOUBLE_EQ(seq.Next()[0], 0.5);
+  EXPECT_DOUBLE_EQ(seq.Next()[0], 0.75);
+  EXPECT_DOUBLE_EQ(seq.Next()[0], 0.25);
+}
+
+TEST(SobolTest, Distinct1DPrefix) {
+  // The first 2^k points of a Sobol dimension are distinct multiples of
+  // 2^-k.
+  SobolSequence seq(2);
+  std::set<double> seen;
+  for (int i = 0; i < 128; ++i) seen.insert(seq.Next()[0]);
+  EXPECT_EQ(seen.size(), 128u);
+}
+
+// Box-counting discrepancy proxy: split [0,1)^2 into a g x g grid and
+// measure the max deviation of bucket counts from uniform.
+double GridImbalance(const std::vector<std::vector<double>>& pts, int g) {
+  std::vector<int> counts(static_cast<size_t>(g * g), 0);
+  for (const auto& p : pts) {
+    int x = std::min(g - 1, static_cast<int>(p[0] * g));
+    int y = std::min(g - 1, static_cast<int>(p[1] * g));
+    ++counts[static_cast<size_t>(y * g + x)];
+  }
+  double expected = static_cast<double>(pts.size()) / (g * g);
+  double worst = 0.0;
+  for (int c : counts) worst = std::max(worst, std::fabs(c - expected));
+  return worst / expected;
+}
+
+TEST(SobolTest, MoreUniformThanRandom) {
+  const int n = 1024;
+  SobolSequence seq(2);
+  std::vector<std::vector<double>> sobol_pts, rand_pts;
+  Rng rng(123);
+  for (int i = 0; i < n; ++i) {
+    sobol_pts.push_back(seq.Next());
+    rand_pts.push_back({rng.Uniform(), rng.Uniform()});
+  }
+  EXPECT_LT(GridImbalance(sobol_pts, 8), GridImbalance(rand_pts, 8));
+}
+
+TEST(HaltonTest, PointsInUnitCubeAnyDim) {
+  HaltonSequence seq(31);
+  for (int i = 0; i < 300; ++i) {
+    auto p = seq.Next();
+    ASSERT_EQ(p.size(), 31u);
+    for (double v : p) {
+      ASSERT_GE(v, 0.0);
+      ASSERT_LT(v, 1.0);
+    }
+  }
+}
+
+TEST(HaltonTest, ScrambleSeedChangesSequence) {
+  HaltonSequence a(6, 1), b(6, 2);
+  bool differs = false;
+  for (int i = 0; i < 32 && !differs; ++i) {
+    if (a.Next() != b.Next()) differs = true;
+  }
+  EXPECT_TRUE(differs);
+}
+
+TEST(HaltonTest, MoreUniformThanRandom) {
+  const int n = 1024;
+  HaltonSequence seq(2, 5);
+  std::vector<std::vector<double>> pts, rand_pts;
+  Rng rng(321);
+  for (int i = 0; i < n; ++i) {
+    pts.push_back(seq.Next());
+    rand_pts.push_back({rng.Uniform(), rng.Uniform()});
+  }
+  EXPECT_LT(GridImbalance(pts, 8), GridImbalance(rand_pts, 8));
+}
+
+TEST(QuasiRandomTest, PicksSobolForSmallDims) {
+  QuasiRandomSampler small(10);
+  EXPECT_TRUE(small.using_sobol());
+  QuasiRandomSampler large(31);
+  EXPECT_FALSE(large.using_sobol());
+  EXPECT_EQ(small.Next().size(), 10u);
+  EXPECT_EQ(large.Next().size(), 31u);
+}
+
+TEST(PrimesTest, FirstPrimes) {
+  auto p = FirstPrimes(8);
+  EXPECT_EQ(p, (std::vector<int>{2, 3, 5, 7, 11, 13, 17, 19}));
+}
+
+// Property sweep: every Sobol dimension is individually well distributed.
+class SobolDimTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(SobolDimTest, MarginalMeanIsHalf) {
+  int dim = GetParam();
+  SobolSequence seq(dim);
+  std::vector<double> sums(static_cast<size_t>(dim), 0.0);
+  const int n = 512;
+  for (int i = 0; i < n; ++i) {
+    auto p = seq.Next();
+    for (int d = 0; d < dim; ++d) sums[static_cast<size_t>(d)] += p[static_cast<size_t>(d)];
+  }
+  for (int d = 0; d < dim; ++d) {
+    EXPECT_NEAR(sums[static_cast<size_t>(d)] / n, 0.5, 0.03) << "dim " << d;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Dims, SobolDimTest,
+                         ::testing::Values(1, 2, 5, 10, 19));
+
+}  // namespace
+}  // namespace sparktune

@@ -1,0 +1,292 @@
+// sparktune CLI: drive the library from the command line.
+//
+//   sparktune list-tasks
+//   sparktune simulate   --task=TeraSort [--datasize=500] [--seed=1]
+//   sparktune tune       --task=WordCount [--budget=20] [--beta=0.5]
+//                        [--seed=1] [--cluster=hibench|production|smallsql]
+//                        [--executions=N] [--csv]
+//   sparktune compare    --task=TeraSort [--budget=30] [--beta=0.5]
+//                        [--seeds=3]
+//   sparktune importance --task=KMeans [--samples=80] [--seed=1]
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <string>
+
+#include "baselines/cherrypick.h"
+#include "baselines/dac.h"
+#include "baselines/locat.h"
+#include "baselines/ours.h"
+#include "baselines/random_search.h"
+#include "baselines/rfhoc.h"
+#include "baselines/tuneful.h"
+#include "common/strings.h"
+#include "common/table.h"
+#include "fanova/fanova.h"
+#include "sparksim/hibench.h"
+#include "tuner/online_tuner.h"
+
+using namespace sparktune;
+
+namespace {
+
+std::string StrFlag(int argc, char** argv, const char* name,
+                    const std::string& fallback) {
+  std::string prefix = std::string("--") + name + "=";
+  for (int i = 1; i < argc; ++i) {
+    if (StartsWith(argv[i], prefix)) return argv[i] + prefix.size();
+  }
+  return fallback;
+}
+
+double NumFlag(int argc, char** argv, const char* name, double fallback) {
+  std::string v = StrFlag(argc, argv, name, "");
+  return v.empty() ? fallback : std::atof(v.c_str());
+}
+
+bool HasFlag(int argc, char** argv, const char* name) {
+  std::string flag = std::string("--") + name;
+  for (int i = 1; i < argc; ++i) {
+    if (flag == argv[i]) return true;
+  }
+  return false;
+}
+
+ClusterSpec ClusterByName(const std::string& name) {
+  if (name == "production") return ClusterSpec::ProductionGroup();
+  if (name == "smallsql") return ClusterSpec::SmallSqlGroup();
+  return ClusterSpec::HiBenchCluster();
+}
+
+int ListTasks() {
+  TablePrinter table({"Task", "Family", "SQL", "Input(GB)", "Stages",
+                      "DAG depth"});
+  for (const auto& w : AllHiBenchTasks()) {
+    table.AddRow({w.name, w.family, w.is_sql ? "yes" : "no",
+                  StrFormat("%.0f", w.input_gb),
+                  StrFormat("%zu", w.stages.size()),
+                  StrFormat("%d", w.DagDepth())});
+  }
+  std::printf("%s", table.ToString().c_str());
+  return 0;
+}
+
+int Simulate(int argc, char** argv) {
+  auto w = HiBenchTask(StrFlag(argc, argv, "task", "WordCount"));
+  if (!w.ok()) {
+    std::fprintf(stderr, "%s\n", w.status().ToString().c_str());
+    return 1;
+  }
+  ClusterSpec cluster = ClusterByName(StrFlag(argc, argv, "cluster", "hibench"));
+  ConfigSpace space = BuildSparkSpace(cluster);
+  double gb = NumFlag(argc, argv, "datasize", w->input_gb);
+  SparkSimulator sim(cluster);
+  SparkConf conf = DecodeSparkConf(space, space.Default());
+  ExecutionResult r = sim.Execute(
+      *w, conf, gb, static_cast<uint64_t>(NumFlag(argc, argv, "seed", 1)));
+
+  std::printf("%s on %s, %.0f GB input, default configuration:\n", w->name.c_str(),
+              cluster.name.c_str(), gb);
+  TablePrinter table({"Stage", "Op", "Tasks", "Iter", "Input(MB)",
+                      "ShuffleW(MB)", "Spill(MB)", "Duration(s)"});
+  for (const auto& s : r.event_log.stages) {
+    table.AddRow({s.name, StageOpName(s.op), StrFormat("%d", s.num_tasks),
+                  StrFormat("%d", s.iterations),
+                  StrFormat("%.0f", s.input_mb),
+                  StrFormat("%.0f", s.shuffle_write_mb),
+                  StrFormat("%.0f", s.spill_mb),
+                  StrFormat("%.1f", s.duration_sec)});
+  }
+  std::printf("%s", table.ToString().c_str());
+  std::printf("Runtime %.1fs | R(x) %.1f | %.2f CPU core-hours | "
+              "%.2f memory GB-hours | executors granted %d | %s\n",
+              r.runtime_sec, r.resource_rate, r.cpu_core_hours,
+              r.memory_gb_hours, r.granted_executors,
+              r.failed ? FailureKindName(r.failure) : "succeeded");
+  return r.failed ? 2 : 0;
+}
+
+int Tune(int argc, char** argv) {
+  auto w = HiBenchTask(StrFlag(argc, argv, "task", "WordCount"));
+  if (!w.ok()) {
+    std::fprintf(stderr, "%s\n", w.status().ToString().c_str());
+    return 1;
+  }
+  ClusterSpec cluster = ClusterByName(StrFlag(argc, argv, "cluster", "hibench"));
+  ConfigSpace space = BuildSparkSpace(cluster);
+  int budget = static_cast<int>(NumFlag(argc, argv, "budget", 20));
+  int executions = static_cast<int>(
+      NumFlag(argc, argv, "executions", budget + 1));
+  bool csv = HasFlag(argc, argv, "csv");
+
+  SimulatorEvaluatorOptions eopts;
+  eopts.seed = static_cast<uint64_t>(NumFlag(argc, argv, "seed", 1));
+  SimulatorEvaluator eval(&space, *w, cluster, DriftModel::Diurnal(), eopts);
+
+  TunerOptions opts;
+  opts.budget = budget;
+  opts.advisor.objective.beta = NumFlag(argc, argv, "beta", 0.5);
+  opts.advisor.expert_ranking = ExpertParameterRanking();
+  opts.advisor.seed = eopts.seed;
+  if (!opts.advisor.objective.Validate().ok()) {
+    std::fprintf(stderr, "invalid beta\n");
+    return 1;
+  }
+  OnlineTuner tuner(&space, &eval, opts);
+
+  TablePrinter table({"iter", "phase", "runtime(s)", "R(x)", "objective",
+                      "status"});
+  for (int i = 0; i < executions; ++i) {
+    const char* phase = tuner.phase() == TunerPhase::kBaseline ? "baseline"
+                        : tuner.phase() == TunerPhase::kTuning ? "tuning"
+                                                               : "applying";
+    Observation o = tuner.Step();
+    table.AddRow({StrFormat("%d", i), phase, StrFormat("%.1f", o.runtime_sec),
+                  StrFormat("%.1f", o.resource_rate),
+                  StrFormat("%.1f", o.objective),
+                  o.failed ? "FAILED" : (o.feasible ? "ok" : "violation")});
+  }
+  std::printf("%s", csv ? table.ToCsv().c_str() : table.ToString().c_str());
+  if (tuner.baseline_observation().has_value()) {
+    std::printf("\nBest objective %.2f (baseline %.2f, %.1f%% reduction, "
+                "%d tuning iterations%s)\nBest config: %s\n",
+                tuner.BestObjective(),
+                tuner.baseline_observation()->objective,
+                100.0 * (1.0 - tuner.BestObjective() /
+                                   tuner.baseline_observation()->objective),
+                tuner.tuning_iterations(),
+                tuner.stopped_early() ? ", stopped early on EI" : "",
+                space.Format(tuner.BestConfig()).c_str());
+  }
+  return 0;
+}
+
+int Compare(int argc, char** argv) {
+  auto w = HiBenchTask(StrFlag(argc, argv, "task", "TeraSort"));
+  if (!w.ok()) {
+    std::fprintf(stderr, "%s\n", w.status().ToString().c_str());
+    return 1;
+  }
+  ClusterSpec cluster = ClusterByName(StrFlag(argc, argv, "cluster", "hibench"));
+  ConfigSpace space = BuildSparkSpace(cluster);
+  int budget = static_cast<int>(NumFlag(argc, argv, "budget", 30));
+  int seeds = static_cast<int>(NumFlag(argc, argv, "seeds", 3));
+  double beta = NumFlag(argc, argv, "beta", 0.5);
+
+  std::vector<std::unique_ptr<TuningMethod>> methods;
+  methods.push_back(std::make_unique<RandomSearch>());
+  methods.push_back(std::make_unique<Rfhoc>());
+  methods.push_back(std::make_unique<Dac>());
+  methods.push_back(std::make_unique<CherryPick>());
+  methods.push_back(std::make_unique<Tuneful>());
+  methods.push_back(std::make_unique<Locat>());
+  methods.push_back(std::make_unique<OursMethod>());
+
+  TablePrinter table({"Method", "best objective (mean over seeds)",
+                      "feasible %"});
+  for (auto& m : methods) {
+    double best_sum = 0.0;
+    int feasible = 0, total = 0;
+    for (int s = 0; s < seeds; ++s) {
+      SimulatorEvaluatorOptions eopts;
+      eopts.seed = 100 + static_cast<uint64_t>(s);
+      SimulatorEvaluator probe(&space, *w, cluster, DriftModel::None(),
+                               eopts);
+      auto base = probe.Run(space.Default());
+      TuningObjective obj;
+      obj.beta = beta;
+      obj.runtime_max = base.runtime_sec * 2.0;
+      SimulatorEvaluator eval(&space, *w, cluster, DriftModel::Diurnal(),
+                              eopts);
+      RunHistory h = m->Tune(space, &eval, obj, budget, 100 + s);
+      double best = h.BestObjective();
+      best_sum += best / seeds;
+      for (const auto& o : h.observations()) feasible += o.feasible;
+      total += budget;
+    }
+    table.AddRow({m->name(), StrFormat("%.1f", best_sum),
+                  StrFormat("%.1f%%", 100.0 * feasible / total)});
+  }
+  std::printf("%s on %s, beta=%.2f, %d iterations, %d seeds:\n%s",
+              w->name.c_str(), cluster.name.c_str(), beta, budget, seeds,
+              table.ToString().c_str());
+  return 0;
+}
+
+int Importance(int argc, char** argv) {
+  auto w = HiBenchTask(StrFlag(argc, argv, "task", "KMeans"));
+  if (!w.ok()) {
+    std::fprintf(stderr, "%s\n", w.status().ToString().c_str());
+    return 1;
+  }
+  ClusterSpec cluster = ClusterByName(StrFlag(argc, argv, "cluster", "hibench"));
+  ConfigSpace space = BuildSparkSpace(cluster);
+  int samples = static_cast<int>(NumFlag(argc, argv, "samples", 80));
+  uint64_t seed = static_cast<uint64_t>(NumFlag(argc, argv, "seed", 1));
+
+  SimulatorEvaluatorOptions eopts;
+  eopts.seed = seed;
+  SimulatorEvaluator eval(&space, *w, cluster, DriftModel::None(), eopts);
+  TuningObjective obj;
+  obj.beta = 0.5;
+  Rng rng(seed);
+  std::vector<std::vector<double>> x;
+  std::vector<double> y;
+  for (int i = 0; i < samples; ++i) {
+    Configuration c = space.Sample(&rng);
+    auto out = eval.Run(c);
+    x.push_back(space.ToUnit(c));
+    y.push_back(std::log(
+        std::max(1e-9, obj.Value(out.runtime_sec, out.resource_rate))));
+  }
+  FanovaOptions fopts;
+  fopts.compute_pairwise = false;
+  auto result = Fanova::Analyze(x, y, fopts);
+  if (!result.ok()) {
+    std::fprintf(stderr, "%s\n", result.status().ToString().c_str());
+    return 1;
+  }
+  std::vector<size_t> order(space.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    return result->main_effect[a] > result->main_effect[b];
+  });
+  TablePrinter table({"#", "Parameter", "Main-effect importance"});
+  for (int i = 0; i < 15; ++i) {
+    size_t d = order[static_cast<size_t>(i)];
+    table.AddRow({StrFormat("%d", i + 1), space.param(d).name(),
+                  StrFormat("%.4f", result->main_effect[d])});
+  }
+  std::printf("fANOVA importance for %s (%d random configs):\n%s",
+              w->name.c_str(), samples, table.ToString().c_str());
+  return 0;
+}
+
+int Usage() {
+  std::fprintf(
+      stderr,
+      "usage: sparktune <command> [flags]\n"
+      "  list-tasks                         list HiBench workload presets\n"
+      "  simulate   --task=T [--datasize=GB] [--seed=N] [--cluster=C]\n"
+      "  tune       --task=T [--budget=N] [--beta=B] [--seed=N] [--csv]\n"
+      "  compare    --task=T [--budget=N] [--beta=B] [--seeds=N]\n"
+      "  importance --task=T [--samples=N] [--seed=N]\n"
+      "clusters: hibench (default), production, smallsql\n");
+  return 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return Usage();
+  std::string cmd = argv[1];
+  if (cmd == "list-tasks") return ListTasks();
+  if (cmd == "simulate") return Simulate(argc, argv);
+  if (cmd == "tune") return Tune(argc, argv);
+  if (cmd == "compare") return Compare(argc, argv);
+  if (cmd == "importance") return Importance(argc, argv);
+  return Usage();
+}
