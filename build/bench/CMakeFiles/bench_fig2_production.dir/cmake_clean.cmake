@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig2_production.dir/bench_fig2_production.cpp.o"
+  "CMakeFiles/bench_fig2_production.dir/bench_fig2_production.cpp.o.d"
+  "bench_fig2_production"
+  "bench_fig2_production.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2_production.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_meta_surrogate.dir/bench_fig6_meta_surrogate.cpp.o"
+  "CMakeFiles/bench_fig6_meta_surrogate.dir/bench_fig6_meta_surrogate.cpp.o.d"
+  "bench_fig6_meta_surrogate"
+  "bench_fig6_meta_surrogate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_meta_surrogate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_subspace.dir/bench_fig7_subspace.cpp.o"
+  "CMakeFiles/bench_fig7_subspace.dir/bench_fig7_subspace.cpp.o.d"
+  "bench_fig7_subspace"
+  "bench_fig7_subspace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_subspace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig9_agd.dir/bench_fig9_agd.cpp.o"
+  "CMakeFiles/bench_fig9_agd.dir/bench_fig9_agd.cpp.o.d"
+  "bench_fig9_agd"
+  "bench_fig9_agd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9_agd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

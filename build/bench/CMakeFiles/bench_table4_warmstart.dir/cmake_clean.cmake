@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table4_warmstart.dir/bench_table4_warmstart.cpp.o"
+  "CMakeFiles/bench_table4_warmstart.dir/bench_table4_warmstart.cpp.o.d"
+  "bench_table4_warmstart"
+  "bench_table4_warmstart.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table4_warmstart.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

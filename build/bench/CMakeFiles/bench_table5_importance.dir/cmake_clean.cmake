@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table5_importance.dir/bench_table5_importance.cpp.o"
+  "CMakeFiles/bench_table5_importance.dir/bench_table5_importance.cpp.o.d"
+  "bench_table5_importance"
+  "bench_table5_importance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table5_importance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_baseline_comparison.dir/baseline_comparison.cpp.o"
+  "CMakeFiles/example_baseline_comparison.dir/baseline_comparison.cpp.o.d"
+  "example_baseline_comparison"
+  "example_baseline_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_baseline_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

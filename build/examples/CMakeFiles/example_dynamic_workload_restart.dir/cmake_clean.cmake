@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_dynamic_workload_restart.dir/dynamic_workload_restart.cpp.o"
+  "CMakeFiles/example_dynamic_workload_restart.dir/dynamic_workload_restart.cpp.o.d"
+  "example_dynamic_workload_restart"
+  "example_dynamic_workload_restart.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_dynamic_workload_restart.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

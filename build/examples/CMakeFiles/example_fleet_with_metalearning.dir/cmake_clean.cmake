@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_fleet_with_metalearning.dir/fleet_with_metalearning.cpp.o"
+  "CMakeFiles/example_fleet_with_metalearning.dir/fleet_with_metalearning.cpp.o.d"
+  "example_fleet_with_metalearning"
+  "example_fleet_with_metalearning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_fleet_with_metalearning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

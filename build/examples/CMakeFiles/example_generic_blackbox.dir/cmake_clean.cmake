@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_generic_blackbox.dir/generic_blackbox.cpp.o"
+  "CMakeFiles/example_generic_blackbox.dir/generic_blackbox.cpp.o.d"
+  "example_generic_blackbox"
+  "example_generic_blackbox.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_generic_blackbox.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

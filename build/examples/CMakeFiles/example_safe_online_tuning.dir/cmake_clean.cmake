@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_safe_online_tuning.dir/safe_online_tuning.cpp.o"
+  "CMakeFiles/example_safe_online_tuning.dir/safe_online_tuning.cpp.o.d"
+  "example_safe_online_tuning"
+  "example_safe_online_tuning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_safe_online_tuning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,72 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/cherrypick.cc" "src/CMakeFiles/sparktune.dir/baselines/cherrypick.cc.o" "gcc" "src/CMakeFiles/sparktune.dir/baselines/cherrypick.cc.o.d"
+  "/root/repo/src/baselines/dac.cc" "src/CMakeFiles/sparktune.dir/baselines/dac.cc.o" "gcc" "src/CMakeFiles/sparktune.dir/baselines/dac.cc.o.d"
+  "/root/repo/src/baselines/ga.cc" "src/CMakeFiles/sparktune.dir/baselines/ga.cc.o" "gcc" "src/CMakeFiles/sparktune.dir/baselines/ga.cc.o.d"
+  "/root/repo/src/baselines/locat.cc" "src/CMakeFiles/sparktune.dir/baselines/locat.cc.o" "gcc" "src/CMakeFiles/sparktune.dir/baselines/locat.cc.o.d"
+  "/root/repo/src/baselines/ours.cc" "src/CMakeFiles/sparktune.dir/baselines/ours.cc.o" "gcc" "src/CMakeFiles/sparktune.dir/baselines/ours.cc.o.d"
+  "/root/repo/src/baselines/random_search.cc" "src/CMakeFiles/sparktune.dir/baselines/random_search.cc.o" "gcc" "src/CMakeFiles/sparktune.dir/baselines/random_search.cc.o.d"
+  "/root/repo/src/baselines/rfhoc.cc" "src/CMakeFiles/sparktune.dir/baselines/rfhoc.cc.o" "gcc" "src/CMakeFiles/sparktune.dir/baselines/rfhoc.cc.o.d"
+  "/root/repo/src/baselines/tuneful.cc" "src/CMakeFiles/sparktune.dir/baselines/tuneful.cc.o" "gcc" "src/CMakeFiles/sparktune.dir/baselines/tuneful.cc.o.d"
+  "/root/repo/src/baselines/tuning_method.cc" "src/CMakeFiles/sparktune.dir/baselines/tuning_method.cc.o" "gcc" "src/CMakeFiles/sparktune.dir/baselines/tuning_method.cc.o.d"
+  "/root/repo/src/bo/acq_optimizer.cc" "src/CMakeFiles/sparktune.dir/bo/acq_optimizer.cc.o" "gcc" "src/CMakeFiles/sparktune.dir/bo/acq_optimizer.cc.o.d"
+  "/root/repo/src/bo/acquisition.cc" "src/CMakeFiles/sparktune.dir/bo/acquisition.cc.o" "gcc" "src/CMakeFiles/sparktune.dir/bo/acquisition.cc.o.d"
+  "/root/repo/src/bo/advisor.cc" "src/CMakeFiles/sparktune.dir/bo/advisor.cc.o" "gcc" "src/CMakeFiles/sparktune.dir/bo/advisor.cc.o.d"
+  "/root/repo/src/bo/agd.cc" "src/CMakeFiles/sparktune.dir/bo/agd.cc.o" "gcc" "src/CMakeFiles/sparktune.dir/bo/agd.cc.o.d"
+  "/root/repo/src/bo/history.cc" "src/CMakeFiles/sparktune.dir/bo/history.cc.o" "gcc" "src/CMakeFiles/sparktune.dir/bo/history.cc.o.d"
+  "/root/repo/src/bo/optimizer.cc" "src/CMakeFiles/sparktune.dir/bo/optimizer.cc.o" "gcc" "src/CMakeFiles/sparktune.dir/bo/optimizer.cc.o.d"
+  "/root/repo/src/bo/subspace_manager.cc" "src/CMakeFiles/sparktune.dir/bo/subspace_manager.cc.o" "gcc" "src/CMakeFiles/sparktune.dir/bo/subspace_manager.cc.o.d"
+  "/root/repo/src/common/json.cc" "src/CMakeFiles/sparktune.dir/common/json.cc.o" "gcc" "src/CMakeFiles/sparktune.dir/common/json.cc.o.d"
+  "/root/repo/src/common/normal.cc" "src/CMakeFiles/sparktune.dir/common/normal.cc.o" "gcc" "src/CMakeFiles/sparktune.dir/common/normal.cc.o.d"
+  "/root/repo/src/common/rng.cc" "src/CMakeFiles/sparktune.dir/common/rng.cc.o" "gcc" "src/CMakeFiles/sparktune.dir/common/rng.cc.o.d"
+  "/root/repo/src/common/stats.cc" "src/CMakeFiles/sparktune.dir/common/stats.cc.o" "gcc" "src/CMakeFiles/sparktune.dir/common/stats.cc.o.d"
+  "/root/repo/src/common/status.cc" "src/CMakeFiles/sparktune.dir/common/status.cc.o" "gcc" "src/CMakeFiles/sparktune.dir/common/status.cc.o.d"
+  "/root/repo/src/common/strings.cc" "src/CMakeFiles/sparktune.dir/common/strings.cc.o" "gcc" "src/CMakeFiles/sparktune.dir/common/strings.cc.o.d"
+  "/root/repo/src/common/table.cc" "src/CMakeFiles/sparktune.dir/common/table.cc.o" "gcc" "src/CMakeFiles/sparktune.dir/common/table.cc.o.d"
+  "/root/repo/src/fanova/fanova.cc" "src/CMakeFiles/sparktune.dir/fanova/fanova.cc.o" "gcc" "src/CMakeFiles/sparktune.dir/fanova/fanova.cc.o.d"
+  "/root/repo/src/forest/gbdt.cc" "src/CMakeFiles/sparktune.dir/forest/gbdt.cc.o" "gcc" "src/CMakeFiles/sparktune.dir/forest/gbdt.cc.o.d"
+  "/root/repo/src/forest/random_forest.cc" "src/CMakeFiles/sparktune.dir/forest/random_forest.cc.o" "gcc" "src/CMakeFiles/sparktune.dir/forest/random_forest.cc.o.d"
+  "/root/repo/src/forest/tree.cc" "src/CMakeFiles/sparktune.dir/forest/tree.cc.o" "gcc" "src/CMakeFiles/sparktune.dir/forest/tree.cc.o.d"
+  "/root/repo/src/linalg/cholesky.cc" "src/CMakeFiles/sparktune.dir/linalg/cholesky.cc.o" "gcc" "src/CMakeFiles/sparktune.dir/linalg/cholesky.cc.o.d"
+  "/root/repo/src/linalg/matrix.cc" "src/CMakeFiles/sparktune.dir/linalg/matrix.cc.o" "gcc" "src/CMakeFiles/sparktune.dir/linalg/matrix.cc.o.d"
+  "/root/repo/src/meta/knowledge_base.cc" "src/CMakeFiles/sparktune.dir/meta/knowledge_base.cc.o" "gcc" "src/CMakeFiles/sparktune.dir/meta/knowledge_base.cc.o.d"
+  "/root/repo/src/meta/meta_features.cc" "src/CMakeFiles/sparktune.dir/meta/meta_features.cc.o" "gcc" "src/CMakeFiles/sparktune.dir/meta/meta_features.cc.o.d"
+  "/root/repo/src/meta/meta_surrogate.cc" "src/CMakeFiles/sparktune.dir/meta/meta_surrogate.cc.o" "gcc" "src/CMakeFiles/sparktune.dir/meta/meta_surrogate.cc.o.d"
+  "/root/repo/src/meta/similarity.cc" "src/CMakeFiles/sparktune.dir/meta/similarity.cc.o" "gcc" "src/CMakeFiles/sparktune.dir/meta/similarity.cc.o.d"
+  "/root/repo/src/model/features.cc" "src/CMakeFiles/sparktune.dir/model/features.cc.o" "gcc" "src/CMakeFiles/sparktune.dir/model/features.cc.o.d"
+  "/root/repo/src/model/gp.cc" "src/CMakeFiles/sparktune.dir/model/gp.cc.o" "gcc" "src/CMakeFiles/sparktune.dir/model/gp.cc.o.d"
+  "/root/repo/src/model/kernel.cc" "src/CMakeFiles/sparktune.dir/model/kernel.cc.o" "gcc" "src/CMakeFiles/sparktune.dir/model/kernel.cc.o.d"
+  "/root/repo/src/service/data_repository.cc" "src/CMakeFiles/sparktune.dir/service/data_repository.cc.o" "gcc" "src/CMakeFiles/sparktune.dir/service/data_repository.cc.o.d"
+  "/root/repo/src/service/tuning_service.cc" "src/CMakeFiles/sparktune.dir/service/tuning_service.cc.o" "gcc" "src/CMakeFiles/sparktune.dir/service/tuning_service.cc.o.d"
+  "/root/repo/src/space/config_space.cc" "src/CMakeFiles/sparktune.dir/space/config_space.cc.o" "gcc" "src/CMakeFiles/sparktune.dir/space/config_space.cc.o.d"
+  "/root/repo/src/space/parameter.cc" "src/CMakeFiles/sparktune.dir/space/parameter.cc.o" "gcc" "src/CMakeFiles/sparktune.dir/space/parameter.cc.o.d"
+  "/root/repo/src/space/sobol.cc" "src/CMakeFiles/sparktune.dir/space/sobol.cc.o" "gcc" "src/CMakeFiles/sparktune.dir/space/sobol.cc.o.d"
+  "/root/repo/src/space/subspace.cc" "src/CMakeFiles/sparktune.dir/space/subspace.cc.o" "gcc" "src/CMakeFiles/sparktune.dir/space/subspace.cc.o.d"
+  "/root/repo/src/sparksim/cluster.cc" "src/CMakeFiles/sparktune.dir/sparksim/cluster.cc.o" "gcc" "src/CMakeFiles/sparktune.dir/sparksim/cluster.cc.o.d"
+  "/root/repo/src/sparksim/drift.cc" "src/CMakeFiles/sparktune.dir/sparksim/drift.cc.o" "gcc" "src/CMakeFiles/sparktune.dir/sparksim/drift.cc.o.d"
+  "/root/repo/src/sparksim/event_log.cc" "src/CMakeFiles/sparktune.dir/sparksim/event_log.cc.o" "gcc" "src/CMakeFiles/sparktune.dir/sparksim/event_log.cc.o.d"
+  "/root/repo/src/sparksim/event_log_json.cc" "src/CMakeFiles/sparktune.dir/sparksim/event_log_json.cc.o" "gcc" "src/CMakeFiles/sparktune.dir/sparksim/event_log_json.cc.o.d"
+  "/root/repo/src/sparksim/hibench.cc" "src/CMakeFiles/sparktune.dir/sparksim/hibench.cc.o" "gcc" "src/CMakeFiles/sparktune.dir/sparksim/hibench.cc.o.d"
+  "/root/repo/src/sparksim/production.cc" "src/CMakeFiles/sparktune.dir/sparksim/production.cc.o" "gcc" "src/CMakeFiles/sparktune.dir/sparksim/production.cc.o.d"
+  "/root/repo/src/sparksim/runtime_model.cc" "src/CMakeFiles/sparktune.dir/sparksim/runtime_model.cc.o" "gcc" "src/CMakeFiles/sparktune.dir/sparksim/runtime_model.cc.o.d"
+  "/root/repo/src/sparksim/spark_conf.cc" "src/CMakeFiles/sparktune.dir/sparksim/spark_conf.cc.o" "gcc" "src/CMakeFiles/sparktune.dir/sparksim/spark_conf.cc.o.d"
+  "/root/repo/src/sparksim/workload.cc" "src/CMakeFiles/sparktune.dir/sparksim/workload.cc.o" "gcc" "src/CMakeFiles/sparktune.dir/sparksim/workload.cc.o.d"
+  "/root/repo/src/tuner/evaluator.cc" "src/CMakeFiles/sparktune.dir/tuner/evaluator.cc.o" "gcc" "src/CMakeFiles/sparktune.dir/tuner/evaluator.cc.o.d"
+  "/root/repo/src/tuner/objective.cc" "src/CMakeFiles/sparktune.dir/tuner/objective.cc.o" "gcc" "src/CMakeFiles/sparktune.dir/tuner/objective.cc.o.d"
+  "/root/repo/src/tuner/online_tuner.cc" "src/CMakeFiles/sparktune.dir/tuner/online_tuner.cc.o" "gcc" "src/CMakeFiles/sparktune.dir/tuner/online_tuner.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/acquisition_test.dir/acquisition_test.cc.o"
+  "CMakeFiles/acquisition_test.dir/acquisition_test.cc.o.d"
+  "acquisition_test"
+  "acquisition_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/acquisition_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/advisor_context_test.dir/advisor_context_test.cc.o"
+  "CMakeFiles/advisor_context_test.dir/advisor_context_test.cc.o.d"
+  "advisor_context_test"
+  "advisor_context_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/advisor_context_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

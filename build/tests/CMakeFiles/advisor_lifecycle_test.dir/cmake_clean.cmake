@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/advisor_lifecycle_test.dir/advisor_lifecycle_test.cc.o"
+  "CMakeFiles/advisor_lifecycle_test.dir/advisor_lifecycle_test.cc.o.d"
+  "advisor_lifecycle_test"
+  "advisor_lifecycle_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/advisor_lifecycle_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

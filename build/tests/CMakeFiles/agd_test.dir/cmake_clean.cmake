@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/agd_test.dir/agd_test.cc.o"
+  "CMakeFiles/agd_test.dir/agd_test.cc.o.d"
+  "agd_test"
+  "agd_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/agd_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

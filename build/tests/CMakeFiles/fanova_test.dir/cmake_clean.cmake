@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fanova_test.dir/fanova_test.cc.o"
+  "CMakeFiles/fanova_test.dir/fanova_test.cc.o.d"
+  "fanova_test"
+  "fanova_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fanova_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

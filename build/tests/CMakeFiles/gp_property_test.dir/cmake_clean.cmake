@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gp_property_test.dir/gp_property_test.cc.o"
+  "CMakeFiles/gp_property_test.dir/gp_property_test.cc.o.d"
+  "gp_property_test"
+  "gp_property_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gp_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hibench_property_test.dir/hibench_property_test.cc.o"
+  "CMakeFiles/hibench_property_test.dir/hibench_property_test.cc.o.d"
+  "hibench_property_test"
+  "hibench_property_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hibench_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

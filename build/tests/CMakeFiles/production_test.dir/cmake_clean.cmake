@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/production_test.dir/production_test.cc.o"
+  "CMakeFiles/production_test.dir/production_test.cc.o.d"
+  "production_test"
+  "production_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/production_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

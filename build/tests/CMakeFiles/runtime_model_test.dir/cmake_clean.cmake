@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/runtime_model_test.dir/runtime_model_test.cc.o"
+  "CMakeFiles/runtime_model_test.dir/runtime_model_test.cc.o.d"
+  "runtime_model_test"
+  "runtime_model_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/runtime_model_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sim_effects_test.dir/sim_effects_test.cc.o"
+  "CMakeFiles/sim_effects_test.dir/sim_effects_test.cc.o.d"
+  "sim_effects_test"
+  "sim_effects_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sim_effects_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sobol_test.dir/sobol_test.cc.o"
+  "CMakeFiles/sobol_test.dir/sobol_test.cc.o.d"
+  "sobol_test"
+  "sobol_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sobol_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

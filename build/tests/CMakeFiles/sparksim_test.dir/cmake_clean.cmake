@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sparksim_test.dir/sparksim_test.cc.o"
+  "CMakeFiles/sparksim_test.dir/sparksim_test.cc.o.d"
+  "sparksim_test"
+  "sparksim_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sparksim_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/subspace_manager_test.dir/subspace_manager_test.cc.o"
+  "CMakeFiles/subspace_manager_test.dir/subspace_manager_test.cc.o.d"
+  "subspace_manager_test"
+  "subspace_manager_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/subspace_manager_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sparktune_cli.dir/sparktune_cli.cc.o"
+  "CMakeFiles/sparktune_cli.dir/sparktune_cli.cc.o.d"
+  "sparktune"
+  "sparktune.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sparktune_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
