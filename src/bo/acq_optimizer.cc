@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <limits>
 
+#include "common/thread_pool.h"
+
 namespace sparktune {
 
 AcquisitionOptimizer::AcquisitionOptimizer(AcqOptOptions options)
@@ -14,52 +16,79 @@ AcqOptResult AcquisitionOptimizer::Maximize(
     Rng* rng) const {
   struct Scored {
     Configuration config;
-    double value;
-  };
-  std::vector<Scored> pool;
-  pool.reserve(static_cast<size_t>(options_.num_candidates));
-
-  // Least-unsafe fallback bookkeeping.
-  Configuration least_unsafe;
-  double least_unsafety = std::numeric_limits<double>::infinity();
-  bool have_any = false;
-
-  auto consider = [&](Configuration c) {
-    if (history != nullptr && history->Contains(c)) return;
-    if (unsafety) {
-      double u = unsafety(c);
-      if (!have_any || u < least_unsafety) {
-        least_unsafety = u;
-        least_unsafe = c;
-        have_any = true;
-      }
-    } else if (!have_any) {
-      least_unsafe = c;
-      have_any = true;
-    }
-    if (safe && !safe(c)) return;
-    pool.push_back({std::move(c), 0.0});
+    double value = 0.0;
   };
 
+  // ---- Candidate generation (serial: preserves the rng draw order) ----
+  std::vector<Configuration> cands;
+  cands.reserve(static_cast<size_t>(options_.num_candidates) + 8);
   // Scattered candidates.
   for (int i = 0; i < options_.num_candidates; ++i) {
-    consider(subspace.Sample(rng));
+    cands.push_back(subspace.Sample(rng));
   }
-  // Exploit neighborhood of the incumbent and recent configurations.
+  // Exploit neighborhood of the incumbent and recent configurations. At
+  // least one incumbent neighbor even for small pools (num_candidates < 8
+  // used to yield zero and silently disable local exploitation).
   if (history != nullptr && !history->empty()) {
     const Observation* best = history->BestFeasible();
     if (best != nullptr) {
-      for (int i = 0; i < options_.num_candidates / 8; ++i) {
-        consider(subspace.Neighbor(subspace.Project(best->config),
-                                   options_.local_sigma, rng));
+      int local = std::max(1, options_.num_candidates / 8);
+      for (int i = 0; i < local; ++i) {
+        cands.push_back(subspace.Neighbor(subspace.Project(best->config),
+                                          options_.local_sigma, rng));
       }
     }
-    size_t recent =
-        std::min<size_t>(3, history->size());
+    size_t recent = std::min<size_t>(3, history->size());
     for (size_t k = history->size() - recent; k < history->size(); ++k) {
-      consider(subspace.Neighbor(subspace.Project(history->at(k).config),
-                                 options_.local_sigma, rng));
+      cands.push_back(subspace.Neighbor(subspace.Project(history->at(k).config),
+                                        options_.local_sigma, rng));
     }
+  }
+
+  // ---- Candidate evaluation (parallel: each slot is independent) ----
+  struct CandEval {
+    bool dup = false;
+    bool is_safe = true;
+    double unsafety_value = 0.0;
+    double acq_value = 0.0;
+  };
+  std::vector<CandEval> evals(cands.size());
+  ParallelFor(options_.num_threads, cands.size(), [&](size_t i) {
+    CandEval& e = evals[i];
+    const Configuration& c = cands[i];
+    if (history != nullptr && history->Contains(c)) {
+      e.dup = true;
+      return;
+    }
+    if (unsafety) e.unsafety_value = unsafety(c);
+    if (safe && !safe(c)) {
+      e.is_safe = false;
+      return;
+    }
+    e.acq_value = acq.Eval(encode(c));
+  });
+
+  // ---- Serial fold in candidate order (same tie-breaking as serial) ----
+  std::vector<Scored> pool;
+  pool.reserve(cands.size());
+  Configuration least_unsafe;
+  double least_unsafety = std::numeric_limits<double>::infinity();
+  bool have_any = false;
+  for (size_t i = 0; i < cands.size(); ++i) {
+    const CandEval& e = evals[i];
+    if (e.dup) continue;
+    if (unsafety) {
+      if (!have_any || e.unsafety_value < least_unsafety) {
+        least_unsafety = e.unsafety_value;
+        least_unsafe = cands[i];
+        have_any = true;
+      }
+    } else if (!have_any) {
+      least_unsafe = cands[i];
+      have_any = true;
+    }
+    if (!e.is_safe) continue;
+    pool.push_back({std::move(cands[i]), e.acq_value});
   }
 
   AcqOptResult result;
@@ -74,25 +103,40 @@ AcqOptResult AcquisitionOptimizer::Maximize(
     return result;
   }
 
-  for (auto& s : pool) {
-    s.value = acq.Eval(encode(s.config));
-  }
   std::sort(pool.begin(), pool.end(),
             [](const Scored& a, const Scored& b) { return a.value > b.value; });
 
-  // Local hill-climbing from the top starts.
+  // ---- Local hill-climbing from the top starts (parallel) ----
+  // Each start owns a forked RNG stream, so climbs are independent of each
+  // other and of the thread count.
   int starts = std::min<int>(options_.num_local_starts,
                              static_cast<int>(pool.size()));
-  Configuration best_config = pool[0].config;
-  double best_value = pool[0].value;
-  for (int s = 0; s < starts; ++s) {
-    Configuration cur = pool[static_cast<size_t>(s)].config;
-    double cur_value = pool[static_cast<size_t>(s)].value;
+  std::vector<Rng> climb_rngs = ForkRngs(rng, static_cast<size_t>(starts));
+  std::vector<Scored> climbed(static_cast<size_t>(starts));
+  ParallelFor(options_.num_threads, static_cast<size_t>(starts), [&](size_t s) {
+    Rng* crng = &climb_rngs[s];
+    Configuration cur = pool[s].config;
+    double cur_value = pool[s].value;
     double sigma = options_.local_sigma;
+    auto rejected = [&](const Configuration& c) {
+      return (history != nullptr && history->Contains(c)) ||
+             (safe && !safe(c));
+    };
     for (int step = 0; step < options_.local_steps; ++step) {
-      Configuration cand = subspace.Neighbor(cur, sigma, rng);
-      if (history != nullptr && history->Contains(cand)) continue;
-      if (safe && !safe(cand)) continue;
+      Configuration cand = subspace.Neighbor(cur, sigma, crng);
+      // A duplicate or unsafe candidate is not a wasted step: anneal sigma
+      // and redraw closer to `cur`, where membership is likeliest.
+      bool rej = rejected(cand);
+      for (int retry = 0; rej && retry < options_.max_rejected_retries;
+           ++retry) {
+        sigma *= 0.9;
+        cand = subspace.Neighbor(cur, sigma, crng);
+        rej = rejected(cand);
+      }
+      if (rej) {
+        sigma *= 0.9;
+        continue;
+      }
       double v = acq.Eval(encode(cand));
       if (v > cur_value) {
         cur = std::move(cand);
@@ -101,9 +145,15 @@ AcqOptResult AcquisitionOptimizer::Maximize(
         sigma *= 0.9;  // anneal toward fine-grained moves
       }
     }
-    if (cur_value > best_value) {
-      best_value = cur_value;
-      best_config = cur;
+    climbed[s] = {std::move(cur), cur_value};
+  });
+
+  Configuration best_config = pool[0].config;
+  double best_value = pool[0].value;
+  for (const Scored& c : climbed) {
+    if (c.value > best_value) {
+      best_value = c.value;
+      best_config = c.config;
     }
   }
 

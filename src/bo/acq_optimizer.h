@@ -18,6 +18,16 @@ struct AcqOptOptions {
   int num_local_starts = 6;
   int local_steps = 24;
   double local_sigma = 0.08;
+  // Rejected hill-climb candidates (duplicate or unsafe) are re-drawn this
+  // many times with annealed sigma before the step is forfeited, so a
+  // cramped safe region still gets productive moves.
+  int max_rejected_retries = 4;
+  // Threads for candidate scoring and the multi-start hill climbs: 1 =
+  // serial, 0 = global pool default width, k > 1 = up to k threads. The
+  // result is identical at any setting: candidates are generated serially
+  // from `rng`, each hill climb runs on its own forked stream, and
+  // selection folds in a fixed order.
+  int num_threads = 1;
 };
 
 struct AcqOptResult {

@@ -1,5 +1,7 @@
 #include "bo/history.h"
 
+#include <cstring>
+
 namespace sparktune {
 
 int RunHistory::BestFeasibleIndex() const {
@@ -26,9 +28,27 @@ double RunHistory::BestObjective() const {
   return o == nullptr ? std::numeric_limits<double>::infinity() : o->objective;
 }
 
+uint64_t RunHistory::ConfigKey(const Configuration& config) {
+  // FNV-1a over the value bit patterns.
+  uint64_t h = 0xcbf29ce484222325ULL;
+  for (double v : config.values()) {
+    if (v == 0.0) v = 0.0;  // -0.0 == 0.0 must hash identically
+    uint64_t bits;
+    std::memcpy(&bits, &v, sizeof(bits));
+    for (int shift = 0; shift < 64; shift += 8) {
+      h ^= (bits >> shift) & 0xFF;
+      h *= 0x100000001B3ULL;
+    }
+  }
+  h ^= config.size();
+  return h;
+}
+
 bool RunHistory::Contains(const Configuration& config) const {
-  for (const auto& o : observations_) {
-    if (o.config == config) return true;
+  auto it = config_index_.find(ConfigKey(config));
+  if (it == config_index_.end()) return false;
+  for (uint32_t idx : it->second) {
+    if (observations_[idx].config == config) return true;
   }
   return false;
 }

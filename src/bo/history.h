@@ -2,7 +2,9 @@
 // job execution.
 #pragma once
 
+#include <cstdint>
 #include <limits>
+#include <unordered_map>
 #include <vector>
 
 #include "space/config_space.h"
@@ -27,8 +29,15 @@ struct Observation {
 
 class RunHistory {
  public:
-  void Add(Observation obs) { observations_.push_back(std::move(obs)); }
-  void Clear() { observations_.clear(); }
+  void Add(Observation obs) {
+    config_index_[ConfigKey(obs.config)].push_back(
+        static_cast<uint32_t>(observations_.size()));
+    observations_.push_back(std::move(obs));
+  }
+  void Clear() {
+    observations_.clear();
+    config_index_.clear();
+  }
 
   size_t size() const { return observations_.size(); }
   bool empty() const { return observations_.empty(); }
@@ -44,11 +53,20 @@ class RunHistory {
   // Incumbent objective value (+inf when no feasible observation).
   double BestObjective() const;
 
-  // True if `config` was already evaluated (exact value match).
+  // True if `config` was already evaluated (exact value match). O(1): a
+  // hash bucket lookup plus exact comparison of the (rare) bucket entries —
+  // the acquisition optimizer calls this once per candidate, which used to
+  // cost O(pool x history) per iteration as an exact-double scan.
   bool Contains(const Configuration& config) const;
 
  private:
+  // Hash of the configuration values' bit patterns (-0.0 canonicalized to
+  // +0.0 so hashing agrees with operator==). Collisions are resolved by
+  // exact comparison, so semantics match the old linear scan.
+  static uint64_t ConfigKey(const Configuration& config);
+
   std::vector<Observation> observations_;
+  std::unordered_map<uint64_t, std::vector<uint32_t>> config_index_;
 };
 
 }  // namespace sparktune

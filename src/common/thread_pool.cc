@@ -1,0 +1,155 @@
+#include "common/thread_pool.h"
+
+#include <algorithm>
+#include <cstdlib>
+
+namespace sparktune {
+
+namespace {
+
+thread_local bool tls_in_worker = false;
+
+}  // namespace
+
+ThreadPool::ThreadPool(int num_threads) {
+  int target = std::clamp(num_threads, 1, kMaxThreads);
+  EnsureWorkers(target - 1);
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    stop_ = true;
+  }
+  cv_work_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+int ThreadPool::num_threads() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return static_cast<int>(workers_.size()) + 1;
+}
+
+bool ThreadPool::InWorker() { return tls_in_worker; }
+
+int ThreadPool::DefaultThreads() {
+  if (const char* env = std::getenv("SPARKTUNE_THREADS")) {
+    int v = std::atoi(env);
+    if (v > 0) return std::min(v, kMaxThreads);
+  }
+  unsigned hc = std::thread::hardware_concurrency();
+  return hc == 0 ? 1 : std::min(static_cast<int>(hc), kMaxThreads);
+}
+
+ThreadPool* ThreadPool::Global() {
+  static ThreadPool* pool = new ThreadPool(DefaultThreads());
+  return pool;
+}
+
+void ThreadPool::EnsureWorkers(int target_workers) {
+  std::lock_guard<std::mutex> lk(mu_);
+  target_workers = std::min(target_workers, kMaxThreads - 1);
+  while (static_cast<int>(workers_.size()) < target_workers) {
+    // A worker spawned at generation g must not try to join job g; it
+    // starts waiting for g+1.
+    workers_.emplace_back(&ThreadPool::WorkerLoop, this, generation_);
+  }
+}
+
+void ThreadPool::RunChunks(Job* job) {
+  const size_t n = job->n;
+  // Chunked claiming: large enough to amortize the atomic, small enough to
+  // balance uneven item costs (GP refits and tree fits vary a lot).
+  const size_t chunk =
+      std::max<size_t>(1, n / (static_cast<size_t>(job->width) * 8));
+  for (;;) {
+    size_t begin = job->next.fetch_add(chunk, std::memory_order_relaxed);
+    if (begin >= n) return;
+    size_t end = std::min(n, begin + chunk);
+    for (size_t i = begin; i < end; ++i) (*job->fn)(i);
+  }
+}
+
+void ThreadPool::WorkerLoop(uint64_t start_generation) {
+  tls_in_worker = true;
+  uint64_t seen = start_generation;
+  for (;;) {
+    Job* job = nullptr;
+    {
+      std::unique_lock<std::mutex> lk(mu_);
+      cv_work_.wait(lk, [&] { return stop_ || generation_ != seen; });
+      if (stop_) return;
+      seen = generation_;
+      job = job_;
+    }
+    // Participate only while the job wants more threads; late or surplus
+    // workers just report in.
+    if (job != nullptr &&
+        job->entered.fetch_add(1, std::memory_order_relaxed) <
+            job->width - 1) {
+      RunChunks(job);
+    }
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      ++workers_arrived_;
+      if (workers_arrived_ == workers_.size()) cv_done_.notify_one();
+    }
+  }
+}
+
+void ThreadPool::ParallelFor(size_t n, const std::function<void(size_t)>& fn,
+                             int max_threads) {
+  if (n == 0) return;
+  if (n == 1 || tls_in_worker) {
+    for (size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+  int width = max_threads > 0 ? std::min(max_threads, kMaxThreads)
+                              : num_threads();
+  width = static_cast<int>(
+      std::min<size_t>(static_cast<size_t>(width), n));
+  if (width <= 1) {
+    for (size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+
+  std::lock_guard<std::mutex> caller_lk(caller_mu_);
+  EnsureWorkers(width - 1);
+
+  Job job;
+  job.fn = &fn;
+  job.n = n;
+  job.width = width;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    job_ = &job;
+    workers_arrived_ = 0;
+    ++generation_;
+  }
+  cv_work_.notify_all();
+  RunChunks(&job);  // the caller is a participant
+  {
+    std::unique_lock<std::mutex> lk(mu_);
+    cv_done_.wait(lk, [&] { return workers_arrived_ == workers_.size(); });
+    job_ = nullptr;
+  }
+}
+
+void ParallelFor(int num_threads, size_t n,
+                 const std::function<void(size_t)>& fn) {
+  if (num_threads == 1 || n <= 1 || ThreadPool::InWorker()) {
+    for (size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+  int width = num_threads <= 0 ? ThreadPool::DefaultThreads() : num_threads;
+  ThreadPool::Global()->ParallelFor(n, fn, width);
+}
+
+std::vector<Rng> ForkRngs(Rng* base, size_t n) {
+  std::vector<Rng> rngs;
+  rngs.reserve(n);
+  for (size_t i = 0; i < n; ++i) rngs.push_back(base->Fork());
+  return rngs;
+}
+
+}  // namespace sparktune

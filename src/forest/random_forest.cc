@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "common/thread_pool.h"
+
 namespace sparktune {
 
 RandomForest::RandomForest(ForestOptions options) : options_(options) {}
@@ -21,23 +23,32 @@ Status RandomForest::Fit(const std::vector<std::vector<double>>& x,
   }
 
   Rng rng(options_.seed);
-  trees_.clear();
-  trees_.reserve(static_cast<size_t>(options_.num_trees));
   int n = static_cast<int>(x.size());
   int boot_n =
       std::max(1, static_cast<int>(options_.bootstrap_fraction * n));
-  for (int t = 0; t < options_.num_trees; ++t) {
-    Rng tree_rng = rng.Fork();
+  TreeOptions topts = options_.tree;
+  topts.max_features = max_features < nf ? max_features : -1;
+
+  // Fork every tree's RNG serially off the master stream (identical order
+  // to the serial loop), then fit trees concurrently: bootstrap draws and
+  // feature subsampling read only the tree's own stream.
+  size_t num_trees = static_cast<size_t>(options_.num_trees);
+  std::vector<Rng> tree_rngs = ForkRngs(&rng, num_trees);
+  std::vector<RegressionTree> trees(num_trees, RegressionTree(topts));
+  std::vector<Status> statuses(num_trees, Status::OK());
+  ParallelFor(options_.num_threads, num_trees, [&](size_t t) {
+    Rng& tree_rng = tree_rngs[t];
     std::vector<int> sample(static_cast<size_t>(boot_n));
     for (auto& s : sample) {
       s = static_cast<int>(tree_rng.UniformInt(0, n - 1));
     }
-    TreeOptions topts = options_.tree;
-    topts.max_features = max_features < nf ? max_features : -1;
-    RegressionTree tree(topts);
-    SPARKTUNE_RETURN_IF_ERROR(tree.Fit(x, y, sample, &tree_rng));
-    trees_.push_back(std::move(tree));
+    statuses[t] = trees[t].Fit(x, y, sample, &tree_rng);
+  });
+  trees_.clear();
+  for (const Status& st : statuses) {
+    SPARKTUNE_RETURN_IF_ERROR(st);
   }
+  trees_ = std::move(trees);
   return Status::OK();
 }
 

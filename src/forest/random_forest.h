@@ -20,6 +20,11 @@ struct ForestOptions {
   double feature_fraction = -1.0;
   double bootstrap_fraction = 1.0;
   uint64_t seed = 17;
+  // Threads for tree fitting: 1 = serial, 0 = global pool default width,
+  // k > 1 = up to k threads. Every tree's RNG is forked serially from the
+  // master stream before fitting, so the forest is bit-identical at any
+  // setting.
+  int num_threads = 1;
 };
 
 class RandomForest final : public Surrogate {

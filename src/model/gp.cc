@@ -5,6 +5,7 @@
 #include <numbers>
 
 #include "common/stats.h"
+#include "common/thread_pool.h"
 
 namespace sparktune {
 
@@ -12,24 +13,56 @@ GaussianProcess::GaussianProcess(std::vector<FeatureKind> schema,
                                  GpOptions options)
     : kernel_(std::move(schema)), options_(options) {}
 
-Result<double> GaussianProcess::Refit(const KernelParams& params) {
-  kernel_.set_params(params);
+bool GaussianProcess::SameGramKey(const KernelParams& a,
+                                  const KernelParams& b) {
+  return a.signal_variance == b.signal_variance &&
+         a.length_numeric == b.length_numeric &&
+         a.length_datasize == b.length_datasize &&
+         a.hamming_weight == b.hamming_weight;
+}
+
+Matrix GaussianProcess::BuildGram(const KernelParams& params) const {
   size_t n = x_.size();
   Matrix k(n, n);
   for (size_t i = 0; i < n; ++i) {
     for (size_t j = 0; j <= i; ++j) {
-      double v = kernel_.Eval(x_[i], x_[j]);
+      double v = kernel_.EvalStats(pair_stats_[i * (i + 1) / 2 + j], params);
       k(i, j) = v;
       k(j, i) = v;
     }
   }
+  return k;
+}
+
+Result<double> GaussianProcess::EvalLml(const KernelParams& params,
+                                        const Matrix* gram) const {
+  size_t n = x_.size();
+  Matrix k = gram != nullptr ? *gram : BuildGram(params);
+  k.AddDiagonal(params.noise_variance + options_.noise_floor);
+  auto chol = Cholesky::Factor(k);
+  if (!chol.ok()) return chol.status();
+  Vector alpha = chol->Solve(y_std_);
+  double fit_term = -0.5 * Dot(y_std_, alpha);
+  return fit_term - 0.5 * chol->LogDet() -
+         0.5 * static_cast<double>(n) *
+             std::log(2.0 * std::numbers::pi);
+}
+
+Result<double> GaussianProcess::Refit(const KernelParams& params) {
+  kernel_.set_params(params);
+  if (!gram_valid_ || !SameGramKey(gram_key_, params)) {
+    gram_ = BuildGram(params);
+    gram_key_ = params;
+    gram_valid_ = true;
+  }
+  Matrix k = gram_;
   k.AddDiagonal(params.noise_variance + options_.noise_floor);
   auto chol = Cholesky::Factor(k);
   if (!chol.ok()) return chol.status();
   Vector alpha = chol->Solve(y_std_);
   double fit_term = -0.5 * Dot(y_std_, alpha);
   double lml = fit_term - 0.5 * chol->LogDet() -
-               0.5 * static_cast<double>(n) *
+               0.5 * static_cast<double>(x_.size()) *
                    std::log(2.0 * std::numbers::pi);
   chol_.emplace(std::move(*chol));
   alpha_ = std::move(alpha);
@@ -57,6 +90,18 @@ Status GaussianProcess::Fit(const std::vector<std::vector<double>>& x,
     y_std_[i] = (y[i] - y_mean_) / y_scale_;
   }
 
+  // Pairwise statistics are hyperparameter-independent: compute them once
+  // (in parallel over rows) and every grid refit drops from O(n^2 d) to
+  // O(n^2) kernel work.
+  size_t n = x_.size();
+  pair_stats_.resize(n * (n + 1) / 2);
+  ParallelFor(options_.num_threads, n, [&](size_t i) {
+    for (size_t j = 0; j <= i; ++j) {
+      pair_stats_[i * (i + 1) / 2 + j] = kernel_.Stats(x_[i], x_[j]);
+    }
+  });
+  gram_valid_ = false;
+
   KernelParams best = kernel_.params();
   auto first = Refit(best);
   if (!first.ok()) return first.status();
@@ -68,57 +113,66 @@ Status GaussianProcess::Fit(const std::vector<std::vector<double>>& x,
   const std::vector<double> noise_grid = {1e-6, 1e-4, 1e-3, 1e-2, 5e-2};
   const std::vector<double> hamming_grid = {0.25, 0.5, 1.0, 2.0, 4.0};
 
+  // One coordinate of the descent: refit every grid point on an
+  // independent scratch state (parallel), then scan in grid order with the
+  // same strict-improvement rule as the sequential loop. Grid points only
+  // differ from `best` in the swept coordinate, so mid-loop updates of
+  // `best` never change later candidates — the parallel evaluation is
+  // bit-identical to the serial sweep at any thread count.
+  auto sweep_coordinate = [&](const std::vector<double>& grid,
+                              void (*assign)(KernelParams*, double),
+                              bool noise_only) {
+    std::vector<KernelParams> cand(grid.size(), best);
+    for (size_t i = 0; i < grid.size(); ++i) assign(&cand[i], grid[i]);
+    // Noise enters only the diagonal: all noise candidates share one Gram
+    // matrix instead of re-evaluating the full O(n^2) kernel each.
+    Matrix shared;
+    if (noise_only) shared = BuildGram(best);
+    std::vector<double> lml(grid.size(), 0.0);
+    std::vector<char> ok(grid.size(), 0);
+    ParallelFor(options_.num_threads, grid.size(), [&](size_t i) {
+      auto r = EvalLml(cand[i], noise_only ? &shared : nullptr);
+      if (r.ok()) {
+        lml[i] = *r;
+        ok[i] = 1;
+      }
+    });
+    for (size_t i = 0; i < grid.size(); ++i) {
+      if (ok[i] && lml[i] > best_lml) {
+        best_lml = lml[i];
+        best = cand[i];
+      }
+    }
+  };
+
+  bool has_ds = std::any_of(
+      kernel_.schema().begin(), kernel_.schema().end(),
+      [](FeatureKind k) { return k == FeatureKind::kDataSize; });
+  bool has_cat = std::any_of(
+      kernel_.schema().begin(), kernel_.schema().end(),
+      [](FeatureKind k) { return k == FeatureKind::kCategorical; });
+
   for (int sweep = 0; sweep < options_.hyper_sweeps; ++sweep) {
     // Coordinate 1: numeric lengthscale.
-    for (double l : length_grid) {
-      KernelParams p = best;
-      p.length_numeric = l;
-      auto r = Refit(p);
-      if (r.ok() && *r > best_lml) {
-        best_lml = *r;
-        best = p;
-      }
-    }
+    sweep_coordinate(
+        length_grid, [](KernelParams* p, double v) { p->length_numeric = v; },
+        false);
     // Coordinate 2: datasize lengthscale (only if present).
-    bool has_ds = std::any_of(
-        kernel_.schema().begin(), kernel_.schema().end(),
-        [](FeatureKind k) { return k == FeatureKind::kDataSize; });
     if (has_ds) {
-      for (double l : length_grid) {
-        KernelParams p = best;
-        p.length_datasize = l;
-        auto r = Refit(p);
-        if (r.ok() && *r > best_lml) {
-          best_lml = *r;
-          best = p;
-        }
-      }
+      sweep_coordinate(
+          length_grid,
+          [](KernelParams* p, double v) { p->length_datasize = v; }, false);
     }
     // Coordinate 3: hamming weight (only if categorical present).
-    bool has_cat = std::any_of(
-        kernel_.schema().begin(), kernel_.schema().end(),
-        [](FeatureKind k) { return k == FeatureKind::kCategorical; });
     if (has_cat) {
-      for (double w : hamming_grid) {
-        KernelParams p = best;
-        p.hamming_weight = w;
-        auto r = Refit(p);
-        if (r.ok() && *r > best_lml) {
-          best_lml = *r;
-          best = p;
-        }
-      }
+      sweep_coordinate(
+          hamming_grid,
+          [](KernelParams* p, double v) { p->hamming_weight = v; }, false);
     }
     // Coordinate 4: noise.
-    for (double t : noise_grid) {
-      KernelParams p = best;
-      p.noise_variance = t;
-      auto r = Refit(p);
-      if (r.ok() && *r > best_lml) {
-        best_lml = *r;
-        best = p;
-      }
-    }
+    sweep_coordinate(
+        noise_grid, [](KernelParams* p, double v) { p->noise_variance = v; },
+        true);
   }
   // Leave the model refit at the best parameters.
   auto final_fit = Refit(best);

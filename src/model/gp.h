@@ -21,6 +21,11 @@ struct GpOptions {
   bool optimize_hypers = true;
   // Number of coordinate-descent sweeps.
   int hyper_sweeps = 2;
+  // Threads for the hyperparameter grid sweep: 1 = serial (bit-identical to
+  // the single-threaded path), 0 = global pool default width, k > 1 = up to
+  // k threads. Any setting yields bit-identical fits (grid points are
+  // evaluated on independent scratch states; selection stays sequential).
+  int num_threads = 1;
 };
 
 class GaussianProcess final : public Surrogate {
@@ -43,8 +48,21 @@ class GaussianProcess final : public Surrogate {
 
  private:
   // Refactor the kernel matrix + alpha for given params; returns LML or
-  // error.
+  // error. Mutates model state — serial use only.
   Result<double> Refit(const KernelParams& params);
+
+  // Log marginal likelihood of `params` on an independent scratch state:
+  // touches no members, so grid points can be evaluated concurrently. When
+  // `gram` is non-null it is used as the (noise-free) kernel matrix instead
+  // of rebuilding it — noise-only refits share one Gram matrix.
+  Result<double> EvalLml(const KernelParams& params, const Matrix* gram) const;
+
+  // Kernel matrix (no noise diagonal) from the cached pairwise statistics.
+  Matrix BuildGram(const KernelParams& params) const;
+
+  // True when `a` and `b` produce the same Gram matrix (all hyperparameters
+  // equal except the noise variance, which only enters the diagonal).
+  static bool SameGramKey(const KernelParams& a, const KernelParams& b);
 
   MixedKernel kernel_;
   GpOptions options_;
@@ -54,6 +72,14 @@ class GaussianProcess final : public Surrogate {
   std::vector<double> y_std_;  // standardized targets
   double y_mean_ = 0.0;
   double y_scale_ = 1.0;
+
+  // Hyperparameter-independent pairwise kernel statistics, packed lower
+  // triangle (row i, col j <= i at i*(i+1)/2 + j). Rebuilt per Fit.
+  std::vector<KernelPairStats> pair_stats_;
+  // Last Gram matrix built by Refit, reused when only the noise changes.
+  Matrix gram_;
+  KernelParams gram_key_;
+  bool gram_valid_ = false;
 
   std::optional<Cholesky> chol_;
   Vector alpha_;  // (K + tau^2 I)^-1 y_std

@@ -22,8 +22,8 @@ double MixedKernel::Matern52(double r) {
   return (1.0 + s + s * s / 3.0) * std::exp(-s);
 }
 
-double MixedKernel::Eval(const std::vector<double>& a,
-                         const std::vector<double>& b) const {
+KernelPairStats MixedKernel::Stats(const std::vector<double>& a,
+                                   const std::vector<double>& b) const {
   assert(a.size() == schema_.size() && b.size() == schema_.size());
   double num_d2 = 0.0;
   double ds_d2 = 0.0;
@@ -42,20 +42,35 @@ double MixedKernel::Eval(const std::vector<double>& a,
         break;
     }
   }
-  double k = params_.signal_variance;
+  KernelPairStats s;
+  s.numeric_dist = std::sqrt(num_d2);
+  if (num_categorical_ > 0) {
+    s.mismatch_frac = mismatches / static_cast<double>(num_categorical_);
+  }
+  s.datasize_d2 = ds_d2;
+  return s;
+}
+
+double MixedKernel::EvalStats(const KernelPairStats& s,
+                              const KernelParams& p) const {
+  double k = p.signal_variance;
   if (num_numeric_ > 0) {
-    double r = std::sqrt(num_d2) / params_.length_numeric;
+    double r = s.numeric_dist / p.length_numeric;
     k *= Matern52(r);
   }
   if (num_categorical_ > 0) {
-    double frac = mismatches / static_cast<double>(num_categorical_);
-    k *= std::exp(-params_.hamming_weight * frac);
+    k *= std::exp(-p.hamming_weight * s.mismatch_frac);
   }
   if (num_datasize_ > 0) {
-    double l = params_.length_datasize;
-    k *= std::exp(-0.5 * ds_d2 / (l * l));
+    double l = p.length_datasize;
+    k *= std::exp(-0.5 * s.datasize_d2 / (l * l));
   }
   return k;
+}
+
+double MixedKernel::Eval(const std::vector<double>& a,
+                         const std::vector<double>& b) const {
+  return EvalStats(Stats(a, b), params_);
 }
 
 }  // namespace sparktune

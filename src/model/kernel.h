@@ -21,6 +21,16 @@ struct KernelParams {
   double noise_variance = 1e-3;
 };
 
+// Hyperparameter-independent distance statistics of one feature pair. The
+// kernel value for ANY KernelParams can be recovered from them, so a GP fit
+// computes them once per observation pair and sweeps hyperparameters in
+// O(n^2) per grid point instead of O(n^2 d).
+struct KernelPairStats {
+  double numeric_dist = 0.0;   // sqrt(sum of squared numeric diffs)
+  double mismatch_frac = 0.0;  // categorical mismatch fraction
+  double datasize_d2 = 0.0;    // squared data-size distance
+};
+
 class MixedKernel {
  public:
   explicit MixedKernel(std::vector<FeatureKind> schema,
@@ -32,6 +42,14 @@ class MixedKernel {
 
   // k(a, b) without the noise term.
   double Eval(const std::vector<double>& a, const std::vector<double>& b) const;
+
+  // Pairwise statistics of (a, b); Eval(a, b) == EvalStats(Stats(a, b),
+  // params()) bit-for-bit.
+  KernelPairStats Stats(const std::vector<double>& a,
+                        const std::vector<double>& b) const;
+  // k(a, b) from cached statistics under explicit hyperparameters. Reads no
+  // mutable kernel state, so it is safe to call concurrently.
+  double EvalStats(const KernelPairStats& s, const KernelParams& p) const;
 
   // Matérn-5/2 correlation for scaled distance r >= 0.
   static double Matern52(double r);

@@ -1,6 +1,10 @@
 #include "service/tuning_service.h"
 
 #include <cassert>
+#include <optional>
+#include <unordered_set>
+
+#include "common/thread_pool.h"
 
 namespace sparktune {
 
@@ -56,6 +60,19 @@ void TuningService::MaybeAttachMeta(TaskState* state) {
   state->meta_attached = true;
 }
 
+void TuningService::AbsorbExecution(TaskState* state) {
+  if (!state->tuner->last_event_log().stages.empty()) {
+    state->meta_samples.push_back(
+        ExtractMetaFeatures(state->tuner->last_event_log()));
+    if (state->meta_samples.size() > 8) {
+      state->meta_samples.erase(state->meta_samples.begin());
+    }
+  }
+  // Attach meta-knowledge as soon as the first meta-features exist; the
+  // advisor consumes warm-start configs during its initial design.
+  MaybeAttachMeta(state);
+}
+
 Result<Observation> TuningService::ExecutePeriodic(const std::string& id) {
   auto it = tasks_.find(id);
   if (it == tasks_.end()) {
@@ -63,17 +80,49 @@ Result<Observation> TuningService::ExecutePeriodic(const std::string& id) {
   }
   TaskState& state = it->second;
   Observation obs = state.tuner->Step();
-  if (!state.tuner->last_event_log().stages.empty()) {
-    state.meta_samples.push_back(
-        ExtractMetaFeatures(state.tuner->last_event_log()));
-    if (state.meta_samples.size() > 8) {
-      state.meta_samples.erase(state.meta_samples.begin());
+  AbsorbExecution(&state);
+  return obs;
+}
+
+std::vector<Result<Observation>> TuningService::ExecutePeriodicAll(
+    const std::vector<std::string>& ids) {
+  // Resolve ids serially; a task may appear at most once per batch (two
+  // concurrent Step() calls on one tuner would race).
+  std::vector<TaskState*> states(ids.size(), nullptr);
+  std::vector<Status> errors(ids.size(), Status::OK());
+  std::unordered_set<std::string> seen;
+  for (size_t i = 0; i < ids.size(); ++i) {
+    auto it = tasks_.find(ids[i]);
+    if (it == tasks_.end()) {
+      errors[i] = Status::NotFound("unknown task: " + ids[i]);
+    } else if (!seen.insert(ids[i]).second) {
+      errors[i] = Status::InvalidArgument("task repeated in batch: " + ids[i]);
+    } else {
+      states[i] = &it->second;
     }
   }
-  // Attach meta-knowledge as soon as the first meta-features exist; the
-  // advisor consumes warm-start configs during its initial design.
-  MaybeAttachMeta(&state);
-  return obs;
+
+  // Run the suggest/evaluate cycles concurrently: each task touches only
+  // its own tuner and evaluator, and the shared knowledge base is read
+  // nowhere in Step().
+  std::vector<std::optional<Observation>> stepped(ids.size());
+  ParallelFor(options_.num_threads, ids.size(), [&](size_t i) {
+    if (states[i] != nullptr) stepped[i] = states[i]->tuner->Step();
+  });
+
+  // Serial postlude in input order: meta-feature harvesting and knowledge
+  // attachment mutate per-task and shared state.
+  std::vector<Result<Observation>> results;
+  results.reserve(ids.size());
+  for (size_t i = 0; i < ids.size(); ++i) {
+    if (states[i] == nullptr) {
+      results.push_back(errors[i]);
+      continue;
+    }
+    AbsorbExecution(states[i]);
+    results.push_back(std::move(*stepped[i]));
+  }
+  return results;
 }
 
 Status TuningService::HarvestTask(const std::string& id) {

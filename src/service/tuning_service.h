@@ -10,6 +10,7 @@
 #include <memory>
 #include <optional>
 #include <string>
+#include <vector>
 
 #include "meta/knowledge_base.h"
 #include "service/data_repository.h"
@@ -25,6 +26,11 @@ struct TuningServiceOptions {
   int min_tasks_for_transfer = 2;
   // Directory for persistence; empty = in-memory only.
   std::string repository_dir;
+  // Threads for ExecutePeriodicAll batches: 1 = serial, 0 = global pool
+  // default width, k > 1 = up to k threads. Tasks are independent (own
+  // tuner + evaluator), so the batch result equals calling ExecutePeriodic
+  // per id in order.
+  int num_threads = 1;
 };
 
 class TuningService {
@@ -40,6 +46,16 @@ class TuningService {
   // configuration, run it, record the result. Meta-knowledge is attached
   // after the first execution produces meta-features.
   Result<Observation> ExecutePeriodic(const std::string& id);
+
+  // Handle one periodic execution for EVERY id concurrently (the §6.2
+  // multi-tenant scheduling tick: many independent periodic tasks fire at
+  // once, and suggestion latency is pure overhead on each). Results come
+  // back in input order and match a sequential ExecutePeriodic loop; ids
+  // that are unknown or repeated within the batch get an error slot.
+  // Requires each task's evaluator to be independent of the others (or
+  // thread-safe).
+  std::vector<Result<Observation>> ExecutePeriodicAll(
+      const std::vector<std::string>& ids);
 
   // Fold a task's accumulated history into the knowledge base (and the
   // repository when persistence is enabled). Idempotent per task version.
@@ -64,6 +80,10 @@ class TuningService {
   };
 
   void MaybeAttachMeta(TaskState* state);
+  // Post-execution bookkeeping shared by the single and batch paths:
+  // harvest meta-features from the last event log, then attach
+  // meta-knowledge once available. Mutates shared state — serial use only.
+  void AbsorbExecution(TaskState* state);
 
   const ConfigSpace* space_;
   TuningServiceOptions options_;

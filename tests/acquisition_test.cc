@@ -201,5 +201,69 @@ TEST(AcqOptimizerTest, SkipsAlreadyEvaluatedConfigs) {
   EXPECT_FALSE(history.Contains(res.config));
 }
 
+TEST(AcqOptimizerTest, SmallPoolsStillGetIncumbentNeighbors) {
+  // Regression: num_candidates < 8 used to truncate num_candidates / 8 to
+  // zero incumbent neighbors, silently disabling local exploitation. Count
+  // candidate evaluations via the unsafety callback: 4 scattered + 1
+  // incumbent neighbor + 1 recent neighbor = 6 (the pre-fix code saw 5).
+  ConfigSpace space = TwoDSpace();
+  FakeSurrogate objective([](const std::vector<double>&) {
+    return Prediction{0.0, 1.0};
+  });
+  EicAcquisition acq(&objective, 1.0);
+  Subspace full = Subspace::Full(&space);
+  AcqOptOptions opts;
+  opts.num_candidates = 4;
+  opts.num_local_starts = 0;  // no hill climbs: count candidates only
+  AcquisitionOptimizer opt(opts);
+  RunHistory history;
+  Observation o;
+  o.config = space.Default();
+  o.feasible = true;
+  history.Add(o);
+  int unsafety_calls = 0;
+  auto unsafety = [&](const Configuration&) {
+    ++unsafety_calls;
+    return -1.0;  // everything safe
+  };
+  auto safe = [](const Configuration&) { return true; };
+  Rng rng(9);
+  auto encode = [&](const Configuration& c) { return space.ToUnit(c); };
+  opt.Maximize(full, encode, acq, safe, unsafety, &history, &rng);
+  EXPECT_EQ(unsafety_calls, 6);
+}
+
+TEST(AcqOptimizerTest, RejectedClimbStepsRetryWithAnnealedSigma) {
+  // Regression: hill-climb draws rejected by the safe predicate used to
+  // forfeit the whole step. Now each rejected draw is retried (up to
+  // max_rejected_retries times) with annealed sigma, so the safe predicate
+  // is consulted strictly more often than the no-retry floor of one call
+  // per candidate plus one per climb step.
+  ConfigSpace space = TwoDSpace();
+  FakeSurrogate objective([](const std::vector<double>& x) {
+    return Prediction{x[0], 1.0};  // EI prefers small a — deep inside safe
+  });
+  EicAcquisition acq(&objective, 1.0);
+  Subspace full = Subspace::Full(&space);
+  AcqOptOptions opts;
+  opts.num_candidates = 64;
+  opts.num_local_starts = 1;
+  opts.local_steps = 20;
+  opts.local_sigma = 0.5;  // wide draws: many land outside the safe region
+  AcquisitionOptimizer opt(opts);
+  int safe_calls = 0;
+  auto safe = [&](const Configuration& c) {
+    ++safe_calls;
+    return c[0] <= 0.3;
+  };
+  Rng rng(17);
+  auto encode = [&](const Configuration& c) { return space.ToUnit(c); };
+  AcqOptResult res =
+      opt.Maximize(full, encode, acq, safe, nullptr, nullptr, &rng);
+  // No-retry floor: 64 candidate checks + 20 climb-step checks = 84.
+  EXPECT_GT(safe_calls, 64 + 20);
+  EXPECT_LE(res.config[0], 0.3);
+}
+
 }  // namespace
 }  // namespace sparktune

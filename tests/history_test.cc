@@ -1,0 +1,111 @@
+// Tests for RunHistory, in particular the hash-indexed Contains(): it must
+// keep the exact semantics of the old linear scan (value equality,
+// -0.0 == 0.0, NaN never matches) while being O(1) per lookup.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "bo/history.h"
+
+namespace sparktune {
+namespace {
+
+ConfigSpace TwoDSpace() {
+  ConfigSpace s;
+  EXPECT_TRUE(s.Add(Parameter::Float("a", 0.0, 1.0, 0.5)).ok());
+  EXPECT_TRUE(s.Add(Parameter::Float("b", 0.0, 1.0, 0.5)).ok());
+  return s;
+}
+
+Observation Obs(Configuration c, double objective = 1.0) {
+  Observation o;
+  o.config = std::move(c);
+  o.objective = objective;
+  o.feasible = true;
+  return o;
+}
+
+TEST(RunHistoryTest, ContainsMatchesExactValues) {
+  ConfigSpace space = TwoDSpace();
+  RunHistory h;
+  Rng rng(11);
+  std::vector<Configuration> added;
+  for (int i = 0; i < 50; ++i) {
+    added.push_back(space.Sample(&rng));
+    h.Add(Obs(added.back()));
+  }
+  for (const Configuration& c : added) EXPECT_TRUE(h.Contains(c));
+  // Any perturbation, however small, is a different configuration.
+  Configuration tweaked = added[7];
+  tweaked[0] = std::nextafter(tweaked[0], 2.0);
+  EXPECT_FALSE(h.Contains(tweaked));
+  EXPECT_FALSE(h.Contains(space.Sample(&rng)));
+}
+
+TEST(RunHistoryTest, SignedZeroHashesLikeUnsignedZero) {
+  // 0.0 == -0.0 under operator==, so the hash must agree too — otherwise
+  // Contains would miss a config the linear scan used to find.
+  ConfigSpace space = TwoDSpace();
+  Configuration pos = space.Default();
+  pos[0] = 0.0;
+  Configuration neg = space.Default();
+  neg[0] = -0.0;
+  ASSERT_TRUE(pos == neg);
+  RunHistory h;
+  h.Add(Obs(pos));
+  EXPECT_TRUE(h.Contains(neg));
+  RunHistory h2;
+  h2.Add(Obs(neg));
+  EXPECT_TRUE(h2.Contains(pos));
+}
+
+TEST(RunHistoryTest, NanNeverMatches) {
+  ConfigSpace space = TwoDSpace();
+  Configuration c = space.Default();
+  c[1] = std::numeric_limits<double>::quiet_NaN();
+  RunHistory h;
+  h.Add(Obs(c));
+  // NaN != NaN, so even the identical stored config does not "contain".
+  EXPECT_FALSE(h.Contains(c));
+  EXPECT_FALSE(h.Contains(space.Default()));
+}
+
+TEST(RunHistoryTest, DuplicatesAndClear) {
+  ConfigSpace space = TwoDSpace();
+  Configuration c = space.Default();
+  RunHistory h;
+  h.Add(Obs(c, 1.0));
+  h.Add(Obs(c, 2.0));  // same config evaluated twice is legal
+  EXPECT_EQ(h.size(), 2u);
+  EXPECT_TRUE(h.Contains(c));
+  h.Clear();
+  EXPECT_TRUE(h.empty());
+  EXPECT_FALSE(h.Contains(c));
+  // The index must be rebuilt correctly after Clear.
+  h.Add(Obs(c));
+  EXPECT_TRUE(h.Contains(c));
+  EXPECT_EQ(h.size(), 1u);
+}
+
+TEST(RunHistoryTest, LargeHistoryLookupsStayExact) {
+  // Stress the bucket structure: many configs, some sharing coordinates.
+  ConfigSpace space = TwoDSpace();
+  RunHistory h;
+  std::vector<Configuration> added;
+  for (int i = 0; i < 400; ++i) {
+    Configuration c = space.Default();
+    c[0] = (i % 20) / 20.0;
+    c[1] = (i / 20) / 20.0;
+    added.push_back(c);
+    h.Add(Obs(c));
+  }
+  for (const Configuration& c : added) EXPECT_TRUE(h.Contains(c));
+  Configuration missing = space.Default();
+  missing[0] = 0.025;  // between grid points
+  missing[1] = 0.025;
+  EXPECT_FALSE(h.Contains(missing));
+}
+
+}  // namespace
+}  // namespace sparktune
