@@ -1,0 +1,188 @@
+// Batched vs per-point surrogate inference: times a Predict loop against
+// one PredictBatch call for the GP, the meta ensemble and the random forest
+// across training-set sizes n and candidate-pool sizes m, verifying
+// bit-equality of every prediction along the way. The headline number is
+// the GP speedup at n=512, m=500 (the acquisition-pool shape).
+//
+// Flags: --reps=N (timing repetitions, default 3), --max_n=N (skip
+// training sizes above N, default 512 — smoke runs pass --max_n=64).
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "bench_util.h"
+#include "forest/random_forest.h"
+#include "meta/meta_surrogate.h"
+#include "model/gp.h"
+
+namespace sparktune {
+namespace {
+
+struct MixedData {
+  std::vector<FeatureKind> schema;
+  std::vector<std::vector<double>> x;
+  std::vector<double> y;
+};
+
+MixedData MakeMixedData(size_t n, uint64_t seed) {
+  MixedData d;
+  d.schema = {FeatureKind::kNumeric, FeatureKind::kNumeric,
+              FeatureKind::kNumeric, FeatureKind::kNumeric,
+              FeatureKind::kCategorical, FeatureKind::kDataSize};
+  Rng rng(seed);
+  for (size_t i = 0; i < n; ++i) {
+    std::vector<double> row(6);
+    for (int k = 0; k < 4; ++k) row[static_cast<size_t>(k)] = rng.Uniform();
+    row[4] = rng.Bernoulli(0.5) ? 1.0 : 0.0;
+    row[5] = rng.Uniform();
+    double y = std::sin(3.0 * row[0]) + row[1] * row[1] - 0.5 * row[2] +
+               0.4 * row[3] + 0.3 * row[4] + 0.7 * row[5] +
+               0.05 * rng.Normal();
+    d.x.push_back(std::move(row));
+    d.y.push_back(y);
+  }
+  return d;
+}
+
+template <typename F>
+double TimeMs(int reps, F&& fn) {
+  double best = 1e300;
+  for (int r = 0; r < reps; ++r) {
+    auto t0 = std::chrono::steady_clock::now();
+    fn();
+    auto t1 = std::chrono::steady_clock::now();
+    best = std::min(
+        best, std::chrono::duration<double, std::milli>(t1 - t0).count());
+  }
+  return best;
+}
+
+// Prevents the optimizer from discarding untimed prediction results.
+double g_sink = 0.0;
+
+struct Row {
+  const char* model;
+  size_t n, m;
+  double per_point_ms, batched_ms;
+  bool bit_identical;
+};
+
+Row Measure(const char* name, const Surrogate& s,
+            const std::vector<std::vector<double>>& probes, size_t n,
+            int reps) {
+  Row row{name, n, probes.size(), 0.0, 0.0, true};
+  std::vector<Prediction> loop(probes.size());
+  row.per_point_ms = TimeMs(reps, [&] {
+    for (size_t j = 0; j < probes.size(); ++j) loop[j] = s.Predict(probes[j]);
+    g_sink += loop[0].mean;
+  });
+  std::vector<Prediction> batch;
+  row.batched_ms = TimeMs(reps, [&] {
+    batch = s.PredictBatch(probes);
+    g_sink += batch[0].mean;
+  });
+  for (size_t j = 0; j < probes.size(); ++j) {
+    if (batch[j].mean != loop[j].mean ||
+        batch[j].variance != loop[j].variance) {
+      row.bit_identical = false;
+      break;
+    }
+  }
+  return row;
+}
+
+}  // namespace
+}  // namespace sparktune
+
+int main(int argc, char** argv) {
+  using namespace sparktune;
+  const int reps = bench::IntFlag(argc, argv, "reps", 3);
+  const int max_n = bench::IntFlag(argc, argv, "max_n", 512);
+
+  const std::vector<size_t> train_sizes = {32, 128, 512};
+  const std::vector<size_t> pool_sizes = {64, 500};
+  std::vector<Row> rows;
+  double gp_headline = 0.0;
+
+  for (size_t n : train_sizes) {
+    if (static_cast<int>(n) > max_n) continue;
+    MixedData d = MakeMixedData(n, 7 + n);
+    // Fixed hyperparameters: the benchmark isolates inference cost.
+    GpOptions gopts;
+    gopts.optimize_hypers = false;
+    GaussianProcess gp(d.schema, gopts);
+    if (!gp.Fit(d.x, d.y).ok()) {
+      std::fprintf(stderr, "GP fit failed at n=%zu\n", n);
+      return 1;
+    }
+
+    ForestOptions fopts;
+    fopts.num_trees = 32;
+    fopts.seed = 17 + n;
+    RandomForest forest(fopts);
+    if (!forest.Fit(d.x, d.y).ok()) {
+      std::fprintf(stderr, "forest fit failed at n=%zu\n", n);
+      return 1;
+    }
+
+    std::vector<BaseSurrogate> bases;
+    for (uint64_t b = 0; b < 2; ++b) {
+      MixedData bd = MakeMixedData(std::min<size_t>(n, 64), 101 + b);
+      auto bgp = std::make_shared<GaussianProcess>(bd.schema, gopts);
+      if (!bgp->Fit(bd.x, bd.y).ok()) {
+        std::fprintf(stderr, "base GP fit failed\n");
+        return 1;
+      }
+      BaseSurrogate base;
+      base.model = bgp;
+      base.similarity = b == 0 ? 0.7 : 0.4;
+      base.input_dims = bd.schema.size();
+      base.y_mean = 0.3;
+      base.y_scale = 1.2;
+      bases.push_back(std::move(base));
+    }
+    MetaEnsembleOptions mopts;
+    mopts.gp = gopts;
+    MetaEnsembleSurrogate meta(d.schema, std::move(bases), mopts);
+    if (!meta.Fit(d.x, d.y).ok()) {
+      std::fprintf(stderr, "meta fit failed at n=%zu\n", n);
+      return 1;
+    }
+
+    for (size_t m : pool_sizes) {
+      MixedData pd = MakeMixedData(m, 9000 + n + m);
+      rows.push_back(Measure("gp", gp, pd.x, n, reps));
+      if (n == 512 && m == 500) {
+        gp_headline = rows.back().per_point_ms /
+                      std::max(rows.back().batched_ms, 1e-9);
+      }
+      rows.push_back(Measure("meta-ensemble", meta, pd.x, n, reps));
+      rows.push_back(Measure("random-forest", forest, pd.x, n, reps));
+    }
+  }
+
+  std::printf("%-14s %6s %6s %14s %12s %9s %5s\n", "model", "n", "m",
+              "per-point(ms)", "batched(ms)", "speedup", "bit=");
+  bool all_identical = true;
+  for (const Row& r : rows) {
+    all_identical &= r.bit_identical;
+    std::printf("%-14s %6zu %6zu %14.3f %12.3f %8.2fx %5s\n", r.model, r.n,
+                r.m, r.per_point_ms, r.batched_ms,
+                r.per_point_ms / std::max(r.batched_ms, 1e-9),
+                r.bit_identical ? "yes" : "NO");
+  }
+  if (gp_headline > 0.0) {
+    std::printf("\nheadline: GP n=512 m=500 batched speedup = %.2fx\n",
+                gp_headline);
+  }
+  if (!all_identical) {
+    std::fprintf(stderr, "FAIL: batched predictions diverge from per-point\n");
+    return 1;
+  }
+  std::printf("all batched predictions bit-identical to per-point  (sink %g)\n",
+              g_sink);
+  return 0;
+}

@@ -18,7 +18,9 @@ RunHistory Tuneful::Tune(const ConfigSpace& space, JobEvaluator* evaluator,
   Rng rng(seed);
   RunHistory history;
   QuasiRandomSampler init(static_cast<int>(space.size()), seed ^ 0x7713);
-  AcquisitionOptimizer acq_opt;
+  AcqOptOptions acq_opts;
+  acq_opts.num_threads = options_.num_threads;
+  AcquisitionOptimizer acq_opt(acq_opts);
 
   auto free_params = [&](int target) {
     std::vector<int> all(space.size());
@@ -36,6 +38,7 @@ RunHistory Tuneful::Tune(const ConfigSpace& space, JobEvaluator* evaluator,
     ForestOptions fopts;
     fopts.num_trees = 24;
     fopts.seed = seed ^ 0x51u;
+    fopts.num_threads = options_.num_threads;
     RandomForest forest(fopts);
     if (!forest.Fit(x, y).ok()) return all;
     std::vector<double> imp = forest.FeatureImportance();
@@ -58,7 +61,9 @@ RunHistory Tuneful::Tune(const ConfigSpace& space, JobEvaluator* evaluator,
         // Log targets: standard practice for positive multiplicative costs.
         y.push_back(std::log(std::max(o.objective, 1e-9)));
       }
-      GaussianProcess gp(BuildFeatureSchema(space, 0));
+      GpOptions gp_opts;
+      gp_opts.num_threads = options_.num_threads;
+      GaussianProcess gp(BuildFeatureSchema(space, 0), gp_opts);
       if (gp.Fit(x, y).ok()) {
         int target = static_cast<int>(space.size());
         if (static_cast<int>(history.size()) >= options_.stage2_at) {

@@ -13,7 +13,8 @@ AcquisitionOptimizer::AcquisitionOptimizer(AcqOptOptions options)
 AcqOptResult AcquisitionOptimizer::Maximize(
     const Subspace& subspace, const EncodeFn& encode, const EicAcquisition& acq,
     const SafeFn& safe, const UnsafetyFn& unsafety, const RunHistory* history,
-    Rng* rng) const {
+    Rng* rng, const SafeBatchFn& safe_batch,
+    const UnsafetyBatchFn& unsafety_batch) const {
   struct Scored {
     Configuration config;
     double value = 0.0;
@@ -45,7 +46,7 @@ AcqOptResult AcquisitionOptimizer::Maximize(
     }
   }
 
-  // ---- Candidate evaluation (parallel: each slot is independent) ----
+  // ---- Candidate evaluation (batched: one surrogate pass per stage) ----
   struct CandEval {
     bool dup = false;
     bool is_safe = true;
@@ -54,19 +55,55 @@ AcqOptResult AcquisitionOptimizer::Maximize(
   };
   std::vector<CandEval> evals(cands.size());
   ParallelFor(options_.num_threads, cands.size(), [&](size_t i) {
-    CandEval& e = evals[i];
-    const Configuration& c = cands[i];
-    if (history != nullptr && history->Contains(c)) {
-      e.dup = true;
-      return;
-    }
-    if (unsafety) e.unsafety_value = unsafety(c);
-    if (safe && !safe(c)) {
-      e.is_safe = false;
-      return;
-    }
-    e.acq_value = acq.Eval(encode(c));
+    evals[i].dup = history != nullptr && history->Contains(cands[i]);
   });
+  std::vector<size_t> live;
+  live.reserve(cands.size());
+  for (size_t i = 0; i < cands.size(); ++i) {
+    if (!evals[i].dup) live.push_back(i);
+  }
+  if (!live.empty()) {
+    std::vector<Configuration> live_cfg;
+    live_cfg.reserve(live.size());
+    for (size_t i : live) live_cfg.push_back(cands[i]);
+    // Unsafety for every non-duplicate candidate (ranks the fallback).
+    if (unsafety_batch) {
+      std::vector<double> u = unsafety_batch(live_cfg);
+      for (size_t t = 0; t < live.size(); ++t) {
+        evals[live[t]].unsafety_value = u[t];
+      }
+    } else if (unsafety) {
+      ParallelFor(options_.num_threads, live.size(), [&](size_t t) {
+        evals[live[t]].unsafety_value = unsafety(live_cfg[t]);
+      });
+    }
+    // Safe-region screen.
+    if (safe_batch) {
+      std::vector<char> s = safe_batch(live_cfg);
+      for (size_t t = 0; t < live.size(); ++t) {
+        evals[live[t]].is_safe = s[t] != 0;
+      }
+    } else if (safe) {
+      ParallelFor(options_.num_threads, live.size(), [&](size_t t) {
+        evals[live[t]].is_safe = safe(live_cfg[t]);
+      });
+    }
+    // Acquisition for the safe survivors: the whole pool in one batched
+    // surrogate pass instead of a Predict per candidate.
+    std::vector<size_t> scored;
+    std::vector<std::vector<double>> feats;
+    scored.reserve(live.size());
+    feats.reserve(live.size());
+    for (size_t t = 0; t < live.size(); ++t) {
+      if (!evals[live[t]].is_safe) continue;
+      scored.push_back(live[t]);
+      feats.push_back(encode(live_cfg[t]));
+    }
+    std::vector<double> acq_vals = acq.EvalBatch(feats);
+    for (size_t t = 0; t < scored.size(); ++t) {
+      evals[scored[t]].acq_value = acq_vals[t];
+    }
+  }
 
   // ---- Serial fold in candidate order (same tie-breaking as serial) ----
   std::vector<Scored> pool;

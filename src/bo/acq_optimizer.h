@@ -49,13 +49,24 @@ class AcquisitionOptimizer {
   // Degree of safe-region violation (<= 0 means safe); used to rank
   // fallback candidates.
   using UnsafetyFn = std::function<double(const Configuration&)>;
+  // Optional batched counterparts used for the scattered candidate pool
+  // (the sequential hill climbs still use the per-point forms). When
+  // supplied they must agree bit-for-bit with safe/unsafety per element.
+  using SafeBatchFn =
+      std::function<std::vector<char>(const std::vector<Configuration>&)>;
+  using UnsafetyBatchFn =
+      std::function<std::vector<double>(const std::vector<Configuration>&)>;
 
   explicit AcquisitionOptimizer(AcqOptOptions options = {});
 
+  // Scores the scattered pool with batched surrogate inference (one
+  // EicAcquisition::EvalBatch pass, plus one batched safety screen when the
+  // batch hooks are given) — identical selection to per-point scoring.
   AcqOptResult Maximize(const Subspace& subspace, const EncodeFn& encode,
                         const EicAcquisition& acq, const SafeFn& safe,
                         const UnsafetyFn& unsafety, const RunHistory* history,
-                        Rng* rng) const;
+                        Rng* rng, const SafeBatchFn& safe_batch = nullptr,
+                        const UnsafetyBatchFn& unsafety_batch = nullptr) const;
 
  private:
   AcqOptOptions options_;

@@ -29,11 +29,34 @@ double ProbabilisticConstraint::SatisfactionProbability(
   return ProbabilityBelow(p.mean, p.variance, threshold);
 }
 
+std::vector<double> ProbabilisticConstraint::SatisfactionProbabilityBatch(
+    const std::vector<std::vector<double>>& xs) const {
+  assert(surrogate != nullptr);
+  std::vector<Prediction> preds = surrogate->PredictBatch(xs);
+  std::vector<double> out(xs.size());
+  for (size_t j = 0; j < xs.size(); ++j) {
+    out[j] = ProbabilityBelow(preds[j].mean, preds[j].variance, threshold);
+  }
+  return out;
+}
+
 double ProbabilisticConstraint::UpperBound(const std::vector<double>& features,
                                            double gamma) const {
   assert(surrogate != nullptr);
   Prediction p = surrogate->Predict(features);
   return p.mean + gamma * std::sqrt(std::max(p.variance, 0.0));
+}
+
+std::vector<double> ProbabilisticConstraint::UpperBoundBatch(
+    const std::vector<std::vector<double>>& xs, double gamma) const {
+  assert(surrogate != nullptr);
+  std::vector<Prediction> preds = surrogate->PredictBatch(xs);
+  std::vector<double> out(xs.size());
+  for (size_t j = 0; j < xs.size(); ++j) {
+    out[j] =
+        preds[j].mean + gamma * std::sqrt(std::max(preds[j].variance, 0.0));
+  }
+  return out;
 }
 
 bool ProbabilisticConstraint::InSafeRegion(const std::vector<double>& features,
@@ -62,6 +85,58 @@ double EicAcquisition::Eval(const std::vector<double>& features) const {
     acq *= c.SatisfactionProbability(features);
   }
   return acq;
+}
+
+std::vector<double> EicAcquisition::RawEiBatch(
+    const std::vector<std::vector<double>>& xs) const {
+  std::vector<Prediction> preds = objective_->PredictBatch(xs);
+  std::vector<double> out(xs.size());
+  for (size_t j = 0; j < xs.size(); ++j) {
+    out[j] = ExpectedImprovement(preds[j].mean, preds[j].variance, incumbent_);
+  }
+  return out;
+}
+
+std::vector<double> EicAcquisition::EvalBatch(
+    const std::vector<std::vector<double>>& xs) const {
+  std::vector<double> out(xs.size(), 0.0);
+  if (xs.empty()) return out;
+  // Deterministic screen first (cheap, exact), mirroring Eval's
+  // short-circuit order per candidate.
+  std::vector<size_t> live;
+  live.reserve(xs.size());
+  for (size_t j = 0; j < xs.size(); ++j) {
+    bool ok = true;
+    for (const auto& fn : deterministic_) {
+      if (!fn(xs[j])) {
+        ok = false;
+        break;
+      }
+    }
+    if (ok) live.push_back(j);
+  }
+  if (live.empty()) return out;
+  std::vector<std::vector<double>> live_x;
+  live_x.reserve(live.size());
+  for (size_t j : live) live_x.push_back(xs[j]);
+  std::vector<double> ei = RawEiBatch(live_x);
+  // Constraint surrogates only score candidates with positive EI (Eval
+  // never reaches the constraint product otherwise).
+  std::vector<size_t> pos;
+  std::vector<std::vector<double>> pos_x;
+  for (size_t t = 0; t < live.size(); ++t) {
+    if (ei[t] > 0.0) {
+      out[live[t]] = ei[t];
+      pos.push_back(live[t]);
+      pos_x.push_back(std::move(live_x[t]));
+    }
+  }
+  if (pos.empty()) return out;
+  for (const auto& c : constraints_) {
+    std::vector<double> probs = c.SatisfactionProbabilityBatch(pos_x);
+    for (size_t t = 0; t < pos.size(); ++t) out[pos[t]] *= probs[t];
+  }
+  return out;
 }
 
 }  // namespace sparktune

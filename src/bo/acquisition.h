@@ -23,11 +23,18 @@ struct ProbabilisticConstraint {
   double threshold = 0.0;
 
   double SatisfactionProbability(const std::vector<double>& features) const;
+  // One surrogate PredictBatch for the whole pool; out[i] equals
+  // SatisfactionProbability(xs[i]) bit-for-bit.
+  std::vector<double> SatisfactionProbabilityBatch(
+      const std::vector<std::vector<double>>& xs) const;
 
   // Safe-region membership (Eq. 8): mu(x) + gamma * sigma(x) <= threshold.
   bool InSafeRegion(const std::vector<double>& features, double gamma) const;
   // The upper bound u(x) itself (for "least unsafe" fallbacks).
   double UpperBound(const std::vector<double>& features, double gamma) const;
+  // Batched upper bounds; out[i] == UpperBound(xs[i], gamma) bit-for-bit.
+  std::vector<double> UpperBoundBatch(
+      const std::vector<std::vector<double>>& xs, double gamma) const;
 };
 
 // EIC acquisition (Eq. 6): EI(x) * prod_i Pr[constraint_i satisfied] *
@@ -49,6 +56,16 @@ class EicAcquisition {
   double Eval(const std::vector<double>& features) const;
   // EI alone (no constraint weighting), for the stopping criterion.
   double RawEi(const std::vector<double>& features) const;
+
+  // Batched evaluation over a candidate pool: one objective PredictBatch,
+  // then one constraint-surrogate PredictBatch per constraint restricted to
+  // candidates that survive the deterministic screen and have EI > 0.
+  // out[i] == Eval(xs[i]) bit-for-bit.
+  std::vector<double> EvalBatch(
+      const std::vector<std::vector<double>>& xs) const;
+  // Batched RawEi; out[i] == RawEi(xs[i]) bit-for-bit.
+  std::vector<double> RawEiBatch(
+      const std::vector<std::vector<double>>& xs) const;
 
   const std::vector<ProbabilisticConstraint>& constraints() const {
     return constraints_;

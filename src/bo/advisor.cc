@@ -46,6 +46,16 @@ class ExpAdapter final : public Surrogate {
     double var = (std::exp(p.variance) - 1.0) * mean * mean;
     return {mean, var};
   }
+  std::vector<Prediction> PredictBatch(
+      const std::vector<std::vector<double>>& xs) const override {
+    std::vector<Prediction> out = inner_->PredictBatch(xs);
+    for (Prediction& p : out) {
+      double mean = std::exp(p.mean + 0.5 * p.variance);
+      double var = (std::exp(p.variance) - 1.0) * mean * mean;
+      p = {mean, var};
+    }
+    return out;
+  }
   size_t num_observations() const override {
     return inner_->num_observations();
   }
@@ -253,30 +263,57 @@ Configuration Advisor::Suggest(double datasize_hint_gb,
                                    options_.resource_fn, options_.objective);
     // AGD exploits from a feasible incumbent; backtrack the step toward the
     // incumbent if it leaves the (white-box resource, predicted runtime)
-    // feasible region.
-    auto step_ok = [&](const Configuration& c) {
+    // feasible region. The shrink trajectory is deterministic (the unit
+    // coordinates are halved toward the incumbent each round regardless of
+    // which candidate wins), so it is precomputed and the predicted-runtime
+    // screen runs as one batched surrogate pass over all candidates.
+    std::vector<Configuration> traj;
+    traj.push_back(next);
+    {
+      std::vector<double> u = space_->ToUnit(next);
+      std::vector<double> a = space_->ToUnit(base);
+      for (int shrink = 0; shrink < 5; ++shrink) {
+        for (size_t i = 0; i < u.size(); ++i) u[i] = 0.5 * (u[i] + a[i]);
+        traj.push_back(space_->FromUnit(u));
+      }
+    }
+    const bool need_runtime = options_.enable_safety &&
+                              options_.objective.has_runtime_constraint();
+    std::vector<double> upper;
+    if (need_runtime) {
+      std::vector<std::vector<double>> feats;
+      feats.reserve(traj.size());
+      for (const Configuration& c : traj) feats.push_back(encode(c));
+      std::vector<Prediction> ps = runtime_surrogate_->PredictBatch(feats);
+      upper.resize(ps.size());
+      for (size_t k = 0; k < ps.size(); ++k) {
+        upper[k] = ps[k].mean + options_.safety_gamma *
+                                    std::sqrt(std::max(ps[k].variance, 0.0));
+      }
+    }
+    auto step_ok = [&](size_t k) {
       if (!options_.enable_safety) return true;
       if (options_.objective.has_resource_constraint() &&
-          options_.resource_fn(c) > options_.objective.resource_max) {
+          options_.resource_fn(traj[k]) > options_.objective.resource_max) {
         return false;
       }
-      if (options_.enable_safety &&
-          options_.objective.has_runtime_constraint()) {
-        Prediction p = runtime_surrogate_->Predict(encode(c));
-        double upper = p.mean + options_.safety_gamma *
-                                    std::sqrt(std::max(p.variance, 0.0));
+      if (need_runtime) {
         double threshold = options_.log_targets
                                ? std::log(options_.objective.runtime_max)
                                : options_.objective.runtime_max;
-        if (upper > threshold) return false;
+        if (upper[k] > threshold) return false;
       }
       return true;
     };
-    std::vector<double> u = space_->ToUnit(next);
-    std::vector<double> a = space_->ToUnit(base);
-    for (int shrink = 0; shrink < 5 && !step_ok(next); ++shrink) {
-      for (size_t i = 0; i < u.size(); ++i) u[i] = 0.5 * (u[i] + a[i]);
-      next = space_->FromUnit(u);
+    // First acceptable candidate among the unshrunk step and five shrinks;
+    // the fully-shrunk fallback ships unchecked, exactly like the
+    // sequential shrink loop it replaces.
+    next = traj.back();
+    for (size_t k = 0; k + 1 < traj.size(); ++k) {
+      if (step_ok(k)) {
+        next = traj[k];
+        break;
+      }
     }
     if (history_.Contains(next)) {
       Subspace full = Subspace::Full(space_);
@@ -333,6 +370,8 @@ Configuration Advisor::Suggest(double datasize_hint_gb,
   // Deterministic white-box resource check inside the acquisition.
   AcquisitionOptimizer::SafeFn safe;
   AcquisitionOptimizer::UnsafetyFn unsafety;
+  AcquisitionOptimizer::SafeBatchFn safe_batch;
+  AcquisitionOptimizer::UnsafetyBatchFn unsafety_batch;
   double gamma = options_.safety_gamma;
   if (options_.enable_safety &&
       (use_runtime_constraint || use_resource_constraint)) {
@@ -363,6 +402,57 @@ Configuration Advisor::Suggest(double datasize_hint_gb,
       }
       return worst;
     };
+    // Batched screens for the scattered candidate pool: one runtime-
+    // surrogate PredictBatch over the pool instead of a Predict per
+    // candidate. Element-wise identical to safe/unsafety above.
+    safe_batch = [&, gamma](const std::vector<Configuration>& cs) {
+      std::vector<char> out(cs.size(), 1);
+      if (use_resource_constraint) {
+        for (size_t j = 0; j < cs.size(); ++j) {
+          if (options_.resource_fn(cs[j]) > options_.objective.resource_max) {
+            out[j] = 0;
+          }
+        }
+      }
+      if (use_runtime_constraint) {
+        std::vector<size_t> idx;
+        std::vector<std::vector<double>> feats;
+        idx.reserve(cs.size());
+        feats.reserve(cs.size());
+        for (size_t j = 0; j < cs.size(); ++j) {
+          if (!out[j]) continue;
+          idx.push_back(j);
+          feats.push_back(encode(cs[j]));
+        }
+        std::vector<double> up =
+            runtime_constraint.UpperBoundBatch(feats, gamma);
+        for (size_t t = 0; t < idx.size(); ++t) {
+          if (up[t] > runtime_constraint.threshold) out[idx[t]] = 0;
+        }
+      }
+      return out;
+    };
+    unsafety_batch = [&, gamma](const std::vector<Configuration>& cs) {
+      std::vector<double> out(cs.size(), 0.0);
+      if (use_resource_constraint) {
+        for (size_t j = 0; j < cs.size(); ++j) {
+          out[j] = std::max(out[j], options_.resource_fn(cs[j]) /
+                                            options_.objective.resource_max -
+                                        1.0);
+        }
+      }
+      if (use_runtime_constraint) {
+        std::vector<std::vector<double>> feats;
+        feats.reserve(cs.size());
+        for (const Configuration& c : cs) feats.push_back(encode(c));
+        std::vector<double> up =
+            runtime_constraint.UpperBoundBatch(feats, gamma);
+        for (size_t j = 0; j < cs.size(); ++j) {
+          out[j] = std::max(out[j], up[j] / runtime_threshold - 1.0);
+        }
+      }
+      return out;
+    };
   } else if (use_resource_constraint) {
     // Even without the safety component, hard white-box constraints are
     // honored inside EIC.
@@ -373,11 +463,13 @@ Configuration Advisor::Suggest(double datasize_hint_gb,
     };
   }
 
-  AcqOptResult res = acq_opt_.Maximize(sub, encode, acq, safe, unsafety,
-                                       &history_, &rng_);
+  AcqOptResult res =
+      acq_opt_.Maximize(sub, encode, acq, safe, unsafety, &history_, &rng_,
+                        safe_batch, unsafety_batch);
   if (sub_default.has_value()) {
-    AcqOptResult alt = acq_opt_.Maximize(*sub_default, encode, acq, safe,
-                                         unsafety, &history_, &rng_);
+    AcqOptResult alt =
+        acq_opt_.Maximize(*sub_default, encode, acq, safe, unsafety,
+                          &history_, &rng_, safe_batch, unsafety_batch);
     if ((res.safe_fallback_used && !alt.safe_fallback_used) ||
         (res.safe_fallback_used == alt.safe_fallback_used &&
          alt.acq_value > res.acq_value)) {

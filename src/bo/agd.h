@@ -36,9 +36,10 @@ class Agd {
   Agd(const ConfigSpace* space, AgdOptions options = {});
 
   // One AGD step (Eq. 11) from `base` using runtime surrogate predictions
-  // and the exact resource function. Returns a legalized configuration
-  // differing from `base` whenever any numeric parameter has nonzero
-  // gradient.
+  // and the exact resource function. The incumbent and all 2d central-
+  // difference probes are scored in one PredictBatch call. Returns a
+  // legalized configuration differing from `base` whenever any numeric
+  // parameter has nonzero gradient.
   Configuration Step(const Configuration& base,
                      const Surrogate& runtime_surrogate,
                      const EncodeFn& encode, const ResourceFn& resource_fn,

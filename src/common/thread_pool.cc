@@ -127,7 +127,12 @@ void ThreadPool::ParallelFor(size_t n, const std::function<void(size_t)>& fn,
     ++generation_;
   }
   cv_work_.notify_all();
-  RunChunks(&job);  // the caller is a participant
+  // The caller is a participant. While it runs its chunks it counts as
+  // being inside the pool, so a nested ParallelFor issued from its own
+  // fn(i) runs inline instead of re-entering caller_mu_ (self-deadlock).
+  tls_in_worker = true;
+  RunChunks(&job);
+  tls_in_worker = false;
   {
     std::unique_lock<std::mutex> lk(mu_);
     cv_done_.wait(lk, [&] { return workers_arrived_ == workers_.size(); });

@@ -8,8 +8,9 @@
 //     cross-item accumulation must happen in a serial pass afterwards.
 //   * num_threads == 1 runs inline on the caller — byte-for-byte the serial
 //     code path, with no pool interaction at all.
-//   * Nested ParallelFor calls (from inside a worker) run inline, so
-//     composed parallel components never deadlock and never oversubscribe.
+//   * Nested ParallelFor calls (from inside a worker, or from the calling
+//     thread's own chunk of an outer ParallelFor) run inline, so composed
+//     parallel components never deadlock and never oversubscribe.
 #pragma once
 
 #include <atomic>

@@ -21,6 +21,10 @@ struct GbdtOptions {
   // Stop early when training RMSE improvement stalls for this many rounds
   // (0 disables).
   int early_stop_rounds = 0;
+  // Threads for the per-round training-prediction refresh and for batched
+  // inference: 1 = serial, 0 = global pool default width, k > 1 = up to k
+  // threads. Bit-identical at any setting (each row owns its slot).
+  int num_threads = 1;
 };
 
 class GbdtRegressor {
@@ -31,6 +35,12 @@ class GbdtRegressor {
              const std::vector<double>& y);
 
   double Predict(const std::vector<double>& x) const;
+
+  // Batched scoring: candidate chunks walk the boosted trees in the outer
+  // loop so each tree stays cache-hot across the chunk. out[i] equals
+  // Predict(xs[i]) bit-for-bit (same per-candidate accumulation order).
+  std::vector<double> PredictBatch(
+      const std::vector<std::vector<double>>& xs) const;
 
   int num_trees() const { return static_cast<int>(trees_.size()); }
   double base_prediction() const { return base_; }

@@ -1,5 +1,6 @@
 #include "forest/random_forest.h"
 
+#include <algorithm>
 #include <cmath>
 
 #include "common/thread_pool.h"
@@ -77,6 +78,35 @@ Prediction RandomForest::Predict(const std::vector<double>& x) const {
   pred.mean = sum / n;
   pred.variance = std::max(0.0, sq / n - pred.mean * pred.mean);
   return pred;
+}
+
+std::vector<Prediction> RandomForest::PredictBatch(
+    const std::vector<std::vector<double>>& xs) const {
+  std::vector<Prediction> out(xs.size());
+  if (trees_.empty() || xs.empty()) return out;
+  const size_t m = xs.size();
+  constexpr size_t kChunk = 64;
+  const size_t num_chunks = (m + kChunk - 1) / kChunk;
+  const double n = static_cast<double>(trees_.size());
+  ParallelFor(options_.num_threads, num_chunks, [&](size_t c) {
+    const size_t j0 = c * kChunk;
+    const size_t j1 = std::min(m, j0 + kChunk);
+    std::vector<double> sum(j1 - j0, 0.0);
+    std::vector<double> sq(j1 - j0, 0.0);
+    for (const auto& tree : trees_) {
+      for (size_t j = j0; j < j1; ++j) {
+        double v = tree.Predict(xs[j]);
+        sum[j - j0] += v;
+        sq[j - j0] += v * v;
+      }
+    }
+    for (size_t j = j0; j < j1; ++j) {
+      double mean = sum[j - j0] / n;
+      out[j].mean = mean;
+      out[j].variance = std::max(0.0, sq[j - j0] / n - mean * mean);
+    }
+  });
+  return out;
 }
 
 }  // namespace sparktune

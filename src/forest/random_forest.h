@@ -37,6 +37,13 @@ class RandomForest final : public Surrogate {
   // Mean prediction and variance across trees.
   Prediction Predict(const std::vector<double>& x) const override;
 
+  // Batched traversal: candidates are split into chunks (parallel when
+  // options.num_threads allows) and each chunk walks the trees in the outer
+  // loop, so one tree's nodes stay hot across the whole chunk. Per candidate
+  // the accumulation order over trees matches Predict — bit-identical.
+  std::vector<Prediction> PredictBatch(
+      const std::vector<std::vector<double>>& xs) const override;
+
   size_t num_observations() const override { return n_obs_; }
 
   // Mean impurity feature importance across trees (sums to ~1).

@@ -1,5 +1,12 @@
 // Cholesky factorization with adaptive jitter, triangular solves and
 // log-determinant — the numerical core of GP posterior inference.
+//
+// The factorization is a blocked right-looking panel algorithm (panel
+// factor + parallel trailing-submatrix update) and the matrix solves are
+// blocked over right-hand-side columns. Both accumulate every element's
+// inner products in the same index order as the textbook serial loops, so
+// results are bit-identical to the unblocked algorithm at any
+// `num_threads` setting (see DESIGN.md "Threading model").
 #pragma once
 
 #include "common/result.h"
@@ -12,15 +19,26 @@ class Cholesky {
  public:
   // Factor A = L * L^T. If A is not numerically PD, progressively larger
   // jitter (up to `max_jitter`) is added to the diagonal before failing.
+  // `num_threads` parallelizes the trailing-submatrix update (1 = serial,
+  // 0 = global pool default width); the factor is bit-identical at any
+  // setting.
   static Result<Cholesky> Factor(const Matrix& a, double initial_jitter = 1e-10,
-                                 double max_jitter = 1e-2);
+                                 double max_jitter = 1e-2,
+                                 int num_threads = 1);
 
   // Solve A x = b via forward/back substitution.
   Vector Solve(const Vector& b) const;
   // Solve L y = b (forward substitution only).
   Vector SolveLower(const Vector& b) const;
-  // Solve A X = B column-wise.
-  Matrix SolveMatrix(const Matrix& b) const;
+  // Solve L Y = B for all columns of B at once (forward substitution on
+  // column blocks, no per-column copies). Column j of the result equals
+  // SolveLower(column j of B) bit-for-bit; `num_threads` splits the
+  // independent columns over the pool.
+  Matrix SolveLowerMatrix(const Matrix& b, int num_threads = 1) const;
+  // Solve A X = B for all columns of B at once (forward + back
+  // substitution in place). Column j equals Solve(column j of B)
+  // bit-for-bit.
+  Matrix SolveMatrix(const Matrix& b, int num_threads = 1) const;
 
   // log |A| = 2 * sum(log L_ii).
   double LogDet() const;

@@ -31,6 +31,16 @@ class Matrix {
     return data_[r * cols_ + c];
   }
 
+  // Raw row pointers for tight inner loops (row-major storage).
+  double* row(size_t r) {
+    assert(r < rows_);
+    return data_.data() + r * cols_;
+  }
+  const double* row(size_t r) const {
+    assert(r < rows_);
+    return data_.data() + r * cols_;
+  }
+
   // y = A * x
   Vector MatVec(const Vector& x) const;
   // C = A * B

@@ -44,7 +44,13 @@ Status MetaEnsembleSurrogate::Fit(const std::vector<std::vector<double>>& x,
       }
       GaussianProcess fold_gp(schema_, options_.gp);
       if (!fold_gp.Fit(train_x, train_y).ok()) continue;
-      for (size_t i : test_idx) predicted[i] = fold_gp.Predict(x[i]).mean;
+      std::vector<std::vector<double>> test_x;
+      test_x.reserve(test_idx.size());
+      for (size_t i : test_idx) test_x.push_back(x[i]);
+      std::vector<Prediction> preds = fold_gp.PredictBatch(test_x);
+      for (size_t t = 0; t < test_idx.size(); ++t) {
+        predicted[test_idx[t]] = preds[t].mean;
+      }
     }
     double tau = KendallTau(predicted, y);
     self_raw = std::clamp(tau, options_.min_self_weight, 1.0);
@@ -119,6 +125,62 @@ Prediction MetaEnsembleSurrogate::Predict(const std::vector<double>& x) const {
     out.variance += w * w * var_here;
   }
   out.variance = std::max(out.variance, 1e-12);
+  return out;
+}
+
+std::vector<Prediction> MetaEnsembleSurrogate::PredictBatch(
+    const std::vector<std::vector<double>>& xs) const {
+  std::vector<Prediction> out(xs.size());
+  if (xs.empty()) return out;
+  // Inputs truncated to one base model's feature width.
+  auto truncated = [&](size_t input_dims) {
+    std::vector<std::vector<double>> xb;
+    xb.reserve(xs.size());
+    for (const auto& x : xs) {
+      xb.emplace_back(
+          x.begin(),
+          x.begin() + static_cast<long>(std::min(input_dims, x.size())));
+    }
+    return xb;
+  };
+  if (current_ == nullptr) {
+    // Not fitted: pure prior mix of base models.
+    double w = bases_.empty() ? 0.0 : 1.0 / static_cast<double>(bases_.size());
+    for (const auto& b : bases_) {
+      std::vector<Prediction> preds =
+          b.model->PredictBatch(truncated(b.input_dims));
+      for (size_t j = 0; j < xs.size(); ++j) {
+        double std_mean = (preds[j].mean - b.y_mean) / b.y_scale;
+        out[j].mean += w * std_mean;
+        out[j].variance += w * w * preds[j].variance / (b.y_scale * b.y_scale);
+      }
+    }
+    return out;
+  }
+
+  std::vector<Prediction> selfs = current_->PredictBatch(xs);
+  for (size_t j = 0; j < xs.size(); ++j) {
+    out[j].mean = self_weight_ * selfs[j].mean;
+    out[j].variance = self_weight_ * self_weight_ * selfs[j].variance;
+  }
+  // Each base model scores the whole batch once; per-candidate the mix
+  // accumulates self-then-bases in index order, exactly like Predict.
+  for (size_t i = 0; i < bases_.size(); ++i) {
+    double w = base_weights_[i];
+    if (w <= 0.0) continue;
+    const BaseSurrogate& b = bases_[i];
+    std::vector<Prediction> preds =
+        b.model->PredictBatch(truncated(b.input_dims));
+    for (size_t j = 0; j < xs.size(); ++j) {
+      double std_mean = (preds[j].mean - b.y_mean) / b.y_scale;
+      double mean_here = target_mean_ + target_scale_ * std_mean;
+      double var_here = preds[j].variance / (b.y_scale * b.y_scale) *
+                        (target_scale_ * target_scale_);
+      out[j].mean += w * mean_here;
+      out[j].variance += w * w * var_here;
+    }
+  }
+  for (Prediction& p : out) p.variance = std::max(p.variance, 1e-12);
   return out;
 }
 

@@ -53,6 +53,12 @@ class MetaEnsembleSurrogate final : public Surrogate {
 
   Prediction Predict(const std::vector<double>& x) const override;
 
+  // Batched mix: one PredictBatch per base model (and one for the
+  // current-task GP) instead of a per-point fan-out over the whole
+  // ensemble. Bit-identical to per-point Predict.
+  std::vector<Prediction> PredictBatch(
+      const std::vector<std::vector<double>>& xs) const override;
+
   size_t num_observations() const override { return n_obs_; }
 
   double self_weight() const { return self_weight_; }

@@ -11,12 +11,15 @@ namespace sparktune {
 double SurrogateDistance(const Surrogate& a, const Surrogate& b,
                          const std::vector<std::vector<double>>& probes) {
   assert(!probes.empty());
+  // One batched pass per surrogate over the shared probe set.
+  std::vector<Prediction> pa = a.PredictBatch(probes);
+  std::vector<Prediction> pb = b.PredictBatch(probes);
   std::vector<double> ya, yb;
   ya.reserve(probes.size());
   yb.reserve(probes.size());
-  for (const auto& x : probes) {
-    ya.push_back(a.Predict(x).mean);
-    yb.push_back(b.Predict(x).mean);
+  for (size_t i = 0; i < probes.size(); ++i) {
+    ya.push_back(pa[i].mean);
+    yb.push_back(pb[i].mean);
   }
   double tau = KendallTau(ya, yb);
   return std::clamp((1.0 - tau) / 2.0, 0.0, 1.0);

@@ -39,7 +39,7 @@ Result<double> GaussianProcess::EvalLml(const KernelParams& params,
   size_t n = x_.size();
   Matrix k = gram != nullptr ? *gram : BuildGram(params);
   k.AddDiagonal(params.noise_variance + options_.noise_floor);
-  auto chol = Cholesky::Factor(k);
+  auto chol = Cholesky::Factor(k, 1e-10, 1e-2, options_.num_threads);
   if (!chol.ok()) return chol.status();
   Vector alpha = chol->Solve(y_std_);
   double fit_term = -0.5 * Dot(y_std_, alpha);
@@ -57,7 +57,7 @@ Result<double> GaussianProcess::Refit(const KernelParams& params) {
   }
   Matrix k = gram_;
   k.AddDiagonal(params.noise_variance + options_.noise_floor);
-  auto chol = Cholesky::Factor(k);
+  auto chol = Cholesky::Factor(k, 1e-10, 1e-2, options_.num_threads);
   if (!chol.ok()) return chol.status();
   Vector alpha = chol->Solve(y_std_);
   double fit_term = -0.5 * Dot(y_std_, alpha);
@@ -200,6 +200,51 @@ Prediction GaussianProcess::Predict(const std::vector<double>& x) const {
   pred.mean = y_mean_ + y_scale_ * mean_std;
   pred.variance = y_scale_ * y_scale_ * var_std;
   return pred;
+}
+
+std::vector<Prediction> GaussianProcess::PredictBatch(
+    const std::vector<std::vector<double>>& xs) const {
+  std::vector<Prediction> out(xs.size());
+  if (xs.empty()) return out;
+  if (!chol_.has_value() || x_.empty()) {
+    // Prior.
+    for (Prediction& pred : out) {
+      pred.mean = y_mean_;
+      pred.variance = y_scale_ * y_scale_ * kernel_.params().signal_variance;
+    }
+    return out;
+  }
+  const size_t n = x_.size();
+  const size_t m = xs.size();
+  // Cross-kernel matrix K*: row i holds k(x_i, xs[j]) for every candidate
+  // j, built one training row at a time (rows are independent).
+  Matrix kstar(n, m);
+  ParallelFor(options_.num_threads, n, [&](size_t i) {
+    kernel_.EvalRow(x_[i], xs, kstar.row(i));
+  });
+  // Means: one gemv alpha^T K*, accumulated over rows in increasing order —
+  // per candidate the exact op sequence of Dot(kstar_j, alpha_).
+  std::vector<double> mean_std(m, 0.0);
+  for (size_t i = 0; i < n; ++i) {
+    const double* ki = kstar.row(i);
+    const double ai = alpha_[i];
+    for (size_t j = 0; j < m; ++j) mean_std[j] += ki[j] * ai;
+  }
+  // Variances: one blocked triangular solve L V = K* for all candidates at
+  // once, then column squared norms accumulated in row order (== Dot(v, v)).
+  Matrix v = chol_->SolveLowerMatrix(kstar, options_.num_threads);
+  std::vector<double> vv(m, 0.0);
+  for (size_t i = 0; i < n; ++i) {
+    const double* vi = v.row(i);
+    for (size_t j = 0; j < m; ++j) vv[j] += vi[j] * vi[j];
+  }
+  ParallelFor(options_.num_threads, m, [&](size_t j) {
+    double kss = kernel_.Eval(xs[j], xs[j]) + kernel_.params().noise_variance;
+    double var_std = std::max(kss - vv[j], 1e-12);
+    out[j].mean = y_mean_ + y_scale_ * mean_std[j];
+    out[j].variance = y_scale_ * y_scale_ * var_std;
+  });
+  return out;
 }
 
 }  // namespace sparktune

@@ -38,6 +38,13 @@ class GaussianProcess final : public Surrogate {
   // Predictive mean/variance in the original (unstandardized) target units.
   Prediction Predict(const std::vector<double>& x) const override;
 
+  // Batched posterior: builds the n x m cross-kernel matrix in one pass,
+  // runs a single blocked triangular solve for all variances and one gemv
+  // against alpha for all means. Bit-identical to per-point Predict;
+  // options.num_threads splits the independent candidates over the pool.
+  std::vector<Prediction> PredictBatch(
+      const std::vector<std::vector<double>>& xs) const override;
+
   size_t num_observations() const override { return x_.size(); }
 
   // Log marginal likelihood of the standardized targets under the current

@@ -7,12 +7,42 @@ namespace sparktune {
 
 MixedKernel::MixedKernel(std::vector<FeatureKind> schema, KernelParams params)
     : schema_(std::move(schema)), params_(params) {
-  for (FeatureKind k : schema_) {
-    switch (k) {
-      case FeatureKind::kNumeric: ++num_numeric_; break;
-      case FeatureKind::kCategorical: ++num_categorical_; break;
-      case FeatureKind::kDataSize: ++num_datasize_; break;
+  for (size_t i = 0; i < schema_.size(); ++i) {
+    switch (schema_[i]) {
+      case FeatureKind::kNumeric:
+        ++num_numeric_;
+        numeric_idx_.push_back(i);
+        break;
+      case FeatureKind::kCategorical:
+        ++num_categorical_;
+        categorical_idx_.push_back(i);
+        break;
+      case FeatureKind::kDataSize:
+        ++num_datasize_;
+        datasize_idx_.push_back(i);
+        break;
     }
+  }
+  RebuildHammingTable();
+}
+
+void MixedKernel::set_params(const KernelParams& p) {
+  params_ = p;
+  RebuildHammingTable();
+}
+
+void MixedKernel::RebuildHammingTable() {
+  hamming_table_.assign(static_cast<size_t>(num_categorical_) + 1, 1.0);
+  for (int c = 0; c <= num_categorical_; ++c) {
+    // The exact expression EvalStats applies to a pair with c mismatches:
+    // mismatch_frac there is c/num_categorical_ with both operands the same
+    // doubles, so the table entry is bit-identical to the exp it replaces.
+    double frac = num_categorical_ > 0
+                      ? static_cast<double>(c) /
+                            static_cast<double>(num_categorical_)
+                      : 0.0;
+    hamming_table_[static_cast<size_t>(c)] =
+        std::exp(-params_.hamming_weight * frac);
   }
 }
 
@@ -25,28 +55,29 @@ double MixedKernel::Matern52(double r) {
 KernelPairStats MixedKernel::Stats(const std::vector<double>& a,
                                    const std::vector<double>& b) const {
   assert(a.size() == schema_.size() && b.size() == schema_.size());
+  // Each kind accumulates its own statistic, and the per-kind index lists
+  // are ascending, so these branch-free loops add terms in the same order
+  // as a single interleaved walk of the schema — bit-identical, faster.
   double num_d2 = 0.0;
-  double ds_d2 = 0.0;
-  double mismatches = 0.0;
-  for (size_t i = 0; i < schema_.size(); ++i) {
+  for (size_t i : numeric_idx_) {
     double diff = a[i] - b[i];
-    switch (schema_[i]) {
-      case FeatureKind::kNumeric:
-        num_d2 += diff * diff;
-        break;
-      case FeatureKind::kCategorical:
-        if (std::fabs(diff) > 1e-12) mismatches += 1.0;
-        break;
-      case FeatureKind::kDataSize:
-        ds_d2 += diff * diff;
-        break;
-    }
+    num_d2 += diff * diff;
+  }
+  double mismatches = 0.0;
+  for (size_t i : categorical_idx_) {
+    if (std::fabs(a[i] - b[i]) > 1e-12) mismatches += 1.0;
+  }
+  double ds_d2 = 0.0;
+  for (size_t i : datasize_idx_) {
+    double diff = a[i] - b[i];
+    ds_d2 += diff * diff;
   }
   KernelPairStats s;
   s.numeric_dist = std::sqrt(num_d2);
   if (num_categorical_ > 0) {
     s.mismatch_frac = mismatches / static_cast<double>(num_categorical_);
   }
+  s.mismatches = mismatches;
   s.datasize_d2 = ds_d2;
   return s;
 }
@@ -68,9 +99,35 @@ double MixedKernel::EvalStats(const KernelPairStats& s,
   return k;
 }
 
+double MixedKernel::EvalStatsCached(const KernelPairStats& s) const {
+  double k = params_.signal_variance;
+  if (num_numeric_ > 0) {
+    double r = s.numeric_dist / params_.length_numeric;
+    k *= Matern52(r);
+  }
+  if (num_categorical_ > 0) {
+    // s.mismatches is an exact integer count, so the cast is lossless and
+    // the lookup returns the very exp EvalStats would have computed.
+    k *= hamming_table_[static_cast<size_t>(s.mismatches)];
+  }
+  if (num_datasize_ > 0) {
+    double l = params_.length_datasize;
+    k *= std::exp(-0.5 * s.datasize_d2 / (l * l));
+  }
+  return k;
+}
+
 double MixedKernel::Eval(const std::vector<double>& a,
                          const std::vector<double>& b) const {
-  return EvalStats(Stats(a, b), params_);
+  return EvalStatsCached(Stats(a, b));
+}
+
+void MixedKernel::EvalRow(const std::vector<double>& a,
+                          const std::vector<std::vector<double>>& bs,
+                          double* out) const {
+  for (size_t j = 0; j < bs.size(); ++j) {
+    out[j] = EvalStatsCached(Stats(a, bs[j]));
+  }
 }
 
 }  // namespace sparktune

@@ -4,6 +4,7 @@
 // normalized [0,1] coordinates.
 #pragma once
 
+#include <cstddef>
 #include <vector>
 
 namespace sparktune {
@@ -28,6 +29,7 @@ struct KernelParams {
 struct KernelPairStats {
   double numeric_dist = 0.0;   // sqrt(sum of squared numeric diffs)
   double mismatch_frac = 0.0;  // categorical mismatch fraction
+  double mismatches = 0.0;     // categorical mismatch count (exact integer)
   double datasize_d2 = 0.0;    // squared data-size distance
 };
 
@@ -38,10 +40,16 @@ class MixedKernel {
 
   const std::vector<FeatureKind>& schema() const { return schema_; }
   const KernelParams& params() const { return params_; }
-  void set_params(const KernelParams& p) { params_ = p; }
+  void set_params(const KernelParams& p);
 
   // k(a, b) without the noise term.
   double Eval(const std::vector<double>& a, const std::vector<double>& b) const;
+
+  // One cross-kernel row in a single pass: out[j] = Eval(a, bs[j]) for all
+  // j, bit-for-bit. Reads no mutable state, so rows of a cross-kernel
+  // matrix can be filled concurrently.
+  void EvalRow(const std::vector<double>& a,
+               const std::vector<std::vector<double>>& bs, double* out) const;
 
   // Pairwise statistics of (a, b); Eval(a, b) == EvalStats(Stats(a, b),
   // params()) bit-for-bit.
@@ -55,11 +63,28 @@ class MixedKernel {
   static double Matern52(double r);
 
  private:
+  // k(a, b) under params_, taking the categorical factor from the cached
+  // hamming table instead of calling exp. Bit-identical to
+  // EvalStats(s, params_): every table entry was computed by that exact
+  // expression at a discrete mismatch count.
+  double EvalStatsCached(const KernelPairStats& s) const;
+  void RebuildHammingTable();
+
   std::vector<FeatureKind> schema_;
   KernelParams params_;
   int num_numeric_ = 0;
   int num_categorical_ = 0;
   int num_datasize_ = 0;
+  // Feature indices by kind: each kind accumulates its own statistic in
+  // ascending feature order, exactly like the interleaved schema walk, so
+  // the split loops are bit-identical but branch-free.
+  std::vector<size_t> numeric_idx_;
+  std::vector<size_t> categorical_idx_;
+  std::vector<size_t> datasize_idx_;
+  // hamming_table_[c] = exp(-hamming_weight * c / num_categorical_): the
+  // mismatch count is discrete, so the categorical exp of Eval/EvalRow is a
+  // table lookup.
+  std::vector<double> hamming_table_;
 };
 
 }  // namespace sparktune

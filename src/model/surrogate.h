@@ -25,6 +25,20 @@ class Surrogate {
 
   virtual Prediction Predict(const std::vector<double>& x) const = 0;
 
+  // Batched prediction: out[i] == Predict(xs[i]) bit-for-bit for every
+  // implementation. The default loops over Predict; models whose inference
+  // amortizes (the GP's triangular solves, tree-ensemble traversals, the
+  // meta ensemble's per-base fan-out) override it. Hot paths that score
+  // whole candidate pools (acquisition maximization, AGD probes, safety
+  // screens) should call this instead of looping Predict.
+  virtual std::vector<Prediction> PredictBatch(
+      const std::vector<std::vector<double>>& xs) const {
+    std::vector<Prediction> out;
+    out.reserve(xs.size());
+    for (const auto& x : xs) out.push_back(Predict(x));
+    return out;
+  }
+
   virtual size_t num_observations() const = 0;
 };
 

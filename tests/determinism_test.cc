@@ -81,6 +81,37 @@ TEST(DeterminismTest, GpFitBitIdenticalAcrossThreadCounts) {
   }
 }
 
+TEST(DeterminismTest, GpPredictBatchBitIdenticalAcrossThreadCounts) {
+  // End-to-end through the blocked Cholesky: a GP fitted and batch-scored
+  // at num_threads=4 must reproduce the serial run bit-for-bit.
+  MixedData d = MakeMixedData(60, 91);
+  GpOptions serial;
+  serial.num_threads = 1;
+  GpOptions wide = serial;
+  wide.num_threads = 4;
+  GaussianProcess gp1(d.schema, serial);
+  GaussianProcess gp4(d.schema, wide);
+  ASSERT_TRUE(gp1.Fit(d.x, d.y).ok());
+  ASSERT_TRUE(gp4.Fit(d.x, d.y).ok());
+
+  Rng probe(19);
+  std::vector<std::vector<double>> xs;
+  for (int i = 0; i < 120; ++i) {  // crosses the 48-column solve blocks
+    xs.push_back({probe.Uniform(), probe.Uniform(), probe.Uniform(),
+                  probe.Bernoulli(0.5) ? 1.0 : 0.0, probe.Uniform()});
+  }
+  std::vector<Prediction> b1 = gp1.PredictBatch(xs);
+  std::vector<Prediction> b4 = gp4.PredictBatch(xs);
+  ASSERT_EQ(b1.size(), b4.size());
+  for (size_t j = 0; j < xs.size(); ++j) {
+    EXPECT_EQ(b1[j].mean, b4[j].mean) << "j=" << j;
+    EXPECT_EQ(b1[j].variance, b4[j].variance) << "j=" << j;
+    Prediction p = gp1.Predict(xs[j]);
+    EXPECT_EQ(b1[j].mean, p.mean) << "j=" << j;
+    EXPECT_EQ(b1[j].variance, p.variance) << "j=" << j;
+  }
+}
+
 TEST(DeterminismTest, ForestFitBitIdenticalAcrossThreadCounts) {
   MixedData d = MakeMixedData(120, 33);
   ForestOptions serial;
@@ -187,6 +218,7 @@ TEST(DeterminismTest, OnlineTunerTrajectoryInvariantAcrossThreadCounts) {
     topts.budget = 12;
     topts.advisor.gp.num_threads = threads;
     topts.advisor.acq.num_threads = threads;
+    topts.advisor.subspace.num_threads = threads;
     OnlineTuner tuner(&space, &eval, topts);
     std::vector<Observation> trajectory;
     for (int i = 0; i < 14; ++i) trajectory.push_back(tuner.Step());

@@ -140,5 +140,121 @@ TEST(CholeskyTest, SolveMatrixColumnwise) {
   }
 }
 
+// Textbook unblocked lower-Cholesky: the bit-equality reference the blocked
+// implementation must reproduce exactly.
+bool UnblockedFactor(const Matrix& a, Matrix* l) {
+  size_t n = a.rows();
+  *l = Matrix(n, n, 0.0);
+  for (size_t j = 0; j < n; ++j) {
+    double d = a(j, j);
+    for (size_t k = 0; k < j; ++k) d -= (*l)(j, k) * (*l)(j, k);
+    if (d <= 0.0 || !std::isfinite(d)) return false;
+    (*l)(j, j) = std::sqrt(d);
+    for (size_t i = j + 1; i < n; ++i) {
+      double s = a(i, j);
+      for (size_t k = 0; k < j; ++k) s -= (*l)(i, k) * (*l)(j, k);
+      (*l)(i, j) = s / (*l)(j, j);
+    }
+  }
+  return true;
+}
+
+TEST(CholeskyTest, BlockedFactorBitEqualsUnblocked) {
+  Rng rng(29);
+  // Larger than two panel widths with a ragged remainder.
+  Matrix a = RandomSpd(97, &rng);
+  auto chol = Cholesky::Factor(a);
+  ASSERT_TRUE(chol.ok());
+  EXPECT_EQ(chol->applied_jitter(), 0.0);
+  Matrix ref;
+  ASSERT_TRUE(UnblockedFactor(a, &ref));
+  for (size_t r = 0; r < a.rows(); ++r) {
+    for (size_t c = 0; c < a.cols(); ++c) {
+      EXPECT_EQ(chol->lower()(r, c), ref(r, c)) << "at " << r << "," << c;
+    }
+  }
+}
+
+TEST(CholeskyTest, BlockedFactorBitEqualsUnblockedOnJitterPath) {
+  // Rank-deficient PSD matrix wider than one panel: the plain attempt fails
+  // and the jitter escalation must follow the same schedule and produce the
+  // same factor as the unblocked reference.
+  Rng rng(31);
+  Matrix b(60, 5);
+  for (size_t r = 0; r < b.rows(); ++r) {
+    for (size_t c = 0; c < b.cols(); ++c) b(r, c) = rng.Normal();
+  }
+  Matrix a = b.MatMul(b.Transpose());
+  auto chol = Cholesky::Factor(a);
+  ASSERT_TRUE(chol.ok());
+  EXPECT_GT(chol->applied_jitter(), 0.0);
+
+  Matrix ref;
+  double ref_jitter = 0.0;
+  bool ok = UnblockedFactor(a, &ref);
+  if (!ok) {
+    for (double j = 1e-10; j <= 1e-2; j *= 10.0) {
+      Matrix aj = a;
+      aj.AddDiagonal(j);
+      if (UnblockedFactor(aj, &ref)) {
+        ref_jitter = j;
+        ok = true;
+        break;
+      }
+    }
+  }
+  ASSERT_TRUE(ok);
+  EXPECT_EQ(chol->applied_jitter(), ref_jitter);
+  for (size_t r = 0; r < a.rows(); ++r) {
+    for (size_t c = 0; c < a.cols(); ++c) {
+      EXPECT_EQ(chol->lower()(r, c), ref(r, c)) << "at " << r << "," << c;
+    }
+  }
+}
+
+TEST(CholeskyTest, FactorBitIdenticalAcrossThreadCounts) {
+  Rng rng(37);
+  Matrix a = RandomSpd(120, &rng);
+  auto serial = Cholesky::Factor(a, 1e-10, 1e-2, 1);
+  auto parallel = Cholesky::Factor(a, 1e-10, 1e-2, 4);
+  ASSERT_TRUE(serial.ok());
+  ASSERT_TRUE(parallel.ok());
+  EXPECT_EQ(serial->applied_jitter(), parallel->applied_jitter());
+  for (size_t r = 0; r < a.rows(); ++r) {
+    for (size_t c = 0; c < a.cols(); ++c) {
+      EXPECT_EQ(serial->lower()(r, c), parallel->lower()(r, c));
+    }
+  }
+}
+
+TEST(CholeskyTest, SolveLowerMatrixBitEqualsPerColumn) {
+  Rng rng(41);
+  const size_t n = 60;
+  const size_t m = 100;  // crosses the column-block boundary
+  Matrix a = RandomSpd(n, &rng);
+  Matrix b(n, m);
+  for (size_t r = 0; r < n; ++r) {
+    for (size_t c = 0; c < m; ++c) b(r, c) = rng.Normal();
+  }
+  auto chol = Cholesky::Factor(a);
+  ASSERT_TRUE(chol.ok());
+  Matrix y1 = chol->SolveLowerMatrix(b, 1);
+  Matrix y4 = chol->SolveLowerMatrix(b, 4);
+  Matrix x1 = chol->SolveMatrix(b, 1);
+  Matrix x4 = chol->SolveMatrix(b, 4);
+  for (size_t c = 0; c < m; ++c) {
+    Vector col(n);
+    for (size_t r = 0; r < n; ++r) col[r] = b(r, c);
+    Vector yref = chol->SolveLower(col);
+    Vector xref = chol->Solve(col);
+    for (size_t r = 0; r < n; ++r) {
+      EXPECT_EQ(y1(r, c), yref[r]) << "SolveLower col " << c << " row " << r;
+      EXPECT_EQ(y4(r, c), yref[r]);
+      EXPECT_EQ(x1(r, c), xref[r]) << "Solve col " << c << " row " << r;
+      EXPECT_EQ(x4(r, c), xref[r]);
+    }
+  }
+}
+
 }  // namespace
 }  // namespace sparktune

@@ -1,0 +1,235 @@
+// PredictBatch must equal per-point Predict bit-for-bit for every surrogate
+// implementation — fitted and unfitted (prior path) alike — at any thread
+// count.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+
+#include "forest/gbdt.h"
+#include "forest/random_forest.h"
+#include "meta/meta_surrogate.h"
+#include "model/gp.h"
+
+namespace sparktune {
+namespace {
+
+struct MixedData {
+  std::vector<FeatureKind> schema;
+  std::vector<std::vector<double>> x;
+  std::vector<double> y;
+};
+
+MixedData MakeMixedData(size_t n, uint64_t seed) {
+  MixedData d;
+  d.schema = {FeatureKind::kNumeric, FeatureKind::kNumeric,
+              FeatureKind::kNumeric, FeatureKind::kCategorical,
+              FeatureKind::kDataSize};
+  Rng rng(seed);
+  for (size_t i = 0; i < n; ++i) {
+    std::vector<double> row(5);
+    for (int k = 0; k < 3; ++k) row[static_cast<size_t>(k)] = rng.Uniform();
+    row[3] = rng.Bernoulli(0.5) ? 1.0 : 0.0;
+    row[4] = rng.Uniform();
+    double y = std::sin(3.0 * row[0]) + row[1] * row[1] - 0.5 * row[2] +
+               0.3 * row[3] + 0.7 * row[4] + 0.05 * rng.Normal();
+    d.x.push_back(std::move(row));
+    d.y.push_back(y);
+  }
+  return d;
+}
+
+// Probe pool sized to cross both the triangular-solve column-block boundary
+// (48) and the tree-batch chunk boundary (64).
+std::vector<std::vector<double>> MakeProbes(size_t m, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<std::vector<double>> probes;
+  probes.reserve(m);
+  for (size_t i = 0; i < m; ++i) {
+    std::vector<double> row(5);
+    for (int k = 0; k < 3; ++k) row[static_cast<size_t>(k)] = rng.Uniform();
+    row[3] = rng.Bernoulli(0.5) ? 1.0 : 0.0;
+    row[4] = rng.Uniform();
+    probes.push_back(std::move(row));
+  }
+  return probes;
+}
+
+TEST(PredictBatchTest, GpMatchesPerPoint) {
+  MixedData d = MakeMixedData(48, 7);
+  std::vector<std::vector<double>> probes = MakeProbes(97, 11);
+  for (int threads : {1, 4}) {
+    GpOptions opts;
+    opts.num_threads = threads;
+    GaussianProcess gp(d.schema, opts);
+    ASSERT_TRUE(gp.Fit(d.x, d.y).ok());
+    std::vector<Prediction> batch = gp.PredictBatch(probes);
+    ASSERT_EQ(batch.size(), probes.size());
+    for (size_t j = 0; j < probes.size(); ++j) {
+      Prediction p = gp.Predict(probes[j]);
+      EXPECT_EQ(batch[j].mean, p.mean) << "threads=" << threads << " j=" << j;
+      EXPECT_EQ(batch[j].variance, p.variance)
+          << "threads=" << threads << " j=" << j;
+    }
+  }
+}
+
+TEST(PredictBatchTest, GpPriorPathMatchesPerPoint) {
+  MixedData d = MakeMixedData(4, 3);
+  GaussianProcess gp(d.schema);  // never fitted -> prior
+  std::vector<std::vector<double>> probes = MakeProbes(9, 5);
+  std::vector<Prediction> batch = gp.PredictBatch(probes);
+  ASSERT_EQ(batch.size(), probes.size());
+  for (size_t j = 0; j < probes.size(); ++j) {
+    Prediction p = gp.Predict(probes[j]);
+    EXPECT_EQ(batch[j].mean, p.mean);
+    EXPECT_EQ(batch[j].variance, p.variance);
+  }
+}
+
+std::vector<BaseSurrogate> MakeBases() {
+  std::vector<BaseSurrogate> bases;
+  // Base 1: full-width GP from another "task".
+  {
+    MixedData bd = MakeMixedData(30, 101);
+    auto gp = std::make_shared<GaussianProcess>(bd.schema);
+    EXPECT_TRUE(gp->Fit(bd.x, bd.y).ok());
+    BaseSurrogate b;
+    b.model = gp;
+    b.similarity = 0.8;
+    b.input_dims = 5;
+    b.y_mean = 0.4;
+    b.y_scale = 1.7;
+    bases.push_back(std::move(b));
+  }
+  // Base 2: config-only GP over the first three features, exercising the
+  // input-truncation path.
+  {
+    MixedData bd = MakeMixedData(24, 202);
+    std::vector<FeatureKind> schema3 = {FeatureKind::kNumeric,
+                                        FeatureKind::kNumeric,
+                                        FeatureKind::kNumeric};
+    std::vector<std::vector<double>> x3;
+    for (const auto& row : bd.x) {
+      x3.push_back({row[0], row[1], row[2]});
+    }
+    auto gp = std::make_shared<GaussianProcess>(schema3);
+    EXPECT_TRUE(gp->Fit(x3, bd.y).ok());
+    BaseSurrogate b;
+    b.model = gp;
+    b.similarity = 0.4;
+    b.input_dims = 3;
+    b.y_mean = -0.2;
+    b.y_scale = 0.9;
+    bases.push_back(std::move(b));
+  }
+  return bases;
+}
+
+TEST(PredictBatchTest, MetaEnsembleMatchesPerPoint) {
+  MixedData d = MakeMixedData(36, 13);
+  MetaEnsembleSurrogate meta(d.schema, MakeBases());
+  ASSERT_TRUE(meta.Fit(d.x, d.y).ok());
+  std::vector<std::vector<double>> probes = MakeProbes(71, 17);
+  std::vector<Prediction> batch = meta.PredictBatch(probes);
+  ASSERT_EQ(batch.size(), probes.size());
+  for (size_t j = 0; j < probes.size(); ++j) {
+    Prediction p = meta.Predict(probes[j]);
+    EXPECT_EQ(batch[j].mean, p.mean) << "j=" << j;
+    EXPECT_EQ(batch[j].variance, p.variance) << "j=" << j;
+  }
+}
+
+TEST(PredictBatchTest, MetaEnsemblePriorPathMatchesPerPoint) {
+  MixedData d = MakeMixedData(4, 19);
+  MetaEnsembleSurrogate meta(d.schema, MakeBases());  // never fitted
+  std::vector<std::vector<double>> probes = MakeProbes(13, 23);
+  std::vector<Prediction> batch = meta.PredictBatch(probes);
+  ASSERT_EQ(batch.size(), probes.size());
+  for (size_t j = 0; j < probes.size(); ++j) {
+    Prediction p = meta.Predict(probes[j]);
+    EXPECT_EQ(batch[j].mean, p.mean) << "j=" << j;
+    EXPECT_EQ(batch[j].variance, p.variance) << "j=" << j;
+  }
+}
+
+TEST(PredictBatchTest, ForestMatchesPerPoint) {
+  MixedData d = MakeMixedData(120, 29);
+  std::vector<std::vector<double>> probes = MakeProbes(130, 31);
+  for (int threads : {1, 4}) {
+    ForestOptions opts;
+    opts.num_trees = 40;
+    opts.seed = 9;
+    opts.num_threads = threads;
+    RandomForest rf(opts);
+    ASSERT_TRUE(rf.Fit(d.x, d.y).ok());
+    std::vector<Prediction> batch = rf.PredictBatch(probes);
+    ASSERT_EQ(batch.size(), probes.size());
+    for (size_t j = 0; j < probes.size(); ++j) {
+      Prediction p = rf.Predict(probes[j]);
+      EXPECT_EQ(batch[j].mean, p.mean) << "threads=" << threads << " j=" << j;
+      EXPECT_EQ(batch[j].variance, p.variance)
+          << "threads=" << threads << " j=" << j;
+    }
+  }
+}
+
+TEST(PredictBatchTest, EmptyForestMatchesPerPoint) {
+  RandomForest rf;  // never fitted -> no trees
+  std::vector<std::vector<double>> probes = MakeProbes(5, 37);
+  std::vector<Prediction> batch = rf.PredictBatch(probes);
+  ASSERT_EQ(batch.size(), probes.size());
+  for (size_t j = 0; j < probes.size(); ++j) {
+    Prediction p = rf.Predict(probes[j]);
+    EXPECT_EQ(batch[j].mean, p.mean);
+    EXPECT_EQ(batch[j].variance, p.variance);
+  }
+}
+
+TEST(PredictBatchTest, GbdtMatchesPerPoint) {
+  MixedData d = MakeMixedData(90, 43);
+  std::vector<std::vector<double>> probes = MakeProbes(130, 47);
+  for (int threads : {1, 4}) {
+    GbdtOptions opts;
+    opts.num_rounds = 30;
+    opts.num_threads = threads;
+    GbdtRegressor gbdt(opts);
+    ASSERT_TRUE(gbdt.Fit(d.x, d.y).ok());
+    std::vector<double> batch = gbdt.PredictBatch(probes);
+    ASSERT_EQ(batch.size(), probes.size());
+    for (size_t j = 0; j < probes.size(); ++j) {
+      EXPECT_EQ(batch[j], gbdt.Predict(probes[j]))
+          << "threads=" << threads << " j=" << j;
+    }
+  }
+}
+
+TEST(PredictBatchTest, GbdtFitBitIdenticalAcrossThreadCounts) {
+  MixedData d = MakeMixedData(90, 53);
+  GbdtOptions serial;
+  serial.num_rounds = 25;
+  serial.num_threads = 1;
+  GbdtOptions wide = serial;
+  wide.num_threads = 4;
+  GbdtRegressor g1(serial), g4(wide);
+  ASSERT_TRUE(g1.Fit(d.x, d.y).ok());
+  ASSERT_TRUE(g4.Fit(d.x, d.y).ok());
+  EXPECT_EQ(g1.num_trees(), g4.num_trees());
+  std::vector<std::vector<double>> probes = MakeProbes(20, 59);
+  for (const auto& q : probes) {
+    EXPECT_EQ(g1.Predict(q), g4.Predict(q));
+  }
+}
+
+TEST(PredictBatchTest, EmptyGbdtMatchesPerPoint) {
+  GbdtRegressor gbdt;  // never fitted -> base prediction only
+  std::vector<std::vector<double>> probes = MakeProbes(5, 61);
+  std::vector<double> batch = gbdt.PredictBatch(probes);
+  ASSERT_EQ(batch.size(), probes.size());
+  for (size_t j = 0; j < probes.size(); ++j) {
+    EXPECT_EQ(batch[j], gbdt.Predict(probes[j]));
+  }
+}
+
+}  // namespace
+}  // namespace sparktune
