@@ -25,6 +25,7 @@ namespace {
 
 double NowSec() {
   using clock = std::chrono::steady_clock;
+  // lint:allow(no-wall-clock) benchmark wall-time reporting only; never feeds tuner results
   return std::chrono::duration<double>(clock::now().time_since_epoch())
       .count();
 }

@@ -7,6 +7,7 @@ namespace sparktune {
 
 namespace {
 
+// lint:allow(mutable-static) thread_local flag, each thread reads/writes only its own copy
 thread_local bool tls_in_worker = false;
 
 }  // namespace
@@ -42,6 +43,9 @@ int ThreadPool::DefaultThreads() {
 }
 
 ThreadPool* ThreadPool::Global() {
+  // Magic-static init is thread-safe; workers must outlive any static
+  // destructor that might still issue a ParallelFor, hence the leak.
+  // lint:allow(mutable-static) intentionally leaked immutable-after-init singleton
   static ThreadPool* pool = new ThreadPool(DefaultThreads());
   return pool;
 }

@@ -78,6 +78,7 @@ class ThreadPool {
   mutable std::mutex mu_;
   std::condition_variable cv_work_;
   std::condition_variable cv_done_;
+  // lint:allow(no-raw-thread) the pool itself — the one sanctioned owner of raw threads
   std::vector<std::thread> workers_;
   uint64_t generation_ = 0;  // bumped per job; workers run each job once
   Job* job_ = nullptr;

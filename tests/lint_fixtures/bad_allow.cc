@@ -1,0 +1,11 @@
+// Fixture: malformed suppressions. Expected: bad-allow twice — a
+// reason-less allow (which therefore does NOT suppress the no-rand
+// underneath it) and an allow naming an unknown rule.
+#include <cstdlib>
+
+int Sample() {
+  // lint:allow(no-rand)
+  int x = std::rand();
+  // lint:allow(not-a-rule) this rule id does not exist
+  return x;
+}

@@ -1,0 +1,16 @@
+// Fixture: unannotated mutable global / static / thread_local state.
+// Expected: mutable-static on the three declaration lines.
+#include <string>
+
+namespace sparktune {
+
+int g_call_count = 0;
+
+thread_local std::string tls_scratch;
+
+int NextId() {
+  static int counter = 0;
+  return ++counter;
+}
+
+}  // namespace sparktune

@@ -1,0 +1,10 @@
+// Fixture: reassociating reductions. Expected: no-nondet-reduce on
+// lines 8 and 9.
+#include <execution>
+#include <numeric>
+#include <vector>
+
+double Sum(const std::vector<double>& v) {
+  double a = std::reduce(v.begin(), v.end(), 0.0);
+  return a + std::reduce(std::execution::par, v.begin(), v.end(), 0.0);
+}

@@ -1,0 +1,9 @@
+// Fixture: C PRNG calls. Expected: no-rand on lines 6 and 7.
+#include <cstdlib>
+
+int Sample() {
+  int x = 0;
+  srand(42);
+  x = std::rand() % 7;
+  return x;
+}

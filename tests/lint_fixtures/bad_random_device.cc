@@ -1,0 +1,7 @@
+// Fixture: entropy source. Expected: no-random-device on line 5.
+#include <random>
+
+unsigned Seed() {
+  std::random_device rd;
+  return rd();
+}

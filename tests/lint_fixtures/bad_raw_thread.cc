@@ -1,0 +1,13 @@
+// Fixture: raw threading primitives. Expected: no-raw-thread on
+// lines 9 and 11.
+#include <future>
+#include <thread>
+
+int Compute();
+
+void Launch() {
+  std::thread t(Compute);
+  t.join();
+  auto f = std::async(std::launch::async, Compute);
+  f.get();
+}

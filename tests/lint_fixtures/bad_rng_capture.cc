@@ -1,0 +1,14 @@
+// Fixture: explicit by-reference Rng capture in a ParallelFor lambda.
+// Expected: no-rng-ref-capture (and rng-fork-required for the body use).
+#include <vector>
+
+#include "common/rng.h"
+#include "common/thread_pool.h"
+
+std::vector<double> Draw(sparktune::Rng& rng, size_t n) {
+  std::vector<double> out(n);
+  sparktune::ParallelFor(4, n, [&rng, &out](size_t i) {
+    out[i] = rng.Uniform();
+  });
+  return out;
+}

@@ -1,0 +1,17 @@
+// Fixture: a shared Rng used inside a ParallelFor body (draw order then
+// depends on the schedule). Expected: rng-fork-required on lines 12, 13.
+#include <vector>
+
+#include "common/rng.h"
+#include "common/thread_pool.h"
+
+std::vector<double> Draw(sparktune::Rng* rng, size_t n) {
+  std::vector<double> out(n);
+  sparktune::ParallelFor(4, n, [&](size_t i) {
+    // Both a method call and a forked child off the shared stream race.
+    out[i] = rng->Uniform();
+    sparktune::Rng child = rng->Fork();
+    out[i] += child.Normal();
+  });
+  return out;
+}

@@ -1,0 +1,20 @@
+// Fixture: hash-order iteration feeding an output container and an
+// accumulator. Expected: no-unordered-iter on lines 10 and 18.
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+std::vector<std::string> Keys(
+    const std::unordered_map<std::string, double>& scores) {
+  std::vector<std::string> out;
+  for (const auto& kv : scores) {
+    out.push_back(kv.first);
+  }
+  return out;
+}
+
+double Total(const std::unordered_map<std::string, double>& scores) {
+  double sum = 0.0;
+  for (const auto& kv : scores) sum += kv.second;
+  return sum;
+}

@@ -1,0 +1,13 @@
+// Fixture: host clock reads. Expected: no-wall-clock on lines 7, 8, 9.
+#include <chrono>
+#include <ctime>
+
+double Stamp() {
+  double out = 0.0;
+  out += static_cast<double>(time(nullptr));
+  auto t = std::chrono::system_clock::now();
+  auto s = std::chrono::steady_clock::now();
+  out += std::chrono::duration<double>(t.time_since_epoch()).count();
+  out += std::chrono::duration<double>(s.time_since_epoch()).count();
+  return out;
+}

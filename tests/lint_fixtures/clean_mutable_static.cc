@@ -1,0 +1,21 @@
+// Fixture: global state done right — const, guarded, or justified.
+// Expected: no findings.
+#include <mutex>
+#include <string>
+
+namespace sparktune {
+
+const int kMaxRetries = 3;
+constexpr double kTolerance = 1e-9;
+
+std::mutex g_registry_mu;  // lint:allow(mutable-static) the mutex IS the guard
+
+// lint:guarded-by(g_registry_mu)
+std::string g_registry_name;
+
+int Lookup() {
+  static const int kTableSize = 64;
+  return kTableSize;
+}
+
+}  // namespace sparktune

@@ -1,0 +1,16 @@
+// Fixture: the sanctioned parallel-RNG pattern — fork one child stream
+// per task before the loop, index by task id. Expected: no findings.
+#include <vector>
+
+#include "common/rng.h"
+#include "common/thread_pool.h"
+
+std::vector<double> Draw(sparktune::Rng* rng, size_t n) {
+  std::vector<double> out(n);
+  std::vector<sparktune::Rng> rngs = sparktune::ForkRngs(rng, n);
+  sparktune::ParallelFor(4, n, [&](size_t i) {
+    sparktune::Rng* local = &rngs[i];
+    out[i] = local->Uniform();
+  });
+  return out;
+}

@@ -1,0 +1,14 @@
+// Fixture: real violations, each carrying a reasoned suppression on the
+// same line or the line above. Expected: no findings.
+#include <chrono>
+#include <cstdlib>
+
+double BenchStamp() {
+  // lint:allow(no-wall-clock) benchmark wall-time only, never feeds results
+  auto t = std::chrono::steady_clock::now();
+  return std::chrono::duration<double>(t.time_since_epoch()).count();
+}
+
+int LegacySeed() {
+  return std::rand();  // lint:allow(no-rand) exercising same-line suppression
+}

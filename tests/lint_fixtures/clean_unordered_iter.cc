@@ -1,0 +1,30 @@
+// Fixture: unordered containers used safely — point lookups, membership
+// tests, and a read-only scan that only computes an order-independent
+// max. Ordered std::map iteration feeding output is fine too.
+// Expected: no findings.
+#include <map>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+bool Has(const std::unordered_set<std::string>& seen, const std::string& k) {
+  return seen.count(k) > 0;
+}
+
+double Best(const std::unordered_map<std::string, double>& scores) {
+  double best = 0.0;
+  for (const auto& kv : scores) {
+    if (kv.second > best) best = kv.second;
+  }
+  return best;
+}
+
+std::vector<std::string> OrderedKeys(
+    const std::map<std::string, double>& ranked) {
+  std::vector<std::string> out;
+  for (const auto& kv : ranked) {
+    out.push_back(kv.first);
+  }
+  return out;
+}

@@ -1,0 +1,12 @@
+// Fixture: float accumulation in a linalg-scoped path. Expected:
+// no-float-accum on lines 7 and 9 (one per `float` token line).
+#include <cstddef>
+#include <vector>
+
+double Dot(const std::vector<double>& a, const std::vector<double>& b) {
+  float acc = 0.0f;
+  for (size_t i = 0; i < a.size(); ++i) {
+    acc += static_cast<float>(a[i] * b[i]);
+  }
+  return acc;
+}

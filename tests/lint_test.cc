@@ -1,0 +1,138 @@
+// Tests for tools/sparktune_lint: every rule id fires on its seeded
+// fixture at the exact expected line, clean counterparts stay silent,
+// and suppression annotations behave as documented.
+#include <algorithm>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "lint.h"
+
+namespace {
+
+using sparktune::lint::Finding;
+using sparktune::lint::LintFileOnDisk;
+
+using RuleLine = std::pair<std::string, int>;
+
+std::vector<RuleLine> RuleLines(const std::vector<Finding>& fs) {
+  std::vector<RuleLine> out;
+  for (const Finding& f : fs) out.emplace_back(f.rule, f.line);
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::vector<Finding> LintFixture(const std::string& rel) {
+  return LintFileOnDisk(std::string(LINT_FIXTURE_DIR) + "/" + rel);
+}
+
+void ExpectFindings(const std::string& rel, std::vector<RuleLine> want) {
+  std::vector<RuleLine> got = RuleLines(LintFixture(rel));
+  std::sort(want.begin(), want.end());
+  EXPECT_EQ(got, want) << "fixture: " << rel;
+}
+
+TEST(LintRules, BannedCPrng) {
+  ExpectFindings("bad_rand.cc", {{"no-rand", 6}, {"no-rand", 7}});
+}
+
+TEST(LintRules, RandomDevice) {
+  ExpectFindings("bad_random_device.cc", {{"no-random-device", 5}});
+}
+
+TEST(LintRules, WallClock) {
+  // Line 8 carries two reads: system_clock and its argless now().
+  ExpectFindings("bad_wall_clock.cc", {{"no-wall-clock", 7},
+                                       {"no-wall-clock", 8},
+                                       {"no-wall-clock", 8},
+                                       {"no-wall-clock", 9}});
+}
+
+TEST(LintRules, RawThread) {
+  ExpectFindings("bad_raw_thread.cc",
+                 {{"no-raw-thread", 9}, {"no-raw-thread", 11}});
+}
+
+TEST(LintRules, NondetReduce) {
+  // Line 9 has both std::reduce and std::execution.
+  ExpectFindings("bad_nondet_reduce.cc", {{"no-nondet-reduce", 8},
+                                          {"no-nondet-reduce", 9},
+                                          {"no-nondet-reduce", 9}});
+}
+
+TEST(LintRules, FloatAccumInLinalgScope) {
+  ExpectFindings("linalg/bad_float_accum.cc",
+                 {{"no-float-accum", 7}, {"no-float-accum", 9}});
+}
+
+TEST(LintRules, UnorderedIteration) {
+  ExpectFindings("bad_unordered_iter.cc",
+                 {{"no-unordered-iter", 10}, {"no-unordered-iter", 18}});
+}
+
+TEST(LintRules, RngForkRequired) {
+  ExpectFindings("bad_rng_fork.cc",
+                 {{"rng-fork-required", 12}, {"rng-fork-required", 13}});
+}
+
+TEST(LintRules, RngRefCapture) {
+  ExpectFindings("bad_rng_capture.cc",
+                 {{"no-rng-ref-capture", 10}, {"rng-fork-required", 11}});
+}
+
+TEST(LintRules, MutableStatic) {
+  ExpectFindings("bad_mutable_static.cc", {{"mutable-static", 7},
+                                           {"mutable-static", 9},
+                                           {"mutable-static", 12}});
+}
+
+TEST(LintRules, BadAllow) {
+  // A reason-less allow is itself a finding and does not suppress the
+  // violation beneath it; an unknown rule id is a finding too.
+  ExpectFindings("bad_allow.cc",
+                 {{"bad-allow", 7}, {"no-rand", 8}, {"bad-allow", 9}});
+}
+
+TEST(LintClean, ForkedRngPattern) { ExpectFindings("clean_rng_fork.cc", {}); }
+
+TEST(LintClean, AnnotatedState) {
+  ExpectFindings("clean_mutable_static.cc", {});
+}
+
+TEST(LintClean, SafeUnorderedUse) {
+  ExpectFindings("clean_unordered_iter.cc", {});
+}
+
+TEST(LintClean, ReasonedSuppressions) {
+  ExpectFindings("clean_suppressed.cc", {});
+}
+
+TEST(LintMeta, EveryRuleIdIsExercisedByTheCorpus) {
+  // Union of findings across all bad_* fixtures must cover the catalogue,
+  // so a rule cannot silently stop firing.
+  const std::vector<std::string> fixtures = {
+      "bad_rand.cc",           "bad_random_device.cc", "bad_wall_clock.cc",
+      "bad_raw_thread.cc",     "bad_nondet_reduce.cc", "linalg/bad_float_accum.cc",
+      "bad_unordered_iter.cc", "bad_rng_fork.cc",      "bad_rng_capture.cc",
+      "bad_mutable_static.cc", "bad_allow.cc",
+  };
+  std::set<std::string> fired;
+  for (const std::string& f : fixtures) {
+    for (const Finding& finding : LintFixture(f)) fired.insert(finding.rule);
+  }
+  for (const std::string& id : sparktune::lint::RuleIds()) {
+    EXPECT_TRUE(fired.count(id)) << "rule never fired in corpus: " << id;
+  }
+}
+
+TEST(LintMeta, FormatIncludesFileLineRuleAndHint) {
+  Finding f{"src/foo.cc", 12, "no-rand", "msg", "do better"};
+  std::string s = sparktune::lint::FormatFinding(f);
+  EXPECT_NE(s.find("src/foo.cc:12"), std::string::npos);
+  EXPECT_NE(s.find("[no-rand]"), std::string::npos);
+  EXPECT_NE(s.find("do better"), std::string::npos);
+}
+
+}  // namespace

@@ -1,0 +1,32 @@
+#!/usr/bin/env bash
+# One-shot verification gate: configure + build + ctest for the default
+# config and the UBSan config, plus an isolated run of the lint label.
+# Exits non-zero on the first failure.
+#
+# Usage: tools/check.sh [extra ctest args...]
+#
+# Build dirs follow the build-<san> convention (README "Build & test"):
+#   build (default), build-tsan, build-asan, build-ubsan, build-asan-ubsan.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+JOBS=$(nproc 2>/dev/null || echo 4)
+
+run_config() {
+  local dir="$1" sanitize="$2"
+  shift 2
+  echo "==> [$dir] configure (SPARKTUNE_SANITIZE='$sanitize')"
+  cmake -B "$dir" -S . -DSPARKTUNE_SANITIZE="$sanitize" > /dev/null
+  echo "==> [$dir] build"
+  cmake --build "$dir" -j "$JOBS" > /dev/null
+  echo "==> [$dir] ctest"
+  ctest --test-dir "$dir" --output-on-failure -j "$JOBS" "$@"
+}
+
+run_config build "" "$@"
+run_config build-ubsan undefined "$@"
+
+echo "==> [build] ctest -L lint (isolated lint label)"
+ctest --test-dir build --output-on-failure -L lint
+
+echo "check.sh: all configs green"

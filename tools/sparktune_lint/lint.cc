@@ -1,0 +1,848 @@
+#include "lint.h"
+
+#include <algorithm>
+#include <cctype>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <set>
+#include <sstream>
+
+namespace sparktune::lint {
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Source cleaning: blank out comments, string/char literals, and
+// preprocessor lines (keeping newlines so line numbers survive). Comments
+// are harvested for lint: annotations before being blanked; preprocessor
+// lines are scanned for `#pragma omp` before being blanked.
+// ---------------------------------------------------------------------------
+
+struct Annotation {
+  std::vector<std::string> allowed;  // rule ids from lint:allow(...)
+  std::vector<std::string> allow_reasons;  // parallel to `allowed`
+  bool guarded_by = false;           // lint:guarded-by(<mutex>) present
+};
+
+struct CleanedSource {
+  std::string code;                    // same length/lines as input
+  std::map<int, Annotation> notes;     // line -> annotations found there
+  std::vector<int> omp_pragma_lines;   // lines holding `#pragma omp`
+};
+
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+std::string Trim(const std::string& s) {
+  size_t b = s.find_first_not_of(" \t\r\n");
+  if (b == std::string::npos) return "";
+  size_t e = s.find_last_not_of(" \t\r\n");
+  return s.substr(b, e - b + 1);
+}
+
+// Parse every lint:allow(...)/lint:guarded-by(...) inside one comment's
+// text and record it against `line`.
+void HarvestComment(const std::string& text, int line, CleanedSource* out) {
+  size_t pos = 0;
+  while ((pos = text.find("lint:", pos)) != std::string::npos) {
+    size_t tail = pos + 5;
+    if (text.compare(tail, 6, "allow(") == 0) {
+      size_t open = tail + 6;
+      size_t close = text.find(')', open);
+      if (close == std::string::npos) break;
+      std::string id = Trim(text.substr(open, close - open));
+      // Only well-formed kebab-case ids count as annotations; prose like
+      // "lint:allow(<rule-id>)" in documentation is not one.
+      bool well_formed = !id.empty();
+      for (char c : id) {
+        if (!(std::islower(static_cast<unsigned char>(c)) ||
+              std::isdigit(static_cast<unsigned char>(c)) || c == '-')) {
+          well_formed = false;
+        }
+      }
+      if (!well_formed) {
+        pos = close + 1;
+        continue;
+      }
+      // The reason is everything after ')' up to the next annotation (or
+      // end of comment).
+      size_t reason_end = text.find("lint:", close);
+      std::string reason = Trim(text.substr(
+          close + 1, reason_end == std::string::npos ? std::string::npos
+                                                    : reason_end - close - 1));
+      Annotation& a = out->notes[line];
+      a.allowed.push_back(id);
+      a.allow_reasons.push_back(reason);
+      pos = close + 1;
+    } else if (text.compare(tail, 11, "guarded-by(") == 0) {
+      size_t close = text.find(')', tail + 11);
+      if (close == std::string::npos) break;
+      out->notes[line].guarded_by = true;
+      pos = close + 1;
+    } else {
+      pos = tail;
+    }
+  }
+}
+
+CleanedSource Clean(const std::string& src) {
+  CleanedSource out;
+  out.code.reserve(src.size());
+  int line = 1;
+  size_t i = 0;
+  const size_t n = src.size();
+  auto emit = [&](char c) { out.code.push_back(c == '\n' ? '\n' : c); };
+  auto blank = [&](char c) { out.code.push_back(c == '\n' ? '\n' : ' '); };
+
+  // Preprocessor lines (incl. backslash continuations) are blanked whole;
+  // scan them for `#pragma omp` first. We detect "line starts with #"
+  // at each newline boundary.
+  bool at_line_start = true;
+  while (i < n) {
+    char c = src[i];
+    if (at_line_start) {
+      size_t j = i;
+      while (j < n && (src[j] == ' ' || src[j] == '\t')) ++j;
+      if (j < n && src[j] == '#') {
+        // Consume the whole (possibly continued) preprocessor directive.
+        int start_line = line;
+        std::string text;
+        while (i < n) {
+          if (src[i] == '\\' && i + 1 < n && src[i + 1] == '\n') {
+            blank(src[i]);
+            ++i;
+            emit('\n');
+            ++line;
+            ++i;
+            continue;
+          }
+          if (src[i] == '\n') break;
+          text.push_back(src[i]);
+          blank(src[i]);
+          ++i;
+        }
+        // Normalize whitespace for the pragma check.
+        std::string squeezed;
+        for (char tc : text) {
+          if (tc == '\t') tc = ' ';
+          if (tc == ' ' && !squeezed.empty() && squeezed.back() == ' ')
+            continue;
+          squeezed.push_back(tc);
+        }
+        if (squeezed.find("#pragma omp") != std::string::npos ||
+            squeezed.find("# pragma omp") != std::string::npos) {
+          out.omp_pragma_lines.push_back(start_line);
+        }
+        continue;  // the '\n' (or EOF) is handled by the main loop
+      }
+      at_line_start = false;
+    }
+    if (c == '\n') {
+      emit('\n');
+      ++line;
+      ++i;
+      at_line_start = true;
+      continue;
+    }
+    if (c == '/' && i + 1 < n && src[i + 1] == '/') {
+      std::string text;
+      while (i < n && src[i] != '\n') {
+        text.push_back(src[i]);
+        blank(src[i]);
+        ++i;
+      }
+      HarvestComment(text, line, &out);
+      continue;
+    }
+    if (c == '/' && i + 1 < n && src[i + 1] == '*') {
+      int start_line = line;
+      std::string text;
+      blank(src[i]);
+      blank(src[i + 1]);
+      i += 2;
+      while (i < n && !(src[i] == '*' && i + 1 < n && src[i + 1] == '/')) {
+        if (src[i] == '\n') {
+          emit('\n');
+          ++line;
+        } else {
+          text.push_back(src[i]);
+          blank(src[i]);
+        }
+        ++i;
+      }
+      if (i < n) {
+        blank(src[i]);
+        blank(src[i + 1]);
+        i += 2;
+      }
+      HarvestComment(text, start_line, &out);
+      continue;
+    }
+    if (c == '"') {
+      // Raw string? (only when preceded by R just emitted)
+      bool raw = !out.code.empty() && out.code.back() == 'R' &&
+                 (out.code.size() < 2 || !IsIdentChar(out.code[out.code.size() - 2]));
+      if (raw) {
+        blank(src[i]);
+        ++i;
+        std::string delim;
+        while (i < n && src[i] != '(') {
+          delim.push_back(src[i]);
+          blank(src[i]);
+          ++i;
+        }
+        std::string closer = ")" + delim + "\"";
+        while (i < n && src.compare(i, closer.size(), closer) != 0) {
+          if (src[i] == '\n') {
+            emit('\n');
+            ++line;
+          } else {
+            blank(src[i]);
+          }
+          ++i;
+        }
+        for (size_t k = 0; k < closer.size() && i < n; ++k, ++i) blank(src[i]);
+        continue;
+      }
+      blank(src[i]);
+      ++i;
+      while (i < n && src[i] != '"') {
+        if (src[i] == '\\' && i + 1 < n) {
+          blank(src[i]);
+          ++i;
+        }
+        if (src[i] == '\n') {
+          emit('\n');
+          ++line;
+        } else {
+          blank(src[i]);
+        }
+        ++i;
+      }
+      if (i < n) {
+        blank(src[i]);
+        ++i;
+      }
+      continue;
+    }
+    if (c == '\'') {
+      blank(src[i]);
+      ++i;
+      while (i < n && src[i] != '\'') {
+        if (src[i] == '\\' && i + 1 < n) {
+          blank(src[i]);
+          ++i;
+        }
+        blank(src[i]);
+        ++i;
+      }
+      if (i < n) {
+        blank(src[i]);
+        ++i;
+      }
+      continue;
+    }
+    emit(c);
+    ++i;
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Tokenizer over cleaned code.
+// ---------------------------------------------------------------------------
+
+struct Token {
+  std::string text;
+  int line = 0;
+};
+
+std::vector<Token> Tokenize(const std::string& code) {
+  std::vector<Token> toks;
+  toks.reserve(code.size() / 4);
+  int line = 1;
+  size_t i = 0;
+  const size_t n = code.size();
+  while (i < n) {
+    char c = code[i];
+    if (c == '\n') {
+      ++line;
+      ++i;
+      continue;
+    }
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    if (IsIdentChar(c) && !std::isdigit(static_cast<unsigned char>(c))) {
+      size_t j = i;
+      while (j < n && IsIdentChar(code[j])) ++j;
+      toks.push_back({code.substr(i, j - i), line});
+      i = j;
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      size_t j = i;
+      while (j < n && (IsIdentChar(code[j]) || code[j] == '.')) ++j;
+      toks.push_back({code.substr(i, j - i), line});
+      i = j;
+      continue;
+    }
+    if (c == ':' && i + 1 < n && code[i + 1] == ':') {
+      toks.push_back({"::", line});
+      i += 2;
+      continue;
+    }
+    if (c == '-' && i + 1 < n && code[i + 1] == '>') {
+      toks.push_back({"->", line});
+      i += 2;
+      continue;
+    }
+    toks.push_back({std::string(1, c), line});
+    ++i;
+  }
+  return toks;
+}
+
+// ---------------------------------------------------------------------------
+// Rule engine.
+// ---------------------------------------------------------------------------
+
+const std::vector<std::string> kRules = {
+    "no-rand",           "no-random-device",   "no-wall-clock",
+    "no-raw-thread",     "no-nondet-reduce",   "no-float-accum",
+    "no-unordered-iter", "rng-fork-required",  "no-rng-ref-capture",
+    "mutable-static",    "bad-allow",
+};
+
+bool PathContains(const std::string& path, const std::string& needle) {
+  return path.find(needle) != std::string::npos;
+}
+
+bool PathEndsWith(const std::string& path, const std::string& suffix) {
+  return path.size() >= suffix.size() &&
+         path.compare(path.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+class Linter {
+ public:
+  Linter(std::string path, const std::string& content)
+      : path_(std::move(path)), cleaned_(Clean(content)) {
+    toks_ = Tokenize(cleaned_.code);
+  }
+
+  std::vector<Finding> Run() {
+    CheckAnnotations();
+    CheckBannedCalls();
+    TrackDeclarations();
+    CheckUnorderedIteration();
+    CheckParallelForBodies();
+    CheckMutableState();
+    ApplySuppressions();
+    std::sort(findings_.begin(), findings_.end(),
+              [](const Finding& a, const Finding& b) {
+                if (a.line != b.line) return a.line < b.line;
+                return a.rule < b.rule;
+              });
+    return findings_;
+  }
+
+ private:
+  void Add(const std::string& rule, int line, std::string message,
+           std::string hint) {
+    findings_.push_back(
+        {path_, line, rule, std::move(message), std::move(hint)});
+  }
+
+  const std::string& Tok(size_t i) const {
+    static const std::string kEmpty;
+    return i < toks_.size() ? toks_[i].text : kEmpty;
+  }
+
+  bool Prev(size_t i, const char* s) const {
+    return i > 0 && toks_[i - 1].text == s;
+  }
+
+  // --- annotations: every allow needs a reason and a known rule id -------
+  void CheckAnnotations() {
+    for (const auto& [line, note] : cleaned_.notes) {
+      for (size_t k = 0; k < note.allowed.size(); ++k) {
+        const std::string& id = note.allowed[k];
+        if (std::find(kRules.begin(), kRules.end(), id) == kRules.end()) {
+          Add("bad-allow", line, "lint:allow names unknown rule '" + id + "'",
+              "valid ids: run sparktune_lint --list-rules");
+        } else if (note.allow_reasons[k].empty()) {
+          Add("bad-allow", line,
+              "lint:allow(" + id + ") has no reason string",
+              "write lint:allow(" + id + ") <why this exception is sound>");
+        }
+      }
+    }
+  }
+
+  // --- flat token scans ---------------------------------------------------
+  void CheckBannedCalls() {
+    const bool in_sparksim = PathContains(path_, "sparksim/");
+    const bool is_pool = PathEndsWith(path_, "common/thread_pool.cc");
+    for (int line : cleaned_.omp_pragma_lines) {
+      if (!is_pool) {
+        Add("no-raw-thread", line, "OpenMP pragma",
+            "use common/thread_pool.h ParallelFor");
+      }
+    }
+    for (size_t i = 0; i < toks_.size(); ++i) {
+      const std::string& t = toks_[i].text;
+      const int line = toks_[i].line;
+      if ((t == "rand" || t == "srand" || t == "rand_r" || t == "drand48") &&
+          Tok(i + 1) == "(" && !Prev(i, ".") && !Prev(i, "->")) {
+        Add("no-rand", line, "C PRNG '" + t + "' is nondeterministic state",
+            "draw from a seeded common/rng.h Rng instead");
+      } else if (t == "random_device") {
+        Add("no-random-device", line,
+            "std::random_device breaks replayability",
+            "seed a common/rng.h Rng explicitly");
+      } else if (t == "reduce" || t == "transform_reduce" ||
+                 t == "execution") {
+        if (Prev(i, "::") && i >= 2 && toks_[i - 2].text == "std") {
+          Add("no-nondet-reduce", line,
+              "std::" + t + " reassociates floating-point accumulation",
+              "accumulate serially in index order (or tree-reduce with a "
+              "fixed shape)");
+        }
+      } else if (t == "float" && (PathContains(path_, "linalg/") ||
+                                  PathContains(path_, "model/"))) {
+        Add("no-float-accum", line,
+            "float arithmetic in a surrogate/linalg accumulation path",
+            "use double; float rounding makes results platform-dependent");
+      } else if (!in_sparksim && CheckWallClock(i, t, line)) {
+      } else if (!is_pool) {
+        CheckRawThread(i, t, line);
+      }
+    }
+  }
+
+  bool CheckWallClock(size_t i, const std::string& t, int line) {
+    if (t == "system_clock" || t == "gettimeofday" || t == "clock_gettime" ||
+        t == "timespec_get") {
+      Add("no-wall-clock", line, "wall-clock source '" + t + "'",
+          "simulated time lives in sparksim; results must not read the "
+          "host clock");
+      return true;
+    }
+    if (t == "time" && Tok(i + 1) == "(" && !Prev(i, ".") && !Prev(i, "->")) {
+      // `std::time(` and bare `time(` are the C wall clock; `Foo::time(`
+      // for Foo != std is somebody's accessor.
+      if (Prev(i, "::") && !(i >= 2 && toks_[i - 2].text == "std")) {
+        return false;
+      }
+      Add("no-wall-clock", line, "time() reads the host clock",
+          "thread simulated time through explicitly");
+      return true;
+    }
+    if ((t == "now" || t == "clock") && Tok(i + 1) == "(" &&
+        Tok(i + 2) == ")") {
+      Add("no-wall-clock", line, "argless " + t + "() reads the host clock",
+          "pass time in from the simulator (or lint:allow for pure "
+          "benchmark timing)");
+      return true;
+    }
+    return false;
+  }
+
+  void CheckRawThread(size_t i, const std::string& t, int line) {
+    if ((t == "thread" || t == "jthread" || t == "async") && Prev(i, "::") &&
+        i >= 2 && toks_[i - 2].text == "std" && Tok(i + 1) != "::") {
+      Add("no-raw-thread", line, "raw std::" + t + " outside the pool",
+          "all parallelism goes through common/thread_pool.h ParallelFor");
+    } else if (t == "pthread_create") {
+      Add("no-raw-thread", line, "pthread_create outside the pool",
+          "all parallelism goes through common/thread_pool.h ParallelFor");
+    }
+  }
+
+  // --- declaration tracking (Rng + unordered containers) ------------------
+  void TrackDeclarations() {
+    for (size_t i = 0; i < toks_.size(); ++i) {
+      const std::string& t = toks_[i].text;
+      if (t == "Rng") {
+        // std::vector<Rng> name — an indexed per-task family.
+        if (Prev(i, "<") && Tok(i + 1) == ">") {
+          size_t j = i + 2;
+          while (Tok(j) == "&" || Tok(j) == "*" || Tok(j) == "const") ++j;
+          if (!Tok(j).empty() && IsIdentChar(Tok(j)[0]) &&
+              Tok(j + 1) != "(") {
+            rng_arrays_.insert(Tok(j));
+          }
+          continue;
+        }
+        size_t j = i + 1;
+        while (Tok(j) == "*" || Tok(j) == "&" || Tok(j) == "const") ++j;
+        if (!Tok(j).empty() && IsIdentChar(Tok(j)[0]) && Tok(j + 1) != "(") {
+          rng_scalars_.insert(Tok(j));
+        }
+      } else if (t == "unordered_map" || t == "unordered_set" ||
+                 t == "unordered_multimap" || t == "unordered_multiset") {
+        size_t j = i + 1;
+        if (Tok(j) != "<") continue;
+        int depth = 0;
+        for (; j < toks_.size(); ++j) {
+          if (toks_[j].text == "<") ++depth;
+          if (toks_[j].text == ">" && --depth == 0) break;
+        }
+        ++j;
+        while (Tok(j) == "&" || Tok(j) == "*" || Tok(j) == "const") ++j;
+        if (!Tok(j).empty() && IsIdentChar(Tok(j)[0]) && Tok(j + 1) != "(") {
+          unordered_vars_.insert(Tok(j));
+        }
+      }
+    }
+  }
+
+  size_t MatchForward(size_t open, const char* open_s, const char* close_s) {
+    // Index of the token closing the bracket at `open`; toks_.size() if
+    // unbalanced.
+    int depth = 0;
+    for (size_t i = open; i < toks_.size(); ++i) {
+      if (toks_[i].text == open_s) ++depth;
+      if (toks_[i].text == close_s && --depth == 0) return i;
+    }
+    return toks_.size();
+  }
+
+  // --- range-for over unordered containers --------------------------------
+  void CheckUnorderedIteration() {
+    static const std::set<std::string> kMutators = {
+        "push_back", "emplace_back", "insert", "emplace",
+        "push_front", "append",      "push",
+    };
+    for (size_t i = 0; i + 2 < toks_.size(); ++i) {
+      if (toks_[i].text != "for" || Tok(i + 1) != "(") continue;
+      size_t close = MatchForward(i + 1, "(", ")");
+      if (close >= toks_.size()) continue;
+      // Find the range-for ':' at depth 1 ('::' is a distinct token).
+      size_t colon = 0;
+      int depth = 0;
+      for (size_t j = i + 1; j < close; ++j) {
+        if (toks_[j].text == "(") ++depth;
+        if (toks_[j].text == ")") --depth;
+        if (toks_[j].text == ":" && depth == 1) {
+          colon = j;
+          break;
+        }
+      }
+      if (colon == 0) continue;
+      bool unordered_range = false;
+      for (size_t j = colon + 1; j < close; ++j) {
+        const std::string& rt = toks_[j].text;
+        if (unordered_vars_.count(rt) || rt.rfind("unordered_", 0) == 0) {
+          unordered_range = true;
+          break;
+        }
+      }
+      if (!unordered_range) continue;
+      // Loop body: `{ ... }` or a single statement.
+      size_t body_begin = close + 1;
+      size_t body_end;
+      if (Tok(body_begin) == "{") {
+        body_end = MatchForward(body_begin, "{", "}");
+      } else {
+        body_end = body_begin;
+        while (body_end < toks_.size() && toks_[body_end].text != ";")
+          ++body_end;
+      }
+      for (size_t j = body_begin; j < body_end && j < toks_.size(); ++j) {
+        const std::string& bt = toks_[j].text;
+        bool compound_assign =
+            (bt == "+" || bt == "-") && Tok(j + 1) == "=" &&
+            toks_[j].line == (j + 1 < toks_.size() ? toks_[j + 1].line : -1);
+        if (kMutators.count(bt) || compound_assign) {
+          Add("no-unordered-iter", toks_[i].line,
+              "iteration over an unordered container feeds an accumulator "
+              "or output container",
+              "iterate a sorted copy of the keys (or collect then sort) so "
+              "the result does not depend on hash order");
+          break;
+        }
+      }
+    }
+  }
+
+  // --- ParallelFor lambda bodies ------------------------------------------
+  void CheckParallelForBodies() {
+    for (size_t i = 0; i < toks_.size(); ++i) {
+      if (toks_[i].text != "ParallelFor" || Tok(i + 1) != "(") continue;
+      size_t call_end = MatchForward(i + 1, "(", ")");
+      if (call_end >= toks_.size()) continue;
+      // First lambda inside the call.
+      size_t lb = i + 2;
+      while (lb < call_end && toks_[lb].text != "[") ++lb;
+      if (lb >= call_end) continue;
+      size_t cap_end = MatchForward(lb, "[", "]");
+      if (cap_end >= call_end) continue;
+      // Capture list: an explicit &rng is always wrong.
+      for (size_t j = lb + 1; j < cap_end; ++j) {
+        if (toks_[j].text == "&" && rng_scalars_.count(Tok(j + 1))) {
+          Add("no-rng-ref-capture", toks_[j].line,
+              "ParallelFor lambda captures Rng '" + Tok(j + 1) +
+                  "' by reference",
+              "fork per-task streams before the loop: ForkRngs(rng, n), "
+              "then index by task id");
+        }
+      }
+      size_t body_begin = cap_end + 1;
+      if (Tok(body_begin) == "(") body_begin = MatchForward(body_begin, "(", ")") + 1;
+      while (body_begin < call_end && Tok(body_begin) != "{") ++body_begin;
+      if (body_begin >= call_end) continue;
+      size_t body_end = MatchForward(body_begin, "{", "}");
+      // Rng names declared inside the body are per-task locals.
+      std::set<std::string> locals;
+      for (size_t j = body_begin; j < body_end; ++j) {
+        if (toks_[j].text != "Rng") continue;
+        size_t k = j + 1;
+        while (Tok(k) == "*" || Tok(k) == "&" || Tok(k) == "const") ++k;
+        if (!Tok(k).empty() && IsIdentChar(Tok(k)[0])) locals.insert(Tok(k));
+      }
+      for (size_t j = body_begin; j < body_end; ++j) {
+        const std::string& t = toks_[j].text;
+        if (!rng_scalars_.count(t) || locals.count(t)) continue;
+        if (Prev(j, ".") || Prev(j, "->") || Prev(j, "::")) continue;
+        Add("rng-fork-required", toks_[j].line,
+            "Rng '" + t + "' declared outside this ParallelFor body is "
+            "used inside it",
+            "draws would interleave by schedule; ForkRngs(rng, n) before "
+            "the loop and use the task's own stream");
+      }
+    }
+  }
+
+  // --- mutable statics / namespace-scope globals --------------------------
+  // A statement-granularity walk with a scope-kind stack. `kInit` marks
+  // braced initializers so their contents don't end statements early.
+  enum class Scope { kNamespace, kClass, kBlock, kInit };
+
+  static bool HeadHas(const std::vector<const Token*>& head, const char* s) {
+    for (const Token* t : head) {
+      if (t->text == s) return true;
+    }
+    return false;
+  }
+
+  Scope ClassifyBrace(const std::vector<const Token*>& head) {
+    if (HeadHas(head, "namespace")) return Scope::kNamespace;
+    bool has_paren = HeadHas(head, ")");
+    if (!has_paren && (HeadHas(head, "class") || HeadHas(head, "struct") ||
+                       HeadHas(head, "union") || HeadHas(head, "enum"))) {
+      return Scope::kClass;
+    }
+    if (has_paren) {
+      // `= [..](..) {` is a lambda body (block); `X x = f() {`? not C++.
+      // A ')' after the last '=' means the brace opens a callable body.
+      size_t last_eq = std::string::npos, last_par = std::string::npos;
+      for (size_t k = 0; k < head.size(); ++k) {
+        if (head[k]->text == "=") last_eq = k;
+        if (head[k]->text == ")") last_par = k;
+      }
+      if (last_eq == std::string::npos || last_par > last_eq)
+        return Scope::kBlock;
+      return Scope::kInit;
+    }
+    if (!head.empty()) {
+      const std::string& last = head.back()->text;
+      if (last == "=" || last == "(" || last == "," || last == "{" ||
+          last == "return") {
+        return Scope::kInit;
+      }
+    }
+    return Scope::kBlock;
+  }
+
+  void CheckMutableState() {
+    static const std::set<std::string> kSkipLeads = {
+        "using",    "typedef", "template", "class",  "struct",
+        "enum",     "union",   "namespace", "friend", "extern",
+        "static_assert", "public", "private", "protected", "if",
+        "for",      "while",   "switch",   "return", "case",
+        "do",       "else",    "goto",     "break",  "continue",
+    };
+    std::vector<Scope> stack;
+    std::vector<const Token*> head;
+    int paren = 0;
+    auto at_namespace_scope = [&]() {
+      return std::all_of(stack.begin(), stack.end(),
+                         [](Scope s) { return s == Scope::kNamespace; });
+    };
+    auto in_init = [&]() {
+      return !stack.empty() && stack.back() == Scope::kInit;
+    };
+    auto classify_statement = [&](const std::vector<const Token*>& st) {
+      if (st.empty()) return;
+      bool is_static = false, is_tls = false;
+      size_t first_paren = std::string::npos, first_eq = std::string::npos;
+      for (size_t k = 0; k < st.size(); ++k) {
+        const std::string& t = st[k]->text;
+        if (t == "static") is_static = true;
+        if (t == "thread_local") is_tls = true;
+        if (t == "(" && first_paren == std::string::npos) first_paren = k;
+        if (t == "=" && first_eq == std::string::npos) first_eq = k;
+      }
+      // const-ness: only tokens before the initializer count.
+      size_t limit = std::min(first_eq, st.size());
+      for (size_t k = 0; k < limit; ++k) {
+        const std::string& t = st[k]->text;
+        if (t == "const" || t == "constexpr" || t == "constinit") return;
+      }
+      if (kSkipLeads.count(st.front()->text)) return;
+      bool ns_scope = at_namespace_scope();
+      bool class_scope = !stack.empty() && stack.back() == Scope::kClass;
+      if (class_scope) return;  // member decls; out-of-line defs are caught
+      if (!is_static && !is_tls && !ns_scope) return;  // plain local
+      // Function declaration/definition: a '(' with no earlier '='.
+      if (first_paren != std::string::npos &&
+          (first_eq == std::string::npos || first_paren < first_eq)) {
+        return;
+      }
+      // A lone identifier ("break"-ish or macro) is not a declaration.
+      size_t idents = 0;
+      for (size_t k = 0; k < limit; ++k) {
+        if (IsIdentChar(st[k]->text[0]) &&
+            !std::isdigit(static_cast<unsigned char>(st[k]->text[0]))) {
+          ++idents;
+        }
+      }
+      if (idents < 2) return;
+      const char* what = is_tls ? "thread_local state"
+                        : is_static ? "mutable static state"
+                                    : "mutable namespace-scope state";
+      Add("mutable-static", st.front()->line,
+          std::string(what) + " without a guard annotation",
+          "make it const, guard it and annotate lint:guarded-by(<mutex>), "
+          "or justify with lint:allow(mutable-static) <reason>");
+    };
+    for (size_t i = 0; i < toks_.size(); ++i) {
+      const std::string& t = toks_[i].text;
+      if (t == "(") ++paren;
+      if (t == ")") paren = std::max(0, paren - 1);
+      if (t == "{" && paren == 0) {
+        Scope s = ClassifyBrace(head);
+        stack.push_back(s);
+        if (s != Scope::kInit) head.clear();
+        continue;
+      }
+      if (t == "}" && paren == 0) {
+        if (!stack.empty()) {
+          bool was_init = stack.back() == Scope::kInit;
+          stack.pop_back();
+          if (!was_init) head.clear();
+        }
+        continue;
+      }
+      if (t == ";" && paren == 0) {
+        if (!in_init()) {
+          classify_statement(head);
+          head.clear();
+        }
+        continue;
+      }
+      if (!in_init()) head.push_back(&toks_[i]);
+    }
+  }
+
+  // --- suppressions ---------------------------------------------------------
+  void ApplySuppressions() {
+    std::vector<Finding> kept;
+    for (Finding& f : findings_) {
+      if (f.rule == "bad-allow") {
+        kept.push_back(std::move(f));
+        continue;
+      }
+      bool suppressed = false;
+      for (int line : {f.line, f.line - 1}) {
+        auto it = cleaned_.notes.find(line);
+        if (it == cleaned_.notes.end()) continue;
+        const Annotation& a = it->second;
+        if (f.rule == "mutable-static" && a.guarded_by) suppressed = true;
+        for (size_t k = 0; k < a.allowed.size(); ++k) {
+          if (a.allowed[k] == f.rule && !a.allow_reasons[k].empty()) {
+            suppressed = true;
+          }
+        }
+      }
+      if (!suppressed) kept.push_back(std::move(f));
+    }
+    findings_ = std::move(kept);
+  }
+
+  std::string path_;
+  CleanedSource cleaned_;
+  std::vector<Token> toks_;
+  std::set<std::string> rng_scalars_;
+  std::set<std::string> rng_arrays_;
+  std::set<std::string> unordered_vars_;
+  std::vector<Finding> findings_;
+};
+
+bool LintableExtension(const std::filesystem::path& p) {
+  const std::string ext = p.extension().string();
+  return ext == ".cc" || ext == ".cpp" || ext == ".h" || ext == ".hpp";
+}
+
+}  // namespace
+
+const std::vector<std::string>& RuleIds() { return kRules; }
+
+std::vector<Finding> LintFile(const std::string& path,
+                              const std::string& content) {
+  return Linter(path, content).Run();
+}
+
+std::vector<Finding> LintFileOnDisk(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return {{path, 0, "io-error", "cannot read file", ""}};
+  }
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return LintFile(path, ss.str());
+}
+
+std::vector<Finding> LintTree(const std::string& root,
+                              const std::vector<std::string>& dirs) {
+  namespace fs = std::filesystem;
+  std::vector<std::string> files;
+  for (const std::string& d : dirs) {
+    fs::path base = fs::path(root) / d;
+    std::error_code ec;
+    if (!fs::is_directory(base, ec)) continue;
+    fs::recursive_directory_iterator it(base, ec), end;
+    for (; it != end; it.increment(ec)) {
+      const fs::path& p = it->path();
+      const std::string name = p.filename().string();
+      if (it->is_directory(ec)) {
+        if (name == "lint_fixtures" || name.rfind("build", 0) == 0 ||
+            (!name.empty() && name[0] == '.')) {
+          it.disable_recursion_pending();
+        }
+        continue;
+      }
+      if (LintableExtension(p)) files.push_back(p.string());
+    }
+  }
+  std::sort(files.begin(), files.end());
+  std::vector<Finding> all;
+  for (const std::string& f : files) {
+    std::vector<Finding> fs_ = LintFileOnDisk(f);
+    all.insert(all.end(), fs_.begin(), fs_.end());
+  }
+  return all;
+}
+
+std::string FormatFinding(const Finding& f) {
+  std::ostringstream ss;
+  ss << f.file << ":" << f.line << ": [" << f.rule << "] " << f.message;
+  if (!f.hint.empty()) ss << "\n    hint: " << f.hint;
+  return ss.str();
+}
+
+}  // namespace sparktune::lint

@@ -1,0 +1,76 @@
+// sparktune_lint — determinism & concurrency static analysis for the
+// sparktune tree. A lightweight tokenizer + rule engine (no libclang):
+// it cannot see types across translation units, but the project's
+// determinism discipline is deliberately syntactic (all randomness flows
+// through common/rng.h, all parallelism through common/thread_pool.h),
+// which is exactly what a token-level pass can enforce.
+//
+// Rule catalogue (ids are what lint:allow takes):
+//   no-rand            std::rand / srand / rand_r / drand48
+//   no-random-device   std::random_device
+//   no-wall-clock      time(), clock(), gettimeofday, clock_gettime,
+//                      system_clock, argless now() — exempt under
+//                      src/sparksim/ (the simulated clock domain)
+//   no-raw-thread      std::thread construction, std::jthread, std::async,
+//                      pthread_create, #pragma omp — exempt in
+//                      common/thread_pool.cc (the one sanctioned home)
+//   no-nondet-reduce   std::reduce / std::transform_reduce / std::execution
+//   no-float-accum     `float` in src/linalg or src/model (accumulation
+//                      paths must be double for cross-platform bit-identity)
+//   no-unordered-iter  range-for over an unordered_{map,set} whose body
+//                      writes into another container (iteration order is
+//                      unspecified, so the output order is too)
+//   rng-fork-required  an Rng declared outside a ParallelFor body is used
+//                      inside it (fork per task with ForkRngs and index)
+//   no-rng-ref-capture a ParallelFor lambda capture list names an Rng by
+//                      reference ([&rng])
+//   mutable-static     mutable namespace-scope, function-static, or
+//                      thread_local state without a
+//                      // lint:guarded-by(<mutex>) or lint:allow annotation
+//   bad-allow          a lint:allow with no reason string or an unknown
+//                      rule id (never suppressible)
+//
+// Suppressions: `// lint:allow(<rule-id>) <reason>` on the finding's line
+// or the line directly above. `// lint:guarded-by(<mutex>)` satisfies
+// mutable-static specifically. Reasons are mandatory so every exception
+// is self-documenting in the diff.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace sparktune::lint {
+
+struct Finding {
+  std::string file;  // path as given to the linter
+  int line = 0;      // 1-based
+  std::string rule;
+  std::string message;
+  std::string hint;
+};
+
+// All rule ids the engine knows, in catalogue order.
+const std::vector<std::string>& RuleIds();
+
+// Lint one file's contents. `path` is used for path-scoped rules
+// (sparksim wall-clock exemption, thread_pool exemption, float scoping)
+// and is reported verbatim in findings.
+std::vector<Finding> LintFile(const std::string& path,
+                              const std::string& content);
+
+// Read `path` from disk and lint it. Unreadable files yield a single
+// finding with rule "io-error".
+std::vector<Finding> LintFileOnDisk(const std::string& path);
+
+// Recursively lint every .cc/.cpp/.h/.hpp under `root`/<dir> for each of
+// `dirs` (e.g. {"src", "bench", "tests"}). Skips directories named
+// "lint_fixtures" (the intentionally-violating test corpus), anything
+// starting with "build", and dot-directories. Results are sorted by
+// path then line so output is deterministic.
+std::vector<Finding> LintTree(const std::string& root,
+                              const std::vector<std::string>& dirs);
+
+// "file:line: [rule] message" plus an indented hint line when present.
+std::string FormatFinding(const Finding& f);
+
+}  // namespace sparktune::lint

@@ -1,0 +1,65 @@
+// sparktune_lint CLI.
+//
+//   sparktune_lint [--root <dir>] [--list-rules] [path ...]
+//
+// With no explicit paths, walks src/, bench/, tests/, tools/, and
+// examples/ under --root (default: current directory). Explicit paths may
+// be files or directories. Exit status is 1 when any unsuppressed finding
+// remains, so `add_test(NAME lint COMMAND sparktune_lint ...)` gates the
+// tree.
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "lint.h"
+
+int main(int argc, char** argv) {
+  using sparktune::lint::Finding;
+  std::string root = ".";
+  std::vector<std::string> paths;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--root") == 0 && i + 1 < argc) {
+      root = argv[++i];
+    } else if (std::strcmp(argv[i], "--list-rules") == 0) {
+      for (const std::string& id : sparktune::lint::RuleIds()) {
+        std::printf("%s\n", id.c_str());
+      }
+      return 0;
+    } else if (std::strcmp(argv[i], "--help") == 0) {
+      std::printf(
+          "usage: sparktune_lint [--root <dir>] [--list-rules] [path ...]\n");
+      return 0;
+    } else {
+      paths.push_back(argv[i]);
+    }
+  }
+
+  std::vector<Finding> findings;
+  if (paths.empty()) {
+    findings = sparktune::lint::LintTree(
+        root, {"src", "bench", "tests", "tools", "examples"});
+  } else {
+    for (const std::string& p : paths) {
+      std::error_code ec;
+      if (std::filesystem::is_directory(p, ec)) {
+        auto sub = sparktune::lint::LintTree(p, {"."});
+        findings.insert(findings.end(), sub.begin(), sub.end());
+      } else {
+        auto sub = sparktune::lint::LintFileOnDisk(p);
+        findings.insert(findings.end(), sub.begin(), sub.end());
+      }
+    }
+  }
+
+  for (const Finding& f : findings) {
+    std::printf("%s\n", sparktune::lint::FormatFinding(f).c_str());
+  }
+  if (findings.empty()) {
+    std::printf("sparktune_lint: clean\n");
+    return 0;
+  }
+  std::printf("sparktune_lint: %zu finding(s)\n", findings.size());
+  return 1;
+}
