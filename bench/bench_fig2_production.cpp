@@ -121,7 +121,7 @@ int main(int argc, char** argv) {
     auto tuned =
         EvalOnce(task, space, service.tuner(task.id)->BestConfig(), 777 + t);
     if (manual.memory_gb_hours <= 0.0 || manual.cpu_core_hours <= 0.0 ||
-        tuned.failed) {
+        tuned.failed()) {
       ++failed_tasks;
       continue;
     }

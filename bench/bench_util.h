@@ -91,7 +91,7 @@ inline std::vector<double> IncumbentCurve(const RunHistory& h) {
   std::vector<double> curve;
   double best = std::numeric_limits<double>::infinity();
   for (const auto& o : h.observations()) {
-    if (!o.failed && o.feasible) best = std::min(best, o.objective);
+    if (!o.failed() && o.feasible) best = std::min(best, o.objective);
     double shown = std::isfinite(best) ? best : o.objective;
     curve.push_back(shown);
   }

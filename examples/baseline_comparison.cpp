@@ -56,7 +56,7 @@ int main() {
     std::vector<double> curve;
     double best = std::numeric_limits<double>::infinity();
     for (const auto& o : h.observations()) {
-      if (!o.failed && o.feasible) best = std::min(best, o.objective);
+      if (!o.failed() && o.feasible) best = std::min(best, o.objective);
       curve.push_back(std::isfinite(best) ? best : o.objective);
     }
     curves.push_back(std::move(curve));

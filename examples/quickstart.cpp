@@ -45,8 +45,8 @@ int main() {
     std::printf("%4d | %13.1f | %14.1f | %13.1f | %s%s%s\n", i,
                 obs.runtime_sec, obs.resource_rate, obs.objective,
                 i == 0 ? "baseline (manual)" : "",
-                obs.failed ? "FAILED" : "",
-                !obs.failed && !obs.feasible ? "constraint violated" : "");
+                obs.failed() ? "FAILED" : "",
+                !obs.failed() && !obs.feasible ? "constraint violated" : "");
     if (tuner.phase() == TunerPhase::kApplying) break;
   }
 

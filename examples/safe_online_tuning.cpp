@@ -67,7 +67,7 @@ int main() {
                     StrFormat("%.0f", o.runtime_sec),
                     StrFormat("%.1f", o.resource_rate),
                     StrFormat("%.1f", o.objective),
-                    o.failed ? "FAILED"
+                    o.failed() ? "FAILED"
                              : (o.feasible ? "ok" : "VIOLATION")});
     }
   }

@@ -15,9 +15,9 @@ Observation EvaluateConfig(const ConfigSpace& space, JobEvaluator* evaluator,
   obs.cpu_core_hours = outcome.cpu_core_hours;
   obs.data_size_gb = outcome.data_size_gb;
   obs.hours = outcome.hours;
-  obs.failed = outcome.failed;
+  obs.failure = outcome.failure;
   obs.objective = objective.Value(outcome.runtime_sec, outcome.resource_rate);
-  obs.feasible = !outcome.failed &&
+  obs.feasible = !outcome.failed() &&
                  objective.Feasible(outcome.runtime_sec, outcome.resource_rate);
   obs.iteration = iteration;
   return obs;

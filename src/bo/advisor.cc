@@ -15,7 +15,7 @@ std::vector<double> CappedObjectives(const RunHistory& history) {
   double worst_real = 0.0;
   bool any_real = false;
   for (const auto& o : history.observations()) {
-    if (!o.failed && std::isfinite(o.objective)) {
+    if (!o.failed() && std::isfinite(o.objective)) {
       worst_real = std::max(worst_real, o.objective);
       any_real = true;
     }
@@ -25,7 +25,7 @@ std::vector<double> CappedObjectives(const RunHistory& history) {
   y.reserve(history.size());
   for (const auto& o : history.observations()) {
     double v = o.objective;
-    if (o.failed || !std::isfinite(v) || v > cap) v = cap;
+    if (o.failed() || !std::isfinite(v) || v > cap) v = cap;
     y.push_back(v);
   }
   return y;
@@ -159,15 +159,37 @@ void Advisor::FitSurrogates(double datasize_hint_gb) {
     for (auto& v : y_rt) v = std::log(std::max(v, 1e-9));
   }
 
+  // Degradation ladder (DESIGN.md §7): a failed fit — e.g. Cholesky
+  // exhausting its jitter budget on a near-singular Gram matrix — must not
+  // error the tick. Rung 1: keep the previous fitted model when its feature
+  // schema still matches. Rung 2: fall back to a prior-only surrogate;
+  // Suggest then serves a history-best neighbor instead of trusting a
+  // meaningless acquisition landscape.
   auto schema = Schema();
-  objective_surrogate_ = objective_factory_(schema);
-  Status s1 = objective_surrogate_->Fit(x, y_obj);
-  runtime_surrogate_ = std::make_unique<GaussianProcess>(schema, options_.gp);
-  Status s2 = runtime_surrogate_->Fit(x, y_rt);
-  // A failed fit leaves a prior-only surrogate; Suggest degrades to
-  // near-random search which is the correct fallback.
-  (void)s1;
-  (void)s2;
+  const bool schema_matches = schema == last_schema_;
+  auto fit_one = [&](std::unique_ptr<Surrogate>* slot, bool* prior_only,
+                     std::unique_ptr<Surrogate> fresh,
+                     const std::vector<double>& y) {
+    Status s = fresh->Fit(x, y);
+    if (s.ok()) {
+      *slot = std::move(fresh);
+      *prior_only = false;
+      return;
+    }
+    ++degradation_.fit_failures;
+    if (*slot != nullptr && !*prior_only && schema_matches) {
+      ++degradation_.previous_model_reuses;
+      return;  // keep the previously fitted model
+    }
+    *slot = std::move(fresh);  // unfitted: predicts the prior
+    *prior_only = true;
+    ++degradation_.prior_only_fits;
+  };
+  fit_one(&objective_surrogate_, &objective_prior_only_,
+          objective_factory_(schema), y_obj);
+  fit_one(&runtime_surrogate_, &runtime_prior_only_,
+          std::make_unique<GaussianProcess>(schema, options_.gp), y_rt);
+  last_schema_ = std::move(schema);
 }
 
 Configuration Advisor::Suggest(double datasize_hint_gb,
@@ -245,6 +267,18 @@ Configuration Advisor::Suggest(double datasize_hint_gb,
   FitSurrogates(datasize_hint_gb);
 
   Configuration base = BestConfig();
+
+  // Last degradation rung: with no usable objective model at all, an
+  // acquisition maximization would chase prior noise. Serve a jittered
+  // neighbor of the incumbent (or the default config before any feasible
+  // run) and surface it through the counter.
+  if (objective_prior_only_) {
+    ++degradation_.fallback_suggestions;
+    Subspace full = Subspace::Full(space_);
+    Configuration c = full.Neighbor(base, 0.05, &rng_);
+    if (history_.Contains(c)) c = full.Neighbor(c, 0.05, &rng_);
+    return c;
+  }
   auto encode = [this, datasize_hint_gb, hours_hint](const Configuration& c) {
     return Encode(c, datasize_hint_gb, hours_hint);
   };
@@ -481,9 +515,49 @@ Configuration Advisor::Suggest(double datasize_hint_gb,
   return res.config;
 }
 
+AdvisorState Advisor::SaveState() const {
+  AdvisorState s;
+  s.rng = rng_.SaveState();
+  s.init_sampler_generated = init_sampler_.num_generated();
+  s.subspace = subspace_.SaveState();
+  s.observations = history_.observations();
+  s.warm_start = warm_start_;
+  s.suggestions = suggestions_;
+  s.init_served = static_cast<uint64_t>(init_served_);
+  s.use_time_context = use_time_context_;
+  s.degradation = degradation_;
+  return s;
+}
+
+void Advisor::RestoreState(const AdvisorState& s) {
+  rng_.RestoreState(s.rng);
+  // The low-discrepancy sequences are cheap and deterministic: rebuild at
+  // the saved cursor by replay instead of serializing generator internals.
+  init_sampler_ = QuasiRandomSampler(static_cast<int>(space_->size()),
+                                     options_.seed ^ 0x5bf03635ULL);
+  init_sampler_.Skip(s.init_sampler_generated);
+  subspace_.RestoreState(s.subspace);
+  history_.Clear();
+  for (const Observation& o : s.observations) history_.Add(o);
+  warm_start_ = s.warm_start;
+  suggestions_ = s.suggestions;
+  init_served_ = static_cast<size_t>(s.init_served);
+  use_time_context_ = s.use_time_context;
+  degradation_ = s.degradation;
+  // Surrogates refit from history on the next Suggest. A previous-model
+  // reuse rung cannot span a restart (the old model died with the
+  // process); the ladder simply drops to prior-only if the first refit
+  // after restore fails too.
+  objective_surrogate_.reset();
+  runtime_surrogate_.reset();
+  objective_prior_only_ = false;
+  runtime_prior_only_ = false;
+  last_schema_.clear();
+}
+
 void Advisor::Observe(Observation obs) {
   double best_before = history_.BestObjective();
-  bool improved = !obs.failed && obs.feasible && obs.objective < best_before;
+  bool improved = !obs.failed() && obs.feasible && obs.objective < best_before;
   history_.Add(std::move(obs));
   // The initial design should not shrink the sub-space.
   if (history_.size() > static_cast<size_t>(options_.init_samples)) {

@@ -28,6 +28,34 @@ namespace sparktune {
 using SurrogateFactory = std::function<std::unique_ptr<Surrogate>(
     const std::vector<FeatureKind>& schema)>;
 
+// Counters for the BO stack's graceful-degradation ladder (DESIGN.md §7):
+// fresh GP fit → previous-model reuse → history-best/default suggestion.
+// A surrogate fit failure (e.g. Cholesky jitter exhaustion) never errors a
+// tick; it bumps a counter and drops one rung.
+struct DegradationStats {
+  long long fit_failures = 0;          // surrogate Fit() returned an error
+  long long previous_model_reuses = 0; // rung 1: kept the last fitted model
+  long long prior_only_fits = 0;       // rung 2: no model to reuse
+  long long fallback_suggestions = 0;  // rung 3: history-best neighbor served
+};
+
+// Serialized mutable state of an Advisor (checkpoint payload). Surrogates
+// are NOT saved: they are refit from the restored history on the next
+// Suggest, which reproduces them bit-identically. RNG cursors (main stream,
+// init sampler) are saved exactly so the restored suggestion trajectory
+// matches an uninterrupted run.
+struct AdvisorState {
+  RngState rng;
+  uint64_t init_sampler_generated = 0;
+  SubspaceState subspace;
+  std::vector<Observation> observations;
+  std::vector<Configuration> warm_start;
+  int suggestions = 0;
+  uint64_t init_served = 0;
+  bool use_time_context = false;
+  DegradationStats degradation;
+};
+
 struct AdvisorOptions {
   TuningObjective objective;
   // Exact resource-rate function R(x); required for resource constraints
@@ -121,6 +149,16 @@ class Advisor {
   // context instead of the data size.
   bool using_time_context() const { return use_time_context_; }
 
+  // Graceful-degradation counters (never reset; see DegradationStats).
+  const DegradationStats& degradation() const { return degradation_; }
+
+  // Snapshot / restore the full mutable state (checkpoint support).
+  // Restore expects an advisor built over the same space and options;
+  // observations re-enter the history directly (no Observe side effects —
+  // subspace counters come from the snapshot instead).
+  AdvisorState SaveState() const;
+  void RestoreState(const AdvisorState& s);
+
  private:
   void FitSurrogates(double datasize_hint_gb);
 
@@ -138,6 +176,13 @@ class Advisor {
 
   std::unique_ptr<Surrogate> objective_surrogate_;
   std::unique_ptr<Surrogate> runtime_surrogate_;
+  // Degradation-ladder bookkeeping: whether each surrogate slot currently
+  // holds an unfitted (prior-only) model, and the schema the last fit used
+  // (previous-model reuse requires an unchanged schema).
+  bool objective_prior_only_ = false;
+  bool runtime_prior_only_ = false;
+  std::vector<FeatureKind> last_schema_;
+  DegradationStats degradation_;
 
   int suggestions_ = 0;
   // Initial-design suggestions served so far (external observations such as

@@ -9,7 +9,7 @@ int RunHistory::BestFeasibleIndex() const {
   double best_obj = std::numeric_limits<double>::infinity();
   for (size_t i = 0; i < observations_.size(); ++i) {
     const Observation& o = observations_[i];
-    if (o.failed || !o.feasible) continue;
+    if (o.failed() || !o.feasible) continue;
     if (o.objective < best_obj) {
       best_obj = o.objective;
       best = static_cast<int>(i);

@@ -7,6 +7,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/failure.h"
 #include "space/config_space.h"
 
 namespace sparktune {
@@ -23,8 +24,19 @@ struct Observation {
   double memory_gb_hours = 0.0;
   double cpu_core_hours = 0.0;
   bool feasible = true;        // all constraints satisfied
-  bool failed = false;         // execution failed outright
+  // Typed failure taxonomy (common/failure.h). Config-induced failures
+  // (kOom/kTimeout) are the advisor's unsafe-config labels; kInfra never
+  // reaches the advisor — the service watchdog retries it instead.
+  FailureKind failure = FailureKind::kNone;
+  // Produced by the watchdog's degraded mode (parked task re-running its
+  // incumbent), not by an advisor suggestion.
+  bool degraded = false;
   int iteration = 0;
+
+  // Execution failed outright (any kind).
+  bool failed() const { return IsFailure(failure); }
+  // Failure attributable to the configuration (safety-label eligible).
+  bool config_failed() const { return IsConfigFailure(failure); }
 };
 
 class RunHistory {

@@ -33,16 +33,20 @@ void Optimizer::Observe(const Configuration& config, double value) {
   Observation obs;
   obs.config = space_->Legalize(config);
   obs.iteration = ++iteration_;
-  obs.failed = !std::isfinite(value);
+  // A non-finite value means the evaluation blew up under this
+  // configuration — a config-induced failure, so it is safety-label
+  // eligible (infra faults never reach Observe; the watchdog owns those).
+  obs.failure =
+      std::isfinite(value) ? FailureKind::kNone : FailureKind::kOom;
   double runtime = value;
-  if (obs.failed) {
+  if (obs.failed()) {
     // A failed evaluation must look *bad* to the value surrogate, not fast:
     // pin it above everything observed (or the safety bound when set).
     double worst = std::isfinite(options_.safety_bound)
                        ? options_.safety_bound
                        : 1.0;
     for (const auto& o : advisor_.history().observations()) {
-      if (!o.failed) worst = std::max(worst, o.runtime_sec);
+      if (!o.failed()) worst = std::max(worst, o.runtime_sec);
     }
     runtime = worst * 2.0;
   }
@@ -51,9 +55,9 @@ void Optimizer::Observe(const Configuration& config, double value) {
   obs.runtime_sec = runtime;
   obs.resource_rate = resource;
   obs.objective =
-      obs.failed ? std::numeric_limits<double>::infinity()
-                 : objective_.Value(runtime, resource);
-  obs.feasible = !obs.failed && objective_.Feasible(runtime, resource);
+      obs.failed() ? std::numeric_limits<double>::infinity()
+                   : objective_.Value(runtime, resource);
+  obs.feasible = !obs.failed() && objective_.Feasible(runtime, resource);
   advisor_.Observe(std::move(obs));
 }
 
@@ -76,7 +80,7 @@ OptimizerReport Optimizer::Minimize(const ObjectiveFn& fn) {
     // Nothing feasible: return the smallest observed value anyway.
     double best_val = std::numeric_limits<double>::infinity();
     for (const auto& o : advisor_.history().observations()) {
-      if (!o.failed && o.runtime_sec < best_val) {
+      if (!o.failed() && o.runtime_sec < best_val) {
         best_val = o.runtime_sec;
         report.best_config = o.config;
         report.best_value = best_val;

@@ -104,4 +104,27 @@ Subspace SubspaceManager::Current(const Configuration& base) const {
   return Subspace(space_, std::move(order), base);
 }
 
+SubspaceState SubspaceManager::SaveState() const {
+  SubspaceState s;
+  s.k = k_;
+  s.succ_count = succ_count_;
+  s.fail_count = fail_count_;
+  s.importance = importance_;
+  s.importance_weight = importance_weight_;
+  s.num_updates = num_updates_;
+  s.last_fanova_size = static_cast<uint64_t>(last_fanova_size_);
+  return s;
+}
+
+void SubspaceManager::RestoreState(const SubspaceState& s) {
+  k_ = s.k;
+  succ_count_ = s.succ_count;
+  fail_count_ = s.fail_count;
+  importance_ = s.importance;
+  importance_weight_ = s.importance_weight;
+  num_updates_ = s.num_updates;
+  last_fanova_size_ = static_cast<size_t>(s.last_fanova_size);
+}
+
 }  // namespace sparktune
+

@@ -32,6 +32,18 @@ struct SubspaceOptions {
   int num_threads = 1;
 };
 
+// Serialized mutable state of a SubspaceManager (checkpoint payload). The
+// space pointer and options are reconstructed from configuration, not saved.
+struct SubspaceState {
+  int k = 0;
+  int succ_count = 0;
+  int fail_count = 0;
+  std::vector<double> importance;
+  double importance_weight = 0.0;
+  int num_updates = 0;
+  uint64_t last_fanova_size = 0;
+};
+
 class SubspaceManager {
  public:
   // `expert_ranking`: parameter names, most important first; names not in
@@ -56,6 +68,11 @@ class SubspaceManager {
   // Current sub-space: top-K parameters by importance, remaining pinned to
   // `base`.
   Subspace Current(const Configuration& base) const;
+
+  // Snapshot / restore the mutable state (checkpoint support). Restore
+  // expects a manager built over the same space and options.
+  SubspaceState SaveState() const;
+  void RestoreState(const SubspaceState& s);
 
   int K() const { return k_; }
   // Importance-sorted parameter indices (most important first).

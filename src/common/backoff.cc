@@ -1,0 +1,55 @@
+#include "common/backoff.h"
+
+#include <algorithm>
+
+namespace sparktune {
+
+int RetryPolicy::BackoffPeriods(int consecutive_failures) const {
+  if (consecutive_failures <= 0) return 0;
+  int shift = std::min(consecutive_failures - 1, 30);
+  long long periods = static_cast<long long>(base_backoff_periods) << shift;
+  return static_cast<int>(
+      std::min<long long>(periods, std::max(max_backoff_periods, 0)));
+}
+
+PeriodDecision DecidePeriod(const RetryPolicy& policy, RetryState* state) {
+  (void)policy;
+  if (state->backoff_remaining > 0) {
+    --state->backoff_remaining;
+    ++state->backoff_skips;
+    return PeriodDecision::kSkipBackoff;
+  }
+  if (state->parked) {
+    ++state->degraded_runs;
+    if (--state->park_cooldown <= 0) {
+      // Breaker closes after this degraded period; the streak restarts so
+      // the next infra failure backs off from scratch.
+      state->parked = false;
+      state->park_cooldown = 0;
+      state->consecutive_infra = 0;
+    }
+    return PeriodDecision::kRunDegraded;
+  }
+  return PeriodDecision::kRun;
+}
+
+void RecordPeriodOutcome(const RetryPolicy& policy, RetryState* state,
+                         FailureKind kind) {
+  if (kind != FailureKind::kInfra) {
+    state->consecutive_infra = 0;
+    return;
+  }
+  ++state->consecutive_infra;
+  ++state->infra_failures;
+  if (state->consecutive_infra >= policy.circuit_break_failures) {
+    state->parked = true;
+    state->park_cooldown = policy.park_periods;
+    state->backoff_remaining = 0;
+    ++state->park_events;
+  } else {
+    state->backoff_remaining =
+        policy.BackoffPeriods(state->consecutive_infra);
+  }
+}
+
+}  // namespace sparktune

@@ -1,0 +1,18 @@
+// CRC-32 (IEEE 802.3 polynomial, reflected) for checkpoint integrity.
+//
+// The checkpoint layer prefixes every payload with its CRC so a torn write
+// (partial rename target, truncated file, bit rot) is detected on load and
+// surfaced as Status::DataLoss instead of being parsed as garbage.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace sparktune {
+
+// CRC-32 of `data`; `seed` allows incremental computation by passing a
+// previous result. Matches zlib's crc32() for seed 0.
+uint32_t Crc32(std::string_view data, uint32_t seed = 0);
+
+}  // namespace sparktune

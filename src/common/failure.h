@@ -1,0 +1,59 @@
+// Failure taxonomy for job executions (DESIGN.md §7).
+//
+// Configuration-induced failures (kOom, kTimeout) are the advisor's safety
+// signal: they mark the suggested configuration as unsafe. Infrastructure
+// failures (kInfra — evaluator crashes, transient cluster errors) say nothing
+// about the configuration and must never reach the advisor's safety labels;
+// the service-level watchdog retries them instead.
+#pragma once
+
+namespace sparktune {
+
+enum class FailureKind {
+  kNone = 0,     // execution completed
+  kOom,          // out-of-memory; configuration-induced, unsafe label
+  kTimeout,      // exceeded runtime bound / hang; configuration-induced
+  kInfra,        // infrastructure fault; retried, never a safety label
+};
+
+inline const char* FailureKindName(FailureKind kind) {
+  switch (kind) {
+    case FailureKind::kNone:
+      return "none";
+    case FailureKind::kOom:
+      return "oom";
+    case FailureKind::kTimeout:
+      return "timeout";
+    case FailureKind::kInfra:
+      return "infra";
+  }
+  return "unknown";
+}
+
+// Inverse of FailureKindName; unrecognized names map to kNone so legacy
+// persisted records (which lacked the field) load as successful runs.
+inline FailureKind FailureKindFromName(const char* name) {
+  if (name == nullptr) return FailureKind::kNone;
+  const auto eq = [&](const char* s) {
+    const char* a = name;
+    for (; *a != '\0' && *s != '\0'; ++a, ++s) {
+      if (*a != *s) return false;
+    }
+    return *a == '\0' && *s == '\0';
+  };
+  if (eq("oom")) return FailureKind::kOom;
+  if (eq("timeout")) return FailureKind::kTimeout;
+  if (eq("infra")) return FailureKind::kInfra;
+  return FailureKind::kNone;
+}
+
+// True for failures caused by the configuration itself — the only kinds the
+// advisor may learn from as unsafe-config labels.
+inline bool IsConfigFailure(FailureKind kind) {
+  return kind == FailureKind::kOom || kind == FailureKind::kTimeout;
+}
+
+// Any failure at all (config-induced or infra).
+inline bool IsFailure(FailureKind kind) { return kind != FailureKind::kNone; }
+
+}  // namespace sparktune

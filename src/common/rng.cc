@@ -128,4 +128,18 @@ std::vector<int> Rng::Permutation(int n) {
 
 Rng Rng::Fork() { return Rng(Next() ^ 0xA0761D6478BD642FULL); }
 
+RngState Rng::SaveState() const {
+  RngState s;
+  for (int i = 0; i < 4; ++i) s.state[i] = state_[i];
+  s.has_cached_normal = has_cached_normal_;
+  s.cached_normal = cached_normal_;
+  return s;
+}
+
+void Rng::RestoreState(const RngState& s) {
+  for (int i = 0; i < 4; ++i) state_[i] = s.state[i];
+  has_cached_normal_ = s.has_cached_normal;
+  cached_normal_ = s.cached_normal;
+}
+
 }  // namespace sparktune

@@ -8,6 +8,15 @@
 
 namespace sparktune {
 
+// Complete serialized generator state; two Rng instances restored from the
+// same RngState produce identical output streams. Used by the checkpoint
+// layer so a restarted service resumes the exact suggestion trajectory.
+struct RngState {
+  uint64_t state[4] = {0, 0, 0, 0};
+  bool has_cached_normal = false;
+  double cached_normal = 0.0;
+};
+
 class Rng {
  public:
   explicit Rng(uint64_t seed = 0x9E3779B97F4A7C15ULL);
@@ -39,6 +48,10 @@ class Rng {
 
   // Derive an independent child stream (splitmix over the state).
   Rng Fork();
+
+  // Snapshot / restore the full generator state (incl. the Box-Muller cache).
+  RngState SaveState() const;
+  void RestoreState(const RngState& s);
 
  private:
   uint64_t state_[4];

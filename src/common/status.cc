@@ -19,6 +19,8 @@ const char* CodeName(Status::Code code) {
       return "Internal";
     case Status::Code::kUnavailable:
       return "Unavailable";
+    case Status::Code::kDataLoss:
+      return "DataLoss";
   }
   return "Unknown";
 }

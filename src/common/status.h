@@ -19,6 +19,7 @@ class Status {
     kFailedPrecondition,
     kInternal,
     kUnavailable,
+    kDataLoss,
   };
 
   Status() : code_(Code::kOk) {}
@@ -42,6 +43,10 @@ class Status {
   }
   static Status Unavailable(std::string msg) {
     return Status(Code::kUnavailable, std::move(msg));
+  }
+  // Unrecoverable corruption of persisted state (torn write, bad checksum).
+  static Status DataLoss(std::string msg) {
+    return Status(Code::kDataLoss, std::move(msg));
   }
 
   bool ok() const { return code_ == Code::kOk; }

@@ -38,7 +38,7 @@ Status KnowledgeBase::AddTask(const std::string& id,
   // Collect non-failed observations (infeasible ones still carry signal).
   std::vector<std::pair<double, const Observation*>> ranked;
   for (const auto& o : history.observations()) {
-    if (o.failed || !std::isfinite(o.objective)) continue;
+    if (o.failed() || !std::isfinite(o.objective)) continue;
     rec.x.push_back(space_->ToUnit(o.config));
     rec.y.push_back(o.objective);
     if (o.feasible) ranked.emplace_back(o.objective, &o);

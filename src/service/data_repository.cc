@@ -6,6 +6,7 @@
 #include <fstream>
 #include <sstream>
 
+#include "common/checksum.h"
 #include "common/json.h"
 #include "common/strings.h"
 
@@ -17,15 +18,20 @@ namespace {
 
 // Task ids can contain spaces/colons; file names use a sanitized prefix
 // plus a stable hash for uniqueness. The real id lives inside the JSON.
-std::string SanitizedFileName(const std::string& id) {
+std::string SanitizedFileName(const std::string& id, const char* ext) {
   std::string safe;
   for (char c : id) {
     safe.push_back(std::isalnum(static_cast<unsigned char>(c)) ? c : '_');
   }
   if (safe.size() > 48) safe.resize(48);
   size_t h = std::hash<std::string>{}(id);
-  return StrFormat("%s-%016zx.json", safe.c_str(), h);
+  return StrFormat("%s-%016zx%s", safe.c_str(), h, ext);
 }
+
+// Checkpoint framing: "SPARKTUNE-CKPT1 <crc32 hex> <payload bytes>\n" then
+// the payload. The declared length catches truncation (torn write that the
+// rename could not prevent, e.g. a dying disk), the CRC catches bit rot.
+constexpr char kCheckpointMagic[] = "SPARKTUNE-CKPT1";
 
 Json VectorToJson(const std::vector<double>& v) {
   Json arr = Json::Array();
@@ -52,7 +58,112 @@ DataRepository::DataRepository(std::string root_dir)
 }
 
 std::string DataRepository::PathFor(const std::string& id) const {
-  return (fs::path(root_dir_) / SanitizedFileName(id)).string();
+  return (fs::path(root_dir_) / SanitizedFileName(id, ".json")).string();
+}
+
+std::string DataRepository::CheckpointPathFor(const std::string& id) const {
+  return (fs::path(root_dir_) / SanitizedFileName(id, ".ckpt")).string();
+}
+
+Status DataRepository::SaveCheckpoint(const std::string& id,
+                                      const Json& payload) const {
+  std::string body = payload.Dump();
+  std::string path = CheckpointPathFor(id);
+  std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::trunc | std::ios::binary);
+    if (!out.good()) {
+      return Status::Unavailable("cannot write " + tmp);
+    }
+    out << kCheckpointMagic << ' '
+        << StrFormat("%08x", Crc32(body)) << ' ' << body.size() << '\n'
+        << body;
+    out.flush();
+    if (!out.good()) {
+      return Status::Unavailable("short write to " + tmp);
+    }
+  }
+  std::error_code ec;
+  fs::rename(tmp, path, ec);
+  if (ec) return Status::Unavailable("rename failed: " + ec.message());
+  return Status::OK();
+}
+
+Result<Json> DataRepository::LoadCheckpoint(const std::string& id) const {
+  std::ifstream in(CheckpointPathFor(id), std::ios::binary);
+  if (!in.good()) return Status::NotFound("no checkpoint for task: " + id);
+  std::stringstream buf;
+  buf << in.rdbuf();
+  std::string raw = buf.str();
+
+  size_t nl = raw.find('\n');
+  if (nl == std::string::npos) {
+    return Status::DataLoss("checkpoint for " + id + ": missing header");
+  }
+  std::istringstream header(raw.substr(0, nl));
+  std::string magic, crc_hex;
+  size_t declared = 0;
+  if (!(header >> magic >> crc_hex >> declared) ||
+      magic != kCheckpointMagic) {
+    return Status::DataLoss("checkpoint for " + id + ": bad header");
+  }
+  std::string body = raw.substr(nl + 1);
+  if (body.size() != declared) {
+    return Status::DataLoss(
+        StrFormat("checkpoint for %s: truncated (%zu of %zu bytes)",
+                  id.c_str(), body.size(), declared));
+  }
+  uint32_t want = 0;
+  {
+    std::istringstream crc_in(crc_hex);
+    crc_in >> std::hex >> want;
+    if (crc_in.fail()) {
+      return Status::DataLoss("checkpoint for " + id + ": bad crc field");
+    }
+  }
+  if (Crc32(body) != want) {
+    return Status::DataLoss("checkpoint for " + id + ": checksum mismatch");
+  }
+  auto doc = Json::Parse(body);
+  if (!doc.ok()) {
+    return Status::DataLoss("checkpoint for " + id + ": " +
+                            doc.status().message());
+  }
+  return *std::move(doc);
+}
+
+bool DataRepository::HasCheckpoint(const std::string& id) const {
+  return fs::exists(CheckpointPathFor(id));
+}
+
+Status DataRepository::DeleteCheckpoint(const std::string& id) const {
+  std::error_code ec;
+  fs::remove(CheckpointPathFor(id), ec);
+  if (ec) return Status::Unavailable("remove failed: " + ec.message());
+  return Status::OK();
+}
+
+std::vector<std::string> DataRepository::ListCheckpointIds() const {
+  std::vector<std::string> ids;
+  std::error_code ec;
+  for (const auto& entry : fs::directory_iterator(root_dir_, ec)) {
+    if (!entry.is_regular_file() || entry.path().extension() != ".ckpt") {
+      continue;
+    }
+    std::ifstream in(entry.path(), std::ios::binary);
+    std::stringstream buf;
+    buf << in.rdbuf();
+    std::string raw = buf.str();
+    size_t nl = raw.find('\n');
+    if (nl == std::string::npos) continue;
+    auto doc = Json::Parse(raw.substr(nl + 1));
+    if (doc.ok() && doc->is_object()) {
+      std::string id = doc->GetStringOr("id", "");
+      if (!id.empty()) ids.push_back(id);
+    }
+  }
+  std::sort(ids.begin(), ids.end());
+  return ids;
 }
 
 Json DataRepository::ObservationToJson(const Observation& obs) {
@@ -64,8 +175,10 @@ Json DataRepository::ObservationToJson(const Observation& obs) {
   j.Set("data_size_gb", Json::Number(obs.data_size_gb));
   j.Set("memory_gb_hours", Json::Number(obs.memory_gb_hours));
   j.Set("cpu_core_hours", Json::Number(obs.cpu_core_hours));
+  j.Set("hours", Json::Number(obs.hours));
   j.Set("feasible", Json::Bool(obs.feasible));
-  j.Set("failed", Json::Bool(obs.failed));
+  j.Set("failure", Json::Str(FailureKindName(obs.failure)));
+  j.Set("degraded", Json::Bool(obs.degraded));
   j.Set("iteration", Json::Number(obs.iteration));
   return j;
 }
@@ -88,8 +201,16 @@ Result<Observation> DataRepository::ObservationFromJson(
   obs.data_size_gb = j.GetNumberOr("data_size_gb", -1.0);
   obs.memory_gb_hours = j.GetNumberOr("memory_gb_hours", 0.0);
   obs.cpu_core_hours = j.GetNumberOr("cpu_core_hours", 0.0);
+  obs.hours = j.GetNumberOr("hours", -1.0);
   obs.feasible = j.GetBoolOr("feasible", true);
-  obs.failed = j.GetBoolOr("failed", false);
+  obs.failure =
+      FailureKindFromName(j.GetStringOr("failure", "").c_str());
+  // Legacy records carried only a bare bool; read it as a generic
+  // config-induced failure so safety labels survive the format upgrade.
+  if (obs.failure == FailureKind::kNone && j.GetBoolOr("failed", false)) {
+    obs.failure = FailureKind::kOom;
+  }
+  obs.degraded = j.GetBoolOr("degraded", false);
   obs.iteration = static_cast<int>(j.GetNumberOr("iteration", 0.0));
   return obs;
 }

@@ -36,6 +36,17 @@ class DataRepository {
 
   const std::string& root_dir() const { return root_dir_; }
 
+  // Crash-safe per-task checkpoints (DESIGN.md §7). Writes go to a temp
+  // file and rename atomically into place; the file is framed with a CRC32
+  // header so a torn or bit-flipped checkpoint surfaces as kDataLoss
+  // instead of being half-loaded. `payload` is an opaque JSON document
+  // (see service/checkpoint.h for the task codec).
+  Status SaveCheckpoint(const std::string& id, const Json& payload) const;
+  Result<Json> LoadCheckpoint(const std::string& id) const;
+  bool HasCheckpoint(const std::string& id) const;
+  Status DeleteCheckpoint(const std::string& id) const;
+  std::vector<std::string> ListCheckpointIds() const;
+
   // JSON codecs (exposed for tests).
   static Json ObservationToJson(const Observation& obs);
   static Result<Observation> ObservationFromJson(const Json& j,
@@ -43,6 +54,7 @@ class DataRepository {
 
  private:
   std::string PathFor(const std::string& id) const;
+  std::string CheckpointPathFor(const std::string& id) const;
 
   std::string root_dir_;
 };

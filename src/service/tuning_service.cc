@@ -5,6 +5,8 @@
 #include <unordered_set>
 
 #include "common/thread_pool.h"
+#include "service/checkpoint.h"
+#include "sparksim/event_log.h"
 
 namespace sparktune {
 
@@ -31,9 +33,11 @@ Status TuningService::RegisterTask(const std::string& id,
   }
   TaskState state;
   state.evaluator = evaluator;
-  state.tuner = std::make_unique<OnlineTuner>(
-      space_, evaluator, override.value_or(options_.tuner),
-      std::move(baseline));
+  TunerOptions resolved = override.value_or(options_.tuner);
+  state.policy = resolved.retry;
+  state.tuner = std::make_unique<OnlineTuner>(space_, evaluator,
+                                              std::move(resolved),
+                                              std::move(baseline));
   tasks_.emplace(id, std::move(state));
   return Status::OK();
 }
@@ -61,7 +65,10 @@ void TuningService::MaybeAttachMeta(TaskState* state) {
 }
 
 void TuningService::AbsorbExecution(TaskState* state) {
-  if (!state->tuner->last_event_log().stages.empty()) {
+  // Corrupted or truncated event logs (fault injection, dying agents) must
+  // not poison the meta-feature averages; quarantine anything that fails
+  // the sanity screen.
+  if (EventLogLooksSane(state->tuner->last_event_log())) {
     state->meta_samples.push_back(
         ExtractMetaFeatures(state->tuner->last_event_log()));
     if (state->meta_samples.size() > 8) {
@@ -79,17 +86,35 @@ Result<Observation> TuningService::ExecutePeriodic(const std::string& id) {
     return Status::NotFound("unknown task: " + id);
   }
   TaskState& state = it->second;
+  switch (DecidePeriod(state.policy, &state.retry)) {
+    case PeriodDecision::kSkipBackoff:
+      return Status::Unavailable("task backing off after infra failure: " +
+                                 id);
+    case PeriodDecision::kRunDegraded: {
+      Observation obs = state.tuner->StepDegraded();
+      AbsorbExecution(&state);
+      return obs;
+    }
+    case PeriodDecision::kRun:
+      break;
+  }
   Observation obs = state.tuner->Step();
+  RecordPeriodOutcome(state.policy, &state.retry, obs.failure);
   AbsorbExecution(&state);
   return obs;
 }
 
 std::vector<Result<Observation>> TuningService::ExecutePeriodicAll(
     const std::vector<std::string>& ids) {
-  // Resolve ids serially; a task may appear at most once per batch (two
-  // concurrent Step() calls on one tuner would race).
+  // Resolve ids and run the watchdog serially; a task may appear at most
+  // once per batch (two concurrent Step() calls on one tuner would race),
+  // and DecidePeriod mutates per-task clocks. The decisions are made in
+  // input order, so the schedule matches a sequential ExecutePeriodic loop
+  // at any thread count.
+  constexpr PeriodDecision kErrorSlot = PeriodDecision::kSkipBackoff;
   std::vector<TaskState*> states(ids.size(), nullptr);
   std::vector<Status> errors(ids.size(), Status::OK());
+  std::vector<PeriodDecision> decisions(ids.size(), kErrorSlot);
   std::unordered_set<std::string> seen;
   for (size_t i = 0; i < ids.size(); ++i) {
     auto it = tasks_.find(ids[i]);
@@ -98,7 +123,13 @@ std::vector<Result<Observation>> TuningService::ExecutePeriodicAll(
     } else if (!seen.insert(ids[i]).second) {
       errors[i] = Status::InvalidArgument("task repeated in batch: " + ids[i]);
     } else {
-      states[i] = &it->second;
+      decisions[i] = DecidePeriod(it->second.policy, &it->second.retry);
+      if (decisions[i] == PeriodDecision::kSkipBackoff) {
+        errors[i] = Status::Unavailable(
+            "task backing off after infra failure: " + ids[i]);
+      } else {
+        states[i] = &it->second;
+      }
     }
   }
 
@@ -107,17 +138,25 @@ std::vector<Result<Observation>> TuningService::ExecutePeriodicAll(
   // nowhere in Step().
   std::vector<std::optional<Observation>> stepped(ids.size());
   ParallelFor(options_.num_threads, ids.size(), [&](size_t i) {
-    if (states[i] != nullptr) stepped[i] = states[i]->tuner->Step();
+    if (states[i] == nullptr) return;
+    stepped[i] = decisions[i] == PeriodDecision::kRunDegraded
+                     ? states[i]->tuner->StepDegraded()
+                     : states[i]->tuner->Step();
   });
 
-  // Serial postlude in input order: meta-feature harvesting and knowledge
-  // attachment mutate per-task and shared state.
+  // Serial postlude in input order: watchdog outcome recording,
+  // meta-feature harvesting, and knowledge attachment mutate per-task and
+  // shared state.
   std::vector<Result<Observation>> results;
   results.reserve(ids.size());
   for (size_t i = 0; i < ids.size(); ++i) {
     if (states[i] == nullptr) {
       results.push_back(errors[i]);
       continue;
+    }
+    if (decisions[i] == PeriodDecision::kRun) {
+      RecordPeriodOutcome(states[i]->policy, &states[i]->retry,
+                          stepped[i]->failure);
     }
     AbsorbExecution(states[i]);
     results.push_back(std::move(*stepped[i]));
@@ -138,6 +177,11 @@ Status TuningService::HarvestTask(const std::string& id) {
   if (history.size() < 3) {
     return Status::FailedPrecondition("task history too small: " + id);
   }
+  if (state.harvested && history.size() == state.harvested_size) {
+    // Same task version already folded in; re-harvesting would duplicate
+    // its knowledge-base record.
+    return Status::OK();
+  }
   std::vector<double> meta = AverageMetaFeatures(state.meta_samples);
   std::vector<double> importance;
   if (const Advisor* advisor = state.tuner->advisor()) {
@@ -146,6 +190,7 @@ Status TuningService::HarvestTask(const std::string& id) {
   SPARKTUNE_RETURN_IF_ERROR(
       knowledge_.AddTask(id, meta, history, importance));
   state.harvested = true;
+  state.harvested_size = history.size();
 
   if (repository_ != nullptr) {
     StoredTask stored;
@@ -181,6 +226,96 @@ Status TuningService::LoadRepository() {
     return knowledge_.TrainSimilarityModel();
   }
   return Status::OK();
+}
+
+Status TuningService::CheckpointTask(const std::string& id) {
+  if (repository_ == nullptr) {
+    return Status::FailedPrecondition("no repository configured");
+  }
+  auto it = tasks_.find(id);
+  if (it == tasks_.end()) {
+    return Status::NotFound("unknown task: " + id);
+  }
+  const TaskState& state = it->second;
+  TaskCheckpoint ckpt;
+  ckpt.id = id;
+  ckpt.tuner = state.tuner->SaveState();
+  ckpt.meta_samples = state.meta_samples;
+  ckpt.meta_attached = state.meta_attached;
+  ckpt.harvested = state.harvested;
+  ckpt.harvested_size = state.harvested_size;
+  ckpt.retry = state.retry;
+  return repository_->SaveCheckpoint(id, TaskCheckpointToJson(ckpt));
+}
+
+Status TuningService::CheckpointTasks() {
+  Status first = Status::OK();
+  for (const auto& [id, state] : tasks_) {
+    (void)state;
+    Status s = CheckpointTask(id);
+    if (!s.ok() && first.ok()) first = s;
+  }
+  return first;
+}
+
+Status TuningService::RestoreTask(const std::string& id) {
+  if (repository_ == nullptr) {
+    return Status::FailedPrecondition("no repository configured");
+  }
+  auto it = tasks_.find(id);
+  if (it == tasks_.end()) {
+    return Status::NotFound("unknown task: " + id);
+  }
+  SPARKTUNE_ASSIGN_OR_RETURN(doc, repository_->LoadCheckpoint(id));
+  SPARKTUNE_ASSIGN_OR_RETURN(ckpt, TaskCheckpointFromJson(doc, *space_));
+
+  TaskState& state = it->second;
+  state.tuner->RestoreState(ckpt.tuner);
+  // The evaluator was rebuilt by the restarted process at execution 0;
+  // fast-forward it so derived per-run streams (data-size schedule, fault
+  // schedule) continue from where the checkpointed process stopped.
+  state.evaluator->SkipExecutions(ckpt.tuner.executions);
+  state.meta_samples = std::move(ckpt.meta_samples);
+  state.meta_attached = ckpt.meta_attached;
+  state.harvested = ckpt.harvested;
+  state.harvested_size = static_cast<size_t>(ckpt.harvested_size);
+  state.retry = ckpt.retry;
+  if (state.meta_attached && options_.enable_meta &&
+      !state.meta_samples.empty()) {
+    // Only the ensemble surrogate factory needs re-creating (closures do
+    // not serialize); warm-start configs and seeded importance already
+    // travel inside the advisor snapshot.
+    std::vector<double> meta = AverageMetaFeatures(state.meta_samples);
+    state.tuner->SetObjectiveSurrogateFactory(
+        knowledge_.MakeMetaSurrogateFactory(meta));
+  }
+  return Status::OK();
+}
+
+TuningService::RestoreReport TuningService::RestoreTasks() {
+  RestoreReport report;
+  if (repository_ == nullptr) {
+    report.errors.push_back(
+        Status::FailedPrecondition("no repository configured"));
+    return report;
+  }
+  for (const auto& [id, state] : tasks_) {
+    (void)state;
+    if (!repository_->HasCheckpoint(id)) continue;
+    Status s = RestoreTask(id);
+    if (s.ok()) {
+      ++report.restored;
+    } else {
+      ++report.fresh_starts;
+      report.errors.push_back(std::move(s));
+    }
+  }
+  return report;
+}
+
+const RetryState* TuningService::retry_state(const std::string& id) const {
+  auto it = tasks_.find(id);
+  return it == tasks_.end() ? nullptr : &it->second.retry;
 }
 
 const OnlineTuner* TuningService::tuner(const std::string& id) const {

@@ -12,6 +12,7 @@
 #include <string>
 #include <vector>
 
+#include "common/backoff.h"
 #include "meta/knowledge_base.h"
 #include "service/data_repository.h"
 #include "tuner/online_tuner.h"
@@ -45,6 +46,13 @@ class TuningService {
   // Handle one periodic execution of `id` (Steps 1-2 of Figure 1): pick a
   // configuration, run it, record the result. Meta-knowledge is attached
   // after the first execution produces meta-features.
+  //
+  // A per-task watchdog (common/backoff.h) wraps the call: after an infra
+  // failure the task backs off (kUnavailable slots, no execution) for a
+  // deterministic number of periods, and after `circuit_break_failures`
+  // consecutive infra failures it is parked — executed in degraded mode
+  // (incumbent/baseline config, observation marked `degraded`) until the
+  // breaker closes. Infra failures never reach the advisor.
   Result<Observation> ExecutePeriodic(const std::string& id);
 
   // Handle one periodic execution for EVERY id concurrently (the §6.2
@@ -64,6 +72,34 @@ class TuningService {
   // Load previously persisted tasks into the knowledge base.
   Status LoadRepository();
 
+  // Crash-safe checkpointing (DESIGN.md §7). CheckpointTask snapshots one
+  // task's full mutable state (tuner phase machine, advisor history + RNG
+  // cursors, meta attachment, watchdog state) into the repository via an
+  // atomic, checksummed write. RestoreTask loads it back into the already
+  // re-registered task and fast-forwards its evaluator, after which the
+  // suggestion trajectory continues exactly where the checkpoint left off.
+  // A torn or corrupted checkpoint yields kDataLoss and leaves the task in
+  // its freshly registered state.
+  Status CheckpointTask(const std::string& id);
+  // Checkpoints every registered task; returns the first error (but still
+  // attempts the rest).
+  Status CheckpointTasks();
+  Status RestoreTask(const std::string& id);
+
+  struct RestoreReport {
+    int restored = 0;      // tasks resumed from a valid checkpoint
+    int fresh_starts = 0;  // checkpoint present but unusable (kept fresh)
+    std::vector<Status> errors;
+  };
+  // Restores every registered task that has a checkpoint. Call after
+  // RegisterTask (and typically after LoadRepository, so re-attached
+  // meta-surrogates see the same knowledge base). Tasks whose checkpoint
+  // is corrupt fall back to a fresh start and are reported, not fatal.
+  RestoreReport RestoreTasks();
+
+  // Watchdog diagnostics for a task (null if unknown).
+  const RetryState* retry_state(const std::string& id) const;
+
   const OnlineTuner* tuner(const std::string& id) const;
   OnlineTuner* tuner(const std::string& id);
   KnowledgeBase& knowledge_base() { return knowledge_; }
@@ -77,6 +113,12 @@ class TuningService {
     std::vector<std::vector<double>> meta_samples;
     bool meta_attached = false;
     bool harvested = false;
+    // History size at the last harvest; a repeat harvest with no new
+    // observations is a no-op (idempotence per task version).
+    size_t harvested_size = 0;
+    // Watchdog: policy resolved at registration, state checkpointed.
+    RetryPolicy policy;
+    RetryState retry;
   };
 
   void MaybeAttachMeta(TaskState* state);

@@ -163,7 +163,12 @@ QuasiRandomSampler::QuasiRandomSampler(int dim, uint64_t seed) : dim_(dim) {
 }
 
 std::vector<double> QuasiRandomSampler::Next() {
+  ++num_generated_;
   return sobol_ ? sobol_->Next() : halton_->Next();
+}
+
+void QuasiRandomSampler::Skip(uint64_t n) {
+  for (uint64_t i = 0; i < n; ++i) Next();
 }
 
 }  // namespace sparktune

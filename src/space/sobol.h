@@ -63,8 +63,15 @@ class QuasiRandomSampler {
   int dim() const { return dim_; }
   bool using_sobol() const { return sobol_ != nullptr; }
 
+  // Points generated so far; with Skip this lets a checkpoint restore the
+  // sampler cursor (the sequences are cheap to replay deterministically).
+  uint64_t num_generated() const { return num_generated_; }
+  // Advance by `n` points, discarding them.
+  void Skip(uint64_t n);
+
  private:
   int dim_;
+  uint64_t num_generated_ = 0;
   std::unique_ptr<SobolSequence> sobol_;
   std::unique_ptr<HaltonSequence> halton_;
 };

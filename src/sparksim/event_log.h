@@ -63,4 +63,10 @@ struct EventLog {
 // Helper: summarize a sample vector into a TaskMetricSummary.
 TaskMetricSummary Summarize(const std::vector<double>& samples);
 
+// Sanity screen for event logs arriving from the execution substrate: a
+// truncated log has no stages, a corrupted one carries non-finite or
+// negative stage metrics. Consumers (meta-feature extraction) must skip
+// logs that fail this check instead of learning from garbage.
+bool EventLogLooksSane(const EventLog& log);
+
 }  // namespace sparktune

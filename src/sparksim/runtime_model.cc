@@ -68,14 +68,14 @@ struct StageRun {
 
 }  // namespace
 
-const char* FailureKindName(FailureKind kind) {
+const char* SimFailureKindName(SimFailureKind kind) {
   switch (kind) {
-    case FailureKind::kNone: return "none";
-    case FailureKind::kNoExecutors: return "no-executors";
-    case FailureKind::kExecutorOom: return "executor-oom";
-    case FailureKind::kContainerKill: return "container-kill";
-    case FailureKind::kDriverOom: return "driver-oom";
-    case FailureKind::kFetchTimeout: return "fetch-timeout";
+    case SimFailureKind::kNone: return "none";
+    case SimFailureKind::kNoExecutors: return "no-executors";
+    case SimFailureKind::kExecutorOom: return "executor-oom";
+    case SimFailureKind::kContainerKill: return "container-kill";
+    case SimFailureKind::kDriverOom: return "driver-oom";
+    case SimFailureKind::kFetchTimeout: return "fetch-timeout";
   }
   return "unknown";
 }
@@ -103,7 +103,7 @@ ExecutionResult SparkSimulator::Execute(const WorkloadSpec& workload,
   result.granted_executors = placement.granted_executors;
   if (placement.granted_executors == 0) {
     result.failed = true;
-    result.failure = FailureKind::kNoExecutors;
+    result.failure = SimFailureKind::kNoExecutors;
     result.runtime_sec = 120.0;  // fast application-master abort
     result.cpu_core_hours = conf.driver_cores * result.runtime_sec / 3600.0;
     result.memory_gb_hours = conf.driver_memory_gb * result.runtime_sec / 3600.0;
@@ -132,7 +132,7 @@ ExecutionResult SparkSimulator::Execute(const WorkloadSpec& workload,
   std::vector<StageRun> runs(workload.stages.size());
   const double job_input_mb = data_size_gb * 1024.0;
 
-  FailureKind failure = FailureKind::kNone;
+  SimFailureKind failure = SimFailureKind::kNone;
   double elapsed = 0.0;
 
   // Driver + executor launch overhead: AM negotiation plus container spin-up
@@ -140,7 +140,7 @@ ExecutionResult SparkSimulator::Execute(const WorkloadSpec& workload,
   elapsed += 5.0 + 0.012 * executors +
              0.3 * conf.scheduler_revive_interval_ms / 1000.0;
 
-  for (size_t si = 0; si < workload.stages.size() && failure == FailureKind::kNone;
+  for (size_t si = 0; si < workload.stages.size() && failure == SimFailureKind::kNone;
        ++si) {
     const StageSpec& spec = workload.stages[si];
     StageRun& run = runs[si];
@@ -262,7 +262,7 @@ ExecutionResult SparkSimulator::Execute(const WorkloadSpec& workload,
           std::ceil(sr_mb / std::max(1.0, conf.reducer_max_size_in_flight_mb));
       net_sec += 0.02 * fetch_waves;
       if (net_sec > conf.network_timeout_sec) {
-        failure = FailureKind::kFetchTimeout;
+        failure = SimFailureKind::kFetchTimeout;
       }
       io_sec += net_sec;
       if (conf.shuffle_compress) {
@@ -331,21 +331,21 @@ ExecutionResult SparkSimulator::Execute(const WorkloadSpec& workload,
       double job_fail_p =
           1.0 - std::pow(1.0 - perm_fail, std::min(partitions, 4000));
       if (rng.Bernoulli(std::clamp(job_fail_p, 0.0, 1.0))) {
-        failure = FailureKind::kExecutorOom;
+        failure = SimFailureKind::kExecutorOom;
       }
     }
     if (container_kill_p > 0.0 &&
         rng.Bernoulli(std::clamp(
             container_kill_p * std::min(1.0, partitions / 64.0) * 0.5, 0.0,
             0.95))) {
-      failure = FailureKind::kContainerKill;
+      failure = SimFailureKind::kContainerKill;
     }
 
     // Driver-side collect.
     if (spec.op == StageOp::kCollect) {
       double collect_mb = run.output_mb;
       if (collect_mb > conf.driver_memory_gb * 1024.0 * 0.6) {
-        failure = FailureKind::kDriverOom;
+        failure = SimFailureKind::kDriverOom;
       }
     }
 
@@ -408,7 +408,7 @@ ExecutionResult SparkSimulator::Execute(const WorkloadSpec& workload,
 
     // A failing stage does not run to completion: the job dies partway
     // through (YARN kills the app after repeated task failures).
-    if (failure != FailureKind::kNone) stage_total_sec *= 0.5;
+    if (failure != SimFailureKind::kNone) stage_total_sec *= 0.5;
 
     run.finish_time_sec = std::max(parents_finish, elapsed) + stage_total_sec;
 
@@ -461,7 +461,7 @@ ExecutionResult SparkSimulator::Execute(const WorkloadSpec& workload,
     elapsed = run.finish_time_sec;
   }
 
-  if (failure != FailureKind::kNone) {
+  if (failure != SimFailureKind::kNone) {
     result.failed = true;
     result.failure = failure;
     // The job burned through retries before dying.

@@ -22,7 +22,7 @@
 
 namespace sparktune {
 
-enum class FailureKind {
+enum class SimFailureKind {
   kNone = 0,
   kNoExecutors,     // requested executor shape does not fit the cluster
   kExecutorOom,     // task working set blows past executor heap
@@ -31,12 +31,12 @@ enum class FailureKind {
   kFetchTimeout,    // shuffle fetch exceeded spark.network.timeout
 };
 
-const char* FailureKindName(FailureKind kind);
+const char* SimFailureKindName(SimFailureKind kind);
 
 struct ExecutionResult {
   double runtime_sec = 0.0;
   bool failed = false;
-  FailureKind failure = FailureKind::kNone;
+  SimFailureKind failure = SimFailureKind::kNone;
 
   // Allocation-based usage over the run (what the platform bills).
   double cpu_core_hours = 0.0;

@@ -4,6 +4,24 @@
 
 namespace sparktune {
 
+FailureKind MapSimFailure(SimFailureKind kind) {
+  switch (kind) {
+    case SimFailureKind::kNone:
+      return FailureKind::kNone;
+    // Memory-class failures, incl. kNoExecutors: the configuration asked
+    // for containers the cluster cannot grant, which is as
+    // configuration-induced as an OOM kill.
+    case SimFailureKind::kNoExecutors:
+    case SimFailureKind::kExecutorOom:
+    case SimFailureKind::kContainerKill:
+    case SimFailureKind::kDriverOom:
+      return FailureKind::kOom;
+    case SimFailureKind::kFetchTimeout:
+      return FailureKind::kTimeout;
+  }
+  return FailureKind::kNone;
+}
+
 SimulatorEvaluator::SimulatorEvaluator(const ConfigSpace* space,
                                        WorkloadSpec workload,
                                        ClusterSpec cluster, DriftModel drift,
@@ -37,7 +55,7 @@ JobEvaluator::Outcome SimulatorEvaluator::Run(const Configuration& config) {
   out.resource_rate = result.resource_rate;
   out.memory_gb_hours = result.memory_gb_hours;
   out.cpu_core_hours = result.cpu_core_hours;
-  out.failed = result.failed;
+  out.failure = MapSimFailure(result.failure);
   out.data_size_gb = options_.datasize_observable ? data_gb : -1.0;
   out.hours = (executions_ - 1) * options_.period_hours;
   out.event_log = std::move(result.event_log);

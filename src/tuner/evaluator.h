@@ -6,12 +6,18 @@
 
 #include <cstdint>
 
+#include "common/failure.h"
 #include "sparksim/drift.h"
 #include "sparksim/event_log.h"
 #include "sparksim/runtime_model.h"
 #include "space/config_space.h"
 
 namespace sparktune {
+
+// Collapse the simulator's fine-grained failure taxonomy into the tuner's:
+// every simulated failure is configuration-induced (the simulator has no
+// infrastructure faults — those come from FaultInjectingEvaluator).
+FailureKind MapSimFailure(SimFailureKind kind);
 
 class JobEvaluator {
  public:
@@ -20,10 +26,15 @@ class JobEvaluator {
     double resource_rate = 0.0;  // R(x)
     double memory_gb_hours = 0.0;
     double cpu_core_hours = 0.0;
-    bool failed = false;
+    // Typed failure taxonomy (common/failure.h): kOom/kTimeout are
+    // configuration-induced; kInfra is an execution-substrate fault the
+    // service watchdog retries without blaming the configuration.
+    FailureKind failure = FailureKind::kNone;
     double data_size_gb = -1.0;  // <0 when unobservable
     double hours = -1.0;         // execution start, hours since task start
     EventLog event_log;
+
+    bool failed() const { return IsFailure(failure); }
   };
 
   virtual ~JobEvaluator() = default;
@@ -40,6 +51,12 @@ class JobEvaluator {
   // Start time (hours since the task started) of the next execution;
   // always known for periodic jobs.
   virtual double NextHours() const { return -1.0; }
+
+  // Fast-forward the clock by `n` executions without running anything.
+  // Checkpoint restore uses this so a rebuilt evaluator resumes at the
+  // same simulated time (and, for fault injectors, the same fault-schedule
+  // cursor). Default: no-op for stateless evaluators.
+  virtual void SkipExecutions(int n) { (void)n; }
 };
 
 struct SimulatorEvaluatorOptions {
@@ -61,6 +78,7 @@ class SimulatorEvaluator final : public JobEvaluator {
   double ResourceRate(const Configuration& config) const override;
   double NextDataSizeHintGb() const override;
   double NextHours() const override;
+  void SkipExecutions(int n) override { executions_ += n; }
 
   int executions() const { return executions_; }
   const WorkloadSpec& workload() const { return workload_; }

@@ -79,10 +79,10 @@ Observation OnlineTuner::MakeObservation(const Configuration& config,
   obs.cpu_core_hours = outcome.cpu_core_hours;
   obs.data_size_gb = outcome.data_size_gb;
   obs.hours = outcome.hours;
-  obs.failed = outcome.failed;
+  obs.failure = outcome.failure;
   obs.objective = objective_.Value(outcome.runtime_sec, outcome.resource_rate);
   obs.feasible =
-      !outcome.failed &&
+      !outcome.failed() &&
       objective_.Feasible(outcome.runtime_sec, outcome.resource_rate);
   obs.iteration = iteration;
   return obs;
@@ -93,6 +93,11 @@ Observation OnlineTuner::Step() {
   switch (phase_) {
     case TunerPhase::kBaseline: {
       JobEvaluator::Outcome outcome = evaluator_->Run(baseline_config_);
+      if (outcome.failure == FailureKind::kInfra) {
+        // The baseline never actually ran: stay in kBaseline and retry next
+        // period rather than deriving constraints from a phantom run.
+        return MakeObservation(baseline_config_, outcome, 0);
+      }
       last_event_log_ = outcome.event_log;
       // Derive constraints from the manual metrics.
       objective_.runtime_max =
@@ -108,9 +113,29 @@ Observation OnlineTuner::Step() {
     }
     case TunerPhase::kTuning: {
       EnsureAdvisor();
-      Configuration config = advisor_->Suggest(
-          evaluator_->NextDataSizeHintGb(), evaluator_->NextHours());
+      Configuration config;
+      if (pending_config_.has_value()) {
+        config = *pending_config_;
+      } else {
+        config = advisor_->Suggest(evaluator_->NextDataSizeHintGb(),
+                                   evaluator_->NextHours());
+        pending_config_ = config;
+        pending_attempts_ = 0;
+      }
       JobEvaluator::Outcome outcome = evaluator_->Run(config);
+      if (outcome.failure == FailureKind::kInfra) {
+        // The platform failed, not the configuration: keep the suggestion
+        // pending for a retry and keep the outcome away from the advisor so
+        // infra noise never becomes an unsafe-config label nor advances the
+        // suggestion RNG streams.
+        if (++pending_attempts_ >= options_.retry.max_attempts) {
+          pending_config_.reset();
+          pending_attempts_ = 0;
+        }
+        return MakeObservation(config, outcome, tuning_iterations_);
+      }
+      pending_config_.reset();
+      pending_attempts_ = 0;
       last_event_log_ = outcome.event_log;
       ++tuning_iterations_;
       Observation obs = MakeObservation(config, outcome, tuning_iterations_);
@@ -142,6 +167,11 @@ Observation OnlineTuner::Step() {
     case TunerPhase::kApplying: {
       Configuration best = BestConfig();
       JobEvaluator::Outcome outcome = evaluator_->Run(best);
+      if (outcome.failure == FailureKind::kInfra) {
+        // Not evidence about the configuration: skip the applied-history
+        // and degradation-restart bookkeeping entirely.
+        return MakeObservation(best, outcome, tuning_iterations_);
+      }
       last_event_log_ = outcome.event_log;
       Observation obs = MakeObservation(best, outcome, tuning_iterations_);
       applied_history_.Add(obs);
@@ -168,6 +198,60 @@ Observation OnlineTuner::Step() {
   }
   // Unreachable.
   return Observation{};
+}
+
+Observation OnlineTuner::StepDegraded() {
+  ++executions_;
+  Configuration best = BestConfig();
+  JobEvaluator::Outcome outcome = evaluator_->Run(best);
+  last_event_log_ = outcome.event_log;
+  Observation obs = MakeObservation(best, outcome, tuning_iterations_);
+  obs.degraded = true;
+  // Deliberately not observed and not in applied_history_: a parked task's
+  // incumbent replays must not shift the trajectory it resumes later.
+  return obs;
+}
+
+TunerState OnlineTuner::SaveState() const {
+  TunerState s;
+  s.phase = static_cast<int>(phase_);
+  s.runtime_max = objective_.runtime_max;
+  s.resource_max = objective_.resource_max;
+  s.baseline_obs = baseline_obs_;
+  s.applied_history = applied_history_.observations();
+  s.tuning_iterations = tuning_iterations_;
+  s.executions = executions_;
+  s.stopped_early = stopped_early_;
+  s.restarts = restarts_;
+  s.degradation_streak = degradation_streak_;
+  s.pending_config = pending_config_;
+  s.pending_attempts = pending_attempts_;
+  s.has_advisor = advisor_ != nullptr;
+  if (advisor_) s.advisor = advisor_->SaveState();
+  return s;
+}
+
+void OnlineTuner::RestoreState(const TunerState& s) {
+  phase_ = static_cast<TunerPhase>(s.phase);
+  objective_.runtime_max = s.runtime_max;
+  objective_.resource_max = s.resource_max;
+  baseline_obs_ = s.baseline_obs;
+  applied_history_.Clear();
+  for (const auto& obs : s.applied_history) applied_history_.Add(obs);
+  tuning_iterations_ = s.tuning_iterations;
+  executions_ = s.executions;
+  stopped_early_ = s.stopped_early;
+  restarts_ = s.restarts;
+  degradation_streak_ = s.degradation_streak;
+  pending_config_ = s.pending_config;
+  pending_attempts_ = s.pending_attempts;
+  if (s.has_advisor) {
+    // EnsureAdvisor copies objective_ (with the constraints restored above)
+    // into the advisor options, so the rebuilt advisor sees the same
+    // thresholds the checkpointed one derived from its baseline.
+    EnsureAdvisor();
+    advisor_->RestoreState(s.advisor);
+  }
 }
 
 TuningReport OnlineTuner::RunToCompletion(int executions) {

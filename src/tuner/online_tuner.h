@@ -14,6 +14,7 @@
 #include <optional>
 
 #include "bo/advisor.h"
+#include "common/backoff.h"
 #include "tuner/evaluator.h"
 
 namespace sparktune {
@@ -41,6 +42,33 @@ struct TunerOptions {
   // (0 disables).
   double degradation_factor = 1.3;
   int degradation_window = 3;
+
+  // Infra-failure handling (DESIGN.md §7). The tuner uses max_attempts to
+  // bound how often the same pending suggestion is retried; the service
+  // watchdog uses the backoff/circuit-breaker fields.
+  RetryPolicy retry;
+};
+
+// Serialized mutable state of an OnlineTuner (checkpoint payload).
+// `executions` counts evaluator Run() calls, which is exactly how far a
+// rebuilt evaluator must be fast-forwarded (JobEvaluator::SkipExecutions)
+// on restore. Resolved constraints travel with the snapshot because they
+// were derived from the baseline run, not from options.
+struct TunerState {
+  int phase = 0;  // TunerPhase as int
+  double runtime_max = std::numeric_limits<double>::infinity();
+  double resource_max = std::numeric_limits<double>::infinity();
+  std::optional<Observation> baseline_obs;
+  std::vector<Observation> applied_history;
+  int tuning_iterations = 0;
+  int executions = 0;
+  bool stopped_early = false;
+  int restarts = 0;
+  int degradation_streak = 0;
+  std::optional<Configuration> pending_config;
+  int pending_attempts = 0;
+  bool has_advisor = false;
+  AdvisorState advisor;  // valid iff has_advisor
 };
 
 struct TuningReport {
@@ -61,8 +89,18 @@ class OnlineTuner {
               std::optional<Configuration> baseline = std::nullopt);
 
   // One periodic execution (suggest/apply + run + record). Returns the
-  // observation of that execution.
+  // observation of that execution. An infra failure (Outcome kInfra) is
+  // returned but never fed to the advisor: the suggestion stays pending
+  // and the next Step retries it (up to options.retry.max_attempts), so
+  // infrastructure faults cannot poison the safety labels or advance the
+  // advisor's RNG streams.
   Observation Step();
+
+  // Degraded-mode execution for a parked (circuit-broken) task: run the
+  // incumbent/baseline configuration without consulting the advisor. The
+  // observation is marked `degraded` and recorded nowhere, leaving the
+  // tuning trajectory untouched for when the breaker closes.
+  Observation StepDegraded();
 
   // Convenience: run `executions` steps and summarize.
   TuningReport RunToCompletion(int executions);
@@ -91,6 +129,17 @@ class OnlineTuner {
   void SetObjectiveSurrogateFactory(SurrogateFactory factory);
   void SeedImportance(std::vector<double> scores, double weight = 1.0);
 
+  // Total evaluator Run() calls issued so far (the fast-forward distance a
+  // rebuilt evaluator needs on restore).
+  int executions() const { return executions_; }
+
+  // Snapshot / restore the full mutable state (checkpoint support).
+  // Restore expects a tuner built over the same space, options, and
+  // baseline; the evaluator is NOT rewound here — the caller fast-forwards
+  // it with JobEvaluator::SkipExecutions(state.executions).
+  TunerState SaveState() const;
+  void RestoreState(const TunerState& s);
+
  private:
   Observation MakeObservation(const Configuration& config,
                               const JobEvaluator::Outcome& outcome,
@@ -113,6 +162,13 @@ class OnlineTuner {
   bool stopped_early_ = false;
   int restarts_ = 0;
   int degradation_streak_ = 0;
+
+  // Suggestion awaiting a successful execution: set when the advisor is
+  // consulted, kept across infra failures (bounded by retry.max_attempts)
+  // so a retry re-runs the same configuration instead of burning a fresh
+  // advisor draw.
+  std::optional<Configuration> pending_config_;
+  int pending_attempts_ = 0;
 
   // Deferred meta hooks.
   std::vector<Configuration> pending_warm_start_;

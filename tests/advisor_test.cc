@@ -35,7 +35,7 @@ struct SynthBlackBox {
     o.resource_rate = Resource(c);
     o.objective = obj.Value(o.runtime_sec, o.resource_rate);
     o.feasible = obj.Feasible(o.runtime_sec, o.resource_rate);
-    o.failed = false;
+    o.failure = FailureKind::kNone;
     o.iteration = iter;
     o.data_size_gb = 100.0;
     return o;
@@ -206,7 +206,7 @@ TEST(AdvisorTest, FailedObservationsDoNotBecomeIncumbent) {
   Observation bad;
   bad.config = space.Default();
   bad.objective = 0.001;  // absurdly good but failed
-  bad.failed = true;
+  bad.failure = FailureKind::kOom;
   bad.feasible = false;
   advisor.Observe(bad);
   Observation good = box.Evaluate(space.Default(), opts.objective, 1);

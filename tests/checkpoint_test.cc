@@ -1,0 +1,314 @@
+// Crash-safe checkpoint/recovery tests (DESIGN.md §7): CRC32 vectors, the
+// framed atomic checkpoint files, the task-checkpoint JSON codec, and the
+// headline property — a kill/restart resumes the identical trajectory.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/checksum.h"
+#include "service/checkpoint.h"
+#include "service/tuning_service.h"
+#include "sparksim/hibench.h"
+#include "tuner/fault_injection.h"
+
+namespace sparktune {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string TempDir(const std::string& tag) {
+  std::string dir =
+      (fs::temp_directory_path() / ("sparktune-ckpt-test-" + tag)).string();
+  fs::remove_all(dir);
+  return dir;
+}
+
+// The one checkpoint file in a repository directory.
+std::string OnlyCheckpointFile(const std::string& dir) {
+  std::string found;
+  for (const auto& entry : fs::directory_iterator(dir)) {
+    if (entry.path().extension() == ".ckpt") {
+      EXPECT_TRUE(found.empty()) << "more than one .ckpt in " << dir;
+      found = entry.path().string();
+    }
+  }
+  EXPECT_FALSE(found.empty()) << "no .ckpt in " << dir;
+  return found;
+}
+
+std::string ReadFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  return std::string(std::istreambuf_iterator<char>(in),
+                     std::istreambuf_iterator<char>());
+}
+
+void WriteFile(const std::string& path, const std::string& content) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out << content;
+}
+
+struct Fixture {
+  Fixture()
+      : cluster(ClusterSpec::HiBenchCluster()),
+        space(BuildSparkSpace(cluster)) {}
+
+  std::unique_ptr<SimulatorEvaluator> MakeInner(uint64_t seed) {
+    auto w = HiBenchTask("WordCount");
+    EXPECT_TRUE(w.ok());
+    SimulatorEvaluatorOptions opts;
+    opts.seed = seed;
+    return std::make_unique<SimulatorEvaluator>(&space, *w, cluster,
+                                                DriftModel::Diurnal(), opts);
+  }
+
+  TuningServiceOptions ServiceOpts(const std::string& dir) {
+    TuningServiceOptions opts;
+    opts.tuner.budget = 10;
+    opts.tuner.ei_stop_threshold = 0.0;
+    opts.tuner.advisor.expert_ranking = ExpertParameterRanking();
+    opts.repository_dir = dir;
+    return opts;
+  }
+
+  ClusterSpec cluster;
+  ConfigSpace space;
+};
+
+FaultInjectionOptions MixedFaults() {
+  FaultInjectionOptions opts;
+  opts.seed = 5;
+  opts.crash_prob = 0.15;
+  opts.transient_error_prob = 0.1;
+  opts.hang_prob = 0.1;
+  opts.corrupt_log_prob = 0.1;
+  opts.truncate_log_prob = 0.1;
+  return opts;
+}
+
+TEST(Crc32Test, KnownVectors) {
+  EXPECT_EQ(Crc32(""), 0u);
+  // The canonical CRC-32/IEEE check value.
+  EXPECT_EQ(Crc32("123456789"), 0xCBF43926u);
+  // Incremental computation matches one-shot.
+  uint32_t partial = Crc32("12345");
+  EXPECT_EQ(Crc32("6789", partial), 0xCBF43926u);
+}
+
+TEST(CheckpointFileTest, RoundTripAndListing) {
+  DataRepository repo(TempDir("roundtrip"));
+  EXPECT_FALSE(repo.HasCheckpoint("task-a"));
+  EXPECT_EQ(repo.LoadCheckpoint("task-a").status().code(),
+            Status::Code::kNotFound);
+
+  Json payload = Json::Object();
+  payload.Set("id", Json::Str("task-a"));
+  payload.Set("x", Json::Number(42.0));
+  ASSERT_TRUE(repo.SaveCheckpoint("task-a", payload).ok());
+  EXPECT_TRUE(repo.HasCheckpoint("task-a"));
+
+  auto loaded = repo.LoadCheckpoint("task-a");
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->GetStringOr("id", ""), "task-a");
+  EXPECT_EQ(loaded->GetNumberOr("x", 0.0), 42.0);
+
+  auto ids = repo.ListCheckpointIds();
+  ASSERT_EQ(ids.size(), 1u);
+  EXPECT_EQ(ids[0], "task-a");
+
+  // Overwrite is atomic-replace, not append.
+  payload.Set("x", Json::Number(43.0));
+  ASSERT_TRUE(repo.SaveCheckpoint("task-a", payload).ok());
+  loaded = repo.LoadCheckpoint("task-a");
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->GetNumberOr("x", 0.0), 43.0);
+
+  ASSERT_TRUE(repo.DeleteCheckpoint("task-a").ok());
+  EXPECT_FALSE(repo.HasCheckpoint("task-a"));
+}
+
+TEST(CheckpointFileTest, TruncationAndCorruptionAreDataLoss) {
+  std::string dir = TempDir("torn");
+  DataRepository repo(dir);
+  Json payload = Json::Object();
+  payload.Set("id", Json::Str("task-a"));
+  payload.Set("blob", Json::Str("some payload that is long enough to cut"));
+  ASSERT_TRUE(repo.SaveCheckpoint("task-a", payload).ok());
+  const std::string path = OnlyCheckpointFile(dir);
+  const std::string intact = ReadFile(path);
+
+  // Torn write: the tail is missing.
+  WriteFile(path, intact.substr(0, intact.size() - 10));
+  EXPECT_EQ(repo.LoadCheckpoint("task-a").status().code(),
+            Status::Code::kDataLoss);
+
+  // Bit rot: one payload byte flipped, length unchanged.
+  std::string flipped = intact;
+  flipped[flipped.size() - 3] ^= 0x20;
+  WriteFile(path, flipped);
+  EXPECT_EQ(repo.LoadCheckpoint("task-a").status().code(),
+            Status::Code::kDataLoss);
+
+  // Garbage header.
+  WriteFile(path, "not a checkpoint at all\n{}");
+  EXPECT_EQ(repo.LoadCheckpoint("task-a").status().code(),
+            Status::Code::kDataLoss);
+
+  // The intact bytes still load: the screen rejects damage, not age.
+  WriteFile(path, intact);
+  EXPECT_TRUE(repo.LoadCheckpoint("task-a").ok());
+}
+
+TEST(CheckpointCodecTest, TaskCheckpointRoundTrip) {
+  Fixture f;
+  auto inner = f.MakeInner(3);
+  OnlineTuner tuner(&f.space, inner.get(), f.ServiceOpts("").tuner);
+  for (int i = 0; i < 7; ++i) tuner.Step();
+
+  TaskCheckpoint ckpt;
+  ckpt.id = "wc";
+  ckpt.tuner = tuner.SaveState();
+  ckpt.meta_samples = {{1.0, 2.0, 3.0}, {4.0, 5.0, 6.0}};
+  ckpt.meta_attached = true;
+  ckpt.harvested = true;
+  ckpt.harvested_size = 7;
+  ckpt.retry.consecutive_infra = 2;
+  ckpt.retry.backoff_remaining = 4;
+  ckpt.retry.infra_failures = 9;
+
+  // Through the serialized form (Dump + Parse) to catch anything that
+  // survives in-memory JSON but not the wire format (inf, uint64 width).
+  auto reparsed = Json::Parse(TaskCheckpointToJson(ckpt).Dump());
+  ASSERT_TRUE(reparsed.ok());
+  auto back = TaskCheckpointFromJson(*reparsed, f.space);
+  ASSERT_TRUE(back.ok());
+
+  EXPECT_EQ(back->id, "wc");
+  EXPECT_EQ(back->tuner.phase, ckpt.tuner.phase);
+  EXPECT_EQ(back->tuner.executions, ckpt.tuner.executions);
+  EXPECT_EQ(back->tuner.tuning_iterations, ckpt.tuner.tuning_iterations);
+  EXPECT_EQ(back->tuner.runtime_max, ckpt.tuner.runtime_max);
+  EXPECT_EQ(back->tuner.resource_max, ckpt.tuner.resource_max);
+  ASSERT_EQ(back->tuner.baseline_obs.has_value(),
+            ckpt.tuner.baseline_obs.has_value());
+  EXPECT_EQ(back->tuner.has_advisor, ckpt.tuner.has_advisor);
+  EXPECT_EQ(back->meta_samples, ckpt.meta_samples);
+  EXPECT_TRUE(back->meta_attached);
+  EXPECT_TRUE(back->harvested);
+  EXPECT_EQ(back->harvested_size, 7u);
+  EXPECT_EQ(back->retry.consecutive_infra, 2);
+  EXPECT_EQ(back->retry.backoff_remaining, 4);
+  EXPECT_EQ(back->retry.infra_failures, 9);
+}
+
+TEST(CheckpointCodecTest, MalformedDocumentsAreDataLoss) {
+  Fixture f;
+  EXPECT_EQ(TaskCheckpointFromJson(Json::Array(), f.space).status().code(),
+            Status::Code::kDataLoss);
+  Json no_id = Json::Object();
+  no_id.Set("tuner", Json::Object());
+  EXPECT_EQ(TaskCheckpointFromJson(no_id, f.space).status().code(),
+            Status::Code::kDataLoss);
+  Json no_tuner = Json::Object();
+  no_tuner.Set("id", Json::Str("wc"));
+  EXPECT_EQ(TaskCheckpointFromJson(no_tuner, f.space).status().code(),
+            Status::Code::kDataLoss);
+}
+
+// Acceptance: kill the service after any period, restore from the
+// checkpoint, and the remaining trajectory is bit-identical to a service
+// that was never killed — fault schedule and watchdog state included.
+TEST(CheckpointRecoveryTest, KillRestartResumesIdenticalTrajectory) {
+  Fixture f;
+  constexpr int kTotal = 30;
+  constexpr int kKillAfter = 12;
+
+  // Reference service: never killed.
+  std::vector<Result<Observation>> want;
+  {
+    TuningService service(&f.space, f.ServiceOpts(TempDir("ref")));
+    auto inner = f.MakeInner(7);
+    FaultInjectingEvaluator eval(inner.get(), MixedFaults());
+    ASSERT_TRUE(service.RegisterTask("wc", &eval).ok());
+    for (int i = 0; i < kTotal; ++i) {
+      want.push_back(service.ExecutePeriodic("wc"));
+    }
+  }
+
+  const std::string dir = TempDir("killed");
+  {
+    TuningService service(&f.space, f.ServiceOpts(dir));
+    auto inner = f.MakeInner(7);
+    FaultInjectingEvaluator eval(inner.get(), MixedFaults());
+    ASSERT_TRUE(service.RegisterTask("wc", &eval).ok());
+    for (int i = 0; i < kKillAfter; ++i) {
+      auto got = service.ExecutePeriodic("wc");
+      ASSERT_EQ(got.ok(), want[i].ok()) << "period " << i;
+    }
+    ASSERT_TRUE(service.CheckpointTasks().ok());
+  }  // "kill -9": the process state is gone; only the repository survives.
+
+  TuningService revived(&f.space, f.ServiceOpts(dir));
+  auto inner = f.MakeInner(7);  // restarted process rebuilds from scratch
+  FaultInjectingEvaluator eval(inner.get(), MixedFaults());
+  ASSERT_TRUE(revived.RegisterTask("wc", &eval).ok());
+  ASSERT_TRUE(revived.LoadRepository().ok());
+  auto report = revived.RestoreTasks();
+  ASSERT_TRUE(report.errors.empty())
+      << report.errors[0].message();
+  EXPECT_EQ(report.restored, 1);
+  EXPECT_EQ(report.fresh_starts, 0);
+
+  for (int i = kKillAfter; i < kTotal; ++i) {
+    auto got = revived.ExecutePeriodic("wc");
+    ASSERT_EQ(got.ok(), want[i].ok()) << "period " << i;
+    if (!got.ok()) {
+      EXPECT_EQ(got.status().code(), want[i].status().code());
+      continue;
+    }
+    EXPECT_TRUE(got->config == want[i]->config) << "period " << i;
+    EXPECT_EQ(got->objective, want[i]->objective) << "period " << i;
+    EXPECT_EQ(got->runtime_sec, want[i]->runtime_sec) << "period " << i;
+    EXPECT_EQ(got->failure, want[i]->failure) << "period " << i;
+    EXPECT_EQ(got->degraded, want[i]->degraded) << "period " << i;
+    EXPECT_EQ(got->feasible, want[i]->feasible) << "period " << i;
+  }
+}
+
+TEST(CheckpointRecoveryTest, TornCheckpointFallsBackToFreshStart) {
+  Fixture f;
+  const std::string dir = TempDir("torn-restart");
+  {
+    TuningService service(&f.space, f.ServiceOpts(dir));
+    auto inner = f.MakeInner(3);
+    ASSERT_TRUE(service.RegisterTask("wc", inner.get()).ok());
+    for (int i = 0; i < 5; ++i) {
+      ASSERT_TRUE(service.ExecutePeriodic("wc").ok());
+    }
+    ASSERT_TRUE(service.CheckpointTask("wc").ok());
+  }
+  // Tear the checkpoint mid-write.
+  const std::string path = OnlyCheckpointFile(dir);
+  const std::string intact = ReadFile(path);
+  WriteFile(path, intact.substr(0, intact.size() / 2));
+
+  TuningService revived(&f.space, f.ServiceOpts(dir));
+  auto inner = f.MakeInner(3);
+  ASSERT_TRUE(revived.RegisterTask("wc", inner.get()).ok());
+  auto report = revived.RestoreTasks();
+  EXPECT_EQ(report.restored, 0);
+  EXPECT_EQ(report.fresh_starts, 1);
+  ASSERT_EQ(report.errors.size(), 1u);
+  EXPECT_EQ(report.errors[0].code(), Status::Code::kDataLoss);
+
+  // The task stayed in its freshly registered state and tunes normally.
+  auto obs = revived.ExecutePeriodic("wc");
+  ASSERT_TRUE(obs.ok());
+  EXPECT_EQ(revived.tuner("wc")->executions(), 1);
+}
+
+}  // namespace
+}  // namespace sparktune

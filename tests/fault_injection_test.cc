@@ -1,0 +1,189 @@
+// Tests for the deterministic fault injector (tuner/fault_injection.h),
+// the event-log sanity screen, and the sim->tuner failure mapping.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <memory>
+
+#include "sparksim/hibench.h"
+#include "tuner/fault_injection.h"
+
+namespace sparktune {
+namespace {
+
+struct SimFixture {
+  SimFixture()
+      : cluster(ClusterSpec::HiBenchCluster()),
+        space(BuildSparkSpace(cluster)) {}
+
+  std::unique_ptr<SimulatorEvaluator> MakeInner(uint64_t seed) {
+    auto w = HiBenchTask("WordCount");
+    EXPECT_TRUE(w.ok());
+    SimulatorEvaluatorOptions opts;
+    opts.seed = seed;
+    return std::make_unique<SimulatorEvaluator>(&space, *w, cluster,
+                                                DriftModel::Diurnal(), opts);
+  }
+
+  ClusterSpec cluster;
+  ConfigSpace space;
+};
+
+FaultInjectionOptions MixedFaults(uint64_t seed) {
+  FaultInjectionOptions opts;
+  opts.seed = seed;
+  opts.crash_prob = 0.15;
+  opts.transient_error_prob = 0.1;
+  opts.hang_prob = 0.1;
+  opts.corrupt_log_prob = 0.1;
+  opts.truncate_log_prob = 0.1;
+  return opts;
+}
+
+TEST(FailureKindTest, NamesRoundTripAndLegacyFallback) {
+  for (FailureKind k : {FailureKind::kNone, FailureKind::kOom,
+                        FailureKind::kTimeout, FailureKind::kInfra}) {
+    EXPECT_EQ(FailureKindFromName(FailureKindName(k)), k);
+  }
+  EXPECT_EQ(FailureKindFromName("not-a-kind"), FailureKind::kNone);
+  EXPECT_TRUE(IsConfigFailure(FailureKind::kOom));
+  EXPECT_TRUE(IsConfigFailure(FailureKind::kTimeout));
+  EXPECT_FALSE(IsConfigFailure(FailureKind::kInfra));
+  EXPECT_TRUE(IsFailure(FailureKind::kInfra));
+  EXPECT_FALSE(IsFailure(FailureKind::kNone));
+}
+
+TEST(MapSimFailureTest, EverySimKindIsConfigInduced) {
+  EXPECT_EQ(MapSimFailure(SimFailureKind::kNone), FailureKind::kNone);
+  EXPECT_EQ(MapSimFailure(SimFailureKind::kFetchTimeout),
+            FailureKind::kTimeout);
+  for (SimFailureKind k :
+       {SimFailureKind::kNoExecutors, SimFailureKind::kExecutorOom,
+        SimFailureKind::kContainerKill, SimFailureKind::kDriverOom}) {
+    EXPECT_EQ(MapSimFailure(k), FailureKind::kOom);
+  }
+}
+
+TEST(FaultInjectionTest, SameSeedSameScheduleAcrossInstances) {
+  SimFixture f;
+  auto inner_a = f.MakeInner(7);
+  auto inner_b = f.MakeInner(7);
+  FaultInjectingEvaluator a(inner_a.get(), MixedFaults(5));
+  FaultInjectingEvaluator b(inner_b.get(), MixedFaults(5));
+  Configuration c = f.space.Default();
+  for (int i = 0; i < 40; ++i) {
+    auto oa = a.Run(c);
+    auto ob = b.Run(c);
+    EXPECT_EQ(oa.failure, ob.failure) << "run " << i;
+    EXPECT_EQ(oa.runtime_sec, ob.runtime_sec) << "run " << i;
+    EXPECT_EQ(oa.event_log.stages.size(), ob.event_log.stages.size());
+  }
+  EXPECT_EQ(a.counters().crashes, b.counters().crashes);
+  EXPECT_EQ(a.counters().clean_runs, b.counters().clean_runs);
+  // The mixed schedule actually exercised several fault kinds.
+  EXPECT_GT(a.counters().crashes + a.counters().transient_errors, 0);
+  EXPECT_GT(a.counters().clean_runs, 0);
+}
+
+TEST(FaultInjectionTest, CrashDoesNotAdvanceInnerClock) {
+  SimFixture f;
+  auto inner = f.MakeInner(7);
+  FaultInjectionOptions opts;
+  opts.crash_prob = 1.0;
+  FaultInjectingEvaluator eval(inner.get(), opts);
+  for (int i = 0; i < 5; ++i) {
+    auto out = eval.Run(f.space.Default());
+    EXPECT_EQ(out.failure, FailureKind::kInfra);
+    EXPECT_TRUE(out.failed());
+  }
+  EXPECT_EQ(inner->executions(), 0);
+  EXPECT_EQ(eval.counters().crashes, 5);
+  // After the fault clears, the inner evaluator produces exactly what a
+  // fault-free evaluator produces for its first execution.
+  auto clean_inner = f.MakeInner(7);
+  EXPECT_EQ(inner->Run(f.space.Default()).runtime_sec,
+            clean_inner->Run(f.space.Default()).runtime_sec);
+}
+
+TEST(FaultInjectionTest, HangIsTimeoutWithInflatedRuntimeAndNoLog) {
+  SimFixture f;
+  auto inner = f.MakeInner(7);
+  auto twin = f.MakeInner(7);
+  FaultInjectionOptions opts;
+  opts.hang_prob = 1.0;
+  FaultInjectingEvaluator eval(inner.get(), opts);
+  auto hung = eval.Run(f.space.Default());
+  auto clean = twin->Run(f.space.Default());
+  EXPECT_EQ(hung.failure, FailureKind::kTimeout);
+  EXPECT_EQ(hung.runtime_sec, clean.runtime_sec * 10.0);
+  EXPECT_TRUE(hung.event_log.stages.empty());
+  EXPECT_EQ(inner->executions(), 1);  // the job did run
+}
+
+TEST(FaultInjectionTest, CorruptAndTruncatedLogsFailSanityScreen) {
+  SimFixture f;
+  auto inner = f.MakeInner(7);
+  FaultInjectionOptions opts;
+  opts.corrupt_log_prob = 1.0;
+  FaultInjectingEvaluator corrupt(inner.get(), opts);
+  auto out = corrupt.Run(f.space.Default());
+  EXPECT_EQ(out.failure, FailureKind::kNone);  // the run itself succeeded
+  EXPECT_FALSE(out.event_log.stages.empty());
+  EXPECT_FALSE(EventLogLooksSane(out.event_log));
+
+  auto inner2 = f.MakeInner(7);
+  FaultInjectionOptions topts;
+  topts.truncate_log_prob = 1.0;
+  FaultInjectingEvaluator truncate(inner2.get(), topts);
+  auto tout = truncate.Run(f.space.Default());
+  EXPECT_EQ(tout.failure, FailureKind::kNone);
+  EXPECT_TRUE(tout.event_log.stages.empty());
+  EXPECT_FALSE(EventLogLooksSane(tout.event_log));
+}
+
+TEST(EventLogSanityTest, VetsStageMetrics) {
+  SimFixture f;
+  auto inner = f.MakeInner(3);
+  EventLog log = inner->Run(f.space.Default()).event_log;
+  ASSERT_TRUE(EventLogLooksSane(log));
+  EventLog nan_duration = log;
+  nan_duration.stages[0].duration_sec =
+      std::numeric_limits<double>::quiet_NaN();
+  EXPECT_FALSE(EventLogLooksSane(nan_duration));
+  EventLog negative_io = log;
+  negative_io.stages[0].input_mb = -1.0;
+  EXPECT_FALSE(EventLogLooksSane(negative_io));
+  EventLog bad_size = log;
+  bad_size.data_size_gb = -4.0;
+  EXPECT_FALSE(EventLogLooksSane(bad_size));
+}
+
+TEST(FaultInjectionTest, SkipExecutionsReplaysTheSchedule) {
+  SimFixture f;
+  const Configuration c = f.space.Default();
+  constexpr int kTotal = 30;
+  constexpr int kSkip = 17;
+
+  auto inner_full = f.MakeInner(7);
+  FaultInjectingEvaluator full(inner_full.get(), MixedFaults(5));
+  std::vector<JobEvaluator::Outcome> want;
+  for (int i = 0; i < kTotal; ++i) want.push_back(full.Run(c));
+
+  auto inner_resumed = f.MakeInner(7);
+  FaultInjectingEvaluator resumed(inner_resumed.get(), MixedFaults(5));
+  resumed.SkipExecutions(kSkip);
+  EXPECT_EQ(resumed.runs(), kSkip);
+  for (int i = kSkip; i < kTotal; ++i) {
+    auto got = resumed.Run(c);
+    EXPECT_EQ(got.failure, want[i].failure) << "run " << i;
+    EXPECT_EQ(got.runtime_sec, want[i].runtime_sec) << "run " << i;
+    EXPECT_EQ(got.data_size_gb, want[i].data_size_gb) << "run " << i;
+  }
+  // Both inner clocks consumed the same number of real executions
+  // (crash/transient slots consume none).
+  EXPECT_EQ(inner_resumed->executions(), inner_full->executions());
+}
+
+}  // namespace
+}  // namespace sparktune

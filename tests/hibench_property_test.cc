@@ -37,7 +37,7 @@ class HiBenchPropertyTest : public ::testing::TestWithParam<std::string> {
 
 TEST_P(HiBenchPropertyTest, DefaultConfigSucceeds) {
   ExecutionResult r = RunDefault();
-  EXPECT_FALSE(r.failed) << FailureKindName(r.failure);
+  EXPECT_FALSE(r.failed) << SimFailureKindName(r.failure);
   EXPECT_GT(r.runtime_sec, 1.0);
   EXPECT_LT(r.runtime_sec, 1e6);
   EXPECT_GT(r.cpu_core_hours, 0.0);

@@ -1,0 +1,10 @@
+// Fixture: same terminating calls as src/bad_abort.cc, but this path is
+// outside src/ so the no-abort rule must stay silent.
+#include <cassert>
+#include <cstdlib>
+
+void Doomed(int rc) {
+  if (rc != 0) std::abort();
+  if (rc < 0) exit(rc);
+  assert(false);
+}

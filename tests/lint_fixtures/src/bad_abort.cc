@@ -1,0 +1,9 @@
+// Fixture: process-terminating calls inside library (src/-scoped) code.
+#include <cassert>
+#include <cstdlib>
+
+void Doomed(int rc) {
+  if (rc != 0) std::abort();
+  if (rc < 0) exit(rc);
+  assert(false);
+}

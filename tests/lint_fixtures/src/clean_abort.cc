@@ -1,0 +1,13 @@
+// Fixture: value assertions and justified terminations stay clean even in
+// src/-scoped code.
+#include <cassert>
+#include <cstdlib>
+
+int Safe(int rc) {
+  assert(rc >= 0);
+  if (rc > 9) {
+    // lint:allow(no-abort) fatal-config path; termination is the contract
+    std::exit(rc);
+  }
+  return rc;
+}

@@ -95,7 +95,22 @@ TEST(LintRules, BadAllow) {
                  {{"bad-allow", 7}, {"no-rand", 8}, {"bad-allow", 9}});
 }
 
+TEST(LintRules, NoAbortInLibraryScope) {
+  ExpectFindings("src/bad_abort.cc",
+                 {{"no-abort", 6}, {"no-abort", 7}, {"no-abort", 8}});
+}
+
+TEST(LintRules, NoAbortOnlyAppliesToLibraryPaths) {
+  // The identical source outside src/ is process-owning code (bench, tests,
+  // tools) and may terminate.
+  ExpectFindings("bad_abort_outside_src.cc", {});
+}
+
 TEST(LintClean, ForkedRngPattern) { ExpectFindings("clean_rng_fork.cc", {}); }
+
+TEST(LintClean, AssertionsAndAllowedExits) {
+  ExpectFindings("src/clean_abort.cc", {});
+}
 
 TEST(LintClean, AnnotatedState) {
   ExpectFindings("clean_mutable_static.cc", {});
@@ -116,7 +131,7 @@ TEST(LintMeta, EveryRuleIdIsExercisedByTheCorpus) {
       "bad_rand.cc",           "bad_random_device.cc", "bad_wall_clock.cc",
       "bad_raw_thread.cc",     "bad_nondet_reduce.cc", "linalg/bad_float_accum.cc",
       "bad_unordered_iter.cc", "bad_rng_fork.cc",      "bad_rng_capture.cc",
-      "bad_mutable_static.cc", "bad_allow.cc",
+      "bad_mutable_static.cc", "bad_allow.cc",         "src/bad_abort.cc",
   };
   std::set<std::string> fired;
   for (const std::string& f : fixtures) {

@@ -86,7 +86,7 @@ TEST(HistoryTest, BestFeasibleSkipsFailedAndInfeasible) {
     o.config = Configuration({1.0});
     o.objective = obj;
     o.feasible = feasible;
-    o.failed = failed;
+    o.failure = failed ? FailureKind::kOom : FailureKind::kNone;
     return o;
   };
   h.Add(mk(10.0, false, false));  // infeasible

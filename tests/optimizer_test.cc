@@ -87,7 +87,7 @@ TEST(OptimizerTest, FailedObservationsRecordPenalizedRuntime) {
   b[0] = 1.0;
   optimizer.Observe(b, std::numeric_limits<double>::infinity());
   const Observation& failed = optimizer.history().back();
-  EXPECT_TRUE(failed.failed);
+  EXPECT_TRUE(failed.failed());
   EXPECT_GE(failed.runtime_sec, 20.0);  // 2x the worst real value
 }
 

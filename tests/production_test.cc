@@ -69,7 +69,7 @@ TEST(ProductionFleetTest, ManualConfigsRunnable) {
         sim.Execute(t.workload, conf, t.workload.input_gb, 1);
     EXPECT_GT(r.runtime_sec, 0.0) << t.id;
     // Over-provisioned manual configs should generally not fail outright.
-    EXPECT_NE(r.failure, FailureKind::kNoExecutors) << t.id;
+    EXPECT_NE(r.failure, SimFailureKind::kNoExecutors) << t.id;
   }
 }
 
@@ -107,7 +107,7 @@ TEST(EightTasksTest, AllManualConfigsValidAndRunnable) {
     SparkConf conf = DecodeSparkConf(space, t.manual_config);
     ExecutionResult r =
         sim.Execute(t.workload, conf, t.workload.input_gb, 2);
-    EXPECT_FALSE(r.failed) << t.id << ": " << FailureKindName(r.failure);
+    EXPECT_FALSE(r.failed) << t.id << ": " << SimFailureKindName(r.failure);
   }
 }
 

@@ -29,7 +29,7 @@ TEST_P(ObservationRoundTripTest, JsonPreservesEverything) {
     o.memory_gb_hours = rng.Uniform(0.0, 100.0);
     o.cpu_core_hours = rng.Uniform(0.0, 100.0);
     o.feasible = rng.Bernoulli(0.7);
-    o.failed = rng.Bernoulli(0.1);
+    o.failure = rng.Bernoulli(0.1) ? FailureKind::kOom : FailureKind::kNone;
     o.iteration = static_cast<int>(rng.UniformInt(0, 99));
 
     Json j = DataRepository::ObservationToJson(o);
@@ -44,7 +44,7 @@ TEST_P(ObservationRoundTripTest, JsonPreservesEverything) {
     EXPECT_DOUBLE_EQ(back->resource_rate, o.resource_rate);
     EXPECT_DOUBLE_EQ(back->data_size_gb, o.data_size_gb);
     EXPECT_EQ(back->feasible, o.feasible);
-    EXPECT_EQ(back->failed, o.failed);
+    EXPECT_EQ(back->failure, o.failure);
     EXPECT_EQ(back->iteration, o.iteration);
   }
 }

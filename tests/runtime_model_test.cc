@@ -117,7 +117,7 @@ TEST_F(RuntimeModelTest, ImpossibleExecutorShapeFailsFast) {
   auto w = HiBenchTask("WordCount");
   ExecutionResult r = sim.Execute(*w, conf, 10.0, 1);
   EXPECT_TRUE(r.failed);
-  EXPECT_EQ(r.failure, FailureKind::kNoExecutors);
+  EXPECT_EQ(r.failure, SimFailureKind::kNoExecutors);
   EXPECT_EQ(r.granted_executors, 0);
 }
 
@@ -194,7 +194,7 @@ TEST_F(RuntimeModelTest, FailedRunReportsOverrun) {
   });
   ExecutionResult r = sim.Execute(*w, conf, 400.0, 1);
   if (r.failed) {
-    EXPECT_EQ(r.failure, FailureKind::kDriverOom);
+    EXPECT_EQ(r.failure, SimFailureKind::kDriverOom);
     EXPECT_GT(r.runtime_sec, 0.0);
   }
   // With a large driver the same job succeeds.
@@ -206,7 +206,7 @@ TEST_F(RuntimeModelTest, FailedRunReportsOverrun) {
     space_.Set(c, spark_param::kDefaultParallelism, 2000);
   });
   ExecutionResult ok = sim.Execute(*w, big, 400.0, 1);
-  EXPECT_FALSE(ok.failed && ok.failure == FailureKind::kDriverOom);
+  EXPECT_FALSE(ok.failed && ok.failure == SimFailureKind::kDriverOom);
 }
 
 TEST_F(RuntimeModelTest, SpeculationTrimsStragglerTail) {
@@ -232,11 +232,11 @@ TEST_F(RuntimeModelTest, GrantedExecutorsCappedByCluster) {
   EXPECT_GT(r.granted_executors, 0);
 }
 
-TEST(FailureKindTest, NamesAreStable) {
-  EXPECT_STREQ(FailureKindName(FailureKind::kNone), "none");
-  EXPECT_STREQ(FailureKindName(FailureKind::kExecutorOom), "executor-oom");
-  EXPECT_STREQ(FailureKindName(FailureKind::kDriverOom), "driver-oom");
-  EXPECT_STREQ(FailureKindName(FailureKind::kNoExecutors), "no-executors");
+TEST(SimFailureKindTest, NamesAreStable) {
+  EXPECT_STREQ(SimFailureKindName(SimFailureKind::kNone), "none");
+  EXPECT_STREQ(SimFailureKindName(SimFailureKind::kExecutorOom), "executor-oom");
+  EXPECT_STREQ(SimFailureKindName(SimFailureKind::kDriverOom), "driver-oom");
+  EXPECT_STREQ(SimFailureKindName(SimFailureKind::kNoExecutors), "no-executors");
 }
 
 }  // namespace

@@ -32,7 +32,7 @@ RunHistory MakeHistory(const ConfigSpace& space, int n, uint64_t seed) {
     o.resource_rate = rng.Uniform(5.0, 50.0);
     o.data_size_gb = rng.Uniform(1.0, 500.0);
     o.feasible = rng.Bernoulli(0.8);
-    o.failed = false;
+    o.failure = FailureKind::kNone;
     o.iteration = i;
     h.Add(o);
   }
@@ -98,14 +98,15 @@ TEST(DataRepositoryTest, ObservationJsonCodec) {
   Observation o;
   o.config = space.Default();
   o.objective = 12.5;
-  o.failed = true;
+  o.failure = FailureKind::kOom;
   o.feasible = false;
   o.iteration = 9;
   Json j = DataRepository::ObservationToJson(o);
   auto back = DataRepository::ObservationFromJson(j, space);
   ASSERT_TRUE(back.ok());
   EXPECT_TRUE(back->config == o.config);
-  EXPECT_TRUE(back->failed);
+  EXPECT_TRUE(back->failed());
+  EXPECT_EQ(back->failure, FailureKind::kOom);
   EXPECT_FALSE(back->feasible);
   EXPECT_EQ(back->iteration, 9);
 }

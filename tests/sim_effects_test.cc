@@ -33,7 +33,7 @@ class SimEffectsTest : public ::testing::Test {
     SparkConf conf = DecodeSparkConf(space_, space_.Legalize(c));
     ExecutionResult r =
         sim_->Execute(*w, conf, gb > 0 ? gb : w->input_gb, 3);
-    EXPECT_FALSE(r.failed) << FailureKindName(r.failure);
+    EXPECT_FALSE(r.failed) << SimFailureKindName(r.failure);
     return r.runtime_sec;
   }
 
@@ -169,7 +169,7 @@ TEST_F(SimEffectsTest, TinyNetworkTimeoutKillsBigShuffles) {
   SparkConf conf = DecodeSparkConf(space_, space_.Legalize(c));
   ExecutionResult r = sim_->Execute(*w, conf, 2000.0, 3);
   if (r.failed) {
-    EXPECT_EQ(r.failure, FailureKind::kFetchTimeout);
+    EXPECT_EQ(r.failure, SimFailureKind::kFetchTimeout);
   }
   // With sane parallelism and a long timeout the fetch-timeout failure
   // cannot trigger.
@@ -178,7 +178,7 @@ TEST_F(SimEffectsTest, TinyNetworkTimeoutKillsBigShuffles) {
   space_.Set(&c, sp::kExecutorMemoryOverhead, 4096);
   conf = DecodeSparkConf(space_, space_.Legalize(c));
   ExecutionResult ok = sim_->Execute(*w, conf, 2000.0, 3);
-  EXPECT_NE(ok.failure, FailureKind::kFetchTimeout);
+  EXPECT_NE(ok.failure, SimFailureKind::kFetchTimeout);
 }
 
 TEST_F(SimEffectsTest, KryoBufferPenaltyWhenUndersized) {

@@ -3,7 +3,11 @@
 # config and the UBSan config, plus an isolated run of the lint label.
 # Exits non-zero on the first failure.
 #
-# Usage: tools/check.sh [extra ctest args...]
+# Usage: tools/check.sh [--all] [extra ctest args...]
+#
+#   --all   additionally run the slow sanitizer matrix: ThreadSanitizer
+#           (build-tsan) and combined ASan+UBSan (build-asan-ubsan). The
+#           default set is unchanged, so CI latency stays where it was.
 #
 # Build dirs follow the build-<san> convention (README "Build & test"):
 #   build (default), build-tsan, build-asan, build-ubsan, build-asan-ubsan.
@@ -11,6 +15,12 @@ set -euo pipefail
 
 cd "$(dirname "$0")/.."
 JOBS=$(nproc 2>/dev/null || echo 4)
+
+ALL=0
+if [[ "${1:-}" == "--all" ]]; then
+  ALL=1
+  shift
+fi
 
 run_config() {
   local dir="$1" sanitize="$2"
@@ -25,6 +35,11 @@ run_config() {
 
 run_config build "" "$@"
 run_config build-ubsan undefined "$@"
+
+if [[ "$ALL" -eq 1 ]]; then
+  run_config build-tsan thread "$@"
+  run_config build-asan-ubsan address,undefined "$@"
+fi
 
 echo "==> [build] ctest -L lint (isolated lint label)"
 ctest --test-dir build --output-on-failure -L lint

@@ -105,7 +105,7 @@ int Simulate(int argc, char** argv) {
               "%.2f memory GB-hours | executors granted %d | %s\n",
               r.runtime_sec, r.resource_rate, r.cpu_core_hours,
               r.memory_gb_hours, r.granted_executors,
-              r.failed ? FailureKindName(r.failure) : "succeeded");
+              r.failed ? SimFailureKindName(r.failure) : "succeeded");
   return r.failed ? 2 : 0;
 }
 
@@ -147,7 +147,7 @@ int Tune(int argc, char** argv) {
     table.AddRow({StrFormat("%d", i), phase, StrFormat("%.1f", o.runtime_sec),
                   StrFormat("%.1f", o.resource_rate),
                   StrFormat("%.1f", o.objective),
-                  o.failed ? "FAILED" : (o.feasible ? "ok" : "violation")});
+                  o.failed() ? "FAILED" : (o.feasible ? "ok" : "violation")});
   }
   std::printf("%s", csv ? table.ToCsv().c_str() : table.ToString().c_str());
   if (tuner.baseline_observation().has_value()) {

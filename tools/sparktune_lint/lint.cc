@@ -314,7 +314,7 @@ const std::vector<std::string> kRules = {
     "no-rand",           "no-random-device",   "no-wall-clock",
     "no-raw-thread",     "no-nondet-reduce",   "no-float-accum",
     "no-unordered-iter", "rng-fork-required",  "no-rng-ref-capture",
-    "mutable-static",    "bad-allow",
+    "mutable-static",    "bad-allow",          "no-abort",
 };
 
 bool PathContains(const std::string& path, const std::string& needle) {
@@ -386,6 +386,10 @@ class Linter {
   void CheckBannedCalls() {
     const bool in_sparksim = PathContains(path_, "sparksim/");
     const bool is_pool = PathEndsWith(path_, "common/thread_pool.cc");
+    // Library code (src/) must fail soft: a dying tuner task may not take
+    // the whole multi-tenant service with it. Benchmarks, tests, and CLIs
+    // own their process and are exempt.
+    const bool in_library = PathContains(path_, "src/");
     for (int line : cleaned_.omp_pragma_lines) {
       if (!is_pool) {
         Add("no-raw-thread", line, "OpenMP pragma",
@@ -395,6 +399,7 @@ class Linter {
     for (size_t i = 0; i < toks_.size(); ++i) {
       const std::string& t = toks_[i].text;
       const int line = toks_[i].line;
+      if (in_library) CheckAbort(i, t, line);
       if ((t == "rand" || t == "srand" || t == "rand_r" || t == "drand48") &&
           Tok(i + 1) == "(" && !Prev(i, ".") && !Prev(i, "->")) {
         Add("no-rand", line, "C PRNG '" + t + "' is nondeterministic state",
@@ -449,6 +454,25 @@ class Linter {
       return true;
     }
     return false;
+  }
+
+  void CheckAbort(size_t i, const std::string& t, int line) {
+    if ((t == "abort" || t == "exit" || t == "_Exit" || t == "quick_exit") &&
+        Tok(i + 1) == "(" && !Prev(i, ".") && !Prev(i, "->")) {
+      // `std::abort(` and bare `abort(` terminate the process; `Foo::exit(`
+      // for Foo != std is somebody's accessor.
+      if (Prev(i, "::") && !(i >= 2 && toks_[i - 2].text == "std")) return;
+      Add("no-abort", line,
+          "process-terminating call '" + t + "' in library code",
+          "return a Status error (common/status.h) so the service can "
+          "degrade instead of dying");
+    } else if (t == "assert" && Tok(i + 1) == "(" &&
+               (Tok(i + 2) == "false" || Tok(i + 2) == "0") &&
+               Tok(i + 3) == ")") {
+      Add("no-abort", line,
+          "assert(false) aborts the process in debug builds",
+          "unreachable states should surface as Status errors, not aborts");
+    }
   }
 
   void CheckRawThread(size_t i, const std::string& t, int line) {
