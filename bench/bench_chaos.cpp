@@ -1,0 +1,201 @@
+// Chaos stress harness for the sharded supervisor (DESIGN.md §7): drives
+// seeded kill/restart/handoff schedules over several fault-plan seeds and
+// checks, slot by slot, that every chaos trajectory — at 1 and at 4
+// ExecutePeriodicAll threads — is bit-identical to an undisturbed
+// single-shard run. Exits non-zero on the first divergence, so it doubles
+// as a ctest smoke run and as a long-running soak under the sanitizers.
+//
+//   bench_chaos --ticks=40 --shards=4 --seeds=3
+#include <cstdio>
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "bench_util.h"
+#include "service/supervisor.h"
+#include "tuner/fault_injection.h"
+
+namespace sparktune {
+namespace bench {
+namespace {
+
+namespace fs = std::filesystem;
+
+// Owns the simulator and its fault wrapper as one evaluator, so the
+// supervisor's factory can rebuild the stack from seeds on every handoff.
+class ChaosEvaluator final : public JobEvaluator {
+ public:
+  ChaosEvaluator(std::unique_ptr<SimulatorEvaluator> inner,
+                 FaultInjectionOptions fopts)
+      : inner_(std::move(inner)), faulty_(inner_.get(), fopts) {}
+
+  Outcome Run(const Configuration& config) override {
+    return faulty_.Run(config);
+  }
+  double ResourceRate(const Configuration& config) const override {
+    return faulty_.ResourceRate(config);
+  }
+  double NextDataSizeHintGb() const override {
+    return faulty_.NextDataSizeHintGb();
+  }
+  double NextHours() const override { return faulty_.NextHours(); }
+  void SkipExecutions(int n) override { faulty_.SkipExecutions(n); }
+
+ private:
+  std::unique_ptr<SimulatorEvaluator> inner_;
+  FaultInjectingEvaluator faulty_;
+};
+
+struct Workbench {
+  ClusterSpec cluster = ClusterSpec::HiBenchCluster();
+  ConfigSpace space = BuildSparkSpace(cluster);
+  std::vector<std::string> ids;
+  std::vector<std::string> workloads;
+
+  EvaluatorFactory MakeFactory(const std::string& workload, uint64_t seed) {
+    const ConfigSpace* sp = &space;
+    ClusterSpec cl = cluster;
+    FaultInjectionOptions fopts;
+    fopts.seed = seed + 1000;
+    fopts.crash_prob = 0.12;
+    fopts.transient_error_prob = 0.08;
+    fopts.hang_prob = 0.06;
+    return [sp, cl, workload, seed,
+            fopts]() -> std::unique_ptr<JobEvaluator> {
+      auto w = HiBenchTask(workload);
+      if (!w.ok()) return nullptr;
+      SimulatorEvaluatorOptions opts;
+      opts.seed = seed;
+      auto inner = std::make_unique<SimulatorEvaluator>(
+          sp, *w, cl, DriftModel::Diurnal(), opts);
+      return std::make_unique<ChaosEvaluator>(std::move(inner), fopts);
+    };
+  }
+};
+
+ServiceSupervisorOptions BaseOptions() {
+  ServiceSupervisorOptions opts;
+  opts.service.tuner.budget = 10;
+  opts.service.tuner.ei_stop_threshold = 0.0;
+  opts.service.tuner.advisor.expert_ranking = ExpertParameterRanking();
+  opts.service.auto_checkpoint_periods = 4;
+  opts.service.checkpoint_on_phase_change = true;
+  return opts;
+}
+
+using Trajectory = std::vector<std::vector<Result<Observation>>>;
+
+Trajectory Run(Workbench* wb, ServiceSupervisorOptions opts, int ticks,
+               SupervisorStats* stats_out) {
+  ServiceSupervisor sup(&wb->space, std::move(opts));
+  for (size_t t = 0; t < wb->ids.size(); ++t) {
+    Status s =
+        sup.RegisterTask(wb->ids[t], wb->MakeFactory(wb->workloads[t], 7 + t));
+    if (!s.ok()) {
+      std::fprintf(stderr, "register %s: %s\n", wb->ids[t].c_str(),
+                   s.message().c_str());
+    }
+  }
+  Trajectory out;
+  for (int t = 0; t < ticks; ++t) out.push_back(sup.Tick());
+  if (stats_out != nullptr) *stats_out = sup.stats();
+  return out;
+}
+
+long long CompareTrajectories(const Trajectory& got, const Trajectory& want,
+                              const char* tag) {
+  long long mismatches = 0;
+  for (size_t t = 0; t < want.size(); ++t) {
+    for (size_t i = 0; i < want[t].size(); ++i) {
+      const auto& a = got[t][i];
+      const auto& b = want[t][i];
+      bool same =
+          a.ok() == b.ok() &&
+          (a.ok() ? (a->config == b->config && a->objective == b->objective &&
+                     a->failure == b->failure && a->degraded == b->degraded)
+                  : a.status().code() == b.status().code());
+      if (!same) {
+        ++mismatches;
+        std::fprintf(stderr, "[%s] divergence at tick %zu slot %zu\n", tag, t,
+                     i);
+      }
+    }
+  }
+  return mismatches;
+}
+
+int Main(int argc, char** argv) {
+  const int ticks = IntFlag(argc, argv, "ticks", 40);
+  const int shards = IntFlag(argc, argv, "shards", 4);
+  const int seeds = IntFlag(argc, argv, "seeds", 3);
+  const int tasks = IntFlag(argc, argv, "tasks", 3);
+
+  Workbench wb;
+  const std::vector<std::string> pool = {"WordCount", "Sort",    "TeraSort",
+                                         "PageRank",  "Bayes",   "KMeans",
+                                         "Join",      "Aggregation"};
+  for (int t = 0; t < tasks; ++t) {
+    wb.workloads.push_back(pool[static_cast<size_t>(t) % pool.size()]);
+    wb.ids.push_back(StrFormat("task-%d", t));
+  }
+
+  // The oracle: one shard, no fault plan, no repository.
+  Trajectory want = Run(&wb, BaseOptions(), ticks, nullptr);
+
+  std::printf("%-8s %-8s %-6s %-9s %-9s %-9s %-10s %s\n", "seed", "threads",
+              "kills", "restarts", "handoffs", "restored", "replayed",
+              "verdict");
+  long long total_mismatches = 0;
+  long long total_kills = 0;
+  for (int s = 0; s < seeds; ++s) {
+    for (int threads : {1, 4}) {
+      ServiceSupervisorOptions opts = BaseOptions();
+      opts.num_shards = shards;
+      opts.service.num_threads = threads;
+      opts.fault_plan.seed = 2026 + static_cast<uint64_t>(s);
+      opts.fault_plan.kill_prob = 0.2;
+      opts.fault_plan.restart_prob = 0.5;
+      std::string dir =
+          (fs::temp_directory_path() /
+           StrFormat("sparktune-bench-chaos-s%d-t%d", s, threads))
+              .string();
+      fs::remove_all(dir);
+      opts.service.repository_dir = dir;
+
+      SupervisorStats stats;
+      Trajectory got = Run(&wb, std::move(opts), ticks, &stats);
+      std::string tag = StrFormat("seed=%d threads=%d", s, threads);
+      long long mismatches = CompareTrajectories(got, want, tag.c_str());
+      total_mismatches += mismatches;
+      total_kills += stats.kills;
+      std::printf("%-8d %-8d %-6lld %-9lld %-9lld %-9lld %-10lld %s\n", s,
+                  threads, stats.kills, stats.restarts, stats.handoffs,
+                  stats.restored_tasks, stats.replayed_periods,
+                  mismatches == 0 ? "identical" : "DIVERGED");
+      fs::remove_all(dir);
+    }
+  }
+
+  if (total_kills == 0) {
+    std::fprintf(stderr,
+                 "chaos plan never killed a shard; raise --ticks so the "
+                 "schedule can bite\n");
+    return 1;
+  }
+  if (total_mismatches > 0) {
+    std::fprintf(stderr, "bench_chaos: %lld diverging slots\n",
+                 total_mismatches);
+    return 1;
+  }
+  std::printf("bench_chaos: all chaos trajectories identical to the "
+              "undisturbed run\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace sparktune
+
+int main(int argc, char** argv) { return sparktune::bench::Main(argc, argv); }

@@ -6,10 +6,18 @@ namespace sparktune {
 
 int RetryPolicy::BackoffPeriods(int consecutive_failures) const {
   if (consecutive_failures <= 0) return 0;
-  int shift = std::min(consecutive_failures - 1, 30);
-  long long periods = static_cast<long long>(base_backoff_periods) << shift;
-  return static_cast<int>(
-      std::min<long long>(periods, std::max(max_backoff_periods, 0)));
+  const long long cap = std::max(max_backoff_periods, 0);
+  const long long base = std::max(base_backoff_periods, 0);
+  if (base == 0 || cap == 0) return 0;
+  // Clamp the exponent *before* shifting: `base << (k-1)` is undefined once
+  // the shift reaches the operand width, and a long failure streak (or an
+  // int-sized base) would get there. Any shift that can exceed the cap is
+  // the cap; 62 keeps base << shift inside a non-negative long long.
+  const int shift = consecutive_failures - 1;
+  if (shift >= 62 || base > (cap >> std::min(shift, 61))) {
+    return static_cast<int>(cap);
+  }
+  return static_cast<int>(std::min(base << shift, cap));
 }
 
 PeriodDecision DecidePeriod(const RetryPolicy& policy, RetryState* state) {

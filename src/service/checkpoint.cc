@@ -301,6 +301,7 @@ Json TaskCheckpointToJson(const TaskCheckpoint& ckpt) {
   j.Set("harvested_size",
         Json::Number(static_cast<double>(ckpt.harvested_size)));
   j.Set("retry", RetryStateToJson(ckpt.retry));
+  j.Set("periods", Json::Number(static_cast<double>(ckpt.periods)));
   return j;
 }
 
@@ -333,6 +334,7 @@ Result<TaskCheckpoint> TaskCheckpointFromJson(const Json& j,
   if (const Json* retry = j.Get("retry"); retry && retry->is_object()) {
     ckpt.retry = RetryStateFromJson(*retry);
   }
+  ckpt.periods = static_cast<long long>(j.GetNumberOr("periods", 0.0));
   return ckpt;
 }
 

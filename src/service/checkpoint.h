@@ -25,6 +25,10 @@ struct TaskCheckpoint {
   bool harvested = false;
   uint64_t harvested_size = 0;
   RetryState retry;
+  // Periods (DecidePeriod calls, including backoff skips) the task had
+  // consumed when the checkpoint was taken. The supervisor uses this to
+  // replay post-checkpoint periods deterministically after a handoff.
+  long long periods = 0;
 };
 
 Json TaskCheckpointToJson(const TaskCheckpoint& ckpt);

@@ -4,6 +4,7 @@
 #include <cctype>
 #include <filesystem>
 #include <fstream>
+#include <set>
 #include <sstream>
 
 #include "common/checksum.h"
@@ -28,10 +29,73 @@ std::string SanitizedFileName(const std::string& id, const char* ext) {
   return StrFormat("%s-%016zx%s", safe.c_str(), h, ext);
 }
 
-// Checkpoint framing: "SPARKTUNE-CKPT1 <crc32 hex> <payload bytes>\n" then
-// the payload. The declared length catches truncation (torn write that the
-// rename could not prevent, e.g. a dying disk), the CRC catches bit rot.
+// File framing: "<magic> <crc32 hex> <payload bytes>\n" then the payload.
+// The declared length catches truncation (torn write that the rename could
+// not prevent, e.g. a dying disk), the CRC catches bit rot. Checkpoint
+// generation files and the per-task manifest share the frame but carry
+// distinct magics.
 constexpr char kCheckpointMagic[] = "SPARKTUNE-CKPT1";
+constexpr char kManifestMagic[] = "SPARKTUNE-MAN1";
+
+Status WriteFramedAtomic(const std::string& path, const char* magic,
+                         const std::string& body) {
+  std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::trunc | std::ios::binary);
+    if (!out.good()) {
+      return Status::Unavailable("cannot write " + tmp);
+    }
+    out << magic << ' ' << StrFormat("%08x", Crc32(body)) << ' '
+        << body.size() << '\n'
+        << body;
+    out.flush();
+    if (!out.good()) {
+      return Status::Unavailable("short write to " + tmp);
+    }
+  }
+  std::error_code ec;
+  fs::rename(tmp, path, ec);
+  if (ec) return Status::Unavailable("rename failed: " + ec.message());
+  return Status::OK();
+}
+
+// `what` names the artifact in error messages ("checkpoint for wc gen 3").
+Result<std::string> ReadFramed(const std::string& path, const char* magic,
+                               const std::string& what) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in.good()) return Status::NotFound("no file: " + what);
+  std::stringstream buf;
+  buf << in.rdbuf();
+  std::string raw = buf.str();
+
+  size_t nl = raw.find('\n');
+  if (nl == std::string::npos) {
+    return Status::DataLoss(what + ": missing header");
+  }
+  std::istringstream header(raw.substr(0, nl));
+  std::string got_magic, crc_hex;
+  size_t declared = 0;
+  if (!(header >> got_magic >> crc_hex >> declared) || got_magic != magic) {
+    return Status::DataLoss(what + ": bad header");
+  }
+  std::string body = raw.substr(nl + 1);
+  if (body.size() != declared) {
+    return Status::DataLoss(StrFormat("%s: truncated (%zu of %zu bytes)",
+                                      what.c_str(), body.size(), declared));
+  }
+  uint32_t want = 0;
+  {
+    std::istringstream crc_in(crc_hex);
+    crc_in >> std::hex >> want;
+    if (crc_in.fail()) {
+      return Status::DataLoss(what + ": bad crc field");
+    }
+  }
+  if (Crc32(body) != want) {
+    return Status::DataLoss(what + ": checksum mismatch");
+  }
+  return body;
+}
 
 Json VectorToJson(const std::vector<double>& v) {
   Json arr = Json::Array();
@@ -49,10 +113,32 @@ std::vector<double> VectorFromJson(const Json& j) {
   return v;
 }
 
+// Parses "<stem>.g<digits>.ckpt" file names; returns -1 when `name` is not
+// a generation file of `stem`.
+long long GenerationOf(const std::string& name, const std::string& stem) {
+  const std::string prefix = stem + ".g";
+  const std::string suffix = ".ckpt";
+  if (name.size() <= prefix.size() + suffix.size()) return -1;
+  if (name.compare(0, prefix.size(), prefix) != 0) return -1;
+  if (name.compare(name.size() - suffix.size(), suffix.size(), suffix) != 0) {
+    return -1;
+  }
+  long long gen = 0;
+  for (size_t i = prefix.size(); i < name.size() - suffix.size(); ++i) {
+    char c = name[i];
+    if (!std::isdigit(static_cast<unsigned char>(c))) return -1;
+    gen = gen * 10 + (c - '0');
+    if (gen > (1LL << 50)) return -1;
+  }
+  return gen > 0 ? gen : -1;
+}
+
 }  // namespace
 
-DataRepository::DataRepository(std::string root_dir)
-    : root_dir_(std::move(root_dir)) {
+DataRepository::DataRepository(std::string root_dir,
+                               CheckpointRetention retention)
+    : root_dir_(std::move(root_dir)), retention_(retention) {
+  if (retention_.keep_generations < 1) retention_.keep_generations = 1;
   std::error_code ec;
   fs::create_directories(root_dir_, ec);
 }
@@ -61,90 +147,196 @@ std::string DataRepository::PathFor(const std::string& id) const {
   return (fs::path(root_dir_) / SanitizedFileName(id, ".json")).string();
 }
 
-std::string DataRepository::CheckpointPathFor(const std::string& id) const {
-  return (fs::path(root_dir_) / SanitizedFileName(id, ".ckpt")).string();
+std::string DataRepository::CheckpointStem(const std::string& id) const {
+  return SanitizedFileName(id, "");
+}
+
+std::string DataRepository::GenerationPath(const std::string& id,
+                                           long long gen) const {
+  return (fs::path(root_dir_) /
+          StrFormat("%s.g%06lld.ckpt", CheckpointStem(id).c_str(), gen))
+      .string();
+}
+
+std::string DataRepository::ManifestPath(const std::string& id) const {
+  return (fs::path(root_dir_) / (CheckpointStem(id) + ".manifest")).string();
+}
+
+std::string DataRepository::LegacyCheckpointPath(const std::string& id) const {
+  return (fs::path(root_dir_) / (CheckpointStem(id) + ".ckpt")).string();
+}
+
+std::vector<long long> DataRepository::ScanGenerations(
+    const std::string& id) const {
+  std::vector<long long> gens;
+  const std::string stem = CheckpointStem(id);
+  std::error_code ec;
+  for (const auto& entry : fs::directory_iterator(root_dir_, ec)) {
+    if (!entry.is_regular_file()) continue;
+    long long gen = GenerationOf(entry.path().filename().string(), stem);
+    if (gen > 0) gens.push_back(gen);
+  }
+  std::sort(gens.begin(), gens.end());
+  return gens;
+}
+
+std::vector<long long> DataRepository::ManifestGenerations(
+    const std::string& id) const {
+  auto body = ReadFramed(ManifestPath(id), kManifestMagic,
+                         "manifest for " + id);
+  if (!body.ok()) return {};
+  auto doc = Json::Parse(*body);
+  if (!doc.ok() || !doc->is_object()) return {};
+  std::vector<long long> gens;
+  if (const Json* arr = doc->Get("generations"); arr && arr->is_array()) {
+    for (const auto& e : arr->elements()) {
+      if (e.is_number() && e.AsNumber() >= 1.0) {
+        gens.push_back(static_cast<long long>(e.AsNumber()));
+      }
+    }
+  }
+  std::sort(gens.begin(), gens.end());
+  return gens;
+}
+
+Status DataRepository::WriteManifest(
+    const std::string& id, const std::vector<long long>& gens) const {
+  Json doc = Json::Object();
+  doc.Set("id", Json::Str(id));
+  doc.Set("latest", Json::Number(gens.empty()
+                                     ? 0.0
+                                     : static_cast<double>(gens.back())));
+  Json arr = Json::Array();
+  for (long long g : gens) arr.Append(Json::Number(static_cast<double>(g)));
+  doc.Set("generations", std::move(arr));
+  return WriteFramedAtomic(ManifestPath(id), kManifestMagic, doc.Dump());
 }
 
 Status DataRepository::SaveCheckpoint(const std::string& id,
                                       const Json& payload) const {
-  std::string body = payload.Dump();
-  std::string path = CheckpointPathFor(id);
-  std::string tmp = path + ".tmp";
-  {
-    std::ofstream out(tmp, std::ios::trunc | std::ios::binary);
-    if (!out.good()) {
-      return Status::Unavailable("cannot write " + tmp);
+  std::vector<long long> on_disk = ScanGenerations(id);
+  std::vector<long long> listed = ManifestGenerations(id);
+  long long latest = 0;
+  if (!on_disk.empty()) latest = on_disk.back();
+  if (!listed.empty()) latest = std::max(latest, listed.back());
+  const long long next = latest + 1;
+
+  SPARKTUNE_RETURN_IF_ERROR(WriteFramedAtomic(
+      GenerationPath(id, next), kCheckpointMagic, payload.Dump()));
+
+  // Retained window: the newest keep_generations of what is now on disk.
+  on_disk.push_back(next);
+  std::sort(on_disk.begin(), on_disk.end());
+  on_disk.erase(std::unique(on_disk.begin(), on_disk.end()), on_disk.end());
+  size_t keep = static_cast<size_t>(retention_.keep_generations);
+  std::vector<long long> retained =
+      on_disk.size() <= keep
+          ? on_disk
+          : std::vector<long long>(on_disk.end() - keep, on_disk.end());
+  SPARKTUNE_RETURN_IF_ERROR(WriteManifest(id, retained));
+
+  // GC after the manifest landed: a crash mid-delete leaves only orphans
+  // (swept by SweepOrphanCheckpoints), never a manifest naming dead files.
+  for (long long gen : on_disk) {
+    if (std::find(retained.begin(), retained.end(), gen) != retained.end()) {
+      continue;
     }
-    out << kCheckpointMagic << ' '
-        << StrFormat("%08x", Crc32(body)) << ' ' << body.size() << '\n'
-        << body;
-    out.flush();
-    if (!out.good()) {
-      return Status::Unavailable("short write to " + tmp);
-    }
+    std::error_code ec;
+    fs::remove(GenerationPath(id, gen), ec);
   }
-  std::error_code ec;
-  fs::rename(tmp, path, ec);
-  if (ec) return Status::Unavailable("rename failed: " + ec.message());
   return Status::OK();
 }
 
 Result<Json> DataRepository::LoadCheckpoint(const std::string& id) const {
-  std::ifstream in(CheckpointPathFor(id), std::ios::binary);
-  if (!in.good()) return Status::NotFound("no checkpoint for task: " + id);
-  std::stringstream buf;
-  buf << in.rdbuf();
-  std::string raw = buf.str();
+  // Newest-first candidate list: manifest-listed generations union the
+  // directory scan (the scan backstops a torn or missing manifest and
+  // covers generations written after the manifest's last update).
+  std::vector<long long> candidates = ManifestGenerations(id);
+  for (long long g : ScanGenerations(id)) candidates.push_back(g);
+  std::sort(candidates.begin(), candidates.end(),
+            std::greater<long long>());
+  candidates.erase(std::unique(candidates.begin(), candidates.end()),
+                   candidates.end());
 
-  size_t nl = raw.find('\n');
-  if (nl == std::string::npos) {
-    return Status::DataLoss("checkpoint for " + id + ": missing header");
-  }
-  std::istringstream header(raw.substr(0, nl));
-  std::string magic, crc_hex;
-  size_t declared = 0;
-  if (!(header >> magic >> crc_hex >> declared) ||
-      magic != kCheckpointMagic) {
-    return Status::DataLoss("checkpoint for " + id + ": bad header");
-  }
-  std::string body = raw.substr(nl + 1);
-  if (body.size() != declared) {
-    return Status::DataLoss(
-        StrFormat("checkpoint for %s: truncated (%zu of %zu bytes)",
-                  id.c_str(), body.size(), declared));
-  }
-  uint32_t want = 0;
-  {
-    std::istringstream crc_in(crc_hex);
-    crc_in >> std::hex >> want;
-    if (crc_in.fail()) {
-      return Status::DataLoss("checkpoint for " + id + ": bad crc field");
+  bool any_file = false;
+  Status last_error = Status::OK();
+  for (long long gen : candidates) {
+    auto body =
+        ReadFramed(GenerationPath(id, gen), kCheckpointMagic,
+                   StrFormat("checkpoint for %s gen %lld", id.c_str(), gen));
+    if (!body.ok()) {
+      if (body.status().code() != Status::Code::kNotFound) {
+        any_file = true;
+        last_error = body.status();
+      }
+      continue;
     }
+    any_file = true;
+    auto doc = Json::Parse(*body);
+    if (!doc.ok()) {
+      last_error = Status::DataLoss(
+          StrFormat("checkpoint for %s gen %lld: %s", id.c_str(), gen,
+                    doc.status().message().c_str()));
+      continue;
+    }
+    return *std::move(doc);
   }
-  if (Crc32(body) != want) {
-    return Status::DataLoss("checkpoint for " + id + ": checksum mismatch");
+
+  // Pre-generation layout: a single unsuffixed .ckpt file.
+  auto legacy = ReadFramed(LegacyCheckpointPath(id), kCheckpointMagic,
+                           "checkpoint for " + id);
+  if (legacy.ok()) {
+    auto doc = Json::Parse(*legacy);
+    if (doc.ok()) return *std::move(doc);
+    any_file = true;
+    last_error = Status::DataLoss("checkpoint for " + id + ": " +
+                                  doc.status().message());
+  } else if (legacy.status().code() != Status::Code::kNotFound) {
+    any_file = true;
+    last_error = legacy.status();
   }
-  auto doc = Json::Parse(body);
-  if (!doc.ok()) {
-    return Status::DataLoss("checkpoint for " + id + ": " +
-                            doc.status().message());
+
+  if (!any_file) return Status::NotFound("no checkpoint for task: " + id);
+  if (last_error.ok()) {
+    last_error = Status::DataLoss("checkpoint for " + id +
+                                  ": no intact generation");
   }
-  return *std::move(doc);
+  return last_error;
 }
 
 bool DataRepository::HasCheckpoint(const std::string& id) const {
-  return fs::exists(CheckpointPathFor(id));
+  return !ScanGenerations(id).empty() ||
+         fs::exists(ManifestPath(id)) ||
+         fs::exists(LegacyCheckpointPath(id));
 }
 
 Status DataRepository::DeleteCheckpoint(const std::string& id) const {
   std::error_code ec;
-  fs::remove(CheckpointPathFor(id), ec);
+  for (long long gen : ScanGenerations(id)) {
+    fs::remove(GenerationPath(id, gen), ec);
+    if (ec) return Status::Unavailable("remove failed: " + ec.message());
+  }
+  fs::remove(ManifestPath(id), ec);
+  if (ec) return Status::Unavailable("remove failed: " + ec.message());
+  fs::remove(LegacyCheckpointPath(id), ec);
   if (ec) return Status::Unavailable("remove failed: " + ec.message());
   return Status::OK();
 }
 
+long long DataRepository::LatestCheckpointGeneration(
+    const std::string& id) const {
+  long long latest = 0;
+  std::vector<long long> on_disk = ScanGenerations(id);
+  if (!on_disk.empty()) latest = on_disk.back();
+  std::vector<long long> listed = ManifestGenerations(id);
+  if (!listed.empty()) latest = std::max(latest, listed.back());
+  return latest;
+}
+
 std::vector<std::string> DataRepository::ListCheckpointIds() const {
-  std::vector<std::string> ids;
+  // Ids come from the payloads themselves (generation files and legacy
+  // unsuffixed files share the frame), deduplicated across generations.
+  std::set<std::string> ids;
   std::error_code ec;
   for (const auto& entry : fs::directory_iterator(root_dir_, ec)) {
     if (!entry.is_regular_file() || entry.path().extension() != ".ckpt") {
@@ -159,11 +351,52 @@ std::vector<std::string> DataRepository::ListCheckpointIds() const {
     auto doc = Json::Parse(raw.substr(nl + 1));
     if (doc.ok() && doc->is_object()) {
       std::string id = doc->GetStringOr("id", "");
-      if (!id.empty()) ids.push_back(id);
+      if (!id.empty()) ids.insert(id);
     }
   }
-  std::sort(ids.begin(), ids.end());
-  return ids;
+  return std::vector<std::string>(ids.begin(), ids.end());
+}
+
+int DataRepository::SweepOrphanCheckpoints() const {
+  int removed = 0;
+  std::error_code ec;
+  // Stems with generation files, then the per-stem retention window.
+  std::set<std::string> stems;
+  for (const auto& entry : fs::directory_iterator(root_dir_, ec)) {
+    if (!entry.is_regular_file()) continue;
+    std::string name = entry.path().filename().string();
+    if (name.size() > 4 && name.compare(name.size() - 4, 4, ".tmp") == 0) {
+      // Stale temp file from an interrupted atomic write.
+      std::error_code rm_ec;
+      fs::remove(entry.path(), rm_ec);
+      if (!rm_ec) ++removed;
+      continue;
+    }
+    size_t dot_g = name.rfind(".g");
+    if (dot_g == std::string::npos || dot_g == 0) continue;
+    std::string stem = name.substr(0, dot_g);
+    if (GenerationOf(name, stem) > 0) stems.insert(stem);
+  }
+  size_t keep = static_cast<size_t>(retention_.keep_generations);
+  for (const std::string& stem : stems) {
+    std::vector<long long> gens;
+    std::error_code scan_ec;
+    for (const auto& entry : fs::directory_iterator(root_dir_, scan_ec)) {
+      if (!entry.is_regular_file()) continue;
+      long long gen = GenerationOf(entry.path().filename().string(), stem);
+      if (gen > 0) gens.push_back(gen);
+    }
+    std::sort(gens.begin(), gens.end());
+    if (gens.size() <= keep) continue;
+    for (size_t i = 0; i + keep < gens.size(); ++i) {
+      std::error_code rm_ec;
+      fs::remove(fs::path(root_dir_) /
+                     StrFormat("%s.g%06lld.ckpt", stem.c_str(), gens[i]),
+                 rm_ec);
+      if (!rm_ec) ++removed;
+    }
+  }
+  return removed;
 }
 
 Json DataRepository::ObservationToJson(const Observation& obs) {

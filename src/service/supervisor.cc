@@ -1,0 +1,342 @@
+#include "service/supervisor.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "common/rng.h"
+
+namespace sparktune {
+
+namespace {
+
+// Placement hashing is self-contained (FNV-1a + splitmix64 finalizer) so
+// shard assignment is identical across platforms and standard libraries —
+// std::hash makes no such promise.
+uint64_t Fnv1a(const std::string& s) {
+  uint64_t h = 0xcbf29ce484222325ULL;
+  for (unsigned char c : s) {
+    h ^= c;
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+uint64_t Mix64(uint64_t x) {
+  x += 0x9E3779B97F4A7C15ULL;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+ServiceSupervisor::ServiceSupervisor(const ConfigSpace* space,
+                                     ServiceSupervisorOptions options)
+    : space_(space), options_(std::move(options)) {
+  assert(space_ != nullptr);
+  if (options_.num_shards < 1) options_.num_shards = 1;
+  shards_.resize(static_cast<size_t>(options_.num_shards));
+  for (auto& slot : shards_) {
+    slot.service = std::make_unique<TuningService>(space_, options_.service);
+  }
+}
+
+int ServiceSupervisor::PreferredShard(const std::string& id) const {
+  // Rendezvous (highest-random-weight) hashing over the live shards: each
+  // task independently ranks every shard, so killing one shard moves only
+  // that shard's tasks and leaves every other placement untouched.
+  const uint64_t task_hash = Fnv1a(id);
+  int best = -1;
+  uint64_t best_score = 0;
+  for (size_t s = 0; s < shards_.size(); ++s) {
+    if (shards_[s].service == nullptr) continue;
+    uint64_t score = Mix64(task_hash ^ Mix64(static_cast<uint64_t>(s) + 1));
+    if (best < 0 || score > best_score) {
+      best = static_cast<int>(s);
+      best_score = score;
+    }
+  }
+  return best;
+}
+
+Status ServiceSupervisor::RegisterTask(const std::string& id,
+                                       EvaluatorFactory factory,
+                                       std::optional<Configuration> baseline,
+                                       std::optional<TunerOptions> override) {
+  if (index_.count(id) > 0) {
+    return Status::InvalidArgument("task already registered: " + id);
+  }
+  if (factory == nullptr) {
+    return Status::InvalidArgument("evaluator factory is null for task: " +
+                                   id);
+  }
+  int target = PreferredShard(id);
+  if (target < 0) {
+    return Status::FailedPrecondition("no live shard to place task: " + id);
+  }
+  TaskEntry entry;
+  entry.id = id;
+  entry.factory = std::move(factory);
+  entry.baseline = std::move(baseline);
+  entry.override = std::move(override);
+  entry.evaluator = entry.factory();
+  if (entry.evaluator == nullptr) {
+    return Status::InvalidArgument("factory built a null evaluator: " + id);
+  }
+  SPARKTUNE_RETURN_IF_ERROR(shards_[target].service->RegisterTask(
+      id, entry.evaluator.get(), entry.baseline, entry.override));
+  entry.shard = target;
+  index_.emplace(id, tasks_.size());
+  tasks_.push_back(std::move(entry));
+  return Status::OK();
+}
+
+void ServiceSupervisor::MaybeLoadShard(int shard) {
+  ShardSlot& slot = shards_[static_cast<size_t>(shard)];
+  if (slot.service == nullptr || slot.loaded) return;
+  slot.loaded = true;
+  if (options_.service.repository_dir.empty()) return;
+  // Best-effort: an empty repository is normal on first boot, and a
+  // partially loadable one must not block handoff.
+  (void)slot.service->LoadRepository();
+}
+
+Status ServiceSupervisor::LoadRepository() {
+  if (options_.service.repository_dir.empty()) {
+    return Status::FailedPrecondition("no repository configured");
+  }
+  Status first = Status::OK();
+  for (size_t s = 0; s < shards_.size(); ++s) {
+    ShardSlot& slot = shards_[s];
+    if (slot.service == nullptr || slot.loaded) continue;
+    Status st = slot.service->LoadRepository();
+    slot.loaded = true;
+    if (!st.ok() && first.ok()) first = st;
+  }
+  return first;
+}
+
+Status ServiceSupervisor::HandoffTask(TaskEntry* task, int target) {
+  TuningService* svc = shards_[static_cast<size_t>(target)].service.get();
+  // The dead shard's evaluator instance died with it; rebuild at execution
+  // clock 0 (restore/replay fast-forwards it deterministically).
+  task->evaluator = task->factory();
+  MaybeLoadShard(target);
+  SPARKTUNE_RETURN_IF_ERROR(svc->RegisterTask(
+      task->id, task->evaluator.get(), task->baseline, task->override));
+  task->shard = target;
+  ++stats_.handoffs;
+
+  bool restored = false;
+  if (!options_.service.repository_dir.empty()) {
+    Status rs = svc->RestoreTask(task->id);
+    if (rs.ok()) {
+      restored = true;
+      ++stats_.restored_tasks;
+    }
+    // NotFound (never checkpointed) and DataLoss (no intact generation)
+    // both degrade to replay-from-scratch below.
+  }
+  if (!restored) ++stats_.fresh_replays;
+
+  // Deterministic catch-up: every post-checkpoint period re-executes with
+  // the same watchdog decisions, fault schedule, and advisor draws it had
+  // the first time, so the task lands exactly where it was at the kill.
+  // Results were already reported by the dead shard; they are discarded.
+  while (svc->periods(task->id) < task->periods) {
+    (void)svc->ExecutePeriodic(task->id);
+    ++stats_.replayed_periods;
+  }
+  return Status::OK();
+}
+
+Status ServiceSupervisor::KillShard(int shard) {
+  if (shard < 0 || shard >= num_shards()) {
+    return Status::InvalidArgument("no such shard");
+  }
+  ShardSlot& slot = shards_[static_cast<size_t>(shard)];
+  if (slot.service == nullptr) {
+    return Status::FailedPrecondition("shard already dead");
+  }
+  if (num_live_shards() <= 1) {
+    return Status::FailedPrecondition("cannot kill the last live shard");
+  }
+  // Process death: every in-memory structure of the shard is gone. Only
+  // repository files (checkpoint generations, harvested histories) survive.
+  slot.service.reset();
+  slot.loaded = false;
+  ++stats_.kills;
+
+  Status first = Status::OK();
+  for (TaskEntry& task : tasks_) {
+    if (task.shard != shard) continue;
+    task.evaluator.reset();
+    int target = PreferredShard(task.id);
+    Status st = target < 0 ? Status::FailedPrecondition(
+                                 "no live shard for handoff: " + task.id)
+                           : HandoffTask(&task, target);
+    if (!st.ok()) {
+      task.shard = -1;
+      if (first.ok()) first = st;
+    }
+  }
+  return first;
+}
+
+Status ServiceSupervisor::RestartShard(int shard) {
+  if (shard < 0 || shard >= num_shards()) {
+    return Status::InvalidArgument("no such shard");
+  }
+  ShardSlot& slot = shards_[static_cast<size_t>(shard)];
+  if (slot.service != nullptr) {
+    return Status::FailedPrecondition("shard is alive");
+  }
+  slot.service = std::make_unique<TuningService>(space_, options_.service);
+  slot.loaded = false;
+  ++stats_.restarts;
+  // Placement is sticky: live tasks stay where they are (no disruptive
+  // rebalance); the restarted shard picks up future handoffs and
+  // registrations its rendezvous rank wins.
+  return Status::OK();
+}
+
+void ServiceSupervisor::ApplyFaultPlan() {
+  const ShardFaultPlanOptions& plan = options_.fault_plan;
+  if (plan.kill_prob <= 0.0 && plan.restart_prob <= 0.0) return;
+  // Per-tick derived stream (same idiom as FaultInjectingEvaluator): the
+  // draw depends only on (seed, tick), never on wall time or threads.
+  Rng rng(plan.seed * 0x9E3779B97F4A7C15ULL +
+          static_cast<uint64_t>(stats_.ticks));
+
+  // Restarts first: recovered capacity is available to this tick's kills.
+  if (rng.Uniform() < plan.restart_prob) {
+    std::vector<int> dead;
+    for (int s = 0; s < num_shards(); ++s) {
+      if (!shard_alive(s)) dead.push_back(s);
+    }
+    if (!dead.empty()) {
+      int pick = static_cast<int>(rng.UniformInt(
+          0, static_cast<int64_t>(dead.size()) - 1));
+      (void)RestartShard(dead[static_cast<size_t>(pick)]);
+    }
+  }
+  if (rng.Uniform() < plan.kill_prob) {
+    std::vector<int> live;
+    for (int s = 0; s < num_shards(); ++s) {
+      if (shard_alive(s)) live.push_back(s);
+    }
+    if (live.size() > 1) {
+      int pick = static_cast<int>(rng.UniformInt(
+          0, static_cast<int64_t>(live.size()) - 1));
+      (void)KillShard(live[static_cast<size_t>(pick)]);
+    }
+  }
+}
+
+std::vector<Result<Observation>> ServiceSupervisor::Tick() {
+  ApplyFaultPlan();
+
+  // Slice the fleet per shard in registration order; each shard runs its
+  // slice with its own ExecutePeriodicAll thread budget, and the slices
+  // are stitched back into registration order.
+  std::vector<std::vector<std::string>> batches(shards_.size());
+  std::vector<std::vector<size_t>> positions(shards_.size());
+  for (size_t i = 0; i < tasks_.size(); ++i) {
+    const TaskEntry& task = tasks_[i];
+    if (task.shard >= 0 && shard_alive(task.shard)) {
+      batches[static_cast<size_t>(task.shard)].push_back(task.id);
+      positions[static_cast<size_t>(task.shard)].push_back(i);
+    }
+  }
+
+  std::vector<std::optional<Result<Observation>>> slots(tasks_.size());
+  for (size_t s = 0; s < shards_.size(); ++s) {
+    if (batches[s].empty()) continue;
+    std::vector<Result<Observation>> batch_results =
+        shards_[s].service->ExecutePeriodicAll(batches[s]);
+    for (size_t k = 0; k < batch_results.size(); ++k) {
+      slots[positions[s][k]] = std::move(batch_results[k]);
+    }
+  }
+
+  std::vector<Result<Observation>> results;
+  results.reserve(tasks_.size());
+  for (size_t i = 0; i < tasks_.size(); ++i) {
+    if (slots[i].has_value()) {
+      ++tasks_[i].periods;
+      results.push_back(*std::move(slots[i]));
+    } else {
+      // Task without a live home (a failed handoff); surfaced per tick.
+      results.push_back(
+          Status::Unavailable("task has no live shard: " + tasks_[i].id));
+    }
+  }
+  ++stats_.ticks;
+  return results;
+}
+
+Status ServiceSupervisor::HarvestTask(const std::string& id) {
+  auto it = index_.find(id);
+  if (it == index_.end()) {
+    return Status::NotFound("unknown task: " + id);
+  }
+  const TaskEntry& task = tasks_[it->second];
+  if (task.shard < 0 || !shard_alive(task.shard)) {
+    return Status::Unavailable("task has no live shard: " + id);
+  }
+  return shards_[static_cast<size_t>(task.shard)].service->HarvestTask(id);
+}
+
+CheckpointReport ServiceSupervisor::CheckpointAll() {
+  CheckpointReport report;
+  for (auto& slot : shards_) {
+    if (slot.service == nullptr) continue;
+    report.Merge(slot.service->CheckpointTasks());
+  }
+  return report;
+}
+
+int ServiceSupervisor::shard_of(const std::string& id) const {
+  auto it = index_.find(id);
+  return it == index_.end() ? -1 : tasks_[it->second].shard;
+}
+
+bool ServiceSupervisor::shard_alive(int shard) const {
+  return shard >= 0 && shard < num_shards() &&
+         shards_[static_cast<size_t>(shard)].service != nullptr;
+}
+
+int ServiceSupervisor::num_live_shards() const {
+  int live = 0;
+  for (const auto& slot : shards_) {
+    if (slot.service != nullptr) ++live;
+  }
+  return live;
+}
+
+std::vector<std::string> ServiceSupervisor::task_ids() const {
+  std::vector<std::string> ids;
+  ids.reserve(tasks_.size());
+  for (const TaskEntry& task : tasks_) ids.push_back(task.id);
+  return ids;
+}
+
+const TuningService* ServiceSupervisor::shard(int i) const {
+  if (i < 0 || i >= num_shards()) return nullptr;
+  return shards_[static_cast<size_t>(i)].service.get();
+}
+
+const OnlineTuner* ServiceSupervisor::tuner(const std::string& id) const {
+  auto it = index_.find(id);
+  if (it == index_.end()) return nullptr;
+  const TaskEntry& task = tasks_[it->second];
+  if (task.shard < 0 || !shard_alive(task.shard)) return nullptr;
+  return shards_[static_cast<size_t>(task.shard)].service->tuner(id);
+}
+
+long long ServiceSupervisor::periods(const std::string& id) const {
+  auto it = index_.find(id);
+  return it == index_.end() ? -1 : tasks_[it->second].periods;
+}
+
+}  // namespace sparktune

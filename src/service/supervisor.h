@@ -1,0 +1,148 @@
+// ServiceSupervisor (DESIGN.md §7 "Sharding & handoff"): the layer above
+// TuningService that makes the §6.2 cloud deployment survive shard churn.
+//
+// It partitions registered tasks across N TuningService shards with
+// deterministic rendezvous (highest-random-weight) hashing, drives the
+// global periodic tick through the shards (each shard executes its slice
+// with its own ExecutePeriodicAll thread budget), and simulates shard
+// crashes and restarts — either scripted (KillShard/RestartShard) or drawn
+// from a seeded ShardFaultPlan in the same style as
+// FaultInjectingEvaluator.
+//
+// Handoff contract: when a shard dies, each of its tasks is re-registered
+// on a surviving (or restarted) shard with a *fresh* evaluator built by the
+// task's factory, restored from its newest intact checkpoint generation,
+// and fast-forwarded by deterministically replaying every post-checkpoint
+// period. Because all service state is deterministic in (task seed, period
+// index), the task's reported suggestion trajectory is bit-identical to an
+// undisturbed run — with no checkpoint at all the supervisor simply replays
+// the whole trajectory from period zero.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "service/tuning_service.h"
+
+namespace sparktune {
+
+// Builds a task's evaluator from scratch (execution clock at 0). Called at
+// registration and again on every handoff/restart; it must produce
+// deterministically identical evaluators each time (same seeds), or replay
+// equivalence is lost.
+using EvaluatorFactory = std::function<std::unique_ptr<JobEvaluator>()>;
+
+// Seeded shard chaos schedule. The draw for tick t depends only on
+// (seed, t) plus the live/dead sets that tick, so a fixed seed yields a
+// reproducible kill/restart history at any thread count.
+struct ShardFaultPlanOptions {
+  uint64_t seed = 99;
+  // Per tick: probability of killing one uniformly chosen live shard
+  // (never the last one).
+  double kill_prob = 0.0;
+  // Per tick: probability of restarting one uniformly chosen dead shard.
+  double restart_prob = 0.0;
+};
+
+struct ServiceSupervisorOptions {
+  int num_shards = 2;
+  // Per-shard service configuration. All shards share
+  // `service.repository_dir` (tasks are single-writer, so per-task files
+  // never conflict); leaving it empty disables checkpoint handoff and
+  // forces full replay on every kill. `service.num_threads` is each
+  // shard's ExecutePeriodicAll budget.
+  TuningServiceOptions service;
+  ShardFaultPlanOptions fault_plan;
+};
+
+struct SupervisorStats {
+  long long ticks = 0;
+  long long kills = 0;
+  long long restarts = 0;
+  long long handoffs = 0;          // task re-registrations after a kill
+  long long restored_tasks = 0;    // handoffs resumed from a checkpoint
+  long long fresh_replays = 0;     // handoffs replayed from period zero
+  long long replayed_periods = 0;  // periods re-executed to catch up
+};
+
+class ServiceSupervisor {
+ public:
+  ServiceSupervisor(const ConfigSpace* space,
+                    ServiceSupervisorOptions options = {});
+
+  // Register a periodic task fleet-wide; it is placed on its rendezvous
+  // shard. The factory is retained for handoffs.
+  Status RegisterTask(const std::string& id, EvaluatorFactory factory,
+                      std::optional<Configuration> baseline = std::nullopt,
+                      std::optional<TunerOptions> override = std::nullopt);
+
+  // One global periodic tick: applies the fault plan (kills/restarts +
+  // handoffs), then executes every task once through its shard's
+  // ExecutePeriodicAll. Results are in task registration order and match a
+  // single-shard, undisturbed run at any thread count.
+  std::vector<Result<Observation>> Tick();
+
+  // Scripted chaos (the fault plan uses these too). Killing a shard
+  // destroys its in-memory service state — only repository files survive —
+  // and immediately hands its tasks off to the remaining live shards.
+  // The last live shard cannot be killed.
+  Status KillShard(int shard);
+  Status RestartShard(int shard);
+
+  // Routed to the owning shard.
+  Status HarvestTask(const std::string& id);
+  // Checkpoints every task on every live shard; aggregated per-shard.
+  CheckpointReport CheckpointAll();
+  // Loads the shared repository into every live shard's knowledge base.
+  Status LoadRepository();
+
+  int shard_of(const std::string& id) const;  // -1 if unknown
+  bool shard_alive(int shard) const;
+  int num_shards() const { return static_cast<int>(shards_.size()); }
+  int num_live_shards() const;
+  size_t num_tasks() const { return tasks_.size(); }
+  // Task ids in registration order (the order Tick() reports in).
+  std::vector<std::string> task_ids() const;
+  const SupervisorStats& stats() const { return stats_; }
+  const TuningService* shard(int i) const;
+  const OnlineTuner* tuner(const std::string& id) const;
+  long long periods(const std::string& id) const;
+
+ private:
+  struct TaskEntry {
+    std::string id;
+    EvaluatorFactory factory;
+    std::optional<Configuration> baseline;
+    std::optional<TunerOptions> override;
+    std::unique_ptr<JobEvaluator> evaluator;  // current incarnation
+    int shard = -1;
+    // Global periods this task has been scheduled for (== the shard-side
+    // period clock when the shard is healthy).
+    long long periods = 0;
+  };
+  struct ShardSlot {
+    std::unique_ptr<TuningService> service;  // null = dead
+    bool loaded = false;  // LoadRepository done on this incarnation
+  };
+
+  // Rendezvous winner for `id` over the currently live shards.
+  int PreferredShard(const std::string& id) const;
+  // Fresh evaluator + registration on `target`, restore from the newest
+  // intact checkpoint generation, replay the post-checkpoint gap.
+  Status HandoffTask(TaskEntry* task, int target);
+  void MaybeLoadShard(int shard);
+  void ApplyFaultPlan();
+
+  const ConfigSpace* space_;
+  ServiceSupervisorOptions options_;
+  std::vector<ShardSlot> shards_;
+  std::vector<TaskEntry> tasks_;          // registration order
+  std::map<std::string, size_t> index_;   // id -> tasks_ index
+  SupervisorStats stats_;
+};
+
+}  // namespace sparktune

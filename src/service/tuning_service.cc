@@ -10,6 +10,13 @@
 
 namespace sparktune {
 
+void CheckpointReport::Merge(const CheckpointReport& other) {
+  written += other.written;
+  skipped += other.skipped;
+  failed += other.failed;
+  errors.insert(errors.end(), other.errors.begin(), other.errors.end());
+}
+
 TuningService::TuningService(const ConfigSpace* space,
                              TuningServiceOptions options)
     : space_(space),
@@ -17,7 +24,8 @@ TuningService::TuningService(const ConfigSpace* space,
       knowledge_(space, options_.knowledge) {
   assert(space_ != nullptr);
   if (!options_.repository_dir.empty()) {
-    repository_ = std::make_unique<DataRepository>(options_.repository_dir);
+    repository_ = std::make_unique<DataRepository>(
+        options_.repository_dir, options_.checkpoint_retention);
   }
 }
 
@@ -38,6 +46,7 @@ Status TuningService::RegisterTask(const std::string& id,
   state.tuner = std::make_unique<OnlineTuner>(space_, evaluator,
                                               std::move(resolved),
                                               std::move(baseline));
+  state.last_checkpoint_phase = static_cast<int>(state.tuner->phase());
   tasks_.emplace(id, std::move(state));
   return Status::OK();
 }
@@ -80,19 +89,44 @@ void TuningService::AbsorbExecution(TaskState* state) {
   MaybeAttachMeta(state);
 }
 
+void TuningService::MaybeAutoCheckpoint(const std::string& id,
+                                        TaskState* state) {
+  if (repository_ == nullptr) return;
+  bool due = false;
+  if (options_.auto_checkpoint_periods > 0) {
+    long long since =
+        state->periods -
+        (state->last_checkpoint_periods < 0 ? 0
+                                            : state->last_checkpoint_periods);
+    due = since >= options_.auto_checkpoint_periods;
+  }
+  if (!due && options_.checkpoint_on_phase_change &&
+      static_cast<int>(state->tuner->phase()) !=
+          state->last_checkpoint_phase) {
+    due = true;
+  }
+  if (!due) return;
+  // Best effort: a failed write stays due and is retried next period.
+  if (CheckpointTask(id).ok()) ++auto_checkpoints_;
+}
+
 Result<Observation> TuningService::ExecutePeriodic(const std::string& id) {
   auto it = tasks_.find(id);
   if (it == tasks_.end()) {
     return Status::NotFound("unknown task: " + id);
   }
   TaskState& state = it->second;
+  ++state.periods;
   switch (DecidePeriod(state.policy, &state.retry)) {
     case PeriodDecision::kSkipBackoff:
+      // The period clock and backoff window advanced: checkpointable state.
+      MaybeAutoCheckpoint(id, &state);
       return Status::Unavailable("task backing off after infra failure: " +
                                  id);
     case PeriodDecision::kRunDegraded: {
       Observation obs = state.tuner->StepDegraded();
       AbsorbExecution(&state);
+      MaybeAutoCheckpoint(id, &state);
       return obs;
     }
     case PeriodDecision::kRun:
@@ -101,6 +135,7 @@ Result<Observation> TuningService::ExecutePeriodic(const std::string& id) {
   Observation obs = state.tuner->Step();
   RecordPeriodOutcome(state.policy, &state.retry, obs.failure);
   AbsorbExecution(&state);
+  MaybeAutoCheckpoint(id, &state);
   return obs;
 }
 
@@ -113,6 +148,7 @@ std::vector<Result<Observation>> TuningService::ExecutePeriodicAll(
   // at any thread count.
   constexpr PeriodDecision kErrorSlot = PeriodDecision::kSkipBackoff;
   std::vector<TaskState*> states(ids.size(), nullptr);
+  std::vector<TaskState*> decided(ids.size(), nullptr);
   std::vector<Status> errors(ids.size(), Status::OK());
   std::vector<PeriodDecision> decisions(ids.size(), kErrorSlot);
   std::unordered_set<std::string> seen;
@@ -123,6 +159,8 @@ std::vector<Result<Observation>> TuningService::ExecutePeriodicAll(
     } else if (!seen.insert(ids[i]).second) {
       errors[i] = Status::InvalidArgument("task repeated in batch: " + ids[i]);
     } else {
+      decided[i] = &it->second;
+      ++it->second.periods;
       decisions[i] = DecidePeriod(it->second.policy, &it->second.retry);
       if (decisions[i] == PeriodDecision::kSkipBackoff) {
         errors[i] = Status::Unavailable(
@@ -145,12 +183,16 @@ std::vector<Result<Observation>> TuningService::ExecutePeriodicAll(
   });
 
   // Serial postlude in input order: watchdog outcome recording,
-  // meta-feature harvesting, and knowledge attachment mutate per-task and
-  // shared state.
+  // meta-feature harvesting, knowledge attachment, and the auto-checkpoint
+  // cadence mutate per-task and shared state.
   std::vector<Result<Observation>> results;
   results.reserve(ids.size());
   for (size_t i = 0; i < ids.size(); ++i) {
     if (states[i] == nullptr) {
+      if (decided[i] != nullptr) {
+        // Backoff-skip slot: the period still elapsed for the task.
+        MaybeAutoCheckpoint(ids[i], decided[i]);
+      }
       results.push_back(errors[i]);
       continue;
     }
@@ -159,6 +201,7 @@ std::vector<Result<Observation>> TuningService::ExecutePeriodicAll(
                           stepped[i]->failure);
     }
     AbsorbExecution(states[i]);
+    MaybeAutoCheckpoint(ids[i], states[i]);
     results.push_back(std::move(*stepped[i]));
   }
   return results;
@@ -216,6 +259,9 @@ Status TuningService::LoadRepository() {
   if (repository_ == nullptr) {
     return Status::FailedPrecondition("no repository configured");
   }
+  // Startup is the natural GC point for generations a crash orphaned
+  // (written but never referenced, or referenced but never deleted).
+  repository_->SweepOrphanCheckpoints();
   for (const std::string& id : repository_->ListTaskIds()) {
     SPARKTUNE_ASSIGN_OR_RETURN(stored, repository_->LoadTask(id, *space_));
     Status s = knowledge_.AddTask(stored.id, stored.meta_features,
@@ -236,7 +282,7 @@ Status TuningService::CheckpointTask(const std::string& id) {
   if (it == tasks_.end()) {
     return Status::NotFound("unknown task: " + id);
   }
-  const TaskState& state = it->second;
+  TaskState& state = it->second;
   TaskCheckpoint ckpt;
   ckpt.id = id;
   ckpt.tuner = state.tuner->SaveState();
@@ -245,17 +291,34 @@ Status TuningService::CheckpointTask(const std::string& id) {
   ckpt.harvested = state.harvested;
   ckpt.harvested_size = state.harvested_size;
   ckpt.retry = state.retry;
-  return repository_->SaveCheckpoint(id, TaskCheckpointToJson(ckpt));
+  ckpt.periods = state.periods;
+  SPARKTUNE_RETURN_IF_ERROR(
+      repository_->SaveCheckpoint(id, TaskCheckpointToJson(ckpt)));
+  state.last_checkpoint_periods = state.periods;
+  state.last_checkpoint_phase = static_cast<int>(state.tuner->phase());
+  return Status::OK();
 }
 
-Status TuningService::CheckpointTasks() {
-  Status first = Status::OK();
+CheckpointReport TuningService::CheckpointTasks() {
+  CheckpointReport report;
   for (const auto& [id, state] : tasks_) {
-    (void)state;
+    if (state.last_checkpoint_periods == state.periods &&
+        static_cast<int>(state.tuner->phase()) ==
+            state.last_checkpoint_phase) {
+      // Nothing happened since the last snapshot; rewriting it would only
+      // churn a generation.
+      ++report.skipped;
+      continue;
+    }
     Status s = CheckpointTask(id);
-    if (!s.ok() && first.ok()) first = s;
+    if (s.ok()) {
+      ++report.written;
+    } else {
+      ++report.failed;
+      report.errors.push_back(std::move(s));
+    }
   }
-  return first;
+  return report;
 }
 
 Status TuningService::RestoreTask(const std::string& id) {
@@ -280,6 +343,9 @@ Status TuningService::RestoreTask(const std::string& id) {
   state.harvested = ckpt.harvested;
   state.harvested_size = static_cast<size_t>(ckpt.harvested_size);
   state.retry = ckpt.retry;
+  state.periods = ckpt.periods;
+  state.last_checkpoint_periods = ckpt.periods;
+  state.last_checkpoint_phase = static_cast<int>(state.tuner->phase());
   if (state.meta_attached && options_.enable_meta &&
       !state.meta_samples.empty()) {
     // Only the ensemble surrogate factory needs re-creating (closures do
@@ -326,6 +392,11 @@ const OnlineTuner* TuningService::tuner(const std::string& id) const {
 OnlineTuner* TuningService::tuner(const std::string& id) {
   auto it = tasks_.find(id);
   return it == tasks_.end() ? nullptr : it->second.tuner.get();
+}
+
+long long TuningService::periods(const std::string& id) const {
+  auto it = tasks_.find(id);
+  return it == tasks_.end() ? -1 : it->second.periods;
 }
 
 }  // namespace sparktune

@@ -27,11 +27,34 @@ struct TuningServiceOptions {
   int min_tasks_for_transfer = 2;
   // Directory for persistence; empty = in-memory only.
   std::string repository_dir;
+  // Checkpoint GC: generations kept per task after each write.
+  CheckpointRetention checkpoint_retention;
+  // Automatic checkpoint cadence (DESIGN.md §7), replacing caller-driven
+  // snapshots: with a repository configured, a task re-checkpoints itself
+  // every `auto_checkpoint_periods` periods (0 disables; backoff-skip
+  // periods count) and, independently, whenever the tuner phase machine
+  // transitions (baseline -> tuning -> applying) when
+  // `checkpoint_on_phase_change` is set. Auto-checkpoints are best-effort:
+  // a failed write is retried implicitly at the next due period.
+  int auto_checkpoint_periods = 0;
+  bool checkpoint_on_phase_change = false;
   // Threads for ExecutePeriodicAll batches: 1 = serial, 0 = global pool
   // default width, k > 1 = up to k threads. Tasks are independent (own
   // tuner + evaluator), so the batch result equals calling ExecutePeriodic
   // per id in order.
   int num_threads = 1;
+};
+
+// Aggregated result of a fleet checkpoint pass (mirrors RestoreReport):
+// every task is attempted; per-task failures are collected, not fatal.
+struct CheckpointReport {
+  int written = 0;  // tasks whose checkpoint was (re)written
+  int skipped = 0;  // tasks unchanged since their last checkpoint
+  int failed = 0;   // tasks whose checkpoint write failed
+  std::vector<Status> errors;
+
+  bool ok() const { return failed == 0; }
+  void Merge(const CheckpointReport& other);
 };
 
 class TuningService {
@@ -69,21 +92,25 @@ class TuningService {
   // repository when persistence is enabled). Idempotent per task version.
   Status HarvestTask(const std::string& id);
 
-  // Load previously persisted tasks into the knowledge base.
+  // Load previously persisted tasks into the knowledge base. Also sweeps
+  // orphaned checkpoint generations (files outside the retention window
+  // left behind by a crash mid-GC).
   Status LoadRepository();
 
   // Crash-safe checkpointing (DESIGN.md §7). CheckpointTask snapshots one
   // task's full mutable state (tuner phase machine, advisor history + RNG
-  // cursors, meta attachment, watchdog state) into the repository via an
-  // atomic, checksummed write. RestoreTask loads it back into the already
+  // cursors, meta attachment, watchdog state, period clock) into the
+  // repository via an atomic, checksummed, generation-suffixed write.
+  // RestoreTask loads the newest intact generation back into the already
   // re-registered task and fast-forwards its evaluator, after which the
   // suggestion trajectory continues exactly where the checkpoint left off.
-  // A torn or corrupted checkpoint yields kDataLoss and leaves the task in
-  // its freshly registered state.
+  // A torn newest generation falls back to the previous one; only a fully
+  // absent or corrupt history yields kDataLoss/kNotFound and leaves the
+  // task in its freshly registered state.
   Status CheckpointTask(const std::string& id);
-  // Checkpoints every registered task; returns the first error (but still
-  // attempts the rest).
-  Status CheckpointTasks();
+  // Checkpoints every registered task (tasks unchanged since their last
+  // checkpoint are skipped) and aggregates per-task outcomes.
+  CheckpointReport CheckpointTasks();
   Status RestoreTask(const std::string& id);
 
   struct RestoreReport {
@@ -105,6 +132,12 @@ class TuningService {
   KnowledgeBase& knowledge_base() { return knowledge_; }
   const KnowledgeBase& knowledge_base() const { return knowledge_; }
   size_t num_tasks() const { return tasks_.size(); }
+  // Periods (DecidePeriod calls, incl. backoff skips) the task has
+  // consumed; -1 if unknown. The supervisor replays the gap between a
+  // restored checkpoint's period clock and this value after a handoff.
+  long long periods(const std::string& id) const;
+  // Checkpoints written by the automatic cadence (diagnostics).
+  long long auto_checkpoints() const { return auto_checkpoints_; }
 
  private:
   struct TaskState {
@@ -119,6 +152,10 @@ class TuningService {
     // Watchdog: policy resolved at registration, state checkpointed.
     RetryPolicy policy;
     RetryState retry;
+    // Period clock (checkpointed) + auto-checkpoint bookkeeping.
+    long long periods = 0;
+    long long last_checkpoint_periods = -1;  // -1 = never checkpointed
+    int last_checkpoint_phase = 0;           // TunerPhase as int
   };
 
   void MaybeAttachMeta(TaskState* state);
@@ -126,12 +163,15 @@ class TuningService {
   // harvest meta-features from the last event log, then attach
   // meta-knowledge once available. Mutates shared state — serial use only.
   void AbsorbExecution(TaskState* state);
+  // Auto-checkpoint cadence check; runs serially at the end of a period.
+  void MaybeAutoCheckpoint(const std::string& id, TaskState* state);
 
   const ConfigSpace* space_;
   TuningServiceOptions options_;
   std::map<std::string, TaskState> tasks_;
   KnowledgeBase knowledge_;
   std::unique_ptr<DataRepository> repository_;
+  long long auto_checkpoints_ = 0;
 };
 
 }  // namespace sparktune

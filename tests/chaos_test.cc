@@ -1,0 +1,391 @@
+// Chaos harness for the sharded service supervisor (DESIGN.md §7): the
+// rendezvous placement, scripted and seeded kill/restart schedules, the
+// checkpoint handoff + deterministic replay contract, and the headline
+// property — a chaos run's per-task trajectory is bit-identical to an
+// undisturbed single-shard run at any thread count.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "service/supervisor.h"
+#include "sparksim/hibench.h"
+#include "tuner/fault_injection.h"
+
+namespace sparktune {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string TempDir(const std::string& tag) {
+  std::string dir =
+      (fs::temp_directory_path() / ("sparktune-chaos-test-" + tag)).string();
+  fs::remove_all(dir);
+  return dir;
+}
+
+// Owns the simulator and its fault wrapper as one JobEvaluator, so an
+// EvaluatorFactory can rebuild the whole stack from seeds alone.
+class ChaosEvaluator final : public JobEvaluator {
+ public:
+  ChaosEvaluator(std::unique_ptr<SimulatorEvaluator> inner,
+                 FaultInjectionOptions fopts)
+      : inner_(std::move(inner)), faulty_(inner_.get(), fopts) {}
+
+  Outcome Run(const Configuration& config) override {
+    return faulty_.Run(config);
+  }
+  double ResourceRate(const Configuration& config) const override {
+    return faulty_.ResourceRate(config);
+  }
+  double NextDataSizeHintGb() const override {
+    return faulty_.NextDataSizeHintGb();
+  }
+  double NextHours() const override { return faulty_.NextHours(); }
+  void SkipExecutions(int n) override { faulty_.SkipExecutions(n); }
+
+ private:
+  std::unique_ptr<SimulatorEvaluator> inner_;
+  FaultInjectingEvaluator faulty_;
+};
+
+struct Fixture {
+  Fixture()
+      : cluster(ClusterSpec::HiBenchCluster()),
+        space(BuildSparkSpace(cluster)) {}
+
+  // A factory rebuilding the identical evaluator stack on every call: the
+  // supervisor invokes it at registration and after every handoff.
+  EvaluatorFactory MakeFactory(const std::string& workload, uint64_t seed,
+                               FaultInjectionOptions fopts = {}) {
+    const ConfigSpace* sp = &space;
+    ClusterSpec cl = cluster;
+    return [sp, cl, workload, seed, fopts]() -> std::unique_ptr<JobEvaluator> {
+      auto w = HiBenchTask(workload);
+      EXPECT_TRUE(w.ok());
+      SimulatorEvaluatorOptions opts;
+      opts.seed = seed;
+      auto inner = std::make_unique<SimulatorEvaluator>(
+          sp, *w, cl, DriftModel::Diurnal(), opts);
+      return std::make_unique<ChaosEvaluator>(std::move(inner), fopts);
+    };
+  }
+
+  ServiceSupervisorOptions SupervisorOpts(int num_shards,
+                                          const std::string& dir) {
+    ServiceSupervisorOptions opts;
+    opts.num_shards = num_shards;
+    opts.service.tuner.budget = 10;
+    opts.service.tuner.ei_stop_threshold = 0.0;
+    opts.service.tuner.advisor.expert_ranking = ExpertParameterRanking();
+    opts.service.repository_dir = dir;
+    opts.service.auto_checkpoint_periods = 4;
+    opts.service.checkpoint_on_phase_change = true;
+    return opts;
+  }
+
+  ClusterSpec cluster;
+  ConfigSpace space;
+};
+
+FaultInjectionOptions EvalFaults(uint64_t seed) {
+  FaultInjectionOptions fopts;
+  fopts.seed = seed;
+  fopts.crash_prob = 0.12;
+  fopts.transient_error_prob = 0.08;
+  fopts.hang_prob = 0.06;
+  fopts.corrupt_log_prob = 0.06;
+  return fopts;
+}
+
+void ExpectSameSlot(const Result<Observation>& got,
+                    const Result<Observation>& want, int tick, size_t slot) {
+  ASSERT_EQ(got.ok(), want.ok()) << "tick " << tick << " slot " << slot;
+  if (!got.ok()) {
+    EXPECT_EQ(got.status().code(), want.status().code())
+        << "tick " << tick << " slot " << slot;
+    return;
+  }
+  EXPECT_TRUE(got->config == want->config) << "tick " << tick << " slot "
+                                           << slot;
+  EXPECT_EQ(got->objective, want->objective) << "tick " << tick << " slot "
+                                             << slot;
+  EXPECT_EQ(got->runtime_sec, want->runtime_sec)
+      << "tick " << tick << " slot " << slot;
+  EXPECT_EQ(got->failure, want->failure) << "tick " << tick << " slot "
+                                         << slot;
+  EXPECT_EQ(got->degraded, want->degraded) << "tick " << tick << " slot "
+                                           << slot;
+  EXPECT_EQ(got->feasible, want->feasible) << "tick " << tick << " slot "
+                                           << slot;
+}
+
+const std::vector<std::string> kIds = {"wc", "sort", "ts"};
+const std::vector<std::string> kWorkloads = {"WordCount", "Sort", "TeraSort"};
+
+void RegisterFleet(Fixture* f, ServiceSupervisor* sup, bool with_faults) {
+  for (size_t t = 0; t < kIds.size(); ++t) {
+    FaultInjectionOptions fopts =
+        with_faults ? EvalFaults(101 + t) : FaultInjectionOptions{};
+    ASSERT_TRUE(sup->RegisterTask(kIds[t],
+                                  f->MakeFactory(kWorkloads[t], 7 + t, fopts))
+                    .ok());
+  }
+}
+
+// The undisturbed oracle: one shard, no fault plan, no kills.
+std::vector<std::vector<Result<Observation>>> ReferenceRun(Fixture* f,
+                                                           int ticks,
+                                                           bool with_faults) {
+  ServiceSupervisorOptions opts = f->SupervisorOpts(1, "");
+  ServiceSupervisor sup(&f->space, opts);
+  RegisterFleet(f, &sup, with_faults);
+  std::vector<std::vector<Result<Observation>>> out;
+  for (int t = 0; t < ticks; ++t) out.push_back(sup.Tick());
+  return out;
+}
+
+TEST(SupervisorPlacementTest, RendezvousIsDeterministicAndStable) {
+  Fixture f;
+  ServiceSupervisorOptions opts = f.SupervisorOpts(4, "");
+  ServiceSupervisor a(&f.space, opts);
+  ServiceSupervisor b(&f.space, opts);
+  const std::vector<std::string> ids = {"etl-hourly", "report:daily",
+                                        "wc", "sort", "ts", "pagerank"};
+  for (const auto& id : ids) {
+    ASSERT_TRUE(a.RegisterTask(id, f.MakeFactory("WordCount", 3)).ok());
+    ASSERT_TRUE(b.RegisterTask(id, f.MakeFactory("WordCount", 3)).ok());
+  }
+  // Placement is a pure function of (id, shard count, live set).
+  for (const auto& id : ids) {
+    EXPECT_EQ(a.shard_of(id), b.shard_of(id)) << id;
+    EXPECT_GE(a.shard_of(id), 0) << id;
+  }
+  // Duplicate registration and null factories are rejected.
+  EXPECT_EQ(a.RegisterTask("wc", f.MakeFactory("WordCount", 3)).code(),
+            Status::Code::kInvalidArgument);
+  EXPECT_EQ(a.RegisterTask("new", nullptr).code(),
+            Status::Code::kInvalidArgument);
+
+  // Killing one shard moves only its tasks (minimal disruption); the
+  // survivors keep their placement.
+  int victim = a.shard_of(ids[0]);
+  std::vector<int> before;
+  for (const auto& id : ids) before.push_back(a.shard_of(id));
+  ASSERT_TRUE(a.KillShard(victim).ok());
+  for (size_t i = 0; i < ids.size(); ++i) {
+    if (before[i] == victim) {
+      EXPECT_NE(a.shard_of(ids[i]), victim) << ids[i];
+      EXPECT_TRUE(a.shard_alive(a.shard_of(ids[i]))) << ids[i];
+    } else {
+      EXPECT_EQ(a.shard_of(ids[i]), before[i]) << ids[i];
+    }
+  }
+  EXPECT_EQ(a.num_live_shards(), 3);
+  EXPECT_EQ(a.stats().kills, 1);
+}
+
+TEST(SupervisorChaosTest, KillLastLiveShardIsRejected) {
+  Fixture f;
+  ServiceSupervisor sup(&f.space, f.SupervisorOpts(2, ""));
+  ASSERT_TRUE(sup.KillShard(0).ok());
+  EXPECT_EQ(sup.KillShard(1).code(), Status::Code::kFailedPrecondition);
+  EXPECT_EQ(sup.KillShard(0).code(), Status::Code::kFailedPrecondition);
+  EXPECT_EQ(sup.KillShard(7).code(), Status::Code::kInvalidArgument);
+  EXPECT_EQ(sup.RestartShard(1).code(), Status::Code::kFailedPrecondition);
+  ASSERT_TRUE(sup.RestartShard(0).ok());
+  EXPECT_EQ(sup.num_live_shards(), 2);
+  EXPECT_EQ(sup.stats().restarts, 1);
+}
+
+// Acceptance: scripted kills with checkpoint handoff resume the identical
+// per-task trajectory — watchdog slots, degraded runs, and all.
+TEST(SupervisorChaosTest, ScriptedKillHandoffMatchesUndisturbedRun) {
+  Fixture f;
+  constexpr int kTicks = 30;
+  auto want = ReferenceRun(&f, kTicks, /*with_faults=*/true);
+
+  const std::string dir = TempDir("scripted");
+  ServiceSupervisor sup(&f.space, f.SupervisorOpts(3, dir));
+  RegisterFleet(&f, &sup, /*with_faults=*/true);
+
+  std::vector<std::vector<Result<Observation>>> got;
+  for (int t = 0; t < 10; ++t) got.push_back(sup.Tick());
+  // Kill the shard hosting "wc" mid-run; its tasks restore from their
+  // auto-checkpoints and replay the gap on a survivor.
+  const int victim = sup.shard_of("wc");
+  ASSERT_TRUE(sup.KillShard(victim).ok());
+  for (int t = 10; t < 20; ++t) got.push_back(sup.Tick());
+  ASSERT_TRUE(sup.RestartShard(victim).ok());
+  // Second kill: survivors now include the restarted shard.
+  ASSERT_TRUE(sup.KillShard(sup.shard_of("sort")).ok());
+  for (int t = 20; t < kTicks; ++t) got.push_back(sup.Tick());
+
+  ASSERT_EQ(got.size(), want.size());
+  for (int t = 0; t < kTicks; ++t) {
+    ASSERT_EQ(got[t].size(), kIds.size());
+    for (size_t i = 0; i < kIds.size(); ++i) {
+      ExpectSameSlot(got[t][i], want[t][i], t, i);
+    }
+  }
+
+  const SupervisorStats& st = sup.stats();
+  EXPECT_EQ(st.ticks, kTicks);
+  EXPECT_EQ(st.kills, 2);
+  EXPECT_EQ(st.restarts, 1);
+  EXPECT_GE(st.handoffs, 2);
+  // Auto-checkpoints (cadence 4) were in place well before the first kill:
+  // every handoff restores, none replays from scratch.
+  EXPECT_EQ(st.restored_tasks, st.handoffs);
+  EXPECT_EQ(st.fresh_replays, 0);
+  EXPECT_GT(st.replayed_periods, 0);
+}
+
+TEST(SupervisorChaosTest, HandoffWithoutRepositoryReplaysFromScratch) {
+  Fixture f;
+  constexpr int kTicks = 16;
+  auto want = ReferenceRun(&f, kTicks, /*with_faults=*/true);
+
+  // No repository: a kill forces a full deterministic replay from period 0.
+  ServiceSupervisor sup(&f.space, f.SupervisorOpts(2, ""));
+  RegisterFleet(&f, &sup, /*with_faults=*/true);
+  std::vector<std::vector<Result<Observation>>> got;
+  for (int t = 0; t < 8; ++t) got.push_back(sup.Tick());
+  const int victim = sup.shard_of("wc");
+  ASSERT_TRUE(sup.KillShard(victim).ok());
+  for (int t = 8; t < kTicks; ++t) got.push_back(sup.Tick());
+
+  for (int t = 0; t < kTicks; ++t) {
+    for (size_t i = 0; i < kIds.size(); ++i) {
+      ExpectSameSlot(got[t][i], want[t][i], t, i);
+    }
+  }
+  const SupervisorStats& st = sup.stats();
+  EXPECT_GE(st.handoffs, 1);
+  EXPECT_EQ(st.fresh_replays, st.handoffs);
+  EXPECT_EQ(st.restored_tasks, 0);
+  // Every handed-off task replayed all 8 pre-kill periods.
+  EXPECT_EQ(st.replayed_periods, 8 * st.handoffs);
+}
+
+// Acceptance: the seeded fault plan (kills + restarts + handoffs) yields a
+// trajectory bit-identical to the undisturbed oracle at 1 and 4 threads.
+TEST(SupervisorChaosTest, SeededFaultPlanEquivalenceAtAnyThreadCount) {
+  Fixture f;
+  constexpr int kTicks = 30;
+  auto want = ReferenceRun(&f, kTicks, /*with_faults=*/true);
+
+  auto chaos_run = [&](int num_threads, const std::string& tag) {
+    ServiceSupervisorOptions opts =
+        f.SupervisorOpts(4, TempDir("plan-" + tag));
+    opts.service.num_threads = num_threads;
+    opts.fault_plan.seed = 2026;
+    opts.fault_plan.kill_prob = 0.2;
+    opts.fault_plan.restart_prob = 0.5;
+    ServiceSupervisor sup(&f.space, opts);
+    RegisterFleet(&f, &sup, /*with_faults=*/true);
+    std::vector<std::vector<Result<Observation>>> ticks;
+    for (int t = 0; t < kTicks; ++t) ticks.push_back(sup.Tick());
+    return std::make_pair(std::move(ticks), sup.stats());
+  };
+
+  auto [serial, serial_stats] = chaos_run(1, "serial");
+  auto [threaded, threaded_stats] = chaos_run(4, "threaded");
+
+  // The plan actually bit: shards died and came back.
+  EXPECT_GT(serial_stats.kills, 0);
+  EXPECT_GT(serial_stats.restarts, 0);
+  EXPECT_GT(serial_stats.handoffs, 0);
+  // The kill/restart schedule is a function of (seed, tick) only — thread
+  // count changes nothing.
+  EXPECT_EQ(serial_stats.kills, threaded_stats.kills);
+  EXPECT_EQ(serial_stats.restarts, threaded_stats.restarts);
+  EXPECT_EQ(serial_stats.handoffs, threaded_stats.handoffs);
+  EXPECT_EQ(serial_stats.replayed_periods, threaded_stats.replayed_periods);
+
+  for (int t = 0; t < kTicks; ++t) {
+    for (size_t i = 0; i < kIds.size(); ++i) {
+      ExpectSameSlot(serial[t][i], want[t][i], t, i);
+      ExpectSameSlot(threaded[t][i], want[t][i], t, i);
+    }
+  }
+}
+
+TEST(SupervisorChaosTest, CheckpointAllAggregatesAndSkipsUnchanged) {
+  Fixture f;
+  ServiceSupervisorOptions opts = f.SupervisorOpts(2, TempDir("ckpt-all"));
+  opts.service.auto_checkpoint_periods = 0;  // manual checkpoints only
+  opts.service.checkpoint_on_phase_change = false;
+  ServiceSupervisor sup(&f.space, opts);
+  RegisterFleet(&f, &sup, /*with_faults=*/false);
+  for (int t = 0; t < 5; ++t) sup.Tick();
+
+  CheckpointReport first = sup.CheckpointAll();
+  EXPECT_TRUE(first.ok());
+  EXPECT_EQ(first.written, static_cast<int>(kIds.size()));
+  EXPECT_EQ(first.skipped, 0);
+  // No periods elapsed since: the second pass skips every task.
+  CheckpointReport second = sup.CheckpointAll();
+  EXPECT_TRUE(second.ok());
+  EXPECT_EQ(second.written, 0);
+  EXPECT_EQ(second.skipped, static_cast<int>(kIds.size()));
+}
+
+TEST(AutoCheckpointTest, PeriodCadenceWritesCheckpoints) {
+  Fixture f;
+  const std::string dir = TempDir("cadence");
+  TuningServiceOptions opts;
+  opts.tuner.budget = 10;
+  opts.tuner.ei_stop_threshold = 0.0;
+  opts.tuner.advisor.expert_ranking = ExpertParameterRanking();
+  opts.repository_dir = dir;
+  opts.auto_checkpoint_periods = 3;
+  TuningService service(&f.space, opts);
+  auto w = HiBenchTask("WordCount");
+  ASSERT_TRUE(w.ok());
+  SimulatorEvaluatorOptions eopts;
+  eopts.seed = 3;
+  SimulatorEvaluator eval(&f.space, *w, f.cluster, DriftModel::Diurnal(),
+                          eopts);
+  ASSERT_TRUE(service.RegisterTask("wc", &eval).ok());
+
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(service.ExecutePeriodic("wc").ok());
+  }
+  // Cadence 3 over 10 periods: checkpoints at periods 3, 6, 9.
+  EXPECT_EQ(service.auto_checkpoints(), 3);
+  DataRepository repo(dir);
+  EXPECT_TRUE(repo.HasCheckpoint("wc"));
+}
+
+TEST(AutoCheckpointTest, PhaseTransitionTriggersCheckpoint) {
+  Fixture f;
+  TuningServiceOptions opts;
+  opts.tuner.budget = 10;
+  opts.tuner.ei_stop_threshold = 0.0;
+  opts.tuner.advisor.expert_ranking = ExpertParameterRanking();
+  opts.repository_dir = TempDir("phase");
+  opts.auto_checkpoint_periods = 0;  // only phase transitions trigger
+  opts.checkpoint_on_phase_change = true;
+  TuningService service(&f.space, opts);
+  auto w = HiBenchTask("WordCount");
+  ASSERT_TRUE(w.ok());
+  SimulatorEvaluatorOptions eopts;
+  eopts.seed = 3;
+  SimulatorEvaluator eval(&f.space, *w, f.cluster, DriftModel::Diurnal(),
+                          eopts);
+  ASSERT_TRUE(service.RegisterTask("wc", &eval).ok());
+
+  // Budget 10: baseline -> tuning after period 1, tuning -> applying after
+  // period 11. Both transitions snapshot the phase machine.
+  for (int i = 0; i < 12; ++i) {
+    ASSERT_TRUE(service.ExecutePeriodic("wc").ok());
+  }
+  EXPECT_GE(service.auto_checkpoints(), 2);
+}
+
+}  // namespace
+}  // namespace sparktune

@@ -3,6 +3,7 @@
 // headline property — a kill/restart resumes the identical trajectory.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <filesystem>
 #include <fstream>
 #include <memory>
@@ -308,6 +309,212 @@ TEST(CheckpointRecoveryTest, TornCheckpointFallsBackToFreshStart) {
   auto obs = revived.ExecutePeriodic("wc");
   ASSERT_TRUE(obs.ok());
   EXPECT_EQ(revived.tuner("wc")->executions(), 1);
+}
+
+// Generation-suffixed checkpoint files of a directory, oldest first (the
+// %06lld suffix makes lexicographic order generation order).
+std::vector<std::string> CheckpointFilesSorted(const std::string& dir) {
+  std::vector<std::string> files;
+  for (const auto& entry : fs::directory_iterator(dir)) {
+    if (entry.path().extension() == ".ckpt") {
+      files.push_back(entry.path().string());
+    }
+  }
+  std::sort(files.begin(), files.end());
+  return files;
+}
+
+TEST(CheckpointGenerationTest, RetentionKeepsNewestK) {
+  const std::string dir = TempDir("retention");
+  CheckpointRetention retention;
+  retention.keep_generations = 2;
+  DataRepository repo(dir, retention);
+  for (int g = 1; g <= 5; ++g) {
+    Json payload = Json::Object();
+    payload.Set("id", Json::Str("task-a"));
+    payload.Set("x", Json::Number(static_cast<double>(g)));
+    ASSERT_TRUE(repo.SaveCheckpoint("task-a", payload).ok());
+  }
+  // Only the newest two generations survive each write's GC.
+  EXPECT_EQ(CheckpointFilesSorted(dir).size(), 2u);
+  EXPECT_EQ(repo.LatestCheckpointGeneration("task-a"), 5);
+  auto loaded = repo.LoadCheckpoint("task-a");
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->GetNumberOr("x", 0.0), 5.0);
+
+  // A torn newest generation falls back to the previous one.
+  auto files = CheckpointFilesSorted(dir);
+  const std::string intact = ReadFile(files.back());
+  WriteFile(files.back(), intact.substr(0, intact.size() / 2));
+  loaded = repo.LoadCheckpoint("task-a");
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->GetNumberOr("x", 0.0), 4.0);
+}
+
+TEST(CheckpointGenerationTest, SweepRemovesOrphansAndTempFiles) {
+  const std::string dir = TempDir("sweep");
+  CheckpointRetention keep3;
+  keep3.keep_generations = 3;
+  {
+    DataRepository repo(dir, keep3);
+    for (int g = 1; g <= 3; ++g) {
+      Json payload = Json::Object();
+      payload.Set("id", Json::Str("task-a"));
+      ASSERT_TRUE(repo.SaveCheckpoint("task-a", payload).ok());
+    }
+  }
+  ASSERT_EQ(CheckpointFilesSorted(dir).size(), 3u);
+  WriteFile(dir + "/stale.ckpt.tmp", "interrupted atomic write");
+
+  // A tighter retention on restart treats the excess generations (and any
+  // stale temp files) as orphans.
+  DataRepository tight(dir);  // default keep_generations = 2
+  EXPECT_EQ(tight.SweepOrphanCheckpoints(), 2);
+  EXPECT_EQ(CheckpointFilesSorted(dir).size(), 2u);
+  EXPECT_FALSE(fs::exists(dir + "/stale.ckpt.tmp"));
+  EXPECT_TRUE(tight.LoadCheckpoint("task-a").ok());
+}
+
+// A torn newest generation is not fatal to the service: restore falls back
+// to the previous generation's snapshot and replays from there.
+TEST(CheckpointGenerationTest, ServiceRestoresFromPreviousGeneration) {
+  Fixture f;
+  const std::string dir = TempDir("gen-fallback");
+  {
+    TuningService service(&f.space, f.ServiceOpts(dir));
+    auto inner = f.MakeInner(3);
+    ASSERT_TRUE(service.RegisterTask("wc", inner.get()).ok());
+    for (int i = 0; i < 5; ++i) {
+      ASSERT_TRUE(service.ExecutePeriodic("wc").ok());
+    }
+    ASSERT_TRUE(service.CheckpointTask("wc").ok());
+    for (int i = 0; i < 3; ++i) {
+      ASSERT_TRUE(service.ExecutePeriodic("wc").ok());
+    }
+    ASSERT_TRUE(service.CheckpointTask("wc").ok());
+  }
+  auto files = CheckpointFilesSorted(dir);
+  ASSERT_EQ(files.size(), 2u);
+  const std::string newest = ReadFile(files.back());
+  WriteFile(files.back(), newest.substr(0, newest.size() / 2));
+
+  TuningService revived(&f.space, f.ServiceOpts(dir));
+  auto inner = f.MakeInner(3);
+  ASSERT_TRUE(revived.RegisterTask("wc", inner.get()).ok());
+  auto report = revived.RestoreTasks();
+  EXPECT_EQ(report.restored, 1);
+  EXPECT_EQ(report.fresh_starts, 0);
+  // The revived task resumed at the older snapshot: 5 periods, not 8.
+  EXPECT_EQ(revived.tuner("wc")->executions(), 5);
+}
+
+// A manifest whose listed generations were all deleted yields a fresh
+// start, not a crash (and not a torn-state resume).
+TEST(CheckpointGenerationTest, ManifestOverDeletedGenerationsIsFreshStart) {
+  Fixture f;
+  const std::string dir = TempDir("gen-deleted");
+  {
+    TuningService service(&f.space, f.ServiceOpts(dir));
+    auto inner = f.MakeInner(3);
+    ASSERT_TRUE(service.RegisterTask("wc", inner.get()).ok());
+    for (int i = 0; i < 5; ++i) {
+      ASSERT_TRUE(service.ExecutePeriodic("wc").ok());
+    }
+    ASSERT_TRUE(service.CheckpointTask("wc").ok());
+  }
+  for (const std::string& file : CheckpointFilesSorted(dir)) {
+    fs::remove(file);
+  }
+
+  TuningService revived(&f.space, f.ServiceOpts(dir));
+  auto inner = f.MakeInner(3);
+  ASSERT_TRUE(revived.RegisterTask("wc", inner.get()).ok());
+  auto report = revived.RestoreTasks();
+  EXPECT_EQ(report.restored, 0);
+  EXPECT_EQ(report.fresh_starts, 1);
+  ASSERT_EQ(report.errors.size(), 1u);
+  EXPECT_EQ(report.errors[0].code(), Status::Code::kNotFound);
+  auto obs = revived.ExecutePeriodic("wc");
+  ASSERT_TRUE(obs.ok());
+  EXPECT_EQ(revived.tuner("wc")->executions(), 1);
+}
+
+// Restore after a handoff re-attaches the meta-surrogate against the same
+// knowledge base: with harvested tasks reloaded from the repository, the
+// revived trajectory stays bit-identical to the undisturbed one.
+TEST(CheckpointRecoveryTest, RestoreReattachesMetaSurrogates) {
+  Fixture f;
+  constexpr int kWarmup = 8;    // per task, before harvest
+  constexpr int kAttached = 6;  // per task, with meta attached
+  constexpr int kCompare = 10;  // per task, compared after the kill point
+
+  auto drive = [](TuningService* service, const std::string& id, int n) {
+    std::vector<Result<Observation>> out;
+    for (int i = 0; i < n; ++i) out.push_back(service->ExecutePeriodic(id));
+    return out;
+  };
+
+  // Reference: never killed. Harvesting both tasks fills the knowledge
+  // base, after which the meta-surrogate attaches to both tuners.
+  std::vector<Result<Observation>> want;
+  {
+    TuningService service(&f.space, f.ServiceOpts(TempDir("meta-ref")));
+    auto wc = f.MakeInner(7);
+    auto sort = f.MakeInner(8);
+    ASSERT_TRUE(service.RegisterTask("wc", wc.get()).ok());
+    ASSERT_TRUE(service.RegisterTask("sort", sort.get()).ok());
+    drive(&service, "wc", kWarmup);
+    drive(&service, "sort", kWarmup);
+    ASSERT_TRUE(service.HarvestTask("wc").ok());
+    ASSERT_TRUE(service.HarvestTask("sort").ok());
+    drive(&service, "wc", kAttached);
+    drive(&service, "sort", kAttached);
+    want = drive(&service, "wc", kCompare);
+  }
+
+  const std::string dir = TempDir("meta-killed");
+  {
+    TuningService service(&f.space, f.ServiceOpts(dir));
+    auto wc = f.MakeInner(7);
+    auto sort = f.MakeInner(8);
+    ASSERT_TRUE(service.RegisterTask("wc", wc.get()).ok());
+    ASSERT_TRUE(service.RegisterTask("sort", sort.get()).ok());
+    drive(&service, "wc", kWarmup);
+    drive(&service, "sort", kWarmup);
+    ASSERT_TRUE(service.HarvestTask("wc").ok());
+    ASSERT_TRUE(service.HarvestTask("sort").ok());
+    drive(&service, "wc", kAttached);
+    drive(&service, "sort", kAttached);
+    ASSERT_TRUE(service.CheckpointTasks().ok());
+  }  // killed
+
+  TuningService revived(&f.space, f.ServiceOpts(dir));
+  auto wc = f.MakeInner(7);
+  auto sort = f.MakeInner(8);
+  ASSERT_TRUE(revived.RegisterTask("wc", wc.get()).ok());
+  ASSERT_TRUE(revived.RegisterTask("sort", sort.get()).ok());
+  // LoadRepository first, so RestoreTasks rebuilds the surrogate factory
+  // over the same harvested records the original service held in memory.
+  ASSERT_TRUE(revived.LoadRepository().ok());
+  EXPECT_EQ(revived.knowledge_base().size(), 2u);
+  auto report = revived.RestoreTasks();
+  ASSERT_TRUE(report.errors.empty()) << report.errors[0].message();
+  EXPECT_EQ(report.restored, 2);
+
+  // The restored checkpoint says meta was attached at the kill point.
+  DataRepository repo(dir);
+  auto ckpt = repo.LoadCheckpoint("wc");
+  ASSERT_TRUE(ckpt.ok());
+  EXPECT_TRUE(ckpt->GetBoolOr("meta_attached", false));
+
+  auto got = drive(&revived, "wc", kCompare);
+  for (int i = 0; i < kCompare; ++i) {
+    ASSERT_EQ(got[i].ok(), want[i].ok()) << "period " << i;
+    if (!got[i].ok()) continue;
+    EXPECT_TRUE(got[i]->config == want[i]->config) << "period " << i;
+    EXPECT_EQ(got[i]->objective, want[i]->objective) << "period " << i;
+    EXPECT_EQ(got[i]->failure, want[i]->failure) << "period " << i;
+  }
 }
 
 }  // namespace

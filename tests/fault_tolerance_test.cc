@@ -4,6 +4,7 @@
 // fault-seeded trajectory.
 #include <gtest/gtest.h>
 
+#include <limits>
 #include <memory>
 #include <string>
 #include <vector>
@@ -51,6 +52,29 @@ TEST(BackoffTest, ExponentialScheduleIsBoundedAndDeterministic) {
   EXPECT_EQ(policy.BackoffPeriods(3), 4);
   EXPECT_EQ(policy.BackoffPeriods(4), 8);
   EXPECT_EQ(policy.BackoffPeriods(40), 8);  // capped, no shift overflow
+}
+
+TEST(BackoffTest, ShiftOverflowIsClampedToCap) {
+  RetryPolicy policy;
+  policy.base_backoff_periods = 3;
+  policy.max_backoff_periods = 1000000000;
+  // Exponents at and far past the operand width: the clamp kicks in before
+  // `base << (k-1)` becomes undefined, and the answer is the cap.
+  EXPECT_EQ(policy.BackoffPeriods(40), 1000000000);
+  EXPECT_EQ(policy.BackoffPeriods(63), 1000000000);
+  EXPECT_EQ(policy.BackoffPeriods(1000), 1000000000);
+  policy.base_backoff_periods = std::numeric_limits<int>::max();
+  policy.max_backoff_periods = std::numeric_limits<int>::max();
+  EXPECT_EQ(policy.BackoffPeriods(2), std::numeric_limits<int>::max());
+  // Degenerate policies disable backoff instead of misbehaving.
+  policy.base_backoff_periods = 0;
+  EXPECT_EQ(policy.BackoffPeriods(5), 0);
+  policy.base_backoff_periods = 4;
+  policy.max_backoff_periods = 0;
+  EXPECT_EQ(policy.BackoffPeriods(5), 0);
+  policy.base_backoff_periods = -3;
+  policy.max_backoff_periods = 8;
+  EXPECT_EQ(policy.BackoffPeriods(5), 0);
 }
 
 TEST(BackoffTest, CircuitBreakerParksAndRecovers) {

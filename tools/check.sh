@@ -39,6 +39,12 @@ run_config build-ubsan undefined "$@"
 if [[ "$ALL" -eq 1 ]]; then
   run_config build-tsan thread "$@"
   run_config build-asan-ubsan address,undefined "$@"
+  # Isolated stress pass: the fault-injected batch and supervisor chaos
+  # schedules again, by label, under the full sanitizer matrix.
+  for dir in build build-ubsan build-tsan build-asan-ubsan; do
+    echo "==> [$dir] ctest -L stress (chaos/fault stress label)"
+    ctest --test-dir "$dir" --output-on-failure -L stress
+  done
 fi
 
 echo "==> [build] ctest -L lint (isolated lint label)"
