@@ -1,0 +1,221 @@
+// Fleet-scale service benchmark: drives the TuningService task-state diet
+// (SoA run histories, flat meta-sample windows, compacted event logs,
+// dirty-set checkpoint/harvest passes) at 10^5-10^6 registered periodic
+// tasks and reports per-tick throughput plus peak memory.
+//
+// Each tick is one ExecutePeriodicAll over the whole fleet (the §6.2
+// multi-tenant scheduling tick) followed by a bounded streaming-harvest
+// pass (HarvestDirty). The first tick measures baselines; later ticks run
+// the advisors' initial design — deliberately cheap per task, so the
+// numbers isolate service bookkeeping and memory layout, not GP math.
+//
+// Outputs a table and BENCH_fleet.json:
+//   tasks/sec for every tick, peak RSS (VmHWM), end RSS, run-history
+//   arena bytes, harvest/checkpoint backlogs.
+// `--max_rss_mb=N` turns the peak-RSS report into a hard gate (exit 1 on
+// breach) so CI can pin the memory budget.
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/json.h"
+#include "service/tuning_service.h"
+#include "sparksim/production.h"
+
+using namespace sparktune;
+using namespace sparktune::bench;
+
+namespace {
+
+// Peak / current resident set in MiB from /proc/self/status (Linux); 0.0
+// when unavailable. VmHWM is the high-water mark the kernel tracked for
+// this process — exactly the "did the fleet fit" number.
+double StatusLineMb(const char* key) {
+  std::ifstream in("/proc/self/status");
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.compare(0, std::strlen(key), key) != 0) continue;
+    long long kb = 0;
+    if (std::sscanf(line.c_str() + std::strlen(key), "%lld", &kb) == 1) {
+      return static_cast<double>(kb) / 1024.0;
+    }
+  }
+  return 0.0;
+}
+
+double PeakRssMb() { return StatusLineMb("VmHWM:"); }
+double CurrentRssMb() { return StatusLineMb("VmRSS:"); }
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const int num_tasks = IntFlag(argc, argv, "tasks", 100000);
+  const int ticks = IntFlag(argc, argv, "ticks", 3);
+  const int threads = IntFlag(argc, argv, "threads", 4);
+  const int harvest_per_tick = IntFlag(argc, argv, "harvest_per_tick", 256);
+  const int max_rss_mb = IntFlag(argc, argv, "max_rss_mb", 0);
+  const bool enable_meta = IntFlag(argc, argv, "meta", 0) != 0;
+  const std::string out_path =
+      StrFlag(argc, argv, "out", "BENCH_fleet.json");
+
+  ProductionFleetOptions fleet_opts;
+  fleet_opts.num_tasks = num_tasks;
+  auto fleet = GenerateProductionFleet(fleet_opts, 20230706);
+
+  // One service per cluster shape (shared-ConfigSpace requirement), with
+  // the full fleet diet switched on.
+  ConfigSpace etl_space = BuildSparkSpace(ClusterSpec::ProductionGroup());
+  ConfigSpace sql_space = BuildSparkSpace(ClusterSpec::SmallSqlGroup());
+  TuningServiceOptions sopts;
+  sopts.tuner.ei_stop_threshold = 0.0;
+  sopts.tuner.advisor.objective.beta = 0.5;
+  sopts.enable_meta = enable_meta;
+  sopts.compact_event_logs = true;
+  sopts.num_threads = threads;
+  TuningService etl_service(&etl_space, sopts);
+  TuningService sql_service(&sql_space, sopts);
+  TuningService* services[] = {&etl_service, &sql_service};
+
+  std::vector<std::unique_ptr<SimulatorEvaluator>> evaluators;
+  evaluators.reserve(fleet.size());
+  std::vector<std::string> etl_ids, sql_ids;
+  int register_failures = 0;
+  for (size_t t = 0; t < fleet.size(); ++t) {
+    const ProductionTask& task = fleet[t];
+    bool is_sql = task.workload.is_sql;
+    TuningService& service = is_sql ? sql_service : etl_service;
+    ConfigSpace& space = is_sql ? sql_space : etl_space;
+    SimulatorEvaluatorOptions eopts;
+    eopts.seed = 97 + t;
+    eopts.period_hours = task.period_hours;
+    evaluators.push_back(std::make_unique<SimulatorEvaluator>(
+        &space, task.workload, task.cluster, task.drift, eopts));
+    TunerOptions per_task = sopts.tuner;
+    per_task.advisor.seed = 7 * t + 13;
+    if (service
+            .RegisterTask(task.id, evaluators.back().get(),
+                          task.manual_config, per_task)
+            .ok()) {
+      (is_sql ? sql_ids : etl_ids).push_back(task.id);
+    } else {
+      ++register_failures;
+    }
+  }
+  std::printf("fleet: %d tasks registered (%d ETL + %d SQL, %d failed), "
+              "%d ticks, %d threads\n",
+              num_tasks - register_failures,
+              static_cast<int>(etl_ids.size()),
+              static_cast<int>(sql_ids.size()), register_failures, ticks,
+              threads);
+
+  std::vector<double> tick_seconds, tasks_per_sec;
+  long long infra_skips = 0, harvested_total = 0;
+  TablePrinter table({"tick", "seconds", "tasks/sec", "harvested", "RSS MB"});
+  for (int tick = 0; tick < ticks; ++tick) {
+    // lint:allow(no-wall-clock) benchmark wall-time reporting only; never feeds tuner results
+    auto t0 = std::chrono::steady_clock::now();
+    for (auto* service : services) {
+      const auto& ids = service == &etl_service ? etl_ids : sql_ids;
+      for (const auto& result : service->ExecutePeriodicAll(ids)) {
+        if (!result.ok()) ++infra_skips;
+      }
+    }
+    HarvestReport harvest;
+    for (auto* service : services) {
+      harvest.Merge(service->HarvestDirty(harvest_per_tick));
+    }
+    harvested_total += harvest.harvested;
+    // lint:allow(no-wall-clock) benchmark wall-time reporting only, as above
+    auto t1 = std::chrono::steady_clock::now();
+    double sec = std::chrono::duration<double>(t1 - t0).count();
+    double rate = sec > 0.0 ? (etl_ids.size() + sql_ids.size()) / sec : 0.0;
+    tick_seconds.push_back(sec);
+    tasks_per_sec.push_back(rate);
+    table.AddRow({StrFormat("%d", tick + 1), StrFormat("%.3f", sec),
+                  StrFormat("%.0f", rate),
+                  StrFormat("%d", harvest.harvested),
+                  StrFormat("%.1f", CurrentRssMb())});
+  }
+
+  // Retained-state audit: the run-history arenas across the whole fleet.
+  size_t history_heap_bytes = 0;
+  for (auto* service : services) {
+    const auto& ids = service == &etl_service ? etl_ids : sql_ids;
+    for (const auto& id : ids) {
+      history_heap_bytes += service->tuner(id)->history().HeapBytes();
+    }
+  }
+  const double peak_rss = PeakRssMb();
+  std::printf("%s\n", table.ToString().c_str());
+  std::printf("peak RSS %.1f MB, end RSS %.1f MB, history arenas %.1f MB, "
+              "%lld harvested, %lld infra skips, backlog %zu harvest / %zu "
+              "checkpoint\n",
+              peak_rss, CurrentRssMb(),
+              static_cast<double>(history_heap_bytes) / (1024.0 * 1024.0),
+              harvested_total, infra_skips,
+              etl_service.harvest_backlog() + sql_service.harvest_backlog(),
+              etl_service.checkpoint_backlog() +
+                  sql_service.checkpoint_backlog());
+
+  // ---- BENCH_fleet.json ----
+  Json doc = Json::Object();
+  doc.Set("bench", Json::Str("fleet"));
+  doc.Set("tasks", Json::Number(static_cast<double>(num_tasks)));
+  doc.Set("ticks", Json::Number(static_cast<double>(ticks)));
+  doc.Set("threads", Json::Number(static_cast<double>(threads)));
+  Json secs = Json::Array(), rates = Json::Array();
+  for (double s : tick_seconds) secs.Append(Json::Number(s));
+  for (double r : tasks_per_sec) rates.Append(Json::Number(r));
+  doc.Set("tick_seconds", std::move(secs));
+  doc.Set("tasks_per_sec_per_tick", std::move(rates));
+  doc.Set("peak_rss_mb", Json::Number(peak_rss));
+  doc.Set("end_rss_mb", Json::Number(CurrentRssMb()));
+  doc.Set("history_heap_mb",
+          Json::Number(static_cast<double>(history_heap_bytes) /
+                       (1024.0 * 1024.0)));
+  doc.Set("harvested", Json::Number(static_cast<double>(harvested_total)));
+  doc.Set("harvest_backlog",
+          Json::Number(static_cast<double>(etl_service.harvest_backlog() +
+                                           sql_service.harvest_backlog())));
+  std::string dumped = doc.Dump();
+
+  // Schema self-check: the emitted document must parse back and carry the
+  // fields downstream dashboards key on; a silent schema drift is a bench
+  // bug, not a consumer problem.
+  auto parsed = Json::Parse(dumped);
+  const char* required[] = {"tasks_per_sec_per_tick", "peak_rss_mb",
+                            "tick_seconds", "tasks"};
+  if (!parsed.ok() || !parsed->is_object()) {
+    std::fprintf(stderr, "BENCH_fleet.json self-check: emitted JSON does "
+                         "not parse\n");
+    return 1;
+  }
+  for (const char* field : required) {
+    if (parsed->Get(field) == nullptr) {
+      std::fprintf(stderr,
+                   "BENCH_fleet.json self-check: missing field %s\n", field);
+      return 1;
+    }
+  }
+  {
+    std::ofstream out(out_path, std::ios::trunc);
+    out << dumped << "\n";
+    if (!out.good()) {
+      std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
+      return 1;
+    }
+  }
+  std::printf("wrote %s\n", out_path.c_str());
+
+  if (max_rss_mb > 0 && peak_rss > static_cast<double>(max_rss_mb)) {
+    std::fprintf(stderr,
+                 "peak RSS %.1f MB exceeds budget %d MB\n", peak_rss,
+                 max_rss_mb);
+    return 1;
+  }
+  return 0;
+}

@@ -34,6 +34,18 @@ inline int IntFlag(int argc, char** argv, const char* name, int fallback) {
   return fallback;
 }
 
+// Parse "--name=value" style string flags; returns fallback when absent.
+inline std::string StrFlag(int argc, char** argv, const char* name,
+                           const char* fallback) {
+  std::string prefix = std::string("--") + name + "=";
+  for (int i = 1; i < argc; ++i) {
+    if (StartsWith(argv[i], prefix)) {
+      return std::string(argv[i] + prefix.size());
+    }
+  }
+  return fallback;
+}
+
 struct TaskEnv {
   WorkloadSpec workload;
   ClusterSpec cluster;

@@ -39,8 +39,8 @@ int main() {
                             DriftModel::Diurnal(), eopts);
     OursMethod ours;
     RunHistory h = ours.Tune(space, &eval, obj, 25, /*seed=*/77);
-    const Observation* best = h.BestFeasible();
-    if (best == nullptr) continue;
+    std::optional<Observation> best = h.BestFeasible();
+    if (!best.has_value()) continue;
     SparkConf conf = DecodeSparkConf(space, best->config);
     table.AddRow({StrFormat("%.1f", beta),
                   StrFormat("%.1f", best->objective),

@@ -72,8 +72,8 @@ int main() {
                                                  : "ok"});
   }
   std::printf("%s", table.ToString().c_str());
-  const Observation* best = optimizer.history().BestFeasible();
-  if (best != nullptr) {
+  std::optional<Observation> best = optimizer.history().BestFeasible();
+  if (best.has_value()) {
     std::printf("\nBest: %s -> %.1f ms at memory cost %.1f "
                 "(objective %.2f)\n",
                 space.Format(best->config).c_str(), best->runtime_sec,

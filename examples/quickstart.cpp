@@ -50,7 +50,7 @@ int main() {
     if (tuner.phase() == TunerPhase::kApplying) break;
   }
 
-  const Observation* best = tuner.history().BestFeasible();
+  std::optional<Observation> best = tuner.history().BestFeasible();
   std::printf("\nBest objective: %.1f (baseline %.1f, reduction %.1f%%)\n",
               tuner.BestObjective(),
               tuner.baseline_observation()->objective,

@@ -68,9 +68,10 @@ RunHistory Locat::Tune(const ConfigSpace& space, JobEvaluator* evaluator,
       }
       GaussianProcess gp(BuildFeatureSchema(space, 1));
       if (gp.Fit(x, y).ok()) {
-        const Observation* best = history.BestFeasible();
-        Configuration base =
-            best != nullptr ? best->config : space.Default();
+        int best = history.BestFeasibleIndex();
+        Configuration base = best >= 0
+            ? history.config(static_cast<size_t>(best))
+            : space.Default();
         Subspace sub(&space, sensitive_params(options_.keep_params), base);
         double incumbent = history.BestObjective();
         if (!std::isfinite(incumbent)) {

@@ -34,8 +34,8 @@ RunHistory Rfhoc::Tune(const ConfigSpace& space, JobEvaluator* evaluator,
         return forest.Predict(space.ToUnit(c)).mean;
       };
       std::vector<Configuration> seeds;
-      if (const Observation* best = history.BestFeasible()) {
-        seeds.push_back(best->config);
+      if (int best = history.BestFeasibleIndex(); best >= 0) {
+        seeds.push_back(history.config(static_cast<size_t>(best)));
       }
       next = ga.Minimize(space, fitness, &rng, seeds);
       if (history.Contains(next)) next = space.Sample(&rng);

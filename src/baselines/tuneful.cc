@@ -71,9 +71,10 @@ RunHistory Tuneful::Tune(const ConfigSpace& space, JobEvaluator* evaluator,
         } else if (static_cast<int>(history.size()) >= options_.stage1_at) {
           target = options_.stage1_params;
         }
-        const Observation* best = history.BestFeasible();
-        Configuration base =
-            best != nullptr ? best->config : space.Default();
+        int best = history.BestFeasibleIndex();
+        Configuration base = best >= 0
+            ? history.config(static_cast<size_t>(best))
+            : space.Default();
         Subspace sub(&space, free_params(target), base);
         double incumbent = history.BestObjective();
         if (!std::isfinite(incumbent)) {

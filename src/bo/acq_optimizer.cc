@@ -31,17 +31,18 @@ AcqOptResult AcquisitionOptimizer::Maximize(
   // least one incumbent neighbor even for small pools (num_candidates < 8
   // used to yield zero and silently disable local exploitation).
   if (history != nullptr && !history->empty()) {
-    const Observation* best = history->BestFeasible();
-    if (best != nullptr) {
+    int best = history->BestFeasibleIndex();
+    if (best >= 0) {
+      Configuration best_config = history->config(static_cast<size_t>(best));
       int local = std::max(1, options_.num_candidates / 8);
       for (int i = 0; i < local; ++i) {
-        cands.push_back(subspace.Neighbor(subspace.Project(best->config),
+        cands.push_back(subspace.Neighbor(subspace.Project(best_config),
                                           options_.local_sigma, rng));
       }
     }
     size_t recent = std::min<size_t>(3, history->size());
     for (size_t k = history->size() - recent; k < history->size(); ++k) {
-      cands.push_back(subspace.Neighbor(subspace.Project(history->at(k).config),
+      cands.push_back(subspace.Neighbor(subspace.Project(history->config(k)),
                                         options_.local_sigma, rng));
     }
   }

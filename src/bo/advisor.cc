@@ -14,18 +14,18 @@ namespace {
 std::vector<double> CappedObjectives(const RunHistory& history) {
   double worst_real = 0.0;
   bool any_real = false;
-  for (const auto& o : history.observations()) {
-    if (!o.failed() && std::isfinite(o.objective)) {
-      worst_real = std::max(worst_real, o.objective);
+  for (size_t i = 0; i < history.size(); ++i) {
+    if (!history.failed(i) && std::isfinite(history.objective(i))) {
+      worst_real = std::max(worst_real, history.objective(i));
       any_real = true;
     }
   }
   double cap = any_real ? worst_real * 1.5 : 1.0;
   std::vector<double> y;
   y.reserve(history.size());
-  for (const auto& o : history.observations()) {
-    double v = o.objective;
-    if (o.failed() || !std::isfinite(v) || v > cap) v = cap;
+  for (size_t i = 0; i < history.size(); ++i) {
+    double v = history.objective(i);
+    if (history.failed(i) || !std::isfinite(v) || v > cap) v = cap;
     y.push_back(v);
   }
   return y;
@@ -120,8 +120,9 @@ std::vector<double> Advisor::Encode(const Configuration& c,
 }
 
 Configuration Advisor::BestConfig() const {
-  const Observation* best = history_.BestFeasible();
-  return best != nullptr ? best->config : space_->Default();
+  int best = history_.BestFeasibleIndex();
+  return best >= 0 ? history_.config(static_cast<size_t>(best))
+                   : space_->Default();
 }
 
 void Advisor::ResetForRestart() {
@@ -138,9 +139,9 @@ void Advisor::FitSurrogates(double datasize_hint_gb) {
   if (options_.datasize_aware && options_.time_context_fallback) {
     bool any_ds = false;
     bool any_hours = false;
-    for (const auto& o : history_.observations()) {
-      any_ds |= o.data_size_gb >= 0.0;
-      any_hours |= o.hours >= 0.0;
+    for (size_t i = 0; i < history_.size(); ++i) {
+      any_ds |= history_.data_size_gb(i) >= 0.0;
+      any_hours |= history_.hours(i) >= 0.0;
     }
     use_time_context_ = !any_ds && any_hours;
   }
@@ -149,9 +150,10 @@ void Advisor::FitSurrogates(double datasize_hint_gb) {
   std::vector<double> y_rt;
   x.reserve(history_.size());
   y_rt.reserve(history_.size());
-  for (const auto& o : history_.observations()) {
-    x.push_back(Encode(o.config, o.data_size_gb, o.hours));
-    y_rt.push_back(o.runtime_sec);
+  for (size_t i = 0; i < history_.size(); ++i) {
+    x.push_back(Encode(history_.config(i), history_.data_size_gb(i),
+                       history_.hours(i)));
+    y_rt.push_back(history_.runtime_sec(i));
   }
   y_obj = CappedObjectives(history_);
   if (options_.log_targets) {
@@ -228,7 +230,7 @@ Configuration Advisor::Suggest(double datasize_hint_gb,
     // for the surrogate while bounding the worst-case exploration cost of
     // the runs no runtime model can vet yet.
     const bool anchored =
-        options_.enable_safety && history_.BestFeasible() != nullptr;
+        options_.enable_safety && history_.BestFeasibleIndex() >= 0;
     std::vector<double> anchor_u;
     if (anchored) anchor_u = space_->ToUnit(BestConfig());
     Configuration fallback = space_->Default();
@@ -284,7 +286,7 @@ Configuration Advisor::Suggest(double datasize_hint_gb,
   };
 
   // ---- AGD branch (Algorithm 2, lines 2-4) ----
-  if (options_.enable_agd && history_.BestFeasible() != nullptr &&
+  if (options_.enable_agd && history_.BestFeasibleIndex() >= 0 &&
       (static_cast<int>(history_.size()) + 1) % options_.agd.period == 0) {
     last_was_agd_ = true;
     std::unique_ptr<Surrogate> linear_runtime;
@@ -362,8 +364,8 @@ Configuration Advisor::Suggest(double datasize_hint_gb,
     std::vector<std::vector<double>> x_unit;
     std::vector<double> y = CappedObjectives(history_);
     x_unit.reserve(history_.size());
-    for (const auto& o : history_.observations()) {
-      x_unit.push_back(space_->ToUnit(o.config));
+    for (size_t i = 0; i < history_.size(); ++i) {
+      x_unit.push_back(space_->ToUnit(history_.config(i)));
     }
     subspace_.MaybeUpdateImportance(x_unit, y);
   }

@@ -45,8 +45,9 @@ void Optimizer::Observe(const Configuration& config, double value) {
     double worst = std::isfinite(options_.safety_bound)
                        ? options_.safety_bound
                        : 1.0;
-    for (const auto& o : advisor_.history().observations()) {
-      if (!o.failed()) worst = std::max(worst, o.runtime_sec);
+    const RunHistory& h = advisor_.history();
+    for (size_t i = 0; i < h.size(); ++i) {
+      if (!h.failed(i)) worst = std::max(worst, h.runtime_sec(i));
     }
     runtime = worst * 2.0;
   }
@@ -72,17 +73,18 @@ OptimizerReport Optimizer::Minimize(const ObjectiveFn& fn) {
       ++report.violations;
     }
   }
-  const Observation* best = advisor_.history().BestFeasible();
-  if (best != nullptr) {
-    report.best_config = best->config;
-    report.best_value = best->runtime_sec;
-  } else if (!advisor_.history().empty()) {
+  const RunHistory& h = advisor_.history();
+  int best = h.BestFeasibleIndex();
+  if (best >= 0) {
+    report.best_config = h.config(static_cast<size_t>(best));
+    report.best_value = h.runtime_sec(static_cast<size_t>(best));
+  } else if (!h.empty()) {
     // Nothing feasible: return the smallest observed value anyway.
     double best_val = std::numeric_limits<double>::infinity();
-    for (const auto& o : advisor_.history().observations()) {
-      if (!o.failed() && o.runtime_sec < best_val) {
-        best_val = o.runtime_sec;
-        report.best_config = o.config;
+    for (size_t i = 0; i < h.size(); ++i) {
+      if (!h.failed(i) && h.runtime_sec(i) < best_val) {
+        best_val = h.runtime_sec(i);
+        report.best_config = h.config(i);
         report.best_value = best_val;
       }
     }

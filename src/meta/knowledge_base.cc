@@ -36,12 +36,12 @@ Status KnowledgeBase::AddTask(const std::string& id,
   rec.importance = importance;
 
   // Collect non-failed observations (infeasible ones still carry signal).
-  std::vector<std::pair<double, const Observation*>> ranked;
-  for (const auto& o : history.observations()) {
-    if (o.failed() || !std::isfinite(o.objective)) continue;
-    rec.x.push_back(space_->ToUnit(o.config));
-    rec.y.push_back(o.objective);
-    if (o.feasible) ranked.emplace_back(o.objective, &o);
+  std::vector<std::pair<double, size_t>> ranked;  // (objective, history idx)
+  for (size_t i = 0; i < history.size(); ++i) {
+    if (history.failed(i) || !std::isfinite(history.objective(i))) continue;
+    rec.x.push_back(space_->ToUnit(history.config(i)));
+    rec.y.push_back(history.objective(i));
+    if (history.feasible(i)) ranked.emplace_back(history.objective(i), i);
   }
   if (rec.x.size() < 3) {
     return Status::FailedPrecondition(
@@ -51,10 +51,9 @@ Status KnowledgeBase::AddTask(const std::string& id,
   // log-target surrogates they are ensembled with (rankings are unchanged;
   // scales become commensurable across tasks).
   for (auto& v : rec.y) v = std::log(std::max(v, 1e-9));
-  std::sort(ranked.begin(), ranked.end(),
-            [](const auto& a, const auto& b) { return a.first < b.first; });
+  std::sort(ranked.begin(), ranked.end());  // ties break on history index
   for (size_t i = 0; i < std::min<size_t>(3, ranked.size()); ++i) {
-    rec.top_configs.push_back(ranked[i].second->config);
+    rec.top_configs.push_back(history.config(ranked[i].second));
   }
 
   rec.y_mean = Mean(rec.y);

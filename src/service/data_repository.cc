@@ -4,6 +4,7 @@
 #include <cctype>
 #include <filesystem>
 #include <fstream>
+#include <map>
 #include <set>
 #include <sstream>
 
@@ -360,39 +361,60 @@ std::vector<std::string> DataRepository::ListCheckpointIds() const {
 int DataRepository::SweepOrphanCheckpoints() const {
   int removed = 0;
   std::error_code ec;
-  // Stems with generation files, then the per-stem retention window.
-  std::set<std::string> stems;
+  // One classifying pass over the directory. Sweep-eligible names are
+  // exactly what this repository's checkpoint writers produce:
+  //   <stem>.g<digits>.ckpt        generation file (retention window)
+  //   <stem>.g<digits>.ckpt.tmp    interrupted generation write
+  //   <stem>.ckpt.tmp              interrupted legacy-layout write
+  //   <stem>.manifest.tmp          interrupted manifest write
+  // Anything else — task JSON documents, their .json.tmp temps, unrelated
+  // files a caller parked in the directory — is preserved: the sweep used
+  // to delete EVERY *.tmp regular file, eating innocent bystanders.
+  struct GenFile {
+    std::string path;
+    long long gen = 0;
+  };
+  std::map<std::string, std::vector<GenFile>> by_stem;
   for (const auto& entry : fs::directory_iterator(root_dir_, ec)) {
     if (!entry.is_regular_file()) continue;
     std::string name = entry.path().filename().string();
     if (name.size() > 4 && name.compare(name.size() - 4, 4, ".tmp") == 0) {
-      // Stale temp file from an interrupted atomic write.
-      std::error_code rm_ec;
-      fs::remove(entry.path(), rm_ec);
-      if (!rm_ec) ++removed;
+      std::string base = name.substr(0, name.size() - 4);
+      bool is_ckpt_tmp =
+          base.size() > 5 &&
+          base.compare(base.size() - 5, 5, ".ckpt") == 0;
+      bool is_manifest_tmp =
+          base.size() > 9 &&
+          base.compare(base.size() - 9, 9, ".manifest") == 0;
+      if (is_ckpt_tmp || is_manifest_tmp) {
+        std::error_code rm_ec;
+        fs::remove(entry.path(), rm_ec);
+        if (!rm_ec) ++removed;
+      }
       continue;
     }
     size_t dot_g = name.rfind(".g");
     if (dot_g == std::string::npos || dot_g == 0) continue;
     std::string stem = name.substr(0, dot_g);
-    if (GenerationOf(name, stem) > 0) stems.insert(stem);
+    long long gen = GenerationOf(name, stem);
+    if (gen > 0) by_stem[stem].push_back({entry.path().string(), gen});
   }
+  // Per-stem retention window ordered by PARSED generation number — never
+  // by file-name order, which goes wrong the moment generations outgrow
+  // the zero-pad ("g1000000" sorts before "g999999" lexically). Deletion
+  // targets the scanned paths themselves, not reconstructed names, so a
+  // file whose padding differs from the current writer's still gets
+  // collected once its generation leaves the window.
   size_t keep = static_cast<size_t>(retention_.keep_generations);
-  for (const std::string& stem : stems) {
-    std::vector<long long> gens;
-    std::error_code scan_ec;
-    for (const auto& entry : fs::directory_iterator(root_dir_, scan_ec)) {
-      if (!entry.is_regular_file()) continue;
-      long long gen = GenerationOf(entry.path().filename().string(), stem);
-      if (gen > 0) gens.push_back(gen);
-    }
-    std::sort(gens.begin(), gens.end());
-    if (gens.size() <= keep) continue;
-    for (size_t i = 0; i + keep < gens.size(); ++i) {
+  for (auto& [stem, files] : by_stem) {
+    if (files.size() <= keep) continue;
+    std::sort(files.begin(), files.end(),
+              [](const GenFile& a, const GenFile& b) {
+                return a.gen != b.gen ? a.gen < b.gen : a.path < b.path;
+              });
+    for (size_t i = 0; i + keep < files.size(); ++i) {
       std::error_code rm_ec;
-      fs::remove(fs::path(root_dir_) /
-                     StrFormat("%s.g%06lld.ckpt", stem.c_str(), gens[i]),
-                 rm_ec);
+      fs::remove(files[i].path, rm_ec);
       if (!rm_ec) ++removed;
     }
   }

@@ -296,6 +296,15 @@ CheckpointReport ServiceSupervisor::CheckpointAll() {
   return report;
 }
 
+HarvestReport ServiceSupervisor::HarvestDirty(int max_tasks_per_shard) {
+  HarvestReport report;
+  for (auto& slot : shards_) {
+    if (slot.service == nullptr) continue;
+    report.Merge(slot.service->HarvestDirty(max_tasks_per_shard));
+  }
+  return report;
+}
+
 int ServiceSupervisor::shard_of(const std::string& id) const {
   auto it = index_.find(id);
   return it == index_.end() ? -1 : tasks_[it->second].shard;

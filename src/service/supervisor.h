@@ -95,6 +95,9 @@ class ServiceSupervisor {
 
   // Routed to the owning shard.
   Status HarvestTask(const std::string& id);
+  // Streaming harvest across all live shards: each drains up to
+  // `max_tasks_per_shard` from its queue (0 = whole backlog); aggregated.
+  HarvestReport HarvestDirty(int max_tasks_per_shard = 0);
   // Checkpoints every task on every live shard; aggregated per-shard.
   CheckpointReport CheckpointAll();
   // Loads the shared repository into every live shard's knowledge base.

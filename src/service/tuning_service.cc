@@ -17,6 +17,14 @@ void CheckpointReport::Merge(const CheckpointReport& other) {
   errors.insert(errors.end(), other.errors.begin(), other.errors.end());
 }
 
+void HarvestReport::Merge(const HarvestReport& other) {
+  attempted += other.attempted;
+  harvested += other.harvested;
+  deferred += other.deferred;
+  failed += other.failed;
+  errors.insert(errors.end(), other.errors.begin(), other.errors.end());
+}
+
 TuningService::TuningService(const ConfigSpace* space,
                              TuningServiceOptions options)
     : space_(space),
@@ -48,7 +56,18 @@ Status TuningService::RegisterTask(const std::string& id,
                                               std::move(baseline));
   state.last_checkpoint_phase = static_cast<int>(state.tuner->phase());
   tasks_.emplace(id, std::move(state));
+  // A fresh task has never been snapshotted: the next checkpoint pass must
+  // visit it (matches the historical full-fleet iteration).
+  MarkCheckpointDirty(id);
   return Status::OK();
+}
+
+void TuningService::MarkCheckpointDirty(const std::string& id) {
+  checkpoint_dirty_.insert(id);
+}
+
+void TuningService::EnqueueHarvest(const std::string& id) {
+  if (harvest_enqueued_.insert(id).second) harvest_queue_.push_back(id);
 }
 
 void TuningService::MaybeAttachMeta(TaskState* state) {
@@ -58,7 +77,7 @@ void TuningService::MaybeAttachMeta(TaskState* state) {
       static_cast<size_t>(options_.min_tasks_for_transfer)) {
     return;
   }
-  std::vector<double> meta = AverageMetaFeatures(state->meta_samples);
+  std::vector<double> meta = state->meta_samples.Average();
   // Warm-start configurations from the top-3 most similar tasks (§5.2).
   std::vector<Configuration> warm = knowledge_.WarmStartConfigs(meta);
   if (!warm.empty()) state->tuner->SetWarmStartConfigs(std::move(warm));
@@ -78,12 +97,10 @@ void TuningService::AbsorbExecution(TaskState* state) {
   // not poison the meta-feature averages; quarantine anything that fails
   // the sanity screen.
   if (EventLogLooksSane(state->tuner->last_event_log())) {
-    state->meta_samples.push_back(
+    state->meta_samples.Push(
         ExtractMetaFeatures(state->tuner->last_event_log()));
-    if (state->meta_samples.size() > 8) {
-      state->meta_samples.erase(state->meta_samples.begin());
-    }
   }
+  if (options_.compact_event_logs) state->tuner->CompactLastEventLog();
   // Attach meta-knowledge as soon as the first meta-features exist; the
   // advisor consumes warm-start configs during its initial design.
   MaybeAttachMeta(state);
@@ -117,6 +134,7 @@ Result<Observation> TuningService::ExecutePeriodic(const std::string& id) {
   }
   TaskState& state = it->second;
   ++state.periods;
+  MarkCheckpointDirty(id);
   switch (DecidePeriod(state.policy, &state.retry)) {
     case PeriodDecision::kSkipBackoff:
       // The period clock and backoff window advanced: checkpointable state.
@@ -126,6 +144,7 @@ Result<Observation> TuningService::ExecutePeriodic(const std::string& id) {
     case PeriodDecision::kRunDegraded: {
       Observation obs = state.tuner->StepDegraded();
       AbsorbExecution(&state);
+      EnqueueHarvest(id);
       MaybeAutoCheckpoint(id, &state);
       return obs;
     }
@@ -135,6 +154,7 @@ Result<Observation> TuningService::ExecutePeriodic(const std::string& id) {
   Observation obs = state.tuner->Step();
   RecordPeriodOutcome(state.policy, &state.retry, obs.failure);
   AbsorbExecution(&state);
+  EnqueueHarvest(id);
   MaybeAutoCheckpoint(id, &state);
   return obs;
 }
@@ -161,6 +181,7 @@ std::vector<Result<Observation>> TuningService::ExecutePeriodicAll(
     } else {
       decided[i] = &it->second;
       ++it->second.periods;
+      MarkCheckpointDirty(ids[i]);
       decisions[i] = DecidePeriod(it->second.policy, &it->second.retry);
       if (decisions[i] == PeriodDecision::kSkipBackoff) {
         errors[i] = Status::Unavailable(
@@ -201,6 +222,7 @@ std::vector<Result<Observation>> TuningService::ExecutePeriodicAll(
                           stepped[i]->failure);
     }
     AbsorbExecution(states[i]);
+    EnqueueHarvest(ids[i]);
     MaybeAutoCheckpoint(ids[i], states[i]);
     results.push_back(std::move(*stepped[i]));
   }
@@ -225,7 +247,7 @@ Status TuningService::HarvestTask(const std::string& id) {
     // its knowledge-base record.
     return Status::OK();
   }
-  std::vector<double> meta = AverageMetaFeatures(state.meta_samples);
+  std::vector<double> meta = state.meta_samples.Average();
   std::vector<double> importance;
   if (const Advisor* advisor = state.tuner->advisor()) {
     importance = advisor->subspace_manager().importance();
@@ -253,6 +275,34 @@ Status TuningService::HarvestTask(const std::string& id) {
     if (!s.ok()) return s;
   }
   return Status::OK();
+}
+
+HarvestReport TuningService::HarvestDirty(int max_tasks) {
+  HarvestReport report;
+  // Snapshot the backlog size: deferred tasks re-enter at the tail and
+  // must not be retried within the same pass (a not-ready task stays
+  // not-ready until another period executes).
+  size_t budget = harvest_queue_.size();
+  if (max_tasks > 0) budget = std::min(budget, static_cast<size_t>(max_tasks));
+  for (size_t n = 0; n < budget; ++n) {
+    std::string id = std::move(harvest_queue_.front());
+    harvest_queue_.pop_front();
+    harvest_enqueued_.erase(id);
+    ++report.attempted;
+    Status s = HarvestTask(id);
+    if (s.ok()) {
+      ++report.harvested;
+    } else if (s.code() == Status::Code::kFailedPrecondition) {
+      // Not harvestable yet (no meta-features / short history): rotate to
+      // the back and retry after the task has executed again.
+      ++report.deferred;
+      EnqueueHarvest(id);
+    } else {
+      ++report.failed;
+      report.errors.push_back(std::move(s));
+    }
+  }
+  return report;
 }
 
 Status TuningService::LoadRepository() {
@@ -286,7 +336,7 @@ Status TuningService::CheckpointTask(const std::string& id) {
   TaskCheckpoint ckpt;
   ckpt.id = id;
   ckpt.tuner = state.tuner->SaveState();
-  ckpt.meta_samples = state.meta_samples;
+  ckpt.meta_samples = state.meta_samples.ToRows();
   ckpt.meta_attached = state.meta_attached;
   ckpt.harvested = state.harvested;
   ckpt.harvested_size = state.harvested_size;
@@ -296,28 +346,42 @@ Status TuningService::CheckpointTask(const std::string& id) {
       repository_->SaveCheckpoint(id, TaskCheckpointToJson(ckpt)));
   state.last_checkpoint_periods = state.periods;
   state.last_checkpoint_phase = static_cast<int>(state.tuner->phase());
+  checkpoint_dirty_.erase(id);
   return Status::OK();
 }
 
 CheckpointReport TuningService::CheckpointTasks() {
   CheckpointReport report;
-  for (const auto& [id, state] : tasks_) {
+  // Visit only the dirty set (sorted, so outcomes follow the same map
+  // order as the historical full-fleet pass). Tasks untouched since their
+  // last snapshot never enter it and are counted as skipped wholesale.
+  std::vector<std::string> dirty(checkpoint_dirty_.begin(),
+                                 checkpoint_dirty_.end());
+  for (const std::string& id : dirty) {
+    auto it = tasks_.find(id);
+    if (it == tasks_.end()) {
+      checkpoint_dirty_.erase(id);  // task vanished; nothing to snapshot
+      continue;
+    }
+    const TaskState& state = it->second;
     if (state.last_checkpoint_periods == state.periods &&
         static_cast<int>(state.tuner->phase()) ==
             state.last_checkpoint_phase) {
-      // Nothing happened since the last snapshot; rewriting it would only
-      // churn a generation.
-      ++report.skipped;
+      // An auto-checkpoint already caught this change; rewriting it would
+      // only churn a generation.
+      checkpoint_dirty_.erase(id);
       continue;
     }
-    Status s = CheckpointTask(id);
+    Status s = CheckpointTask(id);  // erases from the dirty set on success
     if (s.ok()) {
       ++report.written;
     } else {
-      ++report.failed;
+      ++report.failed;  // stays dirty: the next pass retries it
       report.errors.push_back(std::move(s));
     }
   }
+  report.skipped =
+      static_cast<int>(tasks_.size()) - report.written - report.failed;
   return report;
 }
 
@@ -338,7 +402,7 @@ Status TuningService::RestoreTask(const std::string& id) {
   // fast-forward it so derived per-run streams (data-size schedule, fault
   // schedule) continue from where the checkpointed process stopped.
   state.evaluator->SkipExecutions(ckpt.tuner.executions);
-  state.meta_samples = std::move(ckpt.meta_samples);
+  state.meta_samples.FromRows(ckpt.meta_samples);
   state.meta_attached = ckpt.meta_attached;
   state.harvested = ckpt.harvested;
   state.harvested_size = static_cast<size_t>(ckpt.harvested_size);
@@ -346,14 +410,14 @@ Status TuningService::RestoreTask(const std::string& id) {
   state.periods = ckpt.periods;
   state.last_checkpoint_periods = ckpt.periods;
   state.last_checkpoint_phase = static_cast<int>(state.tuner->phase());
+  checkpoint_dirty_.erase(id);
   if (state.meta_attached && options_.enable_meta &&
       !state.meta_samples.empty()) {
     // Only the ensemble surrogate factory needs re-creating (closures do
     // not serialize); warm-start configs and seeded importance already
     // travel inside the advisor snapshot.
-    std::vector<double> meta = AverageMetaFeatures(state.meta_samples);
     state.tuner->SetObjectiveSurrogateFactory(
-        knowledge_.MakeMetaSurrogateFactory(meta));
+        knowledge_.MakeMetaSurrogateFactory(state.meta_samples.Average()));
   }
   return Status::OK();
 }

@@ -6,15 +6,19 @@
 // repository.
 #pragma once
 
+#include <deque>
 #include <map>
 #include <memory>
 #include <optional>
+#include <set>
 #include <string>
+#include <unordered_set>
 #include <vector>
 
 #include "common/backoff.h"
 #include "meta/knowledge_base.h"
 #include "service/data_repository.h"
+#include "service/meta_sample_window.h"
 #include "tuner/online_tuner.h"
 
 namespace sparktune {
@@ -43,6 +47,12 @@ struct TuningServiceOptions {
   // tuner + evaluator), so the batch result equals calling ExecutePeriodic
   // per id in order.
   int num_threads = 1;
+  // Fleet diet: release each task's retained event log right after
+  // meta-feature extraction, keeping only an EventLogSummary digest. Off
+  // by default so external callers reading tuner()->last_event_log()
+  // between periods keep seeing the full log. The suggestion trajectory is
+  // unaffected either way (the log is consumed before compaction).
+  bool compact_event_logs = false;
 };
 
 // Aggregated result of a fleet checkpoint pass (mirrors RestoreReport):
@@ -55,6 +65,18 @@ struct CheckpointReport {
 
   bool ok() const { return failed == 0; }
   void Merge(const CheckpointReport& other);
+};
+
+// Result of one streaming-harvest pass (HarvestDirty).
+struct HarvestReport {
+  int attempted = 0;  // tasks popped from the harvest queue this pass
+  int harvested = 0;  // folded into the knowledge base
+  int deferred = 0;   // not yet harvestable (requeued for a later pass)
+  int failed = 0;     // harvest errors other than not-ready
+  std::vector<Status> errors;
+
+  bool ok() const { return failed == 0; }
+  void Merge(const HarvestReport& other);
 };
 
 class TuningService {
@@ -92,6 +114,19 @@ class TuningService {
   // repository when persistence is enabled). Idempotent per task version.
   Status HarvestTask(const std::string& id);
 
+  // Streaming harvest for fleet scale: folds up to `max_tasks` tasks from
+  // the harvest queue into the knowledge base (0 = the whole current
+  // backlog). Tasks enter the queue when a period executes for them; a
+  // task that is not yet harvestable (no meta-features, short history) is
+  // requeued and retried on a later pass. Draining the queue is equivalent
+  // to calling HarvestTask once per executed task — the knowledge base
+  // ends up with the same records — without the O(fleet) scan per tick.
+  HarvestReport HarvestDirty(int max_tasks = 0);
+  // Tasks currently waiting in the harvest queue.
+  size_t harvest_backlog() const { return harvest_queue_.size(); }
+  // Tasks whose state changed since their last checkpoint.
+  size_t checkpoint_backlog() const { return checkpoint_dirty_.size(); }
+
   // Load previously persisted tasks into the knowledge base. Also sweeps
   // orphaned checkpoint generations (files outside the retention window
   // left behind by a crash mid-GC).
@@ -109,7 +144,11 @@ class TuningService {
   // task in its freshly registered state.
   Status CheckpointTask(const std::string& id);
   // Checkpoints every registered task (tasks unchanged since their last
-  // checkpoint are skipped) and aggregates per-task outcomes.
+  // checkpoint are skipped) and aggregates per-task outcomes. Internally
+  // drains the dirty set — the pass visits only tasks whose period clock
+  // or phase moved since their last snapshot, so an idle fleet costs O(1)
+  // per changed task, not O(fleet). Reported counts match the historical
+  // full-fleet iteration (skipped = unchanged tasks).
   CheckpointReport CheckpointTasks();
   Status RestoreTask(const std::string& id);
 
@@ -143,7 +182,7 @@ class TuningService {
   struct TaskState {
     std::unique_ptr<OnlineTuner> tuner;
     JobEvaluator* evaluator = nullptr;
-    std::vector<std::vector<double>> meta_samples;
+    MetaSampleWindow meta_samples;
     bool meta_attached = false;
     bool harvested = false;
     // History size at the last harvest; a repeat harvest with no new
@@ -165,6 +204,9 @@ class TuningService {
   void AbsorbExecution(TaskState* state);
   // Auto-checkpoint cadence check; runs serially at the end of a period.
   void MaybeAutoCheckpoint(const std::string& id, TaskState* state);
+  // Marks a task dirty for the incremental checkpoint/harvest passes.
+  void MarkCheckpointDirty(const std::string& id);
+  void EnqueueHarvest(const std::string& id);
 
   const ConfigSpace* space_;
   TuningServiceOptions options_;
@@ -172,6 +214,12 @@ class TuningService {
   KnowledgeBase knowledge_;
   std::unique_ptr<DataRepository> repository_;
   long long auto_checkpoints_ = 0;
+  // Incremental-pass state (fleet diet): tasks whose mutable state moved
+  // since their last checkpoint (sorted, so drains follow map order), and
+  // the rotating queue of tasks with unharvested executions.
+  std::set<std::string> checkpoint_dirty_;
+  std::deque<std::string> harvest_queue_;
+  std::unordered_set<std::string> harvest_enqueued_;  // queue dedup
 };
 
 }  // namespace sparktune

@@ -266,6 +266,12 @@ TuningReport OnlineTuner::RunToCompletion(int executions) {
   return report;
 }
 
+void OnlineTuner::CompactLastEventLog() {
+  if (last_event_log_.stages.empty()) return;  // already compact
+  last_event_summary_ = SummarizeEventLog(last_event_log_);
+  last_event_log_ = EventLog{};  // releases the stage arena
+}
+
 const RunHistory& OnlineTuner::history() const {
   static const RunHistory kEmpty;
   return advisor_ ? advisor_->history() : kEmpty;
@@ -273,8 +279,9 @@ const RunHistory& OnlineTuner::history() const {
 
 Configuration OnlineTuner::BestConfig() const {
   if (advisor_) {
-    const Observation* best = advisor_->history().BestFeasible();
-    if (best != nullptr) return best->config;
+    const RunHistory& h = advisor_->history();
+    int best = h.BestFeasibleIndex();
+    if (best >= 0) return h.config(static_cast<size_t>(best));
   }
   return baseline_config_;
 }

@@ -121,8 +121,17 @@ class OnlineTuner {
   bool stopped_early() const { return stopped_early_; }
   int restarts() const { return restarts_; }
   const TuningObjective& objective() const { return objective_; }
-  // Event log of the most recent execution (meta-feature source).
+  // Event log of the most recent execution (meta-feature source). Empty
+  // after CompactLastEventLog() until the next execution refills it.
   const EventLog& last_event_log() const { return last_event_log_; }
+  // Fleet diet: release the retained event log (stage records plus metric
+  // distributions), keeping only a compact digest. Callers that need the
+  // full log must consume it before the end of the period.
+  void CompactLastEventLog();
+  // Digest of the log most recently compacted ({} until first compaction).
+  const EventLogSummary& last_event_summary() const {
+    return last_event_summary_;
+  }
 
   // Pending meta hooks applied when the advisor is created.
   void SetWarmStartConfigs(std::vector<Configuration> configs);
@@ -157,6 +166,7 @@ class OnlineTuner {
   std::optional<Observation> baseline_obs_;
   RunHistory applied_history_;
   EventLog last_event_log_;
+  EventLogSummary last_event_summary_;
   int tuning_iterations_ = 0;
   int executions_ = 0;
   bool stopped_early_ = false;

@@ -76,15 +76,16 @@ TEST(TunefulBehaviorTest, ShrinksTunedDimensionsAfterStageOne) {
   // the best config over the prior prefix.
   for (size_t i = 16; i < h.size(); ++i) {
     double best_obj = std::numeric_limits<double>::infinity();
-    const Observation* best = nullptr;
+    int best = -1;
     for (size_t k = 0; k < i; ++k) {
-      if (h.at(k).feasible && h.at(k).objective < best_obj) {
-        best_obj = h.at(k).objective;
-        best = &h.at(k);
+      if (h.feasible(k) && h.objective(k) < best_obj) {
+        best_obj = h.objective(k);
+        best = static_cast<int>(k);
       }
     }
-    ASSERT_NE(best, nullptr);
-    EXPECT_LE(DiffCount(h.at(i).config, best->config), topts.stage2_params);
+    ASSERT_GE(best, 0);
+    EXPECT_LE(DiffCount(h.config(i), h.config(static_cast<size_t>(best))),
+              topts.stage2_params);
   }
 }
 
@@ -102,15 +103,16 @@ TEST(LocatBehaviorTest, QcsaKeepsOnlySensitiveParameters) {
   ASSERT_EQ(h.size(), 22u);
   for (size_t i = 14; i < h.size(); ++i) {
     double best_obj = std::numeric_limits<double>::infinity();
-    const Observation* best = nullptr;
+    int best = -1;
     for (size_t k = 0; k < i; ++k) {
-      if (h.at(k).feasible && h.at(k).objective < best_obj) {
-        best_obj = h.at(k).objective;
-        best = &h.at(k);
+      if (h.feasible(k) && h.objective(k) < best_obj) {
+        best_obj = h.objective(k);
+        best = static_cast<int>(k);
       }
     }
-    ASSERT_NE(best, nullptr);
-    EXPECT_LE(DiffCount(h.at(i).config, best->config), lopts.keep_params);
+    ASSERT_GE(best, 0);
+    EXPECT_LE(DiffCount(h.config(i), h.config(static_cast<size_t>(best))),
+              lopts.keep_params);
   }
 }
 

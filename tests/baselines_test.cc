@@ -103,7 +103,7 @@ TEST_P(MethodContractTest, RespectsBudgetAndSpace) {
     EXPECT_TRUE(space.Validate(o.config).ok());
     EXPECT_GT(o.objective, 0.0);
   }
-  EXPECT_NE(h.BestFeasible(), nullptr);
+  EXPECT_TRUE(h.BestFeasible().has_value());
 }
 
 TEST_P(MethodContractTest, BeatsWorstCaseClearly) {

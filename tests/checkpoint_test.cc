@@ -375,6 +375,111 @@ TEST(CheckpointGenerationTest, SweepRemovesOrphansAndTempFiles) {
   EXPECT_TRUE(tight.LoadCheckpoint("task-a").ok());
 }
 
+// Pin the %06lld pad boundary: generation 999999 -> 1000000 widens the
+// file name past the zero-pad, where lexicographic name order inverts
+// ("g1000000" < "g999999" as strings). Everything — latest-generation
+// discovery, load order, retention GC — must order by the PARSED number.
+TEST(CheckpointGenerationTest, GenerationPadBoundaryOrdersNumerically) {
+  const std::string dir = TempDir("pad-boundary");
+  DataRepository repo(dir);  // keep_generations = 2
+  Json payload = Json::Object();
+  payload.Set("id", Json::Str("task-a"));
+  payload.Set("x", Json::Number(1.0));
+  ASSERT_TRUE(repo.SaveCheckpoint("task-a", payload).ok());
+
+  // Fast-forward the clock: clone generation 1's file as generation 999999.
+  auto files = CheckpointFilesSorted(dir);
+  ASSERT_EQ(files.size(), 1u);
+  std::string g999999 = files[0];
+  size_t pos = g999999.rfind("g000001");
+  ASSERT_NE(pos, std::string::npos);
+  g999999.replace(pos, 7, "g999999");
+  WriteFile(g999999, ReadFile(files[0]));
+
+  payload.Set("x", Json::Number(2.0));
+  ASSERT_TRUE(repo.SaveCheckpoint("task-a", payload).ok());
+  EXPECT_EQ(repo.LatestCheckpointGeneration("task-a"), 1000000);
+  auto loaded = repo.LoadCheckpoint("task-a");
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->GetNumberOr("x", 0.0), 2.0);
+
+  // The next write crosses the boundary again; retention must collect the
+  // numerically oldest generation (999999), not the lexically smallest
+  // name (which would be g1000000).
+  payload.Set("x", Json::Number(3.0));
+  ASSERT_TRUE(repo.SaveCheckpoint("task-a", payload).ok());
+  EXPECT_EQ(repo.LatestCheckpointGeneration("task-a"), 1000001);
+  files = CheckpointFilesSorted(dir);
+  ASSERT_EQ(files.size(), 2u);
+  for (const auto& f : files) {
+    EXPECT_EQ(f.find("g999999"), std::string::npos) << f;
+  }
+  loaded = repo.LoadCheckpoint("task-a");
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->GetNumberOr("x", 0.0), 3.0);
+}
+
+// The sweep must only touch this repository's own checkpoint artifacts.
+// It used to delete EVERY *.tmp regular file in the directory — including
+// a task document mid-atomic-write and files it does not own at all.
+TEST(CheckpointGenerationTest, SweepPreservesForeignFiles) {
+  const std::string dir = TempDir("sweep-foreign");
+  CheckpointRetention keep1;
+  keep1.keep_generations = 1;
+  DataRepository repo(dir, keep1);
+  Json payload = Json::Object();
+  payload.Set("id", Json::Str("task-a"));
+  ASSERT_TRUE(repo.SaveCheckpoint("task-a", payload).ok());
+
+  // Checkpoint-artifact temps: sweep-eligible.
+  WriteFile(dir + "/stem.g000007.ckpt.tmp", "torn generation write");
+  WriteFile(dir + "/stem.ckpt.tmp", "torn legacy write");
+  WriteFile(dir + "/stem.manifest.tmp", "torn manifest write");
+  // Foreign files: must survive (the .json.tmp is SaveTask's atomic-write
+  // temp, the others were never written by the repository).
+  WriteFile(dir + "/task-doc.json.tmp", "{\"id\":\"wip\"}");
+  WriteFile(dir + "/notes.tmp", "user scratch file");
+  WriteFile(dir + "/README", "not a checkpoint");
+
+  EXPECT_EQ(repo.SweepOrphanCheckpoints(), 3);
+  EXPECT_FALSE(fs::exists(dir + "/stem.g000007.ckpt.tmp"));
+  EXPECT_FALSE(fs::exists(dir + "/stem.ckpt.tmp"));
+  EXPECT_FALSE(fs::exists(dir + "/stem.manifest.tmp"));
+  EXPECT_TRUE(fs::exists(dir + "/task-doc.json.tmp"));
+  EXPECT_TRUE(fs::exists(dir + "/notes.tmp"));
+  EXPECT_TRUE(fs::exists(dir + "/README"));
+  EXPECT_TRUE(repo.LoadCheckpoint("task-a").ok());
+}
+
+// Sweep retention must also key on parsed generation numbers when file
+// pads disagree (e.g. a writer with a wider pad produced the same stem).
+TEST(CheckpointGenerationTest, SweepCollectsDifferentlyPaddedGenerations) {
+  const std::string dir = TempDir("sweep-pad");
+  CheckpointRetention keep1;
+  keep1.keep_generations = 1;
+  DataRepository repo(dir, keep1);
+  Json payload = Json::Object();
+  payload.Set("id", Json::Str("task-a"));
+  ASSERT_TRUE(repo.SaveCheckpoint("task-a", payload).ok());
+
+  // A 9-digit-pad clone of generation 1 parses as generation 2: newest.
+  auto files = CheckpointFilesSorted(dir);
+  ASSERT_EQ(files.size(), 1u);
+  std::string wide = files[0];
+  size_t pos = wide.rfind("g000001");
+  ASSERT_NE(pos, std::string::npos);
+  wide.replace(pos, 7, "g000000002");
+  WriteFile(wide, ReadFile(files[0]));
+
+  // Retention keeps only generation 2 — deleting generation 1 by its real
+  // path. (Reconstructing "g%06lld" names would work here, but the widely
+  // padded file itself could never be collected that way once stale.)
+  EXPECT_EQ(repo.SweepOrphanCheckpoints(), 1);
+  EXPECT_FALSE(fs::exists(files[0]));
+  EXPECT_TRUE(fs::exists(wide));
+  EXPECT_EQ(repo.LatestCheckpointGeneration("task-a"), 2);
+}
+
 // A torn newest generation is not fatal to the service: restore falls back
 // to the previous generation's snapshot and replays from there.
 TEST(CheckpointGenerationTest, ServiceRestoresFromPreviousGeneration) {
@@ -437,6 +542,60 @@ TEST(CheckpointGenerationTest, ManifestOverDeletedGenerationsIsFreshStart) {
   auto obs = revived.ExecutePeriodic("wc");
   ASSERT_TRUE(obs.ok());
   EXPECT_EQ(revived.tuner("wc")->executions(), 1);
+}
+
+// Restore-after-diet: the flat MetaSampleWindow replaced the old
+// vector-of-vectors ring, and past window capacity (8) the ring has
+// wrapped (oldest slot mid-buffer). Checkpointing through ToRows must
+// emit the rows oldest-first in the legacy schema, restore must rebuild
+// the wrapped window, and an immediate re-checkpoint must reproduce the
+// identical rows — then the revived trajectory continues bit-for-bit.
+TEST(CheckpointRecoveryTest, RestoreAfterMetaWindowWraparound) {
+  Fixture f;
+  const std::string dir = TempDir("diet-wrap");
+  TuningService service(&f.space, f.ServiceOpts(dir));
+  auto inner = f.MakeInner(3);
+  ASSERT_TRUE(service.RegisterTask("wc", inner.get()).ok());
+  // 12 sane periods push 12 meta samples through the 8-slot window.
+  for (int i = 0; i < 12; ++i) {
+    ASSERT_TRUE(service.ExecutePeriodic("wc").ok());
+  }
+  ASSERT_TRUE(service.CheckpointTask("wc").ok());
+
+  DataRepository repo(dir);
+  auto doc = repo.LoadCheckpoint("wc");
+  ASSERT_TRUE(doc.ok());
+  auto ckpt = TaskCheckpointFromJson(*doc, f.space);
+  ASSERT_TRUE(ckpt.ok());
+  ASSERT_EQ(ckpt->meta_samples.size(), 8u);  // full window, wrapped
+
+  // Revive from a copy of the repository (a handed-off shard directory).
+  const std::string dir2 = TempDir("diet-wrap-revived");
+  fs::copy(dir, dir2, fs::copy_options::recursive);
+  TuningService revived(&f.space, f.ServiceOpts(dir2));
+  auto inner2 = f.MakeInner(3);
+  ASSERT_TRUE(revived.RegisterTask("wc", inner2.get()).ok());
+  ASSERT_TRUE(revived.RestoreTask("wc").ok());
+
+  // FromRows ∘ ToRows is the identity on the wrapped window.
+  ASSERT_TRUE(revived.CheckpointTask("wc").ok());
+  DataRepository repo2(dir2);
+  auto doc2 = repo2.LoadCheckpoint("wc");
+  ASSERT_TRUE(doc2.ok());
+  auto ckpt2 = TaskCheckpointFromJson(*doc2, f.space);
+  ASSERT_TRUE(ckpt2.ok());
+  EXPECT_EQ(ckpt2->meta_samples, ckpt->meta_samples);
+
+  // And the revived task's trajectory matches the undisturbed service.
+  for (int i = 0; i < 5; ++i) {
+    auto want = service.ExecutePeriodic("wc");
+    auto got = revived.ExecutePeriodic("wc");
+    ASSERT_TRUE(want.ok());
+    ASSERT_TRUE(got.ok());
+    EXPECT_TRUE(want->config == got->config) << "period " << i;
+    EXPECT_EQ(want->objective, got->objective);
+    EXPECT_EQ(want->runtime_sec, got->runtime_sec);
+  }
 }
 
 // Restore after a handoff re-attaches the meta-surrogate against the same

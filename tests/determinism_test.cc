@@ -286,6 +286,70 @@ TEST(DeterminismTest, ServiceBatchMatchesSequentialExecution) {
   }
 }
 
+TEST(DeterminismTest, CompactedEventLogsKeepTrajectoryAcrossThreadCounts) {
+  // The fleet diet drops each task's retained stage list right after the
+  // meta-features are extracted (compact_event_logs). Compaction plus
+  // 4 threads must reproduce the retain-everything serial run bit-for-bit:
+  // the summary replaces the log for bookkeeping only, never for math.
+  ClusterSpec cluster = ClusterSpec::HiBenchCluster();
+  ConfigSpace space = BuildSparkSpace(cluster);
+  const std::vector<std::string> tasks = {"WordCount", "TeraSort", "PageRank"};
+
+  struct ServiceRig {
+    std::deque<SimulatorEvaluator> evals;
+    std::unique_ptr<TuningService> service;
+  };
+  auto make = [&](int threads, bool compact) {
+    ServiceRig rig;
+    TuningServiceOptions sopts;
+    sopts.tuner.budget = 6;
+    sopts.num_threads = threads;
+    sopts.compact_event_logs = compact;
+    rig.service = std::make_unique<TuningService>(&space, sopts);
+    for (const std::string& t : tasks) {
+      auto w = HiBenchTask(t);
+      EXPECT_TRUE(w.ok());
+      SimulatorEvaluatorOptions eopts;
+      eopts.seed = 5;
+      rig.evals.emplace_back(&space, *w, cluster, DriftModel::Diurnal(),
+                             eopts);
+      EXPECT_TRUE(rig.service->RegisterTask(t, &rig.evals.back()).ok());
+    }
+    return rig;
+  };
+
+  ServiceRig retain = make(1, false);
+  ServiceRig compact = make(4, true);
+  std::vector<std::string> ids(tasks.begin(), tasks.end());
+  for (int round = 0; round < 4; ++round) {
+    std::vector<Result<Observation>> a = retain.service->ExecutePeriodicAll(ids);
+    std::vector<Result<Observation>> b =
+        compact.service->ExecutePeriodicAll(ids);
+    ASSERT_EQ(a.size(), b.size());
+    for (size_t i = 0; i < ids.size(); ++i) {
+      ASSERT_TRUE(a[i].ok());
+      ASSERT_TRUE(b[i].ok()) << ids[i];
+      EXPECT_TRUE(a[i]->config == b[i]->config)
+          << ids[i] << " round " << round;
+      EXPECT_EQ(a[i]->objective, b[i]->objective);
+      EXPECT_EQ(a[i]->runtime_sec, b[i]->runtime_sec);
+    }
+  }
+  // The diet really happened: stage lists are gone on the compacted rig
+  // (and retained on the reference), while the digest kept the shape.
+  for (const std::string& t : tasks) {
+    EXPECT_TRUE(compact.service->tuner(t)->last_event_log().stages.empty())
+        << t;
+    EXPECT_FALSE(retain.service->tuner(t)->last_event_log().stages.empty())
+        << t;
+    const EventLogSummary& digest =
+        compact.service->tuner(t)->last_event_summary();
+    EXPECT_TRUE(digest.valid);
+    EXPECT_GT(digest.num_stages, 0);
+    EXPECT_GT(digest.duration_sec, 0.0);
+  }
+}
+
 TEST(DeterminismTest, ServiceBatchReportsBadIds) {
   ConfigSpace space = BuildSparkSpace(ClusterSpec::HiBenchCluster());
   ClusterSpec cluster = ClusterSpec::HiBenchCluster();

@@ -88,6 +88,35 @@ TEST(RunHistoryTest, DuplicatesAndClear) {
   EXPECT_EQ(h.size(), 1u);
 }
 
+TEST(RunHistoryTest, RepeatedAddKeepsOneIndexEntry) {
+  // A periodic task re-runs its incumbent config for thousands of periods;
+  // the config index must hold ONE entry per unique configuration, not one
+  // per observation, or the index grows linearly with executions.
+  ConfigSpace space = TwoDSpace();
+  Configuration c = space.Default();
+  RunHistory h;
+  for (int i = 0; i < 100; ++i) h.Add(Obs(c, 1.0 + i));
+  EXPECT_EQ(h.size(), 100u);
+  EXPECT_EQ(h.IndexEntries(c), 1u);
+  EXPECT_TRUE(h.Contains(c));
+
+  // A distinct config gets its own (single) entry and leaves the first
+  // bucket untouched.
+  Configuration d = c;
+  d[0] = 0.25;
+  h.Add(Obs(d));
+  h.Add(Obs(d));
+  EXPECT_EQ(h.IndexEntries(d), 1u);
+  EXPECT_EQ(h.IndexEntries(c), 1u);
+
+  // Clear rebuilds an empty index; re-adding restores the invariant.
+  h.Clear();
+  EXPECT_EQ(h.IndexEntries(c), 0u);
+  h.Add(Obs(c));
+  h.Add(Obs(c));
+  EXPECT_EQ(h.IndexEntries(c), 1u);
+}
+
 TEST(RunHistoryTest, LargeHistoryLookupsStayExact) {
   // Stress the bucket structure: many configs, some sharing coordinates.
   ConfigSpace space = TwoDSpace();

@@ -100,7 +100,7 @@ TEST(HistoryTest, BestFeasibleSkipsFailedAndInfeasible) {
 TEST(HistoryTest, EmptyHistory) {
   RunHistory h;
   EXPECT_EQ(h.BestFeasibleIndex(), -1);
-  EXPECT_EQ(h.BestFeasible(), nullptr);
+  EXPECT_FALSE(h.BestFeasible().has_value());
   EXPECT_TRUE(std::isinf(h.BestObjective()));
 }
 

@@ -124,7 +124,7 @@ TEST(OptimizerTest, StepwiseApiMatchesHistory) {
     optimizer.Observe(c, Branin(c));
   }
   EXPECT_EQ(optimizer.history().size(), 5u);
-  EXPECT_NE(optimizer.history().BestFeasible(), nullptr);
+  EXPECT_TRUE(optimizer.history().BestFeasible().has_value());
 }
 
 TEST(EventLogJsonTest, RoundTripPreservesMetaFeatures) {

@@ -211,6 +211,107 @@ TEST(TuningServiceTest, MetaTransferAttachesToThirdTask) {
             tuner->baseline_observation()->objective);
 }
 
+TEST(TuningServiceTest, StreamingHarvestMatchesFullPass) {
+  // Budget-bounded HarvestDirty passes must leave the knowledge base in
+  // exactly the state one explicit HarvestTask-per-id pass produces: same
+  // records, same content, same similarity-model training points.
+  ServiceFixture f;
+  const std::vector<std::string> names = {"WordCount", "Sort", "TeraSort"};
+  struct Rig {
+    std::vector<std::unique_ptr<SimulatorEvaluator>> evals;
+    std::unique_ptr<TuningService> service;
+  };
+  auto make = [&]() {
+    Rig rig;
+    TuningServiceOptions opts = f.ServiceOpts();
+    // Keep trajectories independent of harvest timing: no meta transfer.
+    opts.enable_meta = false;
+    rig.service = std::make_unique<TuningService>(&f.space, opts);
+    uint64_t seed = 3;
+    for (const auto& n : names) {
+      rig.evals.push_back(f.MakeEvaluator(n, seed++));
+      EXPECT_TRUE(rig.service->RegisterTask(n, rig.evals.back().get()).ok());
+    }
+    return rig;
+  };
+  Rig full = make();
+  Rig stream = make();
+  std::vector<std::string> ids(names.begin(), names.end());
+  for (int round = 0; round < 11; ++round) {
+    for (const auto& r : full.service->ExecutePeriodicAll(ids)) {
+      ASSERT_TRUE(r.ok());
+    }
+    for (const auto& r : stream.service->ExecutePeriodicAll(ids)) {
+      ASSERT_TRUE(r.ok());
+    }
+  }
+  // Repeated executions enqueue each task once, not once per period.
+  EXPECT_EQ(stream.service->harvest_backlog(), names.size());
+
+  for (const auto& n : names) {
+    ASSERT_TRUE(full.service->HarvestTask(n).ok());
+  }
+  int harvested = 0;
+  while (stream.service->harvest_backlog() > 0) {
+    HarvestReport rep = stream.service->HarvestDirty(/*max_tasks=*/1);
+    EXPECT_EQ(rep.attempted, 1);
+    ASSERT_TRUE(rep.errors.empty()) << rep.errors[0].message();
+    ASSERT_EQ(rep.deferred, 0);
+    harvested += rep.harvested;
+  }
+  EXPECT_EQ(harvested, static_cast<int>(names.size()));
+
+  const auto& want = full.service->knowledge_base().records();
+  const auto& got = stream.service->knowledge_base().records();
+  ASSERT_EQ(want.size(), got.size());
+  for (size_t i = 0; i < want.size(); ++i) {
+    EXPECT_EQ(want[i].id, got[i].id);
+    EXPECT_EQ(want[i].meta_features, got[i].meta_features);
+    EXPECT_EQ(want[i].x, got[i].x);
+    EXPECT_EQ(want[i].y, got[i].y);
+    EXPECT_EQ(want[i].importance, got[i].importance);
+    ASSERT_EQ(want[i].top_configs.size(), got[i].top_configs.size());
+    for (size_t k = 0; k < want[i].top_configs.size(); ++k) {
+      EXPECT_TRUE(want[i].top_configs[k] == got[i].top_configs[k]);
+    }
+  }
+  EXPECT_EQ(full.service->knowledge_base().similarity_trained(),
+            stream.service->knowledge_base().similarity_trained());
+}
+
+TEST(TuningServiceTest, HarvestDirtyDefersUntilHarvestable) {
+  ServiceFixture f;
+  TuningServiceOptions opts = f.ServiceOpts();
+  opts.enable_meta = false;
+  TuningService service(&f.space, opts);
+  auto eval = f.MakeEvaluator("WordCount", 9);
+  ASSERT_TRUE(service.RegisterTask("wc", eval.get()).ok());
+  EXPECT_EQ(service.harvest_backlog(), 0u);
+
+  // Two observations: history too short to harvest. The pass must defer
+  // (rotate the id to the tail), not drop or error.
+  ASSERT_TRUE(service.ExecutePeriodic("wc").ok());
+  EXPECT_EQ(service.harvest_backlog(), 1u);
+  ASSERT_TRUE(service.ExecutePeriodic("wc").ok());
+  HarvestReport rep = service.HarvestDirty();
+  EXPECT_EQ(rep.attempted, 1);
+  EXPECT_EQ(rep.deferred, 1);
+  EXPECT_EQ(rep.harvested, 0);
+  EXPECT_TRUE(rep.errors.empty());
+  EXPECT_EQ(service.harvest_backlog(), 1u);
+
+  // Enough history now: the retried pass harvests and drains the queue.
+  for (int i = 0; i < 3; ++i) ASSERT_TRUE(service.ExecutePeriodic("wc").ok());
+  rep = service.HarvestDirty();
+  EXPECT_EQ(rep.harvested, 1);
+  EXPECT_EQ(service.harvest_backlog(), 0u);
+  EXPECT_EQ(service.knowledge_base().size(), 1u);
+
+  // An empty queue is a no-op pass.
+  rep = service.HarvestDirty();
+  EXPECT_EQ(rep.attempted, 0);
+}
+
 TEST(TuningServiceTest, PersistAndReload) {
   ServiceFixture f;
   std::string dir = TempDir("service");

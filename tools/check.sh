@@ -45,6 +45,11 @@ if [[ "$ALL" -eq 1 ]]; then
     echo "==> [$dir] ctest -L stress (chaos/fault stress label)"
     ctest --test-dir "$dir" --output-on-failure -L stress
   done
+  # Fleet-scale throughput/memory snapshot (no sanitizer: real numbers).
+  # Emits build/BENCH_fleet.json and enforces the fleet memory budget.
+  echo "==> [build] bench_fleet (BENCH_fleet.json + RSS budget)"
+  ./build/bench/bench_fleet --tasks=20000 --ticks=3 --threads="$JOBS" \
+    --harvest_per_tick=64 --max_rss_mb=2048 --out=build/BENCH_fleet.json
 fi
 
 echo "==> [build] ctest -L lint (isolated lint label)"
