@@ -127,10 +127,12 @@ long long CompareTrajectories(const Trajectory& got, const Trajectory& want,
 }
 
 int Main(int argc, char** argv) {
-  const int ticks = IntFlag(argc, argv, "ticks", 40);
-  const int shards = IntFlag(argc, argv, "shards", 4);
-  const int seeds = IntFlag(argc, argv, "seeds", 3);
-  const int tasks = IntFlag(argc, argv, "tasks", 3);
+  Flags flags(argc, argv);
+  const int ticks = flags.Int("ticks", 40);
+  const int shards = flags.Int("shards", 4);
+  const int seeds = flags.Int("seeds", 3);
+  const int tasks = flags.Int("tasks", 3);
+  if (!flags.Validate()) return 1;
 
   Workbench wb;
   const std::vector<std::string> pool = {"WordCount", "Sort",    "TeraSort",

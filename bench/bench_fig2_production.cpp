@@ -51,9 +51,11 @@ JobEvaluator::Outcome EvalOnce(const ProductionTask& task,
 }  // namespace
 
 int main(int argc, char** argv) {
-  const int num_tasks = IntFlag(argc, argv, "tasks", 300);
-  const int budget = IntFlag(argc, argv, "budget", 20);
-  const bool enable_meta = IntFlag(argc, argv, "meta", 1) != 0;
+  Flags flags(argc, argv);
+  const int num_tasks = flags.Int("tasks", 300);
+  const int budget = flags.Int("budget", 20);
+  const bool enable_meta = flags.Int("meta", 1) != 0;
+  if (!flags.Validate()) return 1;
 
   ProductionFleetOptions fleet_opts;
   fleet_opts.num_tasks = num_tasks;

@@ -22,8 +22,10 @@ using namespace sparktune;
 using namespace sparktune::bench;
 
 int main(int argc, char** argv) {
-  const int budget = IntFlag(argc, argv, "budget", 30);
-  const int seeds = IntFlag(argc, argv, "seeds", 8);
+  Flags flags(argc, argv);
+  const int budget = flags.Int("budget", 30);
+  const int seeds = flags.Int("seeds", 8);
+  if (!flags.Validate()) return 1;
 
   std::vector<std::unique_ptr<TuningMethod>> methods;
   methods.push_back(std::make_unique<RandomSearch>());

@@ -19,9 +19,11 @@ using namespace sparktune;
 using namespace sparktune::bench;
 
 int main(int argc, char** argv) {
-  const int budget = IntFlag(argc, argv, "budget", 30);
-  const int seeds = IntFlag(argc, argv, "seeds", 5);
-  const int kb_budget = IntFlag(argc, argv, "kb_budget", 25);
+  Flags flags(argc, argv);
+  const int budget = flags.Int("budget", 30);
+  const int seeds = flags.Int("seeds", 5);
+  const int kb_budget = flags.Int("kb_budget", 25);
+  if (!flags.Validate()) return 1;
 
   const char* targets[] = {"KMeans", "TeraSort"};
 

@@ -37,8 +37,10 @@ OursOptions ArmOptions(const std::string& arm) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  const int budget = IntFlag(argc, argv, "budget", 30);
-  const int seeds = IntFlag(argc, argv, "seeds", 5);
+  Flags flags(argc, argv);
+  const int budget = flags.Int("budget", 30);
+  const int seeds = flags.Int("seeds", 5);
+  if (!flags.Validate()) return 1;
 
   const char* arms[] = {"full", "small", "adaptive"};
   const char* tasks[] = {"PageRank", "TeraSort"};

@@ -34,9 +34,11 @@ OursOptions VanillaArm() {
 }  // namespace
 
 int main(int argc, char** argv) {
-  const int budget = IntFlag(argc, argv, "budget", 30);
-  const int seeds = IntFlag(argc, argv, "seeds", 5);
-  const bool dump_points = IntFlag(argc, argv, "points", 1) != 0;
+  Flags flags(argc, argv);
+  const int budget = flags.Int("budget", 30);
+  const int seeds = flags.Int("seeds", 5);
+  const bool dump_points = flags.Int("points", 1) != 0;
+  if (!flags.Validate()) return 1;
 
   // ---- Scatter + ratios on the two featured tasks ----
   for (const char* task : {"WordCount", "Bayes"}) {

@@ -14,8 +14,10 @@ using namespace sparktune;
 using namespace sparktune::bench;
 
 int main(int argc, char** argv) {
-  const int budget = IntFlag(argc, argv, "budget", 30);
-  const int seeds = IntFlag(argc, argv, "seeds", 8);
+  Flags flags(argc, argv);
+  const int budget = flags.Int("budget", 30);
+  const int seeds = flags.Int("seeds", 8);
+  if (!flags.Validate()) return 1;
 
   TablePrinter table({"Task", "BO with AGD (vs random)",
                       "BO without AGD (vs random)", "AGD extra reduction"});

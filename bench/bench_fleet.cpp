@@ -53,14 +53,15 @@ double CurrentRssMb() { return StatusLineMb("VmRSS:"); }
 }  // namespace
 
 int main(int argc, char** argv) {
-  const int num_tasks = IntFlag(argc, argv, "tasks", 100000);
-  const int ticks = IntFlag(argc, argv, "ticks", 3);
-  const int threads = IntFlag(argc, argv, "threads", 4);
-  const int harvest_per_tick = IntFlag(argc, argv, "harvest_per_tick", 256);
-  const int max_rss_mb = IntFlag(argc, argv, "max_rss_mb", 0);
-  const bool enable_meta = IntFlag(argc, argv, "meta", 0) != 0;
-  const std::string out_path =
-      StrFlag(argc, argv, "out", "BENCH_fleet.json");
+  Flags flags(argc, argv);
+  const int num_tasks = flags.Int("tasks", 100000);
+  const int ticks = flags.Int("ticks", 3);
+  const int threads = flags.Threads(4);
+  const int harvest_per_tick = flags.Int("harvest_per_tick", 256);
+  const int max_rss_mb = flags.Int("max_rss_mb", 0);
+  const bool enable_meta = flags.Bool("meta", false);
+  const std::string out_path = flags.Out("BENCH_fleet.json");
+  if (!flags.Validate()) return 1;
 
   ProductionFleetOptions fleet_opts;
   fleet_opts.num_tasks = num_tasks;

@@ -5,7 +5,7 @@
 // pool still runs the parallel code paths); on 4+ cores the GP sweep and
 // forest fit should clear 2x.
 //
-// Usage: bench_parallel [threads]   (default: min(4, DefaultThreads()))
+// Usage: bench_parallel --threads=N   (default: min(4, DefaultThreads()))
 #include <chrono>
 #include <cmath>
 #include <cstdio>
@@ -13,6 +13,7 @@
 #include <string>
 #include <vector>
 
+#include "bench_util.h"
 #include "bo/acq_optimizer.h"
 #include "common/rng.h"
 #include "common/thread_pool.h"
@@ -185,8 +186,9 @@ Timing BenchAcquisition(const Dataset& d, int threads) {
 
 int main(int argc, char** argv) {
   using namespace sparktune;
-  int threads = argc > 1 ? std::atoi(argv[1])
-                         : std::min(4, ThreadPool::DefaultThreads());
+  bench::Flags flags(argc, argv);
+  int threads = flags.Threads(std::min(4, ThreadPool::DefaultThreads()));
+  if (!flags.Validate()) return 1;
   if (threads < 2) threads = 2;
   std::printf("bench_parallel: %d threads (hardware default %d)\n\n", threads,
               ThreadPool::DefaultThreads());

@@ -101,8 +101,10 @@ Row Measure(const char* name, const Surrogate& s,
 
 int main(int argc, char** argv) {
   using namespace sparktune;
-  const int reps = bench::IntFlag(argc, argv, "reps", 3);
-  const int max_n = bench::IntFlag(argc, argv, "max_n", 512);
+  bench::Flags flags(argc, argv);
+  const int reps = flags.Int("reps", 3);
+  const int max_n = flags.Int("max_n", 512);
+  if (!flags.Validate()) return 1;
 
   const std::vector<size_t> train_sizes = {32, 128, 512};
   const std::vector<size_t> pool_sizes = {64, 500};

@@ -43,8 +43,10 @@ SweepResult Evaluate(const TaskEnv& env, const OursOptions& base_opts,
 }  // namespace
 
 int main(int argc, char** argv) {
-  const int budget = IntFlag(argc, argv, "budget", 25);
-  const int seeds = IntFlag(argc, argv, "seeds", 4);
+  Flags flags(argc, argv);
+  const int budget = flags.Int("budget", 25);
+  const int seeds = flags.Int("seeds", 4);
+  if (!flags.Validate()) return 1;
   const char* tasks[] = {"WordCount", "TeraSort"};
 
   // ---- gamma sweep ----

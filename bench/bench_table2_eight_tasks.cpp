@@ -31,7 +31,9 @@ JobEvaluator::Outcome EvalOnce(const ProductionTask& task,
 }  // namespace
 
 int main(int argc, char** argv) {
-  const int budget = IntFlag(argc, argv, "budget", 20);
+  Flags flags(argc, argv);
+  const int budget = flags.Int("budget", 20);
+  if (!flags.Validate()) return 1;
 
   TablePrinter table({"Task", "Method", "Memory_usage", "CPU_usage",
                       "Runtime(s)", "Execution cost", "Exec.instances",

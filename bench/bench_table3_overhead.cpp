@@ -21,8 +21,10 @@ using namespace sparktune;
 using namespace sparktune::bench;
 
 int main(int argc, char** argv) {
-  const int num_tasks = IntFlag(argc, argv, "tasks", 200);
-  const int budget = IntFlag(argc, argv, "budget", 20);
+  Flags flags(argc, argv);
+  const int num_tasks = flags.Int("tasks", 200);
+  const int budget = flags.Int("budget", 20);
+  if (!flags.Validate()) return 1;
 
   ProductionFleetOptions fleet_opts;
   fleet_opts.num_tasks = num_tasks;

@@ -43,7 +43,9 @@ double CostOf(const TaskEnv& env, const Configuration& c, uint64_t seed) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  const int source_budget = IntFlag(argc, argv, "source_budget", 30);
+  Flags flags(argc, argv);
+  const int source_budget = flags.Int("source_budget", 30);
+  if (!flags.Validate()) return 1;
 
   struct Pair {
     const char* target;

@@ -17,8 +17,10 @@ using namespace sparktune;
 using namespace sparktune::bench;
 
 int main(int argc, char** argv) {
-  const int samples = IntFlag(argc, argv, "samples", 80);
-  const int tasks = IntFlag(argc, argv, "tasks", 8);
+  Flags flags(argc, argv);
+  const int samples = flags.Int("samples", 80);
+  const int tasks = flags.Int("tasks", 8);
+  if (!flags.Validate()) return 1;
 
   auto all = AllHiBenchTasks();
   ClusterSpec cluster = ClusterSpec::HiBenchCluster();

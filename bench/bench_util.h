@@ -23,28 +23,67 @@
 namespace sparktune {
 namespace bench {
 
-// Parse "--name=value" style integer flags; returns fallback when absent.
-inline int IntFlag(int argc, char** argv, const char* name, int fallback) {
-  std::string prefix = std::string("--") + name + "=";
-  for (int i = 1; i < argc; ++i) {
-    if (StartsWith(argv[i], prefix)) {
-      return std::atoi(argv[i] + prefix.size());
-    }
-  }
-  return fallback;
-}
+// Standardized "--name=value" CLI parsing for the bench binaries. A main
+// constructs one Flags, queries every flag it accepts, then calls
+// Validate(): arguments that matched no query (typos, flags for a
+// different bench) fail the run instead of silently falling back to
+// defaults mid-experiment. Threads()/Out()/Json() pin the spelling of the
+// flags shared across benches.
+class Flags {
+ public:
+  Flags(int argc, char** argv)
+      : args_(argv + 1, argv + argc), used_(args_.size(), false) {}
 
-// Parse "--name=value" style string flags; returns fallback when absent.
-inline std::string StrFlag(int argc, char** argv, const char* name,
-                           const char* fallback) {
-  std::string prefix = std::string("--") + name + "=";
-  for (int i = 1; i < argc; ++i) {
-    if (StartsWith(argv[i], prefix)) {
-      return std::string(argv[i] + prefix.size());
-    }
+  int Int(const char* name, int fallback) {
+    const char* v = Find(name);
+    return v != nullptr ? std::atoi(v) : fallback;
   }
-  return fallback;
-}
+  bool Bool(const char* name, bool fallback) {
+    const char* v = Find(name);
+    return v != nullptr ? std::atoi(v) != 0 : fallback;
+  }
+  std::string Str(const char* name, const char* fallback) {
+    const char* v = Find(name);
+    return v != nullptr ? std::string(v) : std::string(fallback);
+  }
+
+  // Cross-bench conventions: worker count, JSON output path, JSON-only
+  // console mode.
+  int Threads(int fallback) { return Int("threads", fallback); }
+  std::string Out(const char* fallback) { return Str("out", fallback); }
+  bool Json(bool fallback = false) { return Bool("json", fallback); }
+
+  // Call after the last query; reports unrecognized arguments on stderr
+  // and returns false if any were present.
+  bool Validate() const {
+    bool ok = true;
+    for (size_t i = 0; i < args_.size(); ++i) {
+      if (!used_[i]) {
+        std::fprintf(stderr, "unrecognized argument: %s\n", args_[i].c_str());
+        ok = false;
+      }
+    }
+    return ok;
+  }
+
+ private:
+  // First occurrence wins (matching the historical parser); every
+  // occurrence is marked consumed so Validate() won't flag duplicates.
+  const char* Find(const char* name) {
+    std::string prefix = std::string("--") + name + "=";
+    const char* found = nullptr;
+    for (size_t i = 0; i < args_.size(); ++i) {
+      if (StartsWith(args_[i], prefix)) {
+        used_[i] = true;
+        if (found == nullptr) found = args_[i].c_str() + prefix.size();
+      }
+    }
+    return found;
+  }
+
+  std::vector<std::string> args_;
+  std::vector<bool> used_;
+};
 
 struct TaskEnv {
   WorkloadSpec workload;

@@ -53,6 +53,10 @@ bool TryFactor(const Matrix& a, Matrix* l, int num_threads) {
     for (size_t j = 0; j <= i; ++j) li[j] = ai[j];
   }
 
+  // Scratch for the transposed panel the trailing SYRK update streams
+  // (kBlock rows of k, up to n columns of j); reused across panels.
+  std::vector<double> packed(n > kBlock ? kBlock * (n - kBlock) : 0);
+
   for (size_t p0 = 0; p0 < n; p0 += kBlock) {
     const size_t p1 = std::min(p0 + kBlock, n);
     // ---- Panel factor (serial): columns [p0, p1), all rows below ----
@@ -71,11 +75,41 @@ bool TryFactor(const Matrix& a, Matrix* l, int num_threads) {
       }
     }
     // ---- Trailing SYRK update (parallel over independent rows) ----
+    // Register-tiled: the panel's columns are first packed transposed
+    // (packed[(k - p0) * width + (j - p1)] = L(j, k); a pure copy, so no
+    // rounding is involved), which makes the j dimension contiguous per k.
+    // Each row i then updates eight j columns at once: eight independent
+    // accumulator chains, each subtracting its li[k] * L(j, k) terms in
+    // strictly increasing k — per element the exact operation sequence of
+    // the scalar j loop, which the reduction-ordered scalar code could
+    // never vectorize. The panel columns read here (k < p1) are never
+    // written by this update (it only touches j >= p1), so packing and the
+    // row updates are race-free.
     if (p1 < n) {
-      ParallelFor(num_threads, n - p1, [&](size_t r) {
+      const size_t width = n - p1;
+      ParallelFor(num_threads, width, [&](size_t r) {
+        const double* lj = lm.row(p1 + r);
+        for (size_t k = p0; k < p1; ++k) {
+          packed[(k - p0) * width + r] = lj[k];
+        }
+      });
+      ParallelFor(num_threads, width, [&](size_t r) {
         const size_t i = p1 + r;
         double* li = lm.row(i);
-        for (size_t j = p1; j <= i; ++j) {
+        size_t j = p1;
+#if SPARKTUNE_VEC_SOLVE
+        for (; j + kTile <= i + 1; j += kTile) {
+          Vec8 acc = *reinterpret_cast<const Vec8*>(li + j);
+          const double* bt = packed.data() + (j - p1);
+          for (size_t k = p0; k < p1; ++k, bt += width) {
+            const double lik = li[k];
+            const Vec8 v = {lik, lik, lik, lik, lik, lik, lik, lik};
+            acc -= v * *reinterpret_cast<const Vec8*>(bt);
+          }
+          *reinterpret_cast<Vec8*>(li + j) = acc;
+        }
+#endif
+        for (; j <= i; ++j) {
           const double* lj = lm.row(j);
           double s = li[j];
           for (size_t k = p0; k < p1; ++k) s -= li[k] * lj[k];
@@ -124,11 +158,15 @@ Vector Cholesky::SolveLower(const Vector& b) const {
 Vector Cholesky::Solve(const Vector& b) const {
   size_t n = l_.rows();
   Vector y = SolveLower(b);
-  // Back substitution with L^T.
+  // Back substitution with L^T. The k terms accumulate in strictly
+  // decreasing order — the natural bottom-up order, and the documented
+  // convention every batched upper solve reproduces exactly (a
+  // right-looking panelled back substitution applies the bottom panels'
+  // contributions first, so decreasing k is the only order it can keep).
   Vector x(n, 0.0);
   for (size_t ii = n; ii-- > 0;) {
     double sum = y[ii];
-    for (size_t k = ii + 1; k < n; ++k) sum -= l_(k, ii) * x[k];
+    for (size_t k = n; k-- > ii + 1;) sum -= l_(k, ii) * x[k];
     x[ii] = sum / l_(ii, ii);
   }
   return x;
@@ -265,60 +303,112 @@ Matrix Cholesky::SolveLowerMatrix(const Matrix& b, int num_threads) const {
   return y;
 }
 
-Matrix Cholesky::SolveMatrix(const Matrix& b, int num_threads) const {
+Matrix Cholesky::SolveUpperMatrix(const Matrix& y, int num_threads) const {
   const size_t n = l_.rows();
-  const size_t m = b.cols();
-  assert(b.rows() == n);
-  Matrix x = SolveLowerMatrix(b, num_threads);
-  if (n == 0) return x;
+  const size_t m = y.cols();
+  assert(y.rows() == n);
+  Matrix x = y;
+  if (n == 0 || m == 0) return x;
   double* const xb = x.row(0);
   const double* const lb = l_.row(0);
-  // Back substitution with L^T, in place on the same column blocks and with
-  // the same register tile (L^T's column ii walks l_ with stride n).
+  // Back substitution with L^T on independent column blocks (L^T's column
+  // ii walks l_ with stride n). Per element the k terms arrive in strictly
+  // decreasing order — matching Solve's documented back-substitution
+  // convention — and partial sums round-trip through memory between
+  // panels, which is exact, so every path below is bit-identical to the
+  // naive bottom-up per-column loop.
   const size_t num_blocks = (m + kBlock - 1) / kBlock;
   ParallelFor(num_threads, num_blocks, [&](size_t blk) {
     const size_t c0 = blk * kBlock;
     const size_t c1 = std::min(c0 + kBlock, m);
+#if SPARKTUNE_VEC_SOLVE
+    // Full-width column blocks take the panelled vector path, the mirror
+    // image of SolveLowerMatrix: k sweeps bottom-up in kBlock-row panels.
+    // The diagonal panel is a small backward triangular solve; its solved
+    // 48x48 block is then applied to every row above it while still
+    // L1-resident (the flat bottom-up sweep re-streams the whole solved
+    // suffix from L2 for every row). Panels descend and k descends within
+    // each panel, so per column the terms arrive in strictly decreasing k.
+    if (c1 - c0 == kBlock) {
+      size_t p1 = n;
+      while (p1 > 0) {
+        const size_t p0 = ((p1 - 1) / kBlock) * kBlock;
+        // Diagonal panel: backward triangular solve of rows [p0, p1).
+        for (size_t ii = p1; ii-- > p0;) {
+          double* __restrict xi = xb + ii * m;
+          const double lii = lb[ii * n + ii];
+          Vec8 a0 = *reinterpret_cast<const Vec8*>(xi + c0);
+          Vec8 a1 = *reinterpret_cast<const Vec8*>(xi + c0 + 8);
+          Vec8 a2 = *reinterpret_cast<const Vec8*>(xi + c0 + 16);
+          Vec8 a3 = *reinterpret_cast<const Vec8*>(xi + c0 + 24);
+          Vec8 a4 = *reinterpret_cast<const Vec8*>(xi + c0 + 32);
+          Vec8 a5 = *reinterpret_cast<const Vec8*>(xi + c0 + 40);
+          const double* __restrict xk = xb + (p1 - 1) * m + c0;
+          const double* __restrict lk = lb + (p1 - 1) * n + ii;
+          for (size_t k = p1; --k > ii; xk -= m, lk -= n) {
+            const double lki = *lk;
+            const Vec8 v = {lki, lki, lki, lki, lki, lki, lki, lki};
+            a0 -= v * *reinterpret_cast<const Vec8*>(xk);
+            a1 -= v * *reinterpret_cast<const Vec8*>(xk + 8);
+            a2 -= v * *reinterpret_cast<const Vec8*>(xk + 16);
+            a3 -= v * *reinterpret_cast<const Vec8*>(xk + 24);
+            a4 -= v * *reinterpret_cast<const Vec8*>(xk + 32);
+            a5 -= v * *reinterpret_cast<const Vec8*>(xk + 40);
+          }
+          const Vec8 d = {lii, lii, lii, lii, lii, lii, lii, lii};
+          *reinterpret_cast<Vec8*>(xi + c0) = a0 / d;
+          *reinterpret_cast<Vec8*>(xi + c0 + 8) = a1 / d;
+          *reinterpret_cast<Vec8*>(xi + c0 + 16) = a2 / d;
+          *reinterpret_cast<Vec8*>(xi + c0 + 24) = a3 / d;
+          *reinterpret_cast<Vec8*>(xi + c0 + 32) = a4 / d;
+          *reinterpret_cast<Vec8*>(xi + c0 + 40) = a5 / d;
+        }
+        // Upward trailing update: subtract the solved panel from every row
+        // above it (k = p1-1 down to p0 for each).
+        for (size_t i = 0; i < p0; ++i) {
+          double* __restrict xi = xb + i * m;
+          Vec8 a0 = *reinterpret_cast<const Vec8*>(xi + c0);
+          Vec8 a1 = *reinterpret_cast<const Vec8*>(xi + c0 + 8);
+          Vec8 a2 = *reinterpret_cast<const Vec8*>(xi + c0 + 16);
+          Vec8 a3 = *reinterpret_cast<const Vec8*>(xi + c0 + 24);
+          Vec8 a4 = *reinterpret_cast<const Vec8*>(xi + c0 + 32);
+          Vec8 a5 = *reinterpret_cast<const Vec8*>(xi + c0 + 40);
+          const double* __restrict xk = xb + (p1 - 1) * m + c0;
+          const double* __restrict lk = lb + (p1 - 1) * n + i;
+          for (size_t k = p1; k-- > p0; xk -= m, lk -= n) {
+            const double lki = *lk;
+            const Vec8 v = {lki, lki, lki, lki, lki, lki, lki, lki};
+            a0 -= v * *reinterpret_cast<const Vec8*>(xk);
+            a1 -= v * *reinterpret_cast<const Vec8*>(xk + 8);
+            a2 -= v * *reinterpret_cast<const Vec8*>(xk + 16);
+            a3 -= v * *reinterpret_cast<const Vec8*>(xk + 24);
+            a4 -= v * *reinterpret_cast<const Vec8*>(xk + 32);
+            a5 -= v * *reinterpret_cast<const Vec8*>(xk + 40);
+          }
+          *reinterpret_cast<Vec8*>(xi + c0) = a0;
+          *reinterpret_cast<Vec8*>(xi + c0 + 8) = a1;
+          *reinterpret_cast<Vec8*>(xi + c0 + 16) = a2;
+          *reinterpret_cast<Vec8*>(xi + c0 + 24) = a3;
+          *reinterpret_cast<Vec8*>(xi + c0 + 32) = a4;
+          *reinterpret_cast<Vec8*>(xi + c0 + 40) = a5;
+        }
+        p1 = p0;
+      }
+      return;
+    }
+#endif
+    // Partial column blocks: flat bottom-up sweep with a scalar register
+    // tile, k strictly decreasing per column.
     for (size_t ii = n; ii-- > 0;) {
       double* __restrict xi = xb + ii * m;
       const double lii = lb[ii * n + ii];
-#if SPARKTUNE_VEC_SOLVE
-      if (c1 - c0 == kBlock) {
-        Vec8 a0 = *reinterpret_cast<const Vec8*>(xi + c0);
-        Vec8 a1 = *reinterpret_cast<const Vec8*>(xi + c0 + 8);
-        Vec8 a2 = *reinterpret_cast<const Vec8*>(xi + c0 + 16);
-        Vec8 a3 = *reinterpret_cast<const Vec8*>(xi + c0 + 24);
-        Vec8 a4 = *reinterpret_cast<const Vec8*>(xi + c0 + 32);
-        Vec8 a5 = *reinterpret_cast<const Vec8*>(xi + c0 + 40);
-        const double* __restrict xk = xb + (ii + 1) * m + c0;
-        const double* __restrict lk = lb + (ii + 1) * n + ii;
-        for (size_t k = ii + 1; k < n; ++k, xk += m, lk += n) {
-          const double lki = *lk;
-          const Vec8 v = {lki, lki, lki, lki, lki, lki, lki, lki};
-          a0 -= v * *reinterpret_cast<const Vec8*>(xk);
-          a1 -= v * *reinterpret_cast<const Vec8*>(xk + 8);
-          a2 -= v * *reinterpret_cast<const Vec8*>(xk + 16);
-          a3 -= v * *reinterpret_cast<const Vec8*>(xk + 24);
-          a4 -= v * *reinterpret_cast<const Vec8*>(xk + 32);
-          a5 -= v * *reinterpret_cast<const Vec8*>(xk + 40);
-        }
-        const Vec8 d = {lii, lii, lii, lii, lii, lii, lii, lii};
-        *reinterpret_cast<Vec8*>(xi + c0) = a0 / d;
-        *reinterpret_cast<Vec8*>(xi + c0 + 8) = a1 / d;
-        *reinterpret_cast<Vec8*>(xi + c0 + 16) = a2 / d;
-        *reinterpret_cast<Vec8*>(xi + c0 + 24) = a3 / d;
-        *reinterpret_cast<Vec8*>(xi + c0 + 32) = a4 / d;
-        *reinterpret_cast<Vec8*>(xi + c0 + 40) = a5 / d;
-        continue;
-      }
-#endif
       size_t c = c0;
       for (; c + kTile <= c1; c += kTile) {
         double a0 = xi[c], a1 = xi[c + 1], a2 = xi[c + 2], a3 = xi[c + 3];
         double a4 = xi[c + 4], a5 = xi[c + 5], a6 = xi[c + 6], a7 = xi[c + 7];
-        const double* __restrict xk = xb + (ii + 1) * m + c;
-        const double* __restrict lk = lb + (ii + 1) * n + ii;
-        for (size_t k = ii + 1; k < n; ++k, xk += m, lk += n) {
+        const double* __restrict xk = xb + (n - 1) * m + c;
+        const double* __restrict lk = lb + (n - 1) * n + ii;
+        for (size_t k = n; k-- > ii + 1; xk -= m, lk -= n) {
           const double lki = *lk;
           a0 -= lki * xk[0];
           a1 -= lki * xk[1];
@@ -340,14 +430,18 @@ Matrix Cholesky::SolveMatrix(const Matrix& b, int num_threads) const {
       }
       for (; c < c1; ++c) {
         double a = xi[c];
-        const double* __restrict xk = xb + (ii + 1) * m + c;
-        const double* __restrict lk = lb + (ii + 1) * n + ii;
-        for (size_t k = ii + 1; k < n; ++k, xk += m, lk += n) a -= *lk * *xk;
+        const double* __restrict xk = xb + (n - 1) * m + c;
+        const double* __restrict lk = lb + (n - 1) * n + ii;
+        for (size_t k = n; k-- > ii + 1; xk -= m, lk -= n) a -= *lk * *xk;
         xi[c] = a / lii;
       }
     }
   });
   return x;
+}
+
+Matrix Cholesky::SolveMatrix(const Matrix& b, int num_threads) const {
+  return SolveUpperMatrix(SolveLowerMatrix(b, num_threads), num_threads);
 }
 
 double Cholesky::LogDet() const {

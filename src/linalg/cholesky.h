@@ -2,11 +2,15 @@
 // log-determinant — the numerical core of GP posterior inference.
 //
 // The factorization is a blocked right-looking panel algorithm (panel
-// factor + parallel trailing-submatrix update) and the matrix solves are
-// blocked over right-hand-side columns. Both accumulate every element's
-// inner products in the same index order as the textbook serial loops, so
-// results are bit-identical to the unblocked algorithm at any
-// `num_threads` setting (see DESIGN.md "Threading model").
+// factor + register-tiled parallel trailing SYRK) and the matrix solves
+// are blocked over right-hand-side columns with panelled k sweeps. Every
+// element accumulates its inner-product terms in a documented, fixed index
+// order — strictly increasing k for the factorization and the forward
+// solves, strictly decreasing k for the back substitutions (the natural
+// bottom-up order, and the only one a right-looking panelled back
+// substitution can preserve exactly) — so results are bit-identical to the
+// naive reference loops at any `num_threads` setting (see DESIGN.md
+// "Threading model" / "Kernel engineering").
 #pragma once
 
 #include "common/result.h"
@@ -26,17 +30,23 @@ class Cholesky {
                                  double max_jitter = 1e-2,
                                  int num_threads = 1);
 
-  // Solve A x = b via forward/back substitution.
+  // Solve A x = b via forward/back substitution. The back-substitution
+  // half accumulates k terms in strictly decreasing order (bottom-up).
   Vector Solve(const Vector& b) const;
-  // Solve L y = b (forward substitution only).
+  // Solve L y = b (forward substitution only, ascending k).
   Vector SolveLower(const Vector& b) const;
   // Solve L Y = B for all columns of B at once (forward substitution on
   // column blocks, no per-column copies). Column j of the result equals
   // SolveLower(column j of B) bit-for-bit; `num_threads` splits the
   // independent columns over the pool.
   Matrix SolveLowerMatrix(const Matrix& b, int num_threads = 1) const;
-  // Solve A X = B for all columns of B at once (forward + back
-  // substitution in place). Column j equals Solve(column j of B)
+  // Solve L^T X = Y for all columns of Y at once (panelled back
+  // substitution on column blocks). Column j equals the back-substitution
+  // half of Solve(·) on column j bit-for-bit: per element the k terms
+  // arrive in strictly decreasing order, panels bottom-up.
+  Matrix SolveUpperMatrix(const Matrix& y, int num_threads = 1) const;
+  // Solve A X = B for all columns of B at once (SolveLowerMatrix followed
+  // by SolveUpperMatrix). Column j equals Solve(column j of B)
   // bit-for-bit.
   Matrix SolveMatrix(const Matrix& b, int num_threads = 1) const;
 

@@ -217,10 +217,21 @@ std::vector<Prediction> GaussianProcess::PredictBatch(
   const size_t n = x_.size();
   const size_t m = xs.size();
   // Cross-kernel matrix K*: row i holds k(x_i, xs[j]) for every candidate
-  // j, built one training row at a time (rows are independent).
+  // j. Candidates are repacked feature-major once, then each training row
+  // streams per-kind columns (EvalRowColumnar == EvalRow bit-for-bit).
+  // Rows are chunked so one scratch serves several rows; each output row
+  // depends only on its own training point, so chunking cannot change
+  // results.
+  const MixedKernel::ProbeColumns cols = kernel_.PackProbes(xs);
   Matrix kstar(n, m);
-  ParallelFor(options_.num_threads, n, [&](size_t i) {
-    kernel_.EvalRow(x_[i], xs, kstar.row(i));
+  constexpr size_t kRowChunk = 8;
+  const size_t num_chunks = (n + kRowChunk - 1) / kRowChunk;
+  ParallelFor(options_.num_threads, num_chunks, [&](size_t c) {
+    MixedKernel::ColumnarScratch scratch;
+    const size_t i1 = std::min((c + 1) * kRowChunk, n);
+    for (size_t i = c * kRowChunk; i < i1; ++i) {
+      kernel_.EvalRowColumnar(x_[i], cols, &scratch, kstar.row(i));
+    }
   });
   // Means: one gemv alpha^T K*, accumulated over rows in increasing order —
   // per candidate the exact op sequence of Dot(kstar_j, alpha_).

@@ -130,4 +130,87 @@ void MixedKernel::EvalRow(const std::vector<double>& a,
   }
 }
 
+MixedKernel::ProbeColumns MixedKernel::PackProbes(
+    const std::vector<std::vector<double>>& bs) const {
+  ProbeColumns cols;
+  cols.count = bs.size();
+  const size_t m = cols.count;
+  cols.numeric.resize(numeric_idx_.size() * m);
+  cols.categorical.resize(categorical_idx_.size() * m);
+  cols.datasize.resize(datasize_idx_.size() * m);
+  for (size_t j = 0; j < m; ++j) {
+    assert(bs[j].size() == schema_.size());
+    const double* b = bs[j].data();
+    for (size_t f = 0; f < numeric_idx_.size(); ++f) {
+      cols.numeric[f * m + j] = b[numeric_idx_[f]];
+    }
+    for (size_t f = 0; f < categorical_idx_.size(); ++f) {
+      cols.categorical[f * m + j] = b[categorical_idx_[f]];
+    }
+    for (size_t f = 0; f < datasize_idx_.size(); ++f) {
+      cols.datasize[f * m + j] = b[datasize_idx_[f]];
+    }
+  }
+  return cols;
+}
+
+void MixedKernel::EvalRowColumnar(const std::vector<double>& a,
+                                  const ProbeColumns& cols,
+                                  ColumnarScratch* scratch,
+                                  double* out) const {
+  assert(a.size() == schema_.size());
+  const size_t m = cols.count;
+  if (m == 0) return;
+  // Accumulate each kind's statistic with features outermost and probes
+  // innermost: per probe the terms still land in ascending feature order,
+  // the exact sequence of the row-at-a-time Stats walk, while the inner
+  // loops stream unit-stride columns.
+  scratch->num_d2.assign(m, 0.0);
+  scratch->mismatches.assign(m, 0.0);
+  scratch->ds_d2.assign(m, 0.0);
+  double* __restrict num_d2 = scratch->num_d2.data();
+  double* __restrict mism = scratch->mismatches.data();
+  double* __restrict ds_d2 = scratch->ds_d2.data();
+  for (size_t f = 0; f < numeric_idx_.size(); ++f) {
+    const double av = a[numeric_idx_[f]];
+    const double* __restrict col = cols.numeric.data() + f * m;
+    for (size_t j = 0; j < m; ++j) {
+      double diff = av - col[j];
+      num_d2[j] += diff * diff;
+    }
+  }
+  for (size_t f = 0; f < categorical_idx_.size(); ++f) {
+    const double av = a[categorical_idx_[f]];
+    const double* __restrict col = cols.categorical.data() + f * m;
+    for (size_t j = 0; j < m; ++j) {
+      if (std::fabs(av - col[j]) > 1e-12) mism[j] += 1.0;
+    }
+  }
+  for (size_t f = 0; f < datasize_idx_.size(); ++f) {
+    const double av = a[datasize_idx_[f]];
+    const double* __restrict col = cols.datasize.data() + f * m;
+    for (size_t j = 0; j < m; ++j) {
+      double diff = av - col[j];
+      ds_d2[j] += diff * diff;
+    }
+  }
+  // Finish: per probe, EvalStatsCached's op sequence on the accumulated
+  // statistics (numeric_dist = sqrt(num_d2) exactly as Stats builds it).
+  for (size_t j = 0; j < m; ++j) {
+    double k = params_.signal_variance;
+    if (num_numeric_ > 0) {
+      double r = std::sqrt(num_d2[j]) / params_.length_numeric;
+      k *= Matern52(r);
+    }
+    if (num_categorical_ > 0) {
+      k *= hamming_table_[static_cast<size_t>(mism[j])];
+    }
+    if (num_datasize_ > 0) {
+      double l = params_.length_datasize;
+      k *= std::exp(-0.5 * ds_d2[j] / (l * l));
+    }
+    out[j] = k;
+  }
+}
+
 }  // namespace sparktune

@@ -35,6 +35,26 @@ struct KernelPairStats {
 
 class MixedKernel {
  public:
+  // Probe set repacked feature-major by kind for EvalRowColumnar: all
+  // probe values of one feature sit contiguously (value of the f-th
+  // feature of a kind for probe j is at [f * count + j]), so a batch
+  // evaluation streams unit-stride columns instead of gathering one
+  // strided value per probe row.
+  struct ProbeColumns {
+    size_t count = 0;                 // number of probes packed
+    std::vector<double> numeric;      // numeric_idx_.size() x count
+    std::vector<double> categorical;  // categorical_idx_.size() x count
+    std::vector<double> datasize;     // datasize_idx_.size() x count
+  };
+
+  // Per-probe accumulators for EvalRowColumnar, hoisted out so callers
+  // reuse the buffers across rows (one scratch per thread).
+  struct ColumnarScratch {
+    std::vector<double> num_d2;
+    std::vector<double> mismatches;
+    std::vector<double> ds_d2;
+  };
+
   explicit MixedKernel(std::vector<FeatureKind> schema,
                        KernelParams params = {});
 
@@ -50,6 +70,18 @@ class MixedKernel {
   // matrix can be filled concurrently.
   void EvalRow(const std::vector<double>& a,
                const std::vector<std::vector<double>>& bs, double* out) const;
+
+  // Repack probes feature-major for EvalRowColumnar (a pure copy).
+  ProbeColumns PackProbes(const std::vector<std::vector<double>>& bs) const;
+  // Columnar EvalRow: with cols == PackProbes(bs), writes exactly
+  // EvalRow(a, bs, out) bit-for-bit. The feature loop runs outermost and
+  // probes innermost, but each probe still receives its per-kind terms in
+  // ascending feature order — the same per-element summation order as the
+  // row-at-a-time Stats walk — and the finishing pass replicates
+  // EvalStatsCached's op sequence per probe. Reads no mutable kernel
+  // state; `scratch` must be exclusive to the caller.
+  void EvalRowColumnar(const std::vector<double>& a, const ProbeColumns& cols,
+                       ColumnarScratch* scratch, double* out) const;
 
   // Pairwise statistics of (a, b); Eval(a, b) == EvalStats(Stats(a, b),
   // params()) bit-for-bit.

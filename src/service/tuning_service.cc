@@ -92,18 +92,29 @@ void TuningService::MaybeAttachMeta(TaskState* state) {
   state->meta_attached = true;
 }
 
-void TuningService::AbsorbExecution(TaskState* state) {
+std::optional<std::vector<double>> TuningService::ExtractExecutionMeta(
+    TaskState* state) {
   // Corrupted or truncated event logs (fault injection, dying agents) must
   // not poison the meta-feature averages; quarantine anything that fails
   // the sanity screen.
+  std::optional<std::vector<double>> meta;
   if (EventLogLooksSane(state->tuner->last_event_log())) {
-    state->meta_samples.Push(
-        ExtractMetaFeatures(state->tuner->last_event_log()));
+    meta = ExtractMetaFeatures(state->tuner->last_event_log());
   }
   if (options_.compact_event_logs) state->tuner->CompactLastEventLog();
+  return meta;
+}
+
+void TuningService::AttachExecutionMeta(TaskState* state,
+                                        std::optional<std::vector<double>> meta) {
+  if (meta.has_value()) state->meta_samples.Push(std::move(*meta));
   // Attach meta-knowledge as soon as the first meta-features exist; the
   // advisor consumes warm-start configs during its initial design.
   MaybeAttachMeta(state);
+}
+
+void TuningService::AbsorbExecution(TaskState* state) {
+  AttachExecutionMeta(state, ExtractExecutionMeta(state));
 }
 
 void TuningService::MaybeAutoCheckpoint(const std::string& id,
@@ -194,17 +205,22 @@ std::vector<Result<Observation>> TuningService::ExecutePeriodicAll(
 
   // Run the suggest/evaluate cycles concurrently: each task touches only
   // its own tuner and evaluator, and the shared knowledge base is read
-  // nowhere in Step().
+  // nowhere in Step(). Meta-feature extraction (the event-log sanity
+  // screen, the 75-dim feature walk and log compaction) also reads and
+  // writes only task-owned state, so it rides in the same parallel
+  // section instead of serializing a full log scan per task.
   std::vector<std::optional<Observation>> stepped(ids.size());
+  std::vector<std::optional<std::vector<double>>> metas(ids.size());
   ParallelFor(options_.num_threads, ids.size(), [&](size_t i) {
     if (states[i] == nullptr) return;
     stepped[i] = decisions[i] == PeriodDecision::kRunDegraded
                      ? states[i]->tuner->StepDegraded()
                      : states[i]->tuner->Step();
+    metas[i] = ExtractExecutionMeta(states[i]);
   });
 
   // Serial postlude in input order: watchdog outcome recording,
-  // meta-feature harvesting, knowledge attachment, and the auto-checkpoint
+  // meta-feature attachment, knowledge attachment, and the auto-checkpoint
   // cadence mutate per-task and shared state.
   std::vector<Result<Observation>> results;
   results.reserve(ids.size());
@@ -221,7 +237,7 @@ std::vector<Result<Observation>> TuningService::ExecutePeriodicAll(
       RecordPeriodOutcome(states[i]->policy, &states[i]->retry,
                           stepped[i]->failure);
     }
-    AbsorbExecution(states[i]);
+    AttachExecutionMeta(states[i], std::move(metas[i]));
     EnqueueHarvest(ids[i]);
     MaybeAutoCheckpoint(ids[i], states[i]);
     results.push_back(std::move(*stepped[i]));

@@ -198,9 +198,17 @@ class TuningService {
   };
 
   void MaybeAttachMeta(TaskState* state);
-  // Post-execution bookkeeping shared by the single and batch paths:
-  // harvest meta-features from the last event log, then attach
-  // meta-knowledge once available. Mutates shared state — serial use only.
+  // Parallel half of post-execution bookkeeping: screen the task's last
+  // event log, extract its meta-feature vector (nullopt if the log fails
+  // the sanity screen) and compact the log. Touches only state owned by
+  // this task, so batch workers may run it concurrently on distinct tasks.
+  std::optional<std::vector<double>> ExtractExecutionMeta(TaskState* state);
+  // Serial half: fold the extracted meta-features into the task's sample
+  // window and attach meta-knowledge once available. Reads the shared
+  // knowledge base — serial use only, in batch input order.
+  void AttachExecutionMeta(TaskState* state,
+                           std::optional<std::vector<double>> meta);
+  // Both halves back to back, for the single-task path.
   void AbsorbExecution(TaskState* state);
   // Auto-checkpoint cadence check; runs serially at the end of a period.
   void MaybeAutoCheckpoint(const std::string& id, TaskState* state);

@@ -115,5 +115,72 @@ TEST(KernelTest, LengthscaleControlsSmoothing) {
   EXPECT_LT(ks.Eval({0.0}, {0.5}), kl.Eval({0.0}, {0.5}));
 }
 
+// Columnar batch evaluation must reproduce the row-at-a-time walk
+// bit-for-bit on any schema, including ones where whole feature kinds
+// are absent and the corresponding accumulation loops never run.
+void ExpectColumnarMatchesRow(const std::vector<FeatureKind>& schema,
+                              size_t num_probes, uint64_t seed) {
+  MixedKernel k(schema);
+  Rng rng(seed);
+  auto a = RandomPoint(schema, &rng);
+  std::vector<std::vector<double>> bs;
+  for (size_t j = 0; j < num_probes; ++j) {
+    bs.push_back(RandomPoint(schema, &rng));
+  }
+  std::vector<double> by_row(num_probes, -1.0);
+  if (num_probes > 0) k.EvalRow(a, bs, by_row.data());
+  MixedKernel::ProbeColumns cols = k.PackProbes(bs);
+  EXPECT_EQ(cols.count, num_probes);
+  std::vector<double> columnar(num_probes, -2.0);
+  MixedKernel::ColumnarScratch scratch;
+  k.EvalRowColumnar(a, cols, &scratch, columnar.data());
+  for (size_t j = 0; j < num_probes; ++j) {
+    EXPECT_EQ(columnar[j], by_row[j]) << "probe " << j;
+    EXPECT_EQ(columnar[j], k.Eval(a, bs[j])) << "probe " << j;
+  }
+}
+
+TEST(KernelTest, ColumnarMatchesRowOnMixedSchema) {
+  ExpectColumnarMatchesRow(MixedSchema(), 37, 101);
+}
+
+TEST(KernelTest, ColumnarMatchesRowWithoutCategoricals) {
+  ExpectColumnarMatchesRow({FeatureKind::kNumeric, FeatureKind::kNumeric,
+                            FeatureKind::kDataSize},
+                           19, 103);
+}
+
+TEST(KernelTest, ColumnarMatchesRowWithoutNumerics) {
+  ExpectColumnarMatchesRow(
+      {FeatureKind::kCategorical, FeatureKind::kCategorical}, 23, 107);
+}
+
+TEST(KernelTest, ColumnarMatchesRowDataSizeOnly) {
+  ExpectColumnarMatchesRow({FeatureKind::kDataSize}, 11, 109);
+}
+
+TEST(KernelTest, ColumnarHandlesEmptyProbeSet) {
+  ExpectColumnarMatchesRow(MixedSchema(), 0, 113);
+}
+
+TEST(KernelTest, ColumnarScratchIsReusableAcrossRows) {
+  // A single scratch must be safe to reuse for successive rows (the
+  // PredictBatch row-chunk loop does exactly this).
+  MixedKernel k(MixedSchema());
+  Rng rng(127);
+  std::vector<std::vector<double>> bs;
+  for (size_t j = 0; j < 29; ++j) bs.push_back(RandomPoint(k.schema(), &rng));
+  MixedKernel::ProbeColumns cols = k.PackProbes(bs);
+  MixedKernel::ColumnarScratch scratch;
+  for (int row = 0; row < 3; ++row) {
+    auto a = RandomPoint(k.schema(), &rng);
+    std::vector<double> by_row(bs.size());
+    k.EvalRow(a, bs, by_row.data());
+    std::vector<double> columnar(bs.size());
+    k.EvalRowColumnar(a, cols, &scratch, columnar.data());
+    EXPECT_EQ(columnar, by_row) << "row " << row;
+  }
+}
+
 }  // namespace
 }  // namespace sparktune

@@ -256,5 +256,117 @@ TEST(CholeskyTest, SolveLowerMatrixBitEqualsPerColumn) {
   }
 }
 
+// Naive per-column back substitution in the documented order: strictly
+// descending k. This is the bit-equality reference for the panelled
+// SolveUpperMatrix path.
+Matrix NaiveUpperSolve(const Matrix& l, const Matrix& y) {
+  const size_t n = l.rows();
+  const size_t m = y.cols();
+  Matrix x(n, m);
+  for (size_t c = 0; c < m; ++c) {
+    for (size_t ii = n; ii-- > 0;) {
+      double sum = y(ii, c);
+      for (size_t k = n; k-- > ii + 1;) sum -= l(k, ii) * x(k, c);
+      x(ii, c) = sum / l(ii, ii);
+    }
+  }
+  return x;
+}
+
+TEST(CholeskyTest, SolveUpperMatrixBitEqualsNaiveAcrossThreadCounts) {
+  Rng rng(43);
+  // Ragged in both dimensions: n spans two full 48-wide panels plus a
+  // 5-row remainder; m spans a full 48-column block plus a partial one.
+  const size_t n = 101;
+  const size_t m = 53;
+  Matrix a = RandomSpd(n, &rng);
+  Matrix y(n, m);
+  for (size_t r = 0; r < n; ++r) {
+    for (size_t c = 0; c < m; ++c) y(r, c) = rng.Normal();
+  }
+  auto chol = Cholesky::Factor(a);
+  ASSERT_TRUE(chol.ok());
+  Matrix ref = NaiveUpperSolve(chol->lower(), y);
+  for (int nt : {1, 2, 4}) {
+    Matrix x = chol->SolveUpperMatrix(y, nt);
+    for (size_t r = 0; r < n; ++r) {
+      for (size_t c = 0; c < m; ++c) {
+        EXPECT_EQ(x(r, c), ref(r, c))
+            << "nt=" << nt << " at " << r << "," << c;
+      }
+    }
+  }
+}
+
+TEST(CholeskyTest, SolveMatrixBitEqualsPerColumnOnRaggedSize) {
+  Rng rng(47);
+  // One full panel plus a partial one, so both the panelled and the
+  // flat-scalar upper-solve paths run.
+  const size_t n = 65;
+  const size_t m = 49;
+  Matrix a = RandomSpd(n, &rng);
+  Matrix b(n, m);
+  for (size_t r = 0; r < n; ++r) {
+    for (size_t c = 0; c < m; ++c) b(r, c) = rng.Normal();
+  }
+  auto chol = Cholesky::Factor(a);
+  ASSERT_TRUE(chol.ok());
+  for (int nt : {1, 2, 4}) {
+    Matrix x = chol->SolveMatrix(b, nt);
+    for (size_t c = 0; c < m; ++c) {
+      Vector col(n);
+      for (size_t r = 0; r < n; ++r) col[r] = b(r, c);
+      Vector xref = chol->Solve(col);
+      for (size_t r = 0; r < n; ++r) {
+        EXPECT_EQ(x(r, c), xref[r]) << "nt=" << nt << " col " << c;
+      }
+    }
+  }
+}
+
+TEST(CholeskyTest, FactorBitEqualsUnblockedAcrossThreadCountsRagged) {
+  Rng rng(53);
+  // Two full panels plus a remainder, exercising the tiled trailing
+  // update's ragged tail at every thread count.
+  Matrix a = RandomSpd(101, &rng);
+  Matrix ref;
+  ASSERT_TRUE(UnblockedFactor(a, &ref));
+  for (int nt : {1, 2, 4}) {
+    auto chol = Cholesky::Factor(a, 1e-10, 1e-2, nt);
+    ASSERT_TRUE(chol.ok());
+    EXPECT_EQ(chol->applied_jitter(), 0.0);
+    for (size_t r = 0; r < a.rows(); ++r) {
+      for (size_t c = 0; c < a.cols(); ++c) {
+        EXPECT_EQ(chol->lower()(r, c), ref(r, c))
+            << "nt=" << nt << " at " << r << "," << c;
+      }
+    }
+  }
+}
+
+TEST(CholeskyTest, JitterPathBitIdenticalAcrossThreadCounts) {
+  // Rank-deficient PSD matrix: the refactor-with-jitter escalation must
+  // land on the same jitter and the same bits regardless of thread count.
+  Rng rng(59);
+  Matrix b(60, 5);
+  for (size_t r = 0; r < b.rows(); ++r) {
+    for (size_t c = 0; c < b.cols(); ++c) b(r, c) = rng.Normal();
+  }
+  Matrix a = b.MatMul(b.Transpose());
+  auto serial = Cholesky::Factor(a, 1e-10, 1e-2, 1);
+  ASSERT_TRUE(serial.ok());
+  EXPECT_GT(serial->applied_jitter(), 0.0);
+  for (int nt : {2, 4}) {
+    auto par = Cholesky::Factor(a, 1e-10, 1e-2, nt);
+    ASSERT_TRUE(par.ok());
+    EXPECT_EQ(par->applied_jitter(), serial->applied_jitter());
+    for (size_t r = 0; r < a.rows(); ++r) {
+      for (size_t c = 0; c < a.cols(); ++c) {
+        EXPECT_EQ(par->lower()(r, c), serial->lower()(r, c)) << "nt=" << nt;
+      }
+    }
+  }
+}
+
 }  // namespace
 }  // namespace sparktune

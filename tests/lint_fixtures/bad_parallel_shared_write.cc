@@ -1,0 +1,24 @@
+// Fixture: non-RNG shared state written inside ParallelFor bodies with no
+// guard annotation — a compound-assigned accumulator, a container mutator,
+// a fixed-slot assignment and a shared counter increment. Expected:
+// parallel-shared-write on lines 13, 14, 15, 22.
+#include <vector>
+
+#include "common/thread_pool.h"
+
+double Sum(const std::vector<double>& xs) {
+  double total = 0.0;
+  std::vector<double> log;
+  sparktune::ParallelFor(4, xs.size(), [&](size_t i) {
+    total += xs[i];
+    log.push_back(xs[i]);
+    log[0] = xs[i];
+  });
+  return total;
+}
+
+long Count(size_t n) {
+  long hits = 0;
+  sparktune::ParallelFor(4, n, [&](size_t) { ++hits; });
+  return hits;
+}

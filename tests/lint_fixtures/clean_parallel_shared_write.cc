@@ -1,0 +1,28 @@
+// Fixture: the sanctioned ParallelFor write patterns — task-id-owned
+// slots, body-local accumulators (including later declarators of one
+// statement), and explicitly guarded or justified shared writes.
+// Expected: no findings.
+#include <mutex>
+#include <vector>
+
+#include "common/thread_pool.h"
+
+std::vector<double> Square(const std::vector<double>& xs, std::mutex* mu,
+                           double* shared_total) {
+  std::vector<double> out(xs.size());
+  sparktune::ParallelFor(4, xs.size(), [&](size_t i) {
+    // Index-owned slot: only task i ever touches out[i].
+    out[i] = xs[i] * xs[i];
+    // Body-local state, including the second declarator.
+    double acc = 0.0, acc2 = 0.0;
+    acc += out[i];
+    acc2 += acc;
+    double* slot = &out[i];
+    *slot = acc2;
+    // Guarded shared accumulation (order-insensitive by construction).
+    std::lock_guard<std::mutex> lock(*mu);
+    // lint:guarded-by(mu)
+    *shared_total += acc;
+  });
+  return out;
+}

@@ -95,6 +95,14 @@ TEST(LintRules, BadAllow) {
                  {{"bad-allow", 7}, {"no-rand", 8}, {"bad-allow", 9}});
 }
 
+TEST(LintRules, ParallelSharedWrite) {
+  ExpectFindings("bad_parallel_shared_write.cc",
+                 {{"parallel-shared-write", 13},
+                  {"parallel-shared-write", 14},
+                  {"parallel-shared-write", 15},
+                  {"parallel-shared-write", 22}});
+}
+
 TEST(LintRules, NoAbortInLibraryScope) {
   ExpectFindings("src/bad_abort.cc",
                  {{"no-abort", 6}, {"no-abort", 7}, {"no-abort", 8}});
@@ -124,6 +132,10 @@ TEST(LintClean, ReasonedSuppressions) {
   ExpectFindings("clean_suppressed.cc", {});
 }
 
+TEST(LintClean, ParallelTaskOwnedAndGuardedWrites) {
+  ExpectFindings("clean_parallel_shared_write.cc", {});
+}
+
 TEST(LintMeta, EveryRuleIdIsExercisedByTheCorpus) {
   // Union of findings across all bad_* fixtures must cover the catalogue,
   // so a rule cannot silently stop firing.
@@ -132,6 +144,7 @@ TEST(LintMeta, EveryRuleIdIsExercisedByTheCorpus) {
       "bad_raw_thread.cc",     "bad_nondet_reduce.cc", "linalg/bad_float_accum.cc",
       "bad_unordered_iter.cc", "bad_rng_fork.cc",      "bad_rng_capture.cc",
       "bad_mutable_static.cc", "bad_allow.cc",         "src/bad_abort.cc",
+      "bad_parallel_shared_write.cc",
   };
   std::set<std::string> fired;
   for (const std::string& f : fixtures) {

@@ -52,6 +52,13 @@ if [[ "$ALL" -eq 1 ]]; then
     --harvest_per_tick=64 --max_rss_mb=2048 --out=build/BENCH_fleet.json
 fi
 
+# Kernel bit-equality self-check: every optimized hot kernel (panelled
+# upper solve, tiled SYRK, columnar kernel batch, parallel meta extract)
+# re-verified against its naive reference on ragged sizes.
+echo "==> [build] bench_kernels --self_check=1 (kernel bit-equality)"
+./build/bench/bench_kernels --self_check=1 --threads="$JOBS" \
+  --out=build/BENCH_kernels_selfcheck.json
+
 echo "==> [build] ctest -L lint (isolated lint label)"
 ctest --test-dir build --output-on-failure -L lint
 

@@ -315,6 +315,7 @@ const std::vector<std::string> kRules = {
     "no-raw-thread",     "no-nondet-reduce",   "no-float-accum",
     "no-unordered-iter", "rng-fork-required",  "no-rng-ref-capture",
     "mutable-static",    "bad-allow",          "no-abort",
+    "parallel-shared-write",
 };
 
 bool PathContains(const std::string& path, const std::string& needle) {
@@ -535,6 +536,61 @@ class Linter {
     return toks_.size();
   }
 
+  // Index of the token opening the bracket that closes at `close`,
+  // collecting every identifier strictly inside into `ids`. Returns
+  // `close` when unbalanced.
+  size_t MatchBackward(size_t close, const char* open_s, const char* close_s,
+                       std::set<std::string>* ids) {
+    int depth = 0;
+    for (size_t k = close + 1; k-- > 0;) {
+      const std::string& t = toks_[k].text;
+      if (t == close_s) {
+        ++depth;
+      } else if (t == open_s) {
+        if (--depth == 0) return k;
+      } else if (depth > 0 && !t.empty() && IsIdentChar(t[0]) &&
+                 !std::isdigit(static_cast<unsigned char>(t[0]))) {
+        ids->insert(t);
+      }
+    }
+    return close;
+  }
+
+  // The lvalue chain ending at token `e`, walked back to its leftmost
+  // (base) identifier. `inner` collects the identifiers inside any
+  // subscripts/call arguments along the chain, so index-owned writes
+  // (out[task_id]) can be recognized.
+  struct Lvalue {
+    std::string base;
+    std::set<std::string> inner;
+  };
+  Lvalue WalkLvalue(size_t e) {
+    Lvalue lv;
+    size_t k = e;
+    while (k < toks_.size()) {
+      const std::string& t = toks_[k].text;
+      if (t == "]" || t == ")") {
+        size_t o = t == "]" ? MatchBackward(k, "[", "]", &lv.inner)
+                            : MatchBackward(k, "(", ")", &lv.inner);
+        if (o == k || o == 0) return lv;
+        k = o - 1;
+        continue;
+      }
+      if (!t.empty() && IsIdentChar(t[0]) &&
+          !std::isdigit(static_cast<unsigned char>(t[0]))) {
+        lv.base = t;
+        if (k >= 2 && (toks_[k - 1].text == "." || toks_[k - 1].text == "->" ||
+                       toks_[k - 1].text == "::")) {
+          k -= 2;
+          continue;
+        }
+        return lv;
+      }
+      return lv;
+    }
+    return lv;
+  }
+
   // --- range-for over unordered containers --------------------------------
   void CheckUnorderedIteration() {
     static const std::set<std::string> kMutators = {
@@ -638,6 +694,120 @@ class Linter {
             "draws would interleave by schedule; ForkRngs(rng, n) before "
             "the loop and use the task's own stream");
       }
+      CheckSharedWrites(cap_end, body_begin, body_end);
+    }
+  }
+
+  // --- non-RNG shared writes in ParallelFor bodies -------------------------
+  // Flags writes (assignments, compound assignments, ++/--, container
+  // mutator calls) whose target is neither owned by the body (declared
+  // inside it or the lambda parameter) nor an index-owned slot (a
+  // subscript/argument naming a body-owned index, like out[task_id]).
+  // Rng targets are skipped — the rng rules own that failure mode.
+  void CheckSharedWrites(size_t cap_end, size_t body_begin, size_t body_end) {
+    // Lambda parameters: identifiers directly before ',' or ')' in the
+    // parameter list.
+    std::set<std::string> owned;
+    if (Tok(cap_end + 1) == "(") {
+      size_t parm_end = MatchForward(cap_end + 1, "(", ")");
+      for (size_t j = cap_end + 2; j < parm_end && j < toks_.size(); ++j) {
+        const std::string& t = toks_[j].text;
+        if ((Tok(j + 1) == "," || j + 1 == parm_end) && !t.empty() &&
+            IsIdentChar(t[0]) &&
+            !std::isdigit(static_cast<unsigned char>(t[0]))) {
+          owned.insert(t);
+        }
+      }
+    }
+    // Body-local declarations, token-level: an identifier preceded by a
+    // type-ish token (identifier, '*', '&', '>'). Expression keywords
+    // (`return x`) are not types. Over-collecting exempts too much rather
+    // than false-positives, the right bias for a syntactic pass.
+    static const std::set<std::string> kExprKeywords = {
+        "return",   "throw",    "else",     "case",     "goto",
+        "new",      "delete",   "sizeof",   "operator", "co_return",
+        "co_yield", "co_await", "if",       "while",    "for",
+        "do",       "switch",
+    };
+    for (size_t j = body_begin + 1; j < body_end && j < toks_.size(); ++j) {
+      const std::string& t = toks_[j].text;
+      if (t.empty() || !IsIdentChar(t[0]) ||
+          std::isdigit(static_cast<unsigned char>(t[0]))) {
+        continue;
+      }
+      const std::string& p = Tok(j - 1);
+      bool after_type =
+          p == "*" || p == "&" || p == ">" ||
+          (!p.empty() && IsIdentChar(p[0]) &&
+           !std::isdigit(static_cast<unsigned char>(p[0])) &&
+           !kExprKeywords.count(p));
+      // Later declarators of a multi-declarator statement
+      // (`double a0 = x, a1 = y;`) follow a comma, not the type.
+      bool later_declarator = p == "," && Tok(j + 1) == "=";
+      if (after_type || later_declarator) owned.insert(t);
+    }
+    static const std::set<std::string> kMutators = {
+        "push_back", "emplace_back", "insert",  "emplace", "push_front",
+        "append",    "push",         "pop_back", "clear",  "erase",
+        "resize",    "assign",
+    };
+    auto exempt = [&](const Lvalue& lv) {
+      if (!lv.base.empty() &&
+          (owned.count(lv.base) || rng_scalars_.count(lv.base) ||
+           rng_arrays_.count(lv.base))) {
+        return true;
+      }
+      for (const std::string& id : lv.inner) {
+        if (owned.count(id)) return true;
+      }
+      return false;
+    };
+    auto flag = [&](const Lvalue& lv, int line) {
+      std::string what = lv.base.empty() ? "shared state" : "'" + lv.base + "'";
+      Add("parallel-shared-write", line,
+          "write to " + what + " shared across ParallelFor tasks",
+          "give each task its own slot (index by the task id), hoist the "
+          "write out of the loop, or guard it and annotate "
+          "lint:guarded-by(<mutex>)");
+    };
+    static const std::set<std::string> kCompound = {"+", "-", "*", "/",
+                                                    "%", "&", "|", "^"};
+    static const std::set<std::string> kNotBeforeAssign = {
+        "=", "!", "<", ">", "+", "-", "*", "/", "%", "&", "|", "^"};
+    for (size_t j = body_begin + 1; j < body_end && j < toks_.size(); ++j) {
+      const std::string& t = toks_[j].text;
+      size_t lhs_end = 0;
+      if (t == "=" && Tok(j + 1) != "=" && !kNotBeforeAssign.count(Tok(j - 1))) {
+        lhs_end = j - 1;  // plain assignment
+      } else if (kCompound.count(t) && Tok(j + 1) == "=" &&
+                 Tok(j + 2) != "=") {
+        lhs_end = j - 1;  // compound assignment
+      } else if ((t == "+" && Tok(j + 1) == "+") ||
+                 (t == "-" && Tok(j + 1) == "-")) {
+        const std::string& before = Tok(j - 1);
+        if (!before.empty() && (IsIdentChar(before[0]) || before == "]" ||
+                                before == ")")) {
+          lhs_end = j - 1;  // postfix
+        } else {
+          // Prefix: extend forward over the target's member chain.
+          size_t e = j + 2;
+          while (Tok(e + 1) == "." || Tok(e + 1) == "->" ||
+                 Tok(e + 1) == "::") {
+            e += 2;
+          }
+          if (!Tok(e).empty() && IsIdentChar(Tok(e)[0])) lhs_end = e;
+        }
+      } else if (kMutators.count(t) && Tok(j + 1) == "(" &&
+                 (Prev(j, ".") || Prev(j, "->")) && j >= 2) {
+        lhs_end = j - 2;  // receiver of a container mutator call
+      } else {
+        continue;
+      }
+      if (lhs_end == 0 || lhs_end < body_begin) continue;
+      Lvalue lv = WalkLvalue(lhs_end);
+      if (lv.base.empty() && lv.inner.empty()) continue;
+      if (exempt(lv)) continue;
+      flag(lv, toks_[j].line);
     }
   }
 
@@ -786,7 +956,10 @@ class Linter {
         auto it = cleaned_.notes.find(line);
         if (it == cleaned_.notes.end()) continue;
         const Annotation& a = it->second;
-        if (f.rule == "mutable-static" && a.guarded_by) suppressed = true;
+        if ((f.rule == "mutable-static" || f.rule == "parallel-shared-write") &&
+            a.guarded_by) {
+          suppressed = true;
+        }
         for (size_t k = 0; k < a.allowed.size(); ++k) {
           if (a.allowed[k] == f.rule && !a.allow_reasons[k].empty()) {
             suppressed = true;

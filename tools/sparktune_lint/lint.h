@@ -27,13 +27,19 @@
 //   mutable-static     mutable namespace-scope, function-static, or
 //                      thread_local state without a
 //                      // lint:guarded-by(<mutex>) or lint:allow annotation
+//   parallel-shared-write
+//                      a ParallelFor body writes (assigns, ++/--, or calls
+//                      a container mutator on) non-RNG state it does not
+//                      own — not declared in the body, not the lambda
+//                      parameter, and not an index-owned slot whose
+//                      subscript names a body-owned index (out[task_id])
 //   bad-allow          a lint:allow with no reason string or an unknown
 //                      rule id (never suppressible)
 //
 // Suppressions: `// lint:allow(<rule-id>) <reason>` on the finding's line
 // or the line directly above. `// lint:guarded-by(<mutex>)` satisfies
-// mutable-static specifically. Reasons are mandatory so every exception
-// is self-documenting in the diff.
+// mutable-static and parallel-shared-write specifically. Reasons are
+// mandatory so every exception is self-documenting in the diff.
 #pragma once
 
 #include <string>
