@@ -146,6 +146,9 @@ class RunHistory {
   std::vector<uint64_t> offsets_;   // size()+1 entries; row i spans
                                     // [offsets_[i], offsets_[i+1])
   std::vector<Row> rows_;
+  // Only iterated to sum per-bucket heap bytes (HeapBytes), an
+  // order-independent integer reduction; lookups never see hash order.
+  // lint:allow(unordered-member-iter) HeapBytes is an order-independent sum
   std::unordered_map<uint64_t, std::vector<uint32_t>> config_index_;
 };
 

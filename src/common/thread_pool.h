@@ -80,10 +80,12 @@ class ThreadPool {
   std::condition_variable cv_done_;
   // lint:allow(no-raw-thread) the pool itself — the one sanctioned owner of raw threads
   std::vector<std::thread> workers_;
-  uint64_t generation_ = 0;  // bumped per job; workers run each job once
-  Job* job_ = nullptr;
-  size_t workers_arrived_ = 0;  // workers done with the current generation
-  bool stop_ = false;
+  // lint:guarded-by(mu_) bumped per job; workers run each job once
+  uint64_t generation_ = 0;
+  Job* job_ = nullptr;  // lint:guarded-by(mu_)
+  // lint:guarded-by(mu_) workers done with the current generation
+  size_t workers_arrived_ = 0;
+  bool stop_ = false;  // lint:guarded-by(mu_)
 };
 
 // Options-level dispatch used by every `num_threads` knob in the library:

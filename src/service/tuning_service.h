@@ -227,7 +227,10 @@ class TuningService {
   // the rotating queue of tasks with unharvested executions.
   std::set<std::string> checkpoint_dirty_;
   std::deque<std::string> harvest_queue_;
-  std::unordered_set<std::string> harvest_enqueued_;  // queue dedup
+  // Queue dedup, membership-only (insert/erase/count) — deliberately not
+  // blessed for iteration: ordering comes from harvest_queue_, and any
+  // future walk of this set trips unordered-member-iter (phase-1 indexed).
+  std::unordered_set<std::string> harvest_enqueued_;
 };
 
 }  // namespace sparktune

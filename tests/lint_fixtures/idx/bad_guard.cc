@@ -1,0 +1,29 @@
+// Cross-TU bad fixture for guard-discipline: hits_ is declared
+// lint:guarded-by(mu_) in idx/registry.h; these accesses happen where
+// mu_ is not visibly held.
+// Expected (indexed with registry.h):
+//   line 13: guard-discipline   (no lock at all)
+//   line 20: guard-discipline   (early unlock released the guard)
+//   line 28: guard-discipline   (guard deferred and never locked)
+#include <mutex>
+
+#include "registry.h"
+
+void Unlocked(lintfix::Registry* r) {
+  r->hits_ += 1;
+}
+
+void EarlyUnlock(lintfix::Registry* r) {
+  std::unique_lock<std::mutex> lk(r->mu_);
+  r->hits_ += 1;  // held: fine
+  lk.unlock();
+  r->hits_ += 1;  // released above: finding
+}
+
+void DeferredNeverLocked(lintfix::Registry* r) {
+  std::unique_lock<std::mutex> lk(r->mu_, std::defer_lock);
+  if (r == nullptr) {
+    return;
+  }
+  r->hits_ += 1;
+}

@@ -1,0 +1,23 @@
+// Cross-TU bad fixture: iterates an unordered member declared in
+// idx/registry.h. Per-file linting sees nothing (the member's type lives
+// in the other file); with the index, both walks are findings.
+// Expected (indexed with registry.h):
+//   line 14: unordered-member-iter   (range-for over scores_)
+//   line 21: unordered-member-iter   (iterator walk over scores_)
+#include <string>
+#include <vector>
+
+#include "registry.h"
+
+std::vector<std::string> Keys(const lintfix::Registry& r) {
+  std::vector<std::string> keys;
+  for (const auto& [key, value] : r.scores_) {
+    keys.push_back(key);
+  }
+  return keys;
+}
+
+double First(const lintfix::Registry& r) {
+  auto it = r.scores_.begin();
+  return it->second;
+}

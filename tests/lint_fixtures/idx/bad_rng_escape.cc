@@ -1,0 +1,19 @@
+// Cross-TU bad fixture for rng-ref-escape: SampleCost's signature lives
+// in idx/rng_helpers.h (takes Rng&). Handing the shared outer Rng to it
+// inside a ParallelFor body, or capturing the Rng by reference in a
+// stored lambda, lets the reference escape the serial scope.
+// Expected (indexed with rng_helpers.h):
+//   line 15: rng-ref-escape     (un-forked rng passed to Rng& callee)
+//   line 15: rng-fork-required  (outer rng named inside the body at all)
+//   line 17: rng-ref-escape     (stored lambda captures [&rng])
+#include <vector>
+
+#include "rng_helpers.h"
+
+double Fan(lintfix::Rng& rng, std::vector<double>* out) {
+  ParallelFor(0, out->size(), [&](size_t i) {
+    (*out)[i] = lintfix::SampleCost(rng, 2.0);
+  });
+  auto later = [&rng]() { return lintfix::SampleCost(rng, 1.0); };
+  return later();
+}

@@ -1,0 +1,30 @@
+// Cross-TU clean fixture for guard-discipline: every access to hits_
+// (declared lint:guarded-by(mu_) in idx/registry.h) happens while mu_ is
+// visibly held — via RAII guards, a deferred guard locked before use,
+// manual lock()/unlock() bounded by the block, and a use-site allow for
+// the one sanctioned unguarded read.
+#include <mutex>
+
+#include "registry.h"
+
+void LockGuardHeld(lintfix::Registry* r) {
+  std::lock_guard<std::mutex> lk(r->mu_);
+  r->hits_ += 1;
+}
+
+void DeferredThenLocked(lintfix::Registry* r) {
+  std::unique_lock<std::mutex> lk(r->mu_, std::defer_lock);
+  lk.lock();
+  r->hits_ += 1;
+}
+
+void ManualLockUnlock(lintfix::Registry* r) {
+  r->mu_.lock();
+  r->hits_ += 1;
+  r->mu_.unlock();
+}
+
+int ReadDuringSingleThreadedSetup(lintfix::Registry* r) {
+  // lint:allow(guard-discipline) called before any worker exists
+  return r->hits_;
+}

@@ -1,0 +1,30 @@
+// Cross-TU clean fixture: every access pattern here is fine under
+// unordered-member-iter even with registry.h in the index —
+//   * point lookups and size() never observe hash order;
+//   * an order-independent reduction carries a use-site reasoned allow;
+//   * tags_ is blessed at its declaration (decl-site allow), so iterating
+//     it needs no annotation here.
+#include <string>
+
+#include "registry.h"
+
+double Lookup(const lintfix::Registry& r, const std::string& key) {
+  auto it = r.scores_.find(key);
+  return it == r.scores_.end() ? 0.0 : it->second;
+}
+
+int Size(const lintfix::Registry& r) {
+  return static_cast<int>(r.scores_.size());
+}
+
+int CountTagged(const lintfix::Registry& r) {
+  int n = 0;
+  // lint:allow(unordered-member-iter) integer count, order-independent
+  for (const auto& [key, value] : r.scores_) {
+    if (value > 0.0) ++n;
+  }
+  for (const auto& tag : r.tags_) {
+    n += static_cast<int>(!tag.empty());
+  }
+  return n;
+}

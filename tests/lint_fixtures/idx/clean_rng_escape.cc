@@ -1,0 +1,17 @@
+// Cross-TU clean fixture for rng-ref-escape: the sanctioned patterns.
+// The ParallelFor body only ever touches its own forked stream (rngs[i]),
+// so handing that to the Rng&-taking helper is fine — each task owns its
+// stream. The stored lambda captures a forked child by value.
+#include <vector>
+
+#include "rng_helpers.h"
+
+double FanClean(lintfix::Rng& rng, std::vector<double>* out) {
+  std::vector<lintfix::Rng> rngs = ForkRngs(rng, out->size());
+  ParallelFor(0, out->size(), [&](size_t i) {
+    (*out)[i] = lintfix::SampleCost(rngs[i], 2.0);
+  });
+  lintfix::Rng child = rng.Fork();
+  auto later = [child]() mutable { return lintfix::SampleCost(child, 1.0); };
+  return later();
+}

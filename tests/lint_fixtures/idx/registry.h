@@ -1,0 +1,29 @@
+// Cross-TU fixture header: the idx/*.cc fixtures in this directory misuse
+// (or correctly use) members declared *here*, in a different file — the
+// case the per-file pass cannot see and the phase-1 symbol index exists
+// for. Linted as a pair: {this header, one .cc} via LintFilesIndexed.
+#pragma once
+
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace lintfix {
+
+struct Registry {
+  double Total() const;
+
+  // Unannotated unordered member: any iteration anywhere is a finding.
+  std::unordered_map<std::string, double> scores_;
+
+  // Declaration-site allow: blessed for every use (membership counting is
+  // order-independent), so iterating it in a .cc stays clean.
+  // lint:allow(unordered-member-iter) counted only, order-independent
+  std::unordered_set<std::string> tags_;
+
+  std::mutex mu_;
+  int hits_ = 0;  // lint:guarded-by(mu_)
+};
+
+}  // namespace lintfix

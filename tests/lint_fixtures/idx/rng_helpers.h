@@ -1,0 +1,13 @@
+// Cross-TU fixture header: an Rng&-taking helper prototype. The indexer
+// records the signature, which is what lets rng-ref-escape catch a
+// ParallelFor body handing its outer (shared) Rng to this callee even
+// though the call site alone looks like any other function call.
+#pragma once
+
+namespace lintfix {
+
+class Rng;
+
+double SampleCost(Rng& rng, double scale);
+
+}  // namespace lintfix

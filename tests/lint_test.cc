@@ -1,19 +1,32 @@
 // Tests for tools/sparktune_lint: every rule id fires on its seeded
 // fixture at the exact expected line, clean counterparts stay silent,
-// and suppression annotations behave as documented.
+// suppression annotations behave as documented, the cross-TU rules see
+// through file boundaries (two-file fixture pairs), and the CLI honors
+// its exit-code / --format / --fix contracts.
+#include <sys/wait.h>
+#include <unistd.h>
+
 #include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
 #include <set>
+#include <sstream>
 #include <string>
 #include <utility>
 #include <vector>
 
+#include "common/json.h"
 #include "gtest/gtest.h"
+#include "index.h"
 #include "lint.h"
 
 namespace {
 
+using sparktune::Json;
 using sparktune::lint::Finding;
 using sparktune::lint::LintFileOnDisk;
+using sparktune::lint::LintFilesIndexed;
 
 using RuleLine = std::pair<std::string, int>;
 
@@ -24,8 +37,12 @@ std::vector<RuleLine> RuleLines(const std::vector<Finding>& fs) {
   return out;
 }
 
+std::string FixturePath(const std::string& rel) {
+  return std::string(LINT_FIXTURE_DIR) + "/" + rel;
+}
+
 std::vector<Finding> LintFixture(const std::string& rel) {
-  return LintFileOnDisk(std::string(LINT_FIXTURE_DIR) + "/" + rel);
+  return LintFileOnDisk(FixturePath(rel));
 }
 
 void ExpectFindings(const std::string& rel, std::vector<RuleLine> want) {
@@ -33,6 +50,60 @@ void ExpectFindings(const std::string& rel, std::vector<RuleLine> want) {
   std::sort(want.begin(), want.end());
   EXPECT_EQ(got, want) << "fixture: " << rel;
 }
+
+// Two-phase lint of a fixture pair: the header is indexed together with
+// the .cc, which is what arms the cross-TU rules.
+std::vector<Finding> LintFixturePair(const std::string& header,
+                                     const std::string& cc) {
+  return LintFilesIndexed({FixturePath(header), FixturePath(cc)});
+}
+
+void ExpectIndexedFindings(const std::string& header, const std::string& cc,
+                           std::vector<RuleLine> want) {
+  std::vector<RuleLine> got = RuleLines(LintFixturePair(header, cc));
+  std::sort(want.begin(), want.end());
+  EXPECT_EQ(got, want) << "fixture pair: " << header << " + " << cc;
+}
+
+// Run the built CLI; returns its exit code, captures stdout+stderr.
+int RunCli(const std::string& args, std::string* output) {
+  std::string cmd = std::string(LINT_CLI_PATH) + " " + args + " 2>&1";
+  FILE* pipe = popen(cmd.c_str(), "r");
+  EXPECT_NE(pipe, nullptr) << cmd;
+  if (pipe == nullptr) return -1;
+  char buf[4096];
+  output->clear();
+  size_t n;
+  while ((n = fread(buf, 1, sizeof(buf), pipe)) > 0) output->append(buf, n);
+  int status = pclose(pipe);
+  return WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+}
+
+// Copy fixture files into a fresh temp dir (for --fix, which rewrites).
+class TempTree {
+ public:
+  TempTree() {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("lint_fix_test_" + std::to_string(::getpid()));
+    std::filesystem::remove_all(dir_);
+    std::filesystem::create_directories(dir_);
+  }
+  ~TempTree() { std::filesystem::remove_all(dir_); }
+  std::string Stage(const std::string& rel) {
+    std::filesystem::path dst = dir_ / std::filesystem::path(rel).filename();
+    std::filesystem::copy_file(FixturePath(rel), dst);
+    return dst.string();
+  }
+  std::string Read(const std::string& staged) {
+    std::ifstream in(staged);
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    return ss.str();
+  }
+
+ private:
+  std::filesystem::path dir_;
+};
 
 TEST(LintRules, BannedCPrng) {
   ExpectFindings("bad_rand.cc", {{"no-rand", 6}, {"no-rand", 7}});
@@ -136,9 +207,188 @@ TEST(LintClean, ParallelTaskOwnedAndGuardedWrites) {
   ExpectFindings("clean_parallel_shared_write.cc", {});
 }
 
+// ---------------------------------------------------------------------------
+// Cross-TU rules (two-file fixture pairs, phase-1 index armed).
+// ---------------------------------------------------------------------------
+
+TEST(LintCrossTU, UnorderedMemberIterSeesAcrossFiles) {
+  ExpectIndexedFindings("idx/registry.h", "idx/bad_member_iter.cc",
+                        {{"unordered-member-iter", 14},
+                         {"unordered-member-iter", 21}});
+}
+
+TEST(LintCrossTU, UnorderedMemberIterSilentWithoutIndex) {
+  // The same file linted per-file (no index) shows nothing — this is the
+  // exact gap the two-phase analysis closes.
+  ExpectFindings("idx/bad_member_iter.cc", {});
+}
+
+TEST(LintCrossTU, GuardDisciplineNotHeldEarlyUnlockAndDeferred) {
+  ExpectIndexedFindings("idx/registry.h", "idx/bad_guard.cc",
+                        {{"guard-discipline", 13},
+                         {"guard-discipline", 20},
+                         {"guard-discipline", 28}});
+}
+
+TEST(LintCrossTU, RngRefEscapeThroughIndexedHelper) {
+  ExpectIndexedFindings("idx/rng_helpers.h", "idx/bad_rng_escape.cc",
+                        {{"rng-fork-required", 15},
+                         {"rng-ref-escape", 15},
+                         {"rng-ref-escape", 17}});
+}
+
+TEST(LintCrossTU, CleanCounterpartsStaySilent) {
+  ExpectIndexedFindings("idx/registry.h", "idx/clean_member_iter.cc", {});
+  ExpectIndexedFindings("idx/registry.h", "idx/clean_guard.cc", {});
+  ExpectIndexedFindings("idx/rng_helpers.h", "idx/clean_rng_escape.cc", {});
+}
+
+TEST(LintCrossTU, IndexRecordsMembersAndSignatures) {
+  sparktune::lint::SymbolIndex index =
+      sparktune::lint::BuildIndex({FixturePath("idx/registry.h"),
+                                   FixturePath("idx/rng_helpers.h")});
+  const auto* scores = index.FindUnorderedMember("scores_");
+  ASSERT_NE(scores, nullptr);
+  EXPECT_EQ(scores->cls, "Registry");
+  EXPECT_TRUE(scores->unordered);
+  const auto* hits = index.FindGuardedMember("hits_");
+  ASSERT_NE(hits, nullptr);
+  EXPECT_EQ(hits->guarded_by, "mu_");
+  EXPECT_TRUE(index.IsMutexMember("mu_"));
+  const auto* fn = index.FindRngRefFunction("SampleCost");
+  ASSERT_NE(fn, nullptr);
+  ASSERT_EQ(fn->rng_ref_params.size(), 1u);
+  EXPECT_EQ(fn->rng_ref_params[0], "rng");
+  // Decl-site allow on tags_ is recorded and blesses every use.
+  const auto* tags = index.FindUnorderedMember("tags_");
+  ASSERT_NE(tags, nullptr);
+  ASSERT_EQ(tags->decl_allows.size(), 1u);
+  EXPECT_EQ(tags->decl_allows[0], "unordered-member-iter");
+}
+
+// ---------------------------------------------------------------------------
+// Output formats & exit codes.
+// ---------------------------------------------------------------------------
+
+TEST(LintOutput, ExitCodeContract) {
+  using sparktune::lint::ExitCodeForFindings;
+  EXPECT_EQ(ExitCodeForFindings({}), 0);
+  EXPECT_EQ(ExitCodeForFindings({{"a.cc", 1, "no-rand", "m", "h"}}), 1);
+  EXPECT_EQ(ExitCodeForFindings({{"a.cc", 1, "no-rand", "m", "h"},
+                                 {"b.cc", 0, "io-error", "m", ""}}),
+            2);
+}
+
+TEST(LintOutput, JsonMatchesSchemaAndRoundTrips) {
+  std::vector<Finding> findings =
+      LintFixturePair("idx/registry.h", "idx/bad_guard.cc");
+  ASSERT_EQ(findings.size(), 3u);
+  auto parsed = Json::Parse(sparktune::lint::FindingsToJson(findings));
+  ASSERT_TRUE(parsed.ok()) << parsed.status().message();
+  const Json& doc = parsed.value();
+  EXPECT_EQ(doc.GetStringOr("schema", ""), "sparktune-lint-findings-v1");
+  EXPECT_EQ(doc.GetNumberOr("count", -1), 3.0);
+  const Json* arr = doc.Get("findings");
+  ASSERT_NE(arr, nullptr);
+  ASSERT_TRUE(arr->is_array());
+  ASSERT_EQ(arr->size(), 3u);
+  for (size_t i = 0; i < arr->size(); ++i) {
+    const Json& f = arr->at(i);
+    EXPECT_EQ(f.GetStringOr("rule", ""), "guard-discipline");
+    EXPECT_TRUE(f.Has("file"));
+    EXPECT_TRUE(f.Has("line"));
+    EXPECT_TRUE(f.Has("message"));
+    EXPECT_TRUE(f.Has("hint"));
+  }
+}
+
+TEST(LintOutput, SarifIsWellFormed) {
+  std::vector<Finding> findings =
+      LintFixturePair("idx/registry.h", "idx/bad_member_iter.cc");
+  auto parsed = Json::Parse(sparktune::lint::FindingsToSarif(findings));
+  ASSERT_TRUE(parsed.ok()) << parsed.status().message();
+  const Json& doc = parsed.value();
+  EXPECT_EQ(doc.GetStringOr("version", ""), "2.1.0");
+  const Json* runs = doc.Get("runs");
+  ASSERT_NE(runs, nullptr);
+  ASSERT_EQ(runs->size(), 1u);
+  const Json* results = runs->at(0).Get("results");
+  ASSERT_NE(results, nullptr);
+  EXPECT_EQ(results->size(), findings.size());
+  // Rule metadata covers the whole catalogue.
+  const Json* driver = runs->at(0).Get("tool")->Get("driver");
+  ASSERT_NE(driver, nullptr);
+  EXPECT_GE(driver->Get("rules")->size(),
+            sparktune::lint::RuleIds().size());
+}
+
+// ---------------------------------------------------------------------------
+// CLI contract (drives the built binary).
+// ---------------------------------------------------------------------------
+
+TEST(LintCli, ExitCodesCleanFindingsBroken) {
+  std::string out;
+  EXPECT_EQ(RunCli("\"" + FixturePath("idx/registry.h") + "\" \"" +
+                       FixturePath("idx/clean_guard.cc") + "\"",
+                   &out),
+            0)
+      << out;
+  EXPECT_EQ(RunCli("\"" + FixturePath("idx/registry.h") + "\" \"" +
+                       FixturePath("idx/bad_guard.cc") + "\"",
+                   &out),
+            1)
+      << out;
+  EXPECT_EQ(RunCli("/nonexistent/no_such_file.cc", &out), 2) << out;
+  EXPECT_EQ(RunCli("--no-such-flag", &out), 2) << out;
+}
+
+TEST(LintCli, ListRulesPrintsIdAndDoc) {
+  std::string out;
+  EXPECT_EQ(RunCli("--list-rules", &out), 0);
+  for (const auto& r : sparktune::lint::RuleDocs()) {
+    EXPECT_NE(out.find(r.id), std::string::npos) << r.id;
+  }
+  EXPECT_NE(out.find("cross-TU"), std::string::npos)
+      << "one-line docs missing:\n"
+      << out;
+}
+
+TEST(LintCli, JsonFormatPassesItsOwnSchemaCheck) {
+  std::string out;
+  int code = RunCli("--format=json --schema-check \"" +
+                        FixturePath("idx/registry.h") + "\" \"" +
+                        FixturePath("idx/bad_guard.cc") + "\"",
+                    &out);
+  EXPECT_EQ(code, 1) << out;  // findings present, but the run is healthy
+  EXPECT_NE(out.find("schema-check: ok"), std::string::npos) << out;
+}
+
+TEST(LintCli, FixRoundTripsToCleanWithWellFormedStubs) {
+  TempTree tmp;
+  std::string header = tmp.Stage("idx/registry.h");
+  std::string bad_iter = tmp.Stage("idx/bad_member_iter.cc");
+  std::string bad_guard = tmp.Stage("idx/bad_guard.cc");
+  std::string files = "\"" + header + "\" \"" + bad_iter + "\" \"" +
+                      bad_guard + "\"";
+  std::string out;
+  EXPECT_EQ(RunCli("--fix --fix-user=fixtest " + files, &out), 0) << out;
+  // Stubs are well-formed reasoned allows naming the user.
+  std::string fixed = tmp.Read(bad_iter);
+  EXPECT_NE(
+      fixed.find("lint:allow(unordered-member-iter) TODO(fixtest): justify"),
+      std::string::npos)
+      << fixed;
+  EXPECT_NE(tmp.Read(bad_guard)
+                .find("lint:allow(guard-discipline) TODO(fixtest): justify"),
+            std::string::npos);
+  // Re-linting the fixed tree is clean (exit 0).
+  EXPECT_EQ(RunCli(files, &out), 0) << out;
+}
+
 TEST(LintMeta, EveryRuleIdIsExercisedByTheCorpus) {
-  // Union of findings across all bad_* fixtures must cover the catalogue,
-  // so a rule cannot silently stop firing.
+  // Union of findings across all bad fixtures (per-file and indexed
+  // pairs) must cover the catalogue, so a rule cannot silently stop
+  // firing.
   const std::vector<std::string> fixtures = {
       "bad_rand.cc",           "bad_random_device.cc", "bad_wall_clock.cc",
       "bad_raw_thread.cc",     "bad_nondet_reduce.cc", "linalg/bad_float_accum.cc",
@@ -146,9 +396,19 @@ TEST(LintMeta, EveryRuleIdIsExercisedByTheCorpus) {
       "bad_mutable_static.cc", "bad_allow.cc",         "src/bad_abort.cc",
       "bad_parallel_shared_write.cc",
   };
+  const std::vector<std::pair<std::string, std::string>> pairs = {
+      {"idx/registry.h", "idx/bad_member_iter.cc"},
+      {"idx/registry.h", "idx/bad_guard.cc"},
+      {"idx/rng_helpers.h", "idx/bad_rng_escape.cc"},
+  };
   std::set<std::string> fired;
   for (const std::string& f : fixtures) {
     for (const Finding& finding : LintFixture(f)) fired.insert(finding.rule);
+  }
+  for (const auto& [h, cc] : pairs) {
+    for (const Finding& finding : LintFixturePair(h, cc)) {
+      fired.insert(finding.rule);
+    }
   }
   for (const std::string& id : sparktune::lint::RuleIds()) {
     EXPECT_TRUE(fired.count(id)) << "rule never fired in corpus: " << id;

@@ -33,6 +33,17 @@ run_config() {
   ctest --test-dir "$dir" --output-on-failure -j "$JOBS" "$@"
 }
 
+# Lint first, fail fast: a policy violation should surface in seconds,
+# before any sanitizer build spends minutes. Builds only the linter, runs
+# the two-phase pass over the tree, and drops a SARIF artifact for
+# annotation-consuming CI frontends.
+echo "==> [build] sparktune_lint (fail-fast policy gate + lint.sarif)"
+cmake -B build -S . > /dev/null
+cmake --build build -j "$JOBS" --target sparktune_lint > /dev/null
+./build/tools/sparktune_lint --root .
+./build/tools/sparktune_lint --root . --format=sarif --out=build/lint.sarif
+echo "    sarif artifact: build/lint.sarif"
+
 run_config build "" "$@"
 run_config build-ubsan undefined "$@"
 

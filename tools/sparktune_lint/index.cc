@@ -1,0 +1,366 @@
+#include "index.h"
+
+#include <algorithm>
+#include <cctype>
+#include <fstream>
+#include <set>
+#include <sstream>
+
+namespace sparktune::lint {
+
+namespace {
+
+bool IsIdent(const std::string& t) {
+  if (t.empty()) return false;
+  char c = t[0];
+  return (std::isalpha(static_cast<unsigned char>(c)) || c == '_');
+}
+
+const std::set<std::string>& UnorderedTypes() {
+  static const std::set<std::string> kTypes = {
+      "unordered_map", "unordered_set", "unordered_multimap",
+      "unordered_multiset"};
+  return kTypes;
+}
+
+const std::set<std::string>& MutexTypes() {
+  static const std::set<std::string> kTypes = {
+      "mutex", "recursive_mutex", "timed_mutex", "recursive_timed_mutex",
+      "shared_mutex", "shared_timed_mutex"};
+  return kTypes;
+}
+
+// Names that can precede '(' without being a callable's name.
+const std::set<std::string>& NotFunctionNames() {
+  static const std::set<std::string> kNames = {
+      "if", "for", "while", "switch", "catch", "return", "sizeof",
+      "operator", "alignof", "decltype", "noexcept", "assert"};
+  return kNames;
+}
+
+}  // namespace
+
+void SymbolIndex::AddFile(const std::string& path,
+                          const std::string& content) {
+  CleanedSource cs = CleanSource(content);
+  std::vector<Token> toks = Tokenize(cs.code);
+  IndexTokens(path, toks, cs.notes);
+}
+
+void SymbolIndex::AddFileOnDisk(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return;  // phase 2 reports the io-error when it lints this path
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  AddFile(path, ss.str());
+}
+
+const MemberRecord* SymbolIndex::FindUnorderedMember(
+    const std::string& name) const {
+  auto it = members_.find(name);
+  if (it == members_.end()) return nullptr;
+  for (const MemberRecord& r : it->second) {
+    if (r.unordered) return &r;
+  }
+  return nullptr;
+}
+
+const MemberRecord* SymbolIndex::FindGuardedMember(
+    const std::string& name) const {
+  auto it = members_.find(name);
+  if (it == members_.end()) return nullptr;
+  for (const MemberRecord& r : it->second) {
+    if (!r.guarded_by.empty()) return &r;
+  }
+  return nullptr;
+}
+
+const FunctionRecord* SymbolIndex::FindRngRefFunction(
+    const std::string& name) const {
+  auto it = functions_.find(name);
+  if (it == functions_.end()) return nullptr;
+  for (const FunctionRecord& r : it->second) {
+    if (!r.rng_ref_params.empty()) return &r;
+  }
+  return nullptr;
+}
+
+bool SymbolIndex::IsMutexMember(const std::string& name) const {
+  auto it = members_.find(name);
+  if (it == members_.end()) return false;
+  for (const MemberRecord& r : it->second) {
+    if (r.is_mutex) return true;
+  }
+  return false;
+}
+
+size_t SymbolIndex::member_count() const {
+  size_t n = 0;
+  for (const auto& [name, recs] : members_) n += recs.size();
+  return n;
+}
+
+size_t SymbolIndex::function_count() const {
+  size_t n = 0;
+  for (const auto& [name, recs] : functions_) n += recs.size();
+  return n;
+}
+
+void SymbolIndex::IndexTokens(const std::string& path,
+                              const std::vector<Token>& toks,
+                              const std::map<int, Annotation>& notes) {
+  // Scope walk mirroring the rule engine's brace classifier, extended
+  // with class names so member declarations can be attributed.
+  enum class Kind { kNamespace, kClass, kEnum, kBlock, kInit };
+  struct Sc {
+    Kind kind;
+    std::string cls;
+  };
+  std::vector<Sc> stack;
+  std::vector<const Token*> head;
+  int paren = 0;
+
+  auto head_has = [&](const char* s) {
+    for (const Token* t : head) {
+      if (t->text == s) return true;
+    }
+    return false;
+  };
+  auto in_init = [&]() {
+    return !stack.empty() && stack.back().kind == Kind::kInit;
+  };
+  auto in_enum = [&]() {
+    return !stack.empty() && stack.back().kind == Kind::kEnum;
+  };
+
+  // Extract an Rng-by-reference-accepting signature from a statement head
+  // holding `name ( params... )`. Records only functions with at least one
+  // Rng& / Rng* parameter, so the index stays small.
+  auto parse_function_head = [&](const std::vector<const Token*>& st) {
+    // First '(' at angle depth 0 (so std::function<void(size_t)> members
+    // are not misread as methods) with no earlier '='.
+    size_t open = st.size();
+    int angle = 0;
+    for (size_t k = 0; k < st.size(); ++k) {
+      const std::string& t = st[k]->text;
+      if (t == "<") ++angle;
+      if (t == ">") angle = std::max(0, angle - 1);
+      if (t == "=" && angle == 0) return;  // variable with initializer
+      if (t == "(" && angle == 0) {
+        open = k;
+        break;
+      }
+    }
+    if (open == st.size() || open == 0) return;
+    const std::string& name = st[open - 1]->text;
+    if (!IsIdent(name) || NotFunctionNames().count(name)) return;
+    size_t close = st.size();
+    int depth = 0;
+    for (size_t k = open; k < st.size(); ++k) {
+      if (st[k]->text == "(") ++depth;
+      if (st[k]->text == ")" && --depth == 0) {
+        close = k;
+        break;
+      }
+    }
+    if (close == st.size()) return;
+    FunctionRecord rec;
+    rec.name = name;
+    rec.file = path;
+    rec.line = st[open - 1]->line;
+    for (size_t k = open + 1; k < close; ++k) {
+      if (st[k]->text != "Rng") continue;
+      size_t j = k + 1;
+      while (j < close && st[j]->text == "const") ++j;
+      if (j < close && (st[j]->text == "&" || st[j]->text == "*")) {
+        ++j;
+        while (j < close && (st[j]->text == "const" || st[j]->text == "&" ||
+                             st[j]->text == "*")) {
+          ++j;
+        }
+        rec.rng_ref_params.push_back(
+            j < close && IsIdent(st[j]->text) ? st[j]->text : "");
+      }
+    }
+    if (!rec.rng_ref_params.empty()) functions_[name].push_back(rec);
+  };
+
+  // Record a data-member declaration statement inside a class scope.
+  auto parse_member_statement = [&](std::vector<const Token*> st,
+                                    const std::string& cls) {
+    // Strip access specifiers that ride along in the head stream.
+    while (!st.empty() && (st.front()->text == "public" ||
+                           st.front()->text == "private" ||
+                           st.front()->text == "protected" ||
+                           st.front()->text == ":")) {
+      st.erase(st.begin());
+    }
+    if (st.empty()) return;
+    static const std::set<std::string> kSkip = {
+        "using", "typedef", "friend", "static_assert", "template",
+        "operator", "enum"};
+    if (kSkip.count(st.front()->text)) return;
+    // Method declaration ('(' at angle depth 0 before any '=')? Index its
+    // signature instead of treating it as a member.
+    {
+      int angle = 0;
+      for (size_t k = 0; k < st.size(); ++k) {
+        const std::string& t = st[k]->text;
+        if (t == "<") ++angle;
+        if (t == ">") angle = std::max(0, angle - 1);
+        if (t == "=" && angle == 0) break;
+        if (t == "(" && angle == 0) {
+          parse_function_head(st);
+          return;
+        }
+      }
+    }
+    // Declarator: the last identifier before the initializer (or the
+    // statement end), skipping literal tokens.
+    size_t limit = st.size();
+    {
+      int angle = 0;
+      for (size_t k = 0; k < st.size(); ++k) {
+        const std::string& t = st[k]->text;
+        if (t == "<") ++angle;
+        if (t == ">") angle = std::max(0, angle - 1);
+        if (t == "=" && angle == 0) {
+          limit = k;
+          break;
+        }
+      }
+    }
+    const Token* name_tok = nullptr;
+    for (size_t k = limit; k-- > 0;) {
+      if (IsIdent(st[k]->text)) {
+        name_tok = st[k];
+        break;
+      }
+    }
+    if (name_tok == nullptr) return;
+    MemberRecord rec;
+    rec.cls = cls;
+    rec.name = name_tok->text;
+    rec.file = path;
+    rec.line = name_tok->line;
+    for (size_t k = 0; k < limit; ++k) {
+      const std::string& t = st[k]->text;
+      if (st[k] == name_tok) break;
+      if (UnorderedTypes().count(t)) rec.unordered = true;
+      if (MutexTypes().count(t)) rec.is_mutex = true;
+    }
+    // Declaration-site annotations: the declarator's line, any line the
+    // (possibly multi-line) statement spans, or the line directly above.
+    int lo = st.front()->line - 1;
+    int hi = name_tok->line;
+    for (int line = lo; line <= hi; ++line) {
+      auto it = notes.find(line);
+      if (it == notes.end()) continue;
+      const Annotation& a = it->second;
+      if (rec.guarded_by.empty() && !a.guards.empty()) {
+        rec.guarded_by = a.guards.front();
+      }
+      for (size_t k = 0; k < a.allowed.size(); ++k) {
+        if (!a.allow_reasons[k].empty()) {
+          rec.decl_allows.push_back(a.allowed[k]);
+        }
+      }
+    }
+    if (rec.unordered || rec.is_mutex || !rec.guarded_by.empty() ||
+        !rec.decl_allows.empty()) {
+      members_[rec.name].push_back(std::move(rec));
+    }
+  };
+
+  auto classify_open = [&](const std::vector<const Token*>& st) -> Sc {
+    if (head_has("namespace")) return {Kind::kNamespace, ""};
+    if (head_has("enum")) return {Kind::kEnum, ""};
+    bool has_paren = head_has(")");
+    if (!has_paren && (head_has("class") || head_has("struct") ||
+                       head_has("union"))) {
+      // Name: the identifier after the last class/struct/union keyword
+      // (skips `template <class T>` parameter lists).
+      std::string name;
+      for (size_t k = 0; k + 1 < st.size(); ++k) {
+        const std::string& t = st[k]->text;
+        if ((t == "class" || t == "struct" || t == "union") &&
+            IsIdent(st[k + 1]->text)) {
+          name = st[k + 1]->text;
+        }
+      }
+      return {Kind::kClass, name};
+    }
+    if (has_paren) {
+      // A ')' after the last '=' means the brace opens a callable body
+      // (function, method, lambda); otherwise it is a braced initializer.
+      size_t last_eq = std::string::npos, last_par = std::string::npos;
+      for (size_t k = 0; k < st.size(); ++k) {
+        if (st[k]->text == "=") last_eq = k;
+        if (st[k]->text == ")") last_par = k;
+      }
+      if (last_eq == std::string::npos || last_par > last_eq) {
+        return {Kind::kBlock, ""};
+      }
+      return {Kind::kInit, ""};
+    }
+    if (!st.empty()) {
+      const std::string& last = st.back()->text;
+      if (last == "=" || last == "(" || last == "," || last == "{" ||
+          last == "return") {
+        return {Kind::kInit, ""};
+      }
+    }
+    return {Kind::kBlock, ""};
+  };
+
+  for (size_t i = 0; i < toks.size(); ++i) {
+    const std::string& t = toks[i].text;
+    if (t == "(") ++paren;
+    if (t == ")") paren = std::max(0, paren - 1);
+    if (t == "{" && paren == 0) {
+      Sc sc = classify_open(head);
+      // A callable body opening at namespace or class scope: the head is
+      // its signature — harvest Rng-reference parameters.
+      if (sc.kind == Kind::kBlock && !in_enum() &&
+          (stack.empty() || stack.back().kind == Kind::kNamespace ||
+           stack.back().kind == Kind::kClass)) {
+        parse_function_head(head);
+      }
+      stack.push_back(sc);
+      if (sc.kind != Kind::kInit) head.clear();
+      continue;
+    }
+    if (t == "}" && paren == 0) {
+      if (!stack.empty()) {
+        bool was_init = stack.back().kind == Kind::kInit;
+        stack.pop_back();
+        if (!was_init) head.clear();
+      }
+      continue;
+    }
+    if (t == ";" && paren == 0) {
+      if (!in_init()) {
+        if (!stack.empty() && stack.back().kind == Kind::kClass) {
+          parse_member_statement(head, stack.back().cls);
+        } else if (!in_enum() && head_has("(") &&
+                   (stack.empty() ||
+                    stack.back().kind == Kind::kNamespace)) {
+          // Free-function prototype at namespace scope (the cross-TU
+          // case: Rng&-taking helpers declared in headers).
+          parse_function_head(head);
+        }
+        head.clear();
+      }
+      continue;
+    }
+    if (!in_init() && !in_enum()) head.push_back(&toks[i]);
+  }
+}
+
+SymbolIndex BuildIndex(const std::vector<std::string>& paths) {
+  SymbolIndex index;
+  for (const std::string& p : paths) index.AddFileOnDisk(p);
+  return index;
+}
+
+}  // namespace sparktune::lint

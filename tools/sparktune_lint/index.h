@@ -1,0 +1,82 @@
+// Phase 1 of the two-phase analysis (DESIGN.md §6): a project-wide symbol
+// index built from one pass over every header and source. Name-based, not
+// type-resolved — member names in this tree carry a trailing underscore,
+// so cross-file name lookups are unambiguous in practice, and the rules
+// that consume the index accept suppression at either the use site or the
+// declaration when a collision does produce a false positive.
+//
+// What gets indexed:
+//   * class/struct data members, with their declared-type classification:
+//     unordered containers (std::unordered_{map,set,multimap,multiset})
+//     and mutexes (std::mutex and friends);
+//   * lint:guarded-by(<mutex>) and lint:allow(<rule>) annotations attached
+//     to a member's *declaration* (same line or the line directly above),
+//     which is what makes guard-discipline enforceable tree-wide;
+//   * function signatures (free functions and methods, declarations and
+//     definitions) that accept an Rng by reference or pointer — the
+//     escape routes an un-forked RNG can take into a parallel body.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "lint.h"
+
+namespace sparktune::lint {
+
+struct MemberRecord {
+  std::string cls;   // enclosing class/struct name ("" if unnamed)
+  std::string name;  // member name, e.g. "config_index_"
+  std::string file;  // declaring file, as given to the indexer
+  int line = 0;      // declaration line (the declarator's line)
+  bool unordered = false;  // std::unordered_{map,set,multimap,multiset}
+  bool is_mutex = false;   // std::mutex / recursive_mutex / shared_mutex...
+  std::string guarded_by;  // mutex name from a declaration-site
+                           // lint:guarded-by; "" when unannotated
+  std::vector<std::string> decl_allows;  // reasoned lint:allow ids on the
+                                         // declaration: suppress that rule
+                                         // for every use of this member
+};
+
+struct FunctionRecord {
+  std::string name;
+  std::string file;
+  int line = 0;
+  // Parameter names declared as Rng& / Rng* (const-qualified included).
+  std::vector<std::string> rng_ref_params;
+};
+
+class SymbolIndex {
+ public:
+  // Parse one file into the index. Safe to call for every file in the
+  // tree; order does not matter.
+  void AddFile(const std::string& path, const std::string& content);
+  // AddFile with disk I/O; unreadable files are skipped (phase 2 reports
+  // them as io-error when it tries to lint them).
+  void AddFileOnDisk(const std::string& path);
+
+  // First record for `name` with the property, or nullptr. Multiple
+  // classes may declare a same-named member; the first (lowest path,
+  // when built through BuildIndex) wins, which is deterministic.
+  const MemberRecord* FindUnorderedMember(const std::string& name) const;
+  const MemberRecord* FindGuardedMember(const std::string& name) const;
+  const FunctionRecord* FindRngRefFunction(const std::string& name) const;
+  bool IsMutexMember(const std::string& name) const;
+
+  size_t member_count() const;
+  size_t function_count() const;
+
+ private:
+  void IndexTokens(const std::string& path, const std::vector<Token>& toks,
+                   const std::map<int, Annotation>& notes);
+
+  std::map<std::string, std::vector<MemberRecord>> members_;
+  std::map<std::string, std::vector<FunctionRecord>> functions_;
+};
+
+// Build an index over an explicit, pre-sorted file list (CollectFiles
+// output or a fixture pair).
+SymbolIndex BuildIndex(const std::vector<std::string>& paths);
+
+}  // namespace sparktune::lint

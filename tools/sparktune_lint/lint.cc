@@ -2,34 +2,19 @@
 
 #include <algorithm>
 #include <cctype>
+#include <cstdio>
 #include <filesystem>
 #include <fstream>
 #include <map>
 #include <set>
 #include <sstream>
 
+#include "index.h"
+#include "scopes.h"
+
 namespace sparktune::lint {
 
 namespace {
-
-// ---------------------------------------------------------------------------
-// Source cleaning: blank out comments, string/char literals, and
-// preprocessor lines (keeping newlines so line numbers survive). Comments
-// are harvested for lint: annotations before being blanked; preprocessor
-// lines are scanned for `#pragma omp` before being blanked.
-// ---------------------------------------------------------------------------
-
-struct Annotation {
-  std::vector<std::string> allowed;  // rule ids from lint:allow(...)
-  std::vector<std::string> allow_reasons;  // parallel to `allowed`
-  bool guarded_by = false;           // lint:guarded-by(<mutex>) present
-};
-
-struct CleanedSource {
-  std::string code;                    // same length/lines as input
-  std::map<int, Annotation> notes;     // line -> annotations found there
-  std::vector<int> omp_pragma_lines;   // lines holding `#pragma omp`
-};
 
 bool IsIdentChar(char c) {
   return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
@@ -42,9 +27,16 @@ std::string Trim(const std::string& s) {
   return s.substr(b, e - b + 1);
 }
 
-// Parse every lint:allow(...)/lint:guarded-by(...) inside one comment's
-// text and record it against `line`.
-void HarvestComment(const std::string& text, int line, CleanedSource* out) {
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Shared annotation parsing. Every consumer — the per-file rules, the
+// suppression pass, and the phase-1 indexer — goes through this one
+// helper, so the annotation grammar is defined in exactly one place.
+// ---------------------------------------------------------------------------
+
+void ParseAnnotations(const std::string& text, int line,
+                      std::map<int, Annotation>* notes) {
   size_t pos = 0;
   while ((pos = text.find("lint:", pos)) != std::string::npos) {
     size_t tail = pos + 5;
@@ -72,14 +64,23 @@ void HarvestComment(const std::string& text, int line, CleanedSource* out) {
       std::string reason = Trim(text.substr(
           close + 1, reason_end == std::string::npos ? std::string::npos
                                                     : reason_end - close - 1));
-      Annotation& a = out->notes[line];
+      Annotation& a = (*notes)[line];
       a.allowed.push_back(id);
       a.allow_reasons.push_back(reason);
       pos = close + 1;
     } else if (text.compare(tail, 11, "guarded-by(") == 0) {
-      size_t close = text.find(')', tail + 11);
+      size_t open = tail + 11;
+      size_t close = text.find(')', open);
       if (close == std::string::npos) break;
-      out->notes[line].guarded_by = true;
+      Annotation& a = (*notes)[line];
+      a.guarded_by = true;
+      // The guard name's base identifier (s->mu_ records as mu_), which
+      // is what the lock tracker compares against.
+      std::string guard = Trim(text.substr(open, close - open));
+      size_t base = guard.find_last_not_of(
+          "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789_");
+      if (base != std::string::npos) guard = guard.substr(base + 1);
+      if (!guard.empty()) a.guards.push_back(guard);
       pos = close + 1;
     } else {
       pos = tail;
@@ -87,7 +88,14 @@ void HarvestComment(const std::string& text, int line, CleanedSource* out) {
   }
 }
 
-CleanedSource Clean(const std::string& src) {
+// ---------------------------------------------------------------------------
+// Source cleaning: blank out comments, string/char literals, and
+// preprocessor lines (keeping newlines so line numbers survive). Comments
+// are harvested for lint: annotations before being blanked; preprocessor
+// lines are scanned for `#pragma omp` before being blanked.
+// ---------------------------------------------------------------------------
+
+CleanedSource CleanSource(const std::string& src) {
   CleanedSource out;
   out.code.reserve(src.size());
   int line = 1;
@@ -153,7 +161,7 @@ CleanedSource Clean(const std::string& src) {
         blank(src[i]);
         ++i;
       }
-      HarvestComment(text, line, &out);
+      ParseAnnotations(text, line, &out.notes);
       continue;
     }
     if (c == '/' && i + 1 < n && src[i + 1] == '*') {
@@ -177,7 +185,7 @@ CleanedSource Clean(const std::string& src) {
         blank(src[i + 1]);
         i += 2;
       }
-      HarvestComment(text, start_line, &out);
+      ParseAnnotations(text, start_line, &out.notes);
       continue;
     }
     if (c == '"') {
@@ -254,11 +262,6 @@ CleanedSource Clean(const std::string& src) {
 // Tokenizer over cleaned code.
 // ---------------------------------------------------------------------------
 
-struct Token {
-  std::string text;
-  int line = 0;
-};
-
 std::vector<Token> Tokenize(const std::string& code) {
   std::vector<Token> toks;
   toks.reserve(code.size() / 4);
@@ -310,12 +313,54 @@ std::vector<Token> Tokenize(const std::string& code) {
 // Rule engine.
 // ---------------------------------------------------------------------------
 
+namespace {
+
 const std::vector<std::string> kRules = {
     "no-rand",           "no-random-device",   "no-wall-clock",
     "no-raw-thread",     "no-nondet-reduce",   "no-float-accum",
     "no-unordered-iter", "rng-fork-required",  "no-rng-ref-capture",
     "mutable-static",    "bad-allow",          "no-abort",
     "parallel-shared-write",
+    // Cross-TU rules (phase 2, need the phase-1 index).
+    "unordered-member-iter", "guard-discipline", "rng-ref-escape",
+};
+
+const std::vector<RuleDoc> kRuleDocs = {
+    {"no-rand", "C PRNG (rand/srand/rand_r/drand48); draw from a seeded "
+                "common/rng.h Rng instead"},
+    {"no-random-device", "std::random_device breaks replayability; seed an "
+                         "Rng explicitly"},
+    {"no-wall-clock", "host-clock read (time/clock/gettimeofday/"
+                      "system_clock/argless now()); exempt under "
+                      "src/sparksim/"},
+    {"no-raw-thread", "raw std::thread/jthread/async/pthread/OpenMP outside "
+                      "common/thread_pool.cc"},
+    {"no-nondet-reduce", "std::reduce/transform_reduce/std::execution "
+                         "reassociate floating-point accumulation"},
+    {"no-float-accum", "float arithmetic in src/linalg or src/model "
+                       "accumulation paths; use double"},
+    {"no-unordered-iter", "range-for over an unordered container feeding an "
+                          "output container or accumulator"},
+    {"rng-fork-required", "Rng declared outside a ParallelFor body used "
+                          "inside it; fork per task with ForkRngs"},
+    {"no-rng-ref-capture", "ParallelFor lambda capture list names an Rng by "
+                           "reference"},
+    {"mutable-static", "mutable namespace-scope/function-static/thread_local "
+                       "state without a guard annotation"},
+    {"bad-allow", "lint:allow with no reason string or an unknown rule id "
+                  "(never suppressible)"},
+    {"no-abort", "abort/exit/_Exit/quick_exit/assert(false) in library code "
+                 "(src/); return a Status instead"},
+    {"parallel-shared-write", "ParallelFor body writes non-RNG state it does "
+                              "not own (not body-declared, not a parameter, "
+                              "not an index-owned slot)"},
+    {"unordered-member-iter", "cross-TU: iteration over an unordered member "
+                              "declared in any indexed header"},
+    {"guard-discipline", "cross-TU: access to a lint:guarded-by(m) member "
+                         "where m is not visibly held"},
+    {"rng-ref-escape", "cross-TU: un-forked Rng reference flowing into an "
+                       "Rng&-taking callee in a ParallelFor body, or "
+                       "captured by reference in a stored lambda"},
 };
 
 bool PathContains(const std::string& path, const std::string& needle) {
@@ -329,8 +374,11 @@ bool PathEndsWith(const std::string& path, const std::string& suffix) {
 
 class Linter {
  public:
-  Linter(std::string path, const std::string& content)
-      : path_(std::move(path)), cleaned_(Clean(content)) {
+  Linter(std::string path, const std::string& content,
+         const SymbolIndex* index)
+      : path_(std::move(path)),
+        cleaned_(CleanSource(content)),
+        index_(index) {
     toks_ = Tokenize(cleaned_.code);
   }
 
@@ -341,6 +389,13 @@ class Linter {
     CheckUnorderedIteration();
     CheckParallelForBodies();
     CheckMutableState();
+    if (index_ != nullptr) {
+      CheckUnorderedMemberIteration();
+      CheckRngRefEscape();
+      std::vector<Finding> guard =
+          CheckGuardDiscipline(path_, toks_, *index_);
+      findings_.insert(findings_.end(), guard.begin(), guard.end());
+    }
     ApplySuppressions();
     std::sort(findings_.begin(), findings_.end(),
               [](const Finding& a, const Finding& b) {
@@ -649,7 +704,86 @@ class Linter {
     }
   }
 
+  // --- cross-TU: iteration over indexed unordered members ------------------
+  // The per-file pass cannot see that `config_index_` in history.cc is an
+  // unordered_map declared in history.h; the phase-1 index can. Fires on
+  // range-fors and explicit begin()/cbegin() walks. Any iteration is
+  // flagged (not just ones feeding outputs): hash order must not be load-
+  // bearing, and provably order-independent uses take a reasoned allow —
+  // at the use site, or on the declaration to bless the member wholesale.
+  void CheckUnorderedMemberIteration() {
+    auto decl_allowed = [](const MemberRecord* rec) {
+      return std::find(rec->decl_allows.begin(), rec->decl_allows.end(),
+                       "unordered-member-iter") != rec->decl_allows.end();
+    };
+    auto already_flagged = [&](int line) {
+      for (const Finding& f : findings_) {
+        if (f.line == line && (f.rule == "no-unordered-iter" ||
+                               f.rule == "unordered-member-iter")) {
+          return true;
+        }
+      }
+      return false;
+    };
+    for (size_t i = 0; i + 2 < toks_.size(); ++i) {
+      if (toks_[i].text != "for" || Tok(i + 1) != "(") continue;
+      size_t close = MatchForward(i + 1, "(", ")");
+      if (close >= toks_.size()) continue;
+      size_t colon = 0;
+      int depth = 0;
+      for (size_t j = i + 1; j < close; ++j) {
+        if (toks_[j].text == "(") ++depth;
+        if (toks_[j].text == ")") --depth;
+        if (toks_[j].text == ":" && depth == 1) {
+          colon = j;
+          break;
+        }
+      }
+      if (colon == 0) continue;
+      for (size_t j = colon + 1; j < close; ++j) {
+        const std::string& rt = toks_[j].text;
+        if (rt.empty() || !IsIdentChar(rt[0])) continue;
+        const MemberRecord* rec = index_->FindUnorderedMember(rt);
+        if (rec == nullptr || decl_allowed(rec)) continue;
+        if (already_flagged(toks_[i].line)) break;
+        Add("unordered-member-iter", toks_[i].line,
+            "range-for over unordered member '" + rt + "' (declared at " +
+                rec->file + ":" + std::to_string(rec->line) +
+                ") — iteration order is hash-dependent",
+            "iterate a sorted copy of the keys, or justify with "
+            "lint:allow(unordered-member-iter) <reason> (on this line for "
+            "one site, on the declaration to bless every use)");
+        break;
+      }
+    }
+    // Explicit iterator walks: member.begin() / member.cbegin().
+    for (size_t i = 0; i + 3 < toks_.size(); ++i) {
+      const std::string& t = toks_[i].text;
+      if (t.empty() || !IsIdentChar(t[0])) continue;
+      if (!(Tok(i + 1) == "." || Tok(i + 1) == "->")) continue;
+      if (!(Tok(i + 2) == "begin" || Tok(i + 2) == "cbegin")) continue;
+      if (Tok(i + 3) != "(") continue;
+      const MemberRecord* rec = index_->FindUnorderedMember(t);
+      if (rec == nullptr || decl_allowed(rec)) continue;
+      if (rec->file == path_ && rec->line == toks_[i].line) continue;
+      if (already_flagged(toks_[i].line)) continue;
+      Add("unordered-member-iter", toks_[i].line,
+          "iterator walk over unordered member '" + t + "' (declared at " +
+              rec->file + ":" + std::to_string(rec->line) +
+              ") — iteration order is hash-dependent",
+          "iterate a sorted copy of the keys, or justify with "
+          "lint:allow(unordered-member-iter) <reason>");
+    }
+  }
+
   // --- ParallelFor lambda bodies ------------------------------------------
+  struct PfCall {
+    size_t cap_begin = 0;   // '[' of the first lambda in the call
+    size_t body_begin = 0;  // '{' of that lambda's body
+    size_t body_end = 0;    // matching '}'
+    std::set<std::string> rng_locals;  // Rng names declared in the body
+  };
+
   void CheckParallelForBodies() {
     for (size_t i = 0; i < toks_.size(); ++i) {
       if (toks_[i].text != "ParallelFor" || Tok(i + 1) != "(") continue;
@@ -661,6 +795,7 @@ class Linter {
       if (lb >= call_end) continue;
       size_t cap_end = MatchForward(lb, "[", "]");
       if (cap_end >= call_end) continue;
+      pf_lambda_caps_.insert(lb);
       // Capture list: an explicit &rng is always wrong.
       for (size_t j = lb + 1; j < cap_end; ++j) {
         if (toks_[j].text == "&" && rng_scalars_.count(Tok(j + 1))) {
@@ -695,6 +830,67 @@ class Linter {
             "the loop and use the task's own stream");
       }
       CheckSharedWrites(cap_end, body_begin, body_end);
+      pf_calls_.push_back({lb, body_begin, body_end, std::move(locals)});
+    }
+  }
+
+  // --- cross-TU: un-forked RNG references escaping -------------------------
+  // Two escape routes the per-file rules cannot pin down:
+  //   (a) a ParallelFor body hands an outer-scope Rng to a callee whose
+  //       *indexed* signature (possibly from another file's header) takes
+  //       Rng& / Rng* — the callee will draw from the shared stream;
+  //   (b) a lambda stored outside the sanctioned ParallelFor call site
+  //       captures an Rng by reference ([&rng]), so the reference outlives
+  //       the statement and can run on any schedule later.
+  void CheckRngRefEscape() {
+    for (const PfCall& pf : pf_calls_) {
+      for (size_t j = pf.body_begin; j < pf.body_end; ++j) {
+        const std::string& t = toks_[j].text;
+        if (t.empty() || !IsIdentChar(t[0]) || Tok(j + 1) != "(") continue;
+        const FunctionRecord* fr = index_->FindRngRefFunction(t);
+        if (fr == nullptr) continue;
+        size_t close = MatchForward(j + 1, "(", ")");
+        for (size_t k = j + 2; k < close && k < toks_.size(); ++k) {
+          const std::string& a = toks_[k].text;
+          if (!rng_scalars_.count(a) || pf.rng_locals.count(a)) continue;
+          if (Prev(k, ".") || Prev(k, "->") || Prev(k, "::")) continue;
+          Add("rng-ref-escape", toks_[j].line,
+              "un-forked Rng '" + a + "' passed into '" + t +
+                  "' (declared at " + fr->file + ":" +
+                  std::to_string(fr->line) +
+                  ", takes Rng by reference) inside a ParallelFor body",
+              "fork per-task streams before the loop (ForkRngs) and pass "
+              "the task's own stream");
+          break;
+        }
+      }
+    }
+    // Stored-lambda captures: a '[' opening a capture list (not a
+    // subscript — subscripts follow an identifier, ']' or ')') that is
+    // not the first lambda of a ParallelFor call.
+    for (size_t i = 0; i < toks_.size(); ++i) {
+      if (toks_[i].text != "[") continue;
+      if (pf_lambda_caps_.count(i)) continue;  // no-rng-ref-capture owns it
+      if (i > 0) {
+        const std::string& p = toks_[i - 1].text;
+        if (p == "]" || p == ")" ||
+            (!p.empty() && IsIdentChar(p[0]) &&
+             !std::isdigit(static_cast<unsigned char>(p[0])) &&
+             p != "return"))
+          continue;  // subscript, not a capture list
+        if (p == "[") continue;  // attribute [[...]]
+      }
+      size_t cap_end = MatchForward(i, "[", "]");
+      if (cap_end >= toks_.size() || Tok(cap_end + 1) == "[") continue;
+      for (size_t j = i + 1; j < cap_end; ++j) {
+        if (toks_[j].text == "&" && rng_scalars_.count(Tok(j + 1))) {
+          Add("rng-ref-escape", toks_[j].line,
+              "Rng '" + Tok(j + 1) + "' captured by reference in a stored "
+              "lambda — the reference escapes this statement",
+              "capture a forked stream by value, or pass the Rng "
+              "explicitly at the (serial) call site");
+        }
+      }
     }
   }
 
@@ -973,10 +1169,13 @@ class Linter {
 
   std::string path_;
   CleanedSource cleaned_;
+  const SymbolIndex* index_;
   std::vector<Token> toks_;
   std::set<std::string> rng_scalars_;
   std::set<std::string> rng_arrays_;
   std::set<std::string> unordered_vars_;
+  std::vector<PfCall> pf_calls_;
+  std::set<size_t> pf_lambda_caps_;  // '[' positions owned by ParallelFor
   std::vector<Finding> findings_;
 };
 
@@ -985,27 +1184,63 @@ bool LintableExtension(const std::filesystem::path& p) {
   return ext == ".cc" || ext == ".cpp" || ext == ".h" || ext == ".hpp";
 }
 
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  return out;
+}
+
 }  // namespace
 
 const std::vector<std::string>& RuleIds() { return kRules; }
 
+const std::vector<RuleDoc>& RuleDocs() { return kRuleDocs; }
+
 std::vector<Finding> LintFile(const std::string& path,
                               const std::string& content) {
-  return Linter(path, content).Run();
+  return Linter(path, content, nullptr).Run();
+}
+
+std::vector<Finding> LintFileWithIndex(const std::string& path,
+                                       const std::string& content,
+                                       const SymbolIndex* index) {
+  return Linter(path, content, index).Run();
 }
 
 std::vector<Finding> LintFileOnDisk(const std::string& path) {
+  return LintFileOnDiskWithIndex(path, nullptr);
+}
+
+std::vector<Finding> LintFileOnDiskWithIndex(const std::string& path,
+                                             const SymbolIndex* index) {
   std::ifstream in(path, std::ios::binary);
   if (!in) {
     return {{path, 0, "io-error", "cannot read file", ""}};
   }
   std::ostringstream ss;
   ss << in.rdbuf();
-  return LintFile(path, ss.str());
+  return LintFileWithIndex(path, ss.str(), index);
 }
 
-std::vector<Finding> LintTree(const std::string& root,
-                              const std::vector<std::string>& dirs) {
+std::vector<std::string> CollectFiles(const std::string& root,
+                                      const std::vector<std::string>& dirs) {
   namespace fs = std::filesystem;
   std::vector<std::string> files;
   for (const std::string& d : dirs) {
@@ -1027,9 +1262,29 @@ std::vector<Finding> LintTree(const std::string& root,
     }
   }
   std::sort(files.begin(), files.end());
+  return files;
+}
+
+std::vector<Finding> LintTree(const std::string& root,
+                              const std::vector<std::string>& dirs) {
   std::vector<Finding> all;
-  for (const std::string& f : files) {
+  for (const std::string& f : CollectFiles(root, dirs)) {
     std::vector<Finding> fs_ = LintFileOnDisk(f);
+    all.insert(all.end(), fs_.begin(), fs_.end());
+  }
+  return all;
+}
+
+std::vector<Finding> LintTreeIndexed(const std::string& root,
+                                     const std::vector<std::string>& dirs) {
+  return LintFilesIndexed(CollectFiles(root, dirs));
+}
+
+std::vector<Finding> LintFilesIndexed(const std::vector<std::string>& paths) {
+  SymbolIndex index = BuildIndex(paths);
+  std::vector<Finding> all;
+  for (const std::string& f : paths) {
+    std::vector<Finding> fs_ = LintFileOnDiskWithIndex(f, &index);
     all.insert(all.end(), fs_.begin(), fs_.end());
   }
   return all;
@@ -1040,6 +1295,138 @@ std::string FormatFinding(const Finding& f) {
   ss << f.file << ":" << f.line << ": [" << f.rule << "] " << f.message;
   if (!f.hint.empty()) ss << "\n    hint: " << f.hint;
   return ss.str();
+}
+
+std::string FindingsToJson(const std::vector<Finding>& findings) {
+  std::ostringstream ss;
+  ss << "{\n  \"tool\": \"sparktune_lint\",\n"
+     << "  \"schema\": \"sparktune-lint-findings-v1\",\n"
+     << "  \"count\": " << findings.size() << ",\n  \"findings\": [";
+  for (size_t i = 0; i < findings.size(); ++i) {
+    const Finding& f = findings[i];
+    ss << (i == 0 ? "\n" : ",\n")
+       << "    {\"file\": \"" << JsonEscape(f.file) << "\", \"line\": "
+       << f.line << ", \"rule\": \"" << JsonEscape(f.rule)
+       << "\", \"message\": \"" << JsonEscape(f.message)
+       << "\", \"hint\": \"" << JsonEscape(f.hint) << "\"}";
+  }
+  ss << (findings.empty() ? "]" : "\n  ]") << "\n}\n";
+  return ss.str();
+}
+
+std::string FindingsToSarif(const std::vector<Finding>& findings) {
+  std::ostringstream ss;
+  ss << "{\"$schema\": "
+        "\"https://json.schemastore.org/sarif-2.1.0.json\", "
+        "\"version\": \"2.1.0\", \"runs\": [{\"tool\": {\"driver\": "
+        "{\"name\": \"sparktune_lint\", \"informationUri\": "
+        "\"DESIGN.md\", \"rules\": [";
+  bool first = true;
+  for (const RuleDoc& r : RuleDocs()) {
+    ss << (first ? "" : ", ") << "{\"id\": \"" << JsonEscape(r.id)
+       << "\", \"shortDescription\": {\"text\": \"" << JsonEscape(r.doc)
+       << "\"}}";
+    first = false;
+  }
+  // io-error is not a catalogue rule but can appear as a result.
+  ss << ", {\"id\": \"io-error\", \"shortDescription\": {\"text\": "
+        "\"input file could not be read\"}}";
+  ss << "]}}, \"results\": [";
+  for (size_t i = 0; i < findings.size(); ++i) {
+    const Finding& f = findings[i];
+    std::string text = f.message;
+    if (!f.hint.empty()) text += " (hint: " + f.hint + ")";
+    ss << (i == 0 ? "" : ", ") << "{\"ruleId\": \"" << JsonEscape(f.rule)
+       << "\", \"level\": \"error\", \"message\": {\"text\": \""
+       << JsonEscape(text) << "\"}, \"locations\": [{\"physicalLocation\": "
+       << "{\"artifactLocation\": {\"uri\": \"" << JsonEscape(f.file)
+       << "\"}, \"region\": {\"startLine\": " << std::max(1, f.line)
+       << "}}}]}";
+  }
+  ss << "]}]}\n";
+  return ss.str();
+}
+
+int ExitCodeForFindings(const std::vector<Finding>& findings) {
+  for (const Finding& f : findings) {
+    if (f.rule == "io-error") return 2;
+  }
+  return findings.empty() ? 0 : 1;
+}
+
+FixResult ApplyFixStubs(const std::vector<Finding>& findings,
+                        const std::string& user) {
+  FixResult result;
+  // file -> line -> rule ids needing a stub there.
+  std::map<std::string, std::map<int, std::set<std::string>>> plan;
+  for (const Finding& f : findings) {
+    if (f.rule == "bad-allow" || f.rule == "io-error" || f.line <= 0) {
+      result.skipped.push_back(f);
+      continue;
+    }
+    plan[f.file][f.line].insert(f.rule);
+  }
+  auto has_annotation = [](const std::string& line) {
+    return line.find("lint:allow(") != std::string::npos ||
+           line.find("lint:guarded-by(") != std::string::npos;
+  };
+  for (auto& [file, lines_plan] : plan) {
+    std::ifstream in(file, std::ios::binary);
+    if (!in) {
+      for (const auto& [line, rules] : lines_plan) {
+        for (const std::string& r : rules) {
+          result.skipped.push_back({file, line, r, "cannot read file", ""});
+        }
+      }
+      continue;
+    }
+    std::vector<std::string> lines;
+    std::string ln;
+    while (std::getline(in, ln)) {
+      if (!ln.empty() && ln.back() == '\r') ln.pop_back();
+      lines.push_back(ln);
+    }
+    in.close();
+    bool touched = false;
+    // Bottom-up so earlier insertions don't shift later targets.
+    for (auto it = lines_plan.rbegin(); it != lines_plan.rend(); ++it) {
+      const int line = it->first;
+      if (line > static_cast<int>(lines.size())) {
+        for (const std::string& r : it->second) {
+          result.skipped.push_back({file, line, r, "line out of range", ""});
+        }
+        continue;
+      }
+      std::string stubs;
+      for (const std::string& r : it->second) {
+        if (!stubs.empty()) stubs += " ";
+        stubs += "lint:allow(" + r + ") TODO(" + user + "): justify";
+        ++result.stubs;
+      }
+      const size_t idx = static_cast<size_t>(line - 1);
+      if (has_annotation(lines[idx])) {
+        // The finding's line already carries an annotation comment —
+        // extend it rather than stacking a second comment line that
+        // would push the existing one out of suppression range.
+        lines[idx] += " " + stubs;
+      } else if (idx > 0 && has_annotation(lines[idx - 1])) {
+        lines[idx - 1] += " " + stubs;
+      } else {
+        std::string indent =
+            lines[idx].substr(0, lines[idx].find_first_not_of(" \t"));
+        if (indent.size() == lines[idx].size()) indent.clear();
+        lines.insert(lines.begin() + idx, indent + "// " + stubs);
+      }
+      touched = true;
+    }
+    if (touched) {
+      std::ofstream out(file, std::ios::binary | std::ios::trunc);
+      for (const std::string& l : lines) out << l << "\n";
+      result.files.push_back(file);
+    }
+  }
+  std::sort(result.files.begin(), result.files.end());
+  return result;
 }
 
 }  // namespace sparktune::lint

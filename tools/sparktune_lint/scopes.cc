@@ -1,0 +1,193 @@
+#include "scopes.h"
+
+#include <algorithm>
+#include <cctype>
+#include <map>
+#include <set>
+
+namespace sparktune::lint {
+
+namespace {
+
+bool IsIdent(const std::string& t) {
+  if (t.empty()) return false;
+  char c = t[0];
+  return (std::isalpha(static_cast<unsigned char>(c)) || c == '_');
+}
+
+const std::set<std::string>& GuardTypes() {
+  static const std::set<std::string> kTypes = {"lock_guard", "unique_lock",
+                                               "scoped_lock", "shared_lock"};
+  return kTypes;
+}
+
+// One RAII guard (or manual m.lock()) alive in some block.
+struct LockEntry {
+  std::string var;                  // guard variable name ("" for manual)
+  std::vector<std::string> mutexes;  // base names of the guarded mutexes
+  bool active = true;               // false after unlock()/defer_lock
+};
+
+}  // namespace
+
+std::vector<Finding> CheckGuardDiscipline(const std::string& path,
+                                          const std::vector<Token>& toks,
+                                          const SymbolIndex& index) {
+  std::vector<Finding> findings;
+  // Block stack: entries acquired in a block die when it closes. The
+  // outermost "block" is the file itself so namespace-scope tokens do not
+  // underflow the stack.
+  std::vector<std::vector<LockEntry>> blocks(1);
+  std::multiset<std::string> held;
+
+  auto tok = [&](size_t i) -> const std::string& {
+    static const std::string kEmpty;
+    return i < toks.size() ? toks[i].text : kEmpty;
+  };
+  auto release = [&](LockEntry* e) {
+    if (!e->active) return;
+    e->active = false;
+    for (const std::string& m : e->mutexes) {
+      auto it = held.find(m);
+      if (it != held.end()) held.erase(it);
+    }
+  };
+  auto acquire = [&](LockEntry* e) {
+    if (e->active) return;
+    e->active = true;
+    for (const std::string& m : e->mutexes) held.insert(m);
+  };
+  auto find_var = [&](const std::string& name) -> LockEntry* {
+    for (size_t b = blocks.size(); b-- > 0;) {
+      for (LockEntry& e : blocks[b]) {
+        if (!e.var.empty() && e.var == name) return &e;
+      }
+    }
+    return nullptr;
+  };
+  // Matching ')' / '>' helpers over the flat stream.
+  auto match = [&](size_t open, const char* o, const char* c) -> size_t {
+    int depth = 0;
+    for (size_t i = open; i < toks.size(); ++i) {
+      if (toks[i].text == o) ++depth;
+      if (toks[i].text == c && --depth == 0) return i;
+    }
+    return toks.size();
+  };
+
+  for (size_t i = 0; i < toks.size(); ++i) {
+    const std::string& t = toks[i].text;
+    if (t == "{") {
+      blocks.emplace_back();
+      continue;
+    }
+    if (t == "}") {
+      if (blocks.size() > 1) {
+        for (LockEntry& e : blocks.back()) release(&e);
+        blocks.pop_back();
+      }
+      continue;
+    }
+    // RAII guard declaration: lock_guard<...> lk(mu_); unique_lock lk(mu_,
+    // std::defer_lock); scoped_lock sl(a_mu_, b_mu_); ...
+    if (GuardTypes().count(t)) {
+      size_t j = i + 1;
+      if (tok(j) == "<") {
+        size_t close = match(j, "<", ">");
+        if (close >= toks.size()) continue;
+        j = close + 1;
+      }
+      if (!IsIdent(tok(j))) continue;  // e.g. a using-declaration
+      std::string var = tok(j);
+      if (tok(j + 1) != "(") continue;
+      size_t close = match(j + 1, "(", ")");
+      if (close >= toks.size()) continue;
+      LockEntry entry;
+      entry.var = var;
+      bool deferred = false;
+      // Each top-level argument contributes its base mutex name — the
+      // last identifier of the argument's member chain (s->mu_ -> mu_).
+      std::string last_ident;
+      int depth = 0;
+      for (size_t k = j + 1; k <= close; ++k) {
+        const std::string& a = toks[k].text;
+        if (a == "(" || a == "[") ++depth;
+        if (a == ")" || a == "]") --depth;
+        if ((a == "," && depth == 1) || k == close) {
+          if (last_ident == "defer_lock") {
+            deferred = true;
+          } else if (last_ident == "adopt_lock" ||
+                     last_ident == "try_to_lock") {
+            // adopt: already held by this scope; try: assume success —
+            // both err toward fewer false positives.
+          } else if (!last_ident.empty()) {
+            entry.mutexes.push_back(last_ident);
+          }
+          last_ident.clear();
+          continue;
+        }
+        if (IsIdent(a)) last_ident = a;
+      }
+      entry.active = false;
+      blocks.back().push_back(entry);
+      if (!deferred && !blocks.back().back().mutexes.empty()) {
+        acquire(&blocks.back().back());
+      }
+      i = close;
+      continue;
+    }
+    // Manual lock()/unlock(): on a tracked guard variable or directly on
+    // a mutex name (receiver = token before the ./->).
+    if ((t == "lock" || t == "unlock") && tok(i + 1) == "(" &&
+        i >= 2 && (toks[i - 1].text == "." || toks[i - 1].text == "->")) {
+      const std::string& recv = toks[i - 2].text;
+      if (!IsIdent(recv)) continue;
+      if (LockEntry* e = find_var(recv)) {
+        t == "lock" ? acquire(e) : release(e);
+      } else if (t == "lock") {
+        LockEntry entry;
+        entry.mutexes.push_back(recv);
+        entry.active = false;
+        blocks.back().push_back(entry);
+        acquire(&blocks.back().back());
+      } else {
+        // Manual unlock of a mutex acquired in any live block.
+        for (size_t b = blocks.size(); b-- > 0;) {
+          bool done = false;
+          for (LockEntry& e : blocks[b]) {
+            if (e.active && e.var.empty() && e.mutexes.size() == 1 &&
+                e.mutexes[0] == recv) {
+              release(&e);
+              done = true;
+              break;
+            }
+          }
+          if (done) break;
+        }
+      }
+      continue;
+    }
+    // Guarded-member access.
+    if (!IsIdent(t)) continue;
+    const MemberRecord* rec = index.FindGuardedMember(t);
+    if (rec == nullptr) continue;
+    if (rec->file == path && rec->line == toks[i].line) continue;  // decl
+    if (std::find(rec->decl_allows.begin(), rec->decl_allows.end(),
+                  "guard-discipline") != rec->decl_allows.end()) {
+      continue;
+    }
+    if (i > 0 && toks[i - 1].text == "::") continue;  // qualified name use
+    if (held.count(rec->guarded_by)) continue;
+    findings.push_back(
+        {path, toks[i].line, "guard-discipline",
+         "'" + t + "' is declared lint:guarded-by(" + rec->guarded_by +
+             ") at " + rec->file + ":" + std::to_string(rec->line) +
+             " but '" + rec->guarded_by + "' is not visibly held here",
+         "take a std::lock_guard<std::mutex> on '" + rec->guarded_by +
+             "' around this access, or justify with "
+             "lint:allow(guard-discipline) <reason>"});
+  }
+  return findings;
+}
+
+}  // namespace sparktune::lint

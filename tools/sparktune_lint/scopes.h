@@ -1,0 +1,33 @@
+// Lightweight intra-function lock tracking for the guard-discipline rule
+// (phase 2 of the two-phase analysis, DESIGN.md §6).
+//
+// The tracker walks one file's token stream with a block-scope stack and
+// maintains the multiset of mutexes "visibly held" at each point:
+//   * RAII guards — std::lock_guard / std::unique_lock / std::scoped_lock /
+//     std::shared_lock — hold their mutex arguments from the declaration
+//     to the end of the enclosing block (std::defer_lock starts released);
+//   * lk.lock() / lk.unlock() on a tracked guard variable re-acquire and
+//     release its mutexes mid-block (the early-unlock case);
+//   * m.lock() / m.unlock() directly on a mutex name acquire and release
+//     it, bounded by the enclosing block (the sound approximation for a
+//     pass with no inter-procedural view).
+//
+// Every access (read or write — both are racy) of a member whose indexed
+// declaration carries lint:guarded-by(m) is then checked against the held
+// set. The declaration line itself is exempt, as is any member whose
+// declaration carries a reasoned lint:allow(guard-discipline).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "index.h"
+#include "lint.h"
+
+namespace sparktune::lint {
+
+std::vector<Finding> CheckGuardDiscipline(const std::string& path,
+                                          const std::vector<Token>& toks,
+                                          const SymbolIndex& index);
+
+}  // namespace sparktune::lint
