@@ -1,0 +1,289 @@
+// RPC soak benchmark for the multi-process tuning service (DESIGN.md §9).
+//
+// Spawns a real control plane + sparktune_shardd worker fleet over
+// Unix-domain sockets and measures the three numbers that matter for the
+// process model:
+//
+//   * ping latency — one kPing frame exchange per sample, the floor cost
+//     of the framed protocol (encode + CRC + write + read + decode);
+//   * tick latency — one pipelined kExecute fan-out over every shard,
+//     i.e. the per-period control-plane overhead the paper's §6.2
+//     scheduling tick pays for process isolation;
+//   * recovery time — SIGKILL a worker mid-soak, then time RestartShard
+//     end to end: respawn, reconnect, reconfigure, repository load, and
+//     per-task restore + deterministic gap replay.
+//
+// Emits BENCH_rpc.json with latency percentiles and per-cycle recovery
+// times, self-checked against the schema before writing (a silent field
+// drift is a bench bug, not a consumer problem).
+#include <unistd.h>
+
+#include <algorithm>
+#include <chrono>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <system_error>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/json.h"
+#include "service/process_supervisor.h"
+
+using namespace sparktune;
+using namespace sparktune::bench;
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double ElapsedMs(Clock::time_point start) {
+  // lint:allow(no-wall-clock) benchmark wall-time reporting only; never feeds tuner results
+  return std::chrono::duration<double, std::milli>(Clock::now() - start)
+      .count();
+}
+
+// Linear-interpolated percentile; `v` is consumed (sorted in place).
+double Percentile(std::vector<double>* v, double p) {
+  if (v->empty()) return 0.0;
+  std::sort(v->begin(), v->end());
+  const double rank = p * static_cast<double>(v->size() - 1);
+  const size_t lo = static_cast<size_t>(rank);
+  const size_t hi = std::min(lo + 1, v->size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return (*v)[lo] * (1.0 - frac) + (*v)[hi] * frac;
+}
+
+Json PercentileSummary(std::vector<double> samples) {
+  Json j = Json::Object();
+  j.Set("p50", Json::Number(Percentile(&samples, 0.50)));
+  j.Set("p90", Json::Number(Percentile(&samples, 0.90)));
+  j.Set("p99", Json::Number(Percentile(&samples, 0.99)));
+  j.Set("max", Json::Number(samples.empty() ? 0.0 : samples.back()));
+  j.Set("samples", Json::Number(static_cast<double>(samples.size())));
+  return j;
+}
+
+const char* kWorkloads[] = {"WordCount", "Sort", "TeraSort", "Join",
+                            "PageRank", "Aggregation", "Scan", "Bayes"};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Flags flags(argc, argv);
+  const std::string shardd = flags.Str("shardd", SPARKTUNE_SHARDD_PATH);
+  const int shards = flags.Int("shards", 2);
+  const int tasks = flags.Int("tasks", 8);
+  const int ticks = flags.Int("ticks", 30);
+  const int pings = flags.Int("pings", 500);
+  const int kills = flags.Int("kills", 3);
+  const int budget = flags.Int("budget", 5);
+  const int threads = flags.Threads(1);
+  const bool with_repo = flags.Bool("repo", true);
+  std::string sockdir = flags.Str("sockdir", "");
+  const std::string out_path = flags.Out("BENCH_rpc.json");
+  if (!flags.Validate()) return 1;
+  if (sockdir.empty()) {
+    sockdir = StrFormat("/tmp/sparktune-bench-rpc-%d",
+                        static_cast<int>(getpid()));
+  }
+  std::error_code ec;
+  std::filesystem::remove_all(sockdir, ec);
+  std::filesystem::create_directories(sockdir, ec);
+
+  ProcessSupervisorOptions options;
+  options.shardd_path = shardd;
+  options.socket_dir = sockdir;
+  options.num_shards = shards;
+  options.service.budget = budget;
+  options.service.ei_stop_threshold = 0.0;
+  options.service.expert_ranking = true;
+  options.service.num_threads = threads;
+  if (with_repo) {
+    options.service.repository_dir = sockdir + "/repo";
+    options.service.auto_checkpoint_periods = 2;
+    options.service.checkpoint_on_phase_change = true;
+  }
+
+  ProcessSupervisor supervisor(options);
+  if (Status st = supervisor.Start(); !st.ok()) {
+    std::fprintf(stderr, "start: %s\n", st.ToString().c_str());
+    return 1;
+  }
+  for (int i = 0; i < tasks; ++i) {
+    SimTaskSpec spec;
+    spec.workload = kWorkloads[i % (sizeof(kWorkloads) / sizeof(char*))];
+    spec.seed = 77000 + static_cast<uint64_t>(i);
+    if (Status st = supervisor.RegisterTask(
+            StrFormat("rpc-bench-%d", i), spec);
+        !st.ok()) {
+      std::fprintf(stderr, "register: %s\n", st.ToString().c_str());
+      return 1;
+    }
+  }
+
+  // Ping soak: the minimal full exchange, round-robined over the shards.
+  std::vector<double> ping_us;
+  ping_us.reserve(static_cast<size_t>(pings));
+  for (int i = 0; i < pings; ++i) {
+    // lint:allow(no-wall-clock) benchmark timing, as above
+    const Clock::time_point start = Clock::now();
+    if (Status st = supervisor.Ping(i % shards); !st.ok()) {
+      std::fprintf(stderr, "ping: %s\n", st.ToString().c_str());
+      return 1;
+    }
+    ping_us.push_back(ElapsedMs(start) * 1000.0);
+  }
+
+  // Tick soak with chaos cycles spread through it: SIGKILL the busiest
+  // shard, let its tasks park for one tick, then time the full recovery.
+  std::vector<double> tick_ms;
+  std::vector<double> recovery_ms;
+  tick_ms.reserve(static_cast<size_t>(ticks));
+  const int kill_every = kills > 0 ? std::max(2, ticks / (kills + 1)) : 0;
+  int killed = -1;
+  for (int t = 1; t <= ticks; ++t) {
+    if (killed >= 0) {
+      // lint:allow(no-wall-clock) benchmark timing, as above
+      const Clock::time_point start = Clock::now();
+      if (Status st = supervisor.RestartShard(killed); !st.ok()) {
+        std::fprintf(stderr, "restart: %s\n", st.ToString().c_str());
+        return 1;
+      }
+      recovery_ms.push_back(ElapsedMs(start));
+      killed = -1;
+    } else if (kill_every > 0 && t % kill_every == 0 &&
+               static_cast<int>(recovery_ms.size()) < kills) {
+      std::vector<int> load(static_cast<size_t>(shards), 0);
+      for (const std::string& id : supervisor.task_ids()) {
+        ++load[supervisor.shard_of(id)];
+      }
+      killed = 0;
+      for (int s = 1; s < shards; ++s) {
+        if (load[s] > load[killed]) killed = s;
+      }
+      if (Status st = supervisor.KillShard(killed); !st.ok()) {
+        std::fprintf(stderr, "kill: %s\n", st.ToString().c_str());
+        return 1;
+      }
+    }
+    // lint:allow(no-wall-clock) benchmark timing, as above
+    const Clock::time_point start = Clock::now();
+    (void)supervisor.Tick();
+    tick_ms.push_back(ElapsedMs(start));
+  }
+  if (killed >= 0) {  // soak ended mid-cycle; recover before shutdown
+    // lint:allow(no-wall-clock) benchmark timing, as above
+    const Clock::time_point start = Clock::now();
+    if (Status st = supervisor.RestartShard(killed); !st.ok()) {
+      std::fprintf(stderr, "restart: %s\n", st.ToString().c_str());
+      return 1;
+    }
+    recovery_ms.push_back(ElapsedMs(start));
+  }
+
+  (void)supervisor.CheckpointAll();
+  (void)supervisor.HarvestDirty();
+  const ProcessSupervisorStats stats = supervisor.stats();
+  if (Status st = supervisor.Shutdown(); !st.ok()) {
+    std::fprintf(stderr, "shutdown: %s\n", st.ToString().c_str());
+    return 1;
+  }
+
+  Json ping_summary = PercentileSummary(ping_us);
+  Json tick_summary = PercentileSummary(tick_ms);
+  double recovery_mean = 0.0, recovery_max = 0.0;
+  for (double r : recovery_ms) {
+    recovery_mean += r;
+    recovery_max = std::max(recovery_max, r);
+  }
+  if (!recovery_ms.empty()) {
+    recovery_mean /= static_cast<double>(recovery_ms.size());
+  }
+  std::printf(
+      "ping us  p50 %.1f  p90 %.1f  p99 %.1f  (%d samples)\n"
+      "tick ms  p50 %.2f  p90 %.2f  p99 %.2f  (%d ticks, %d tasks, "
+      "%d shards)\n"
+      "recovery ms  mean %.1f  max %.1f  (%zu SIGKILL cycles, %lld tasks "
+      "restored, %lld replayed periods, %lld parked slots)\n",
+      ping_summary.GetNumberOr("p50", 0), ping_summary.GetNumberOr("p90", 0),
+      ping_summary.GetNumberOr("p99", 0), pings,
+      tick_summary.GetNumberOr("p50", 0), tick_summary.GetNumberOr("p90", 0),
+      tick_summary.GetNumberOr("p99", 0), ticks, tasks, shards,
+      recovery_mean, recovery_max, recovery_ms.size(), stats.restored_tasks,
+      stats.replayed_periods, stats.parked_slots);
+
+  Json doc = Json::Object();
+  doc.Set("bench", Json::Str("rpc"));
+  doc.Set("shards", Json::Number(static_cast<double>(shards)));
+  doc.Set("tasks", Json::Number(static_cast<double>(tasks)));
+  doc.Set("ticks", Json::Number(static_cast<double>(ticks)));
+  doc.Set("threads", Json::Number(static_cast<double>(threads)));
+  doc.Set("with_repo", Json::Bool(with_repo));
+  doc.Set("ping_us", std::move(ping_summary));
+  doc.Set("tick_ms", std::move(tick_summary));
+  Json recoveries = Json::Array();
+  for (double r : recovery_ms) recoveries.Append(Json::Number(r));
+  doc.Set("recovery_ms", std::move(recoveries));
+  doc.Set("recovery_ms_mean", Json::Number(recovery_mean));
+  doc.Set("recovery_ms_max", Json::Number(recovery_max));
+  doc.Set("kills", Json::Number(static_cast<double>(stats.kills)));
+  doc.Set("restarts", Json::Number(static_cast<double>(stats.restarts)));
+  doc.Set("restored_tasks",
+          Json::Number(static_cast<double>(stats.restored_tasks)));
+  doc.Set("fresh_replays",
+          Json::Number(static_cast<double>(stats.fresh_replays)));
+  doc.Set("replayed_periods",
+          Json::Number(static_cast<double>(stats.replayed_periods)));
+  doc.Set("parked_slots",
+          Json::Number(static_cast<double>(stats.parked_slots)));
+  doc.Set("lost_results",
+          Json::Number(static_cast<double>(stats.lost_results)));
+  doc.Set("worker_failures",
+          Json::Number(static_cast<double>(stats.worker_failures)));
+  const std::string dumped = doc.Dump();
+
+  // Schema self-check: parse the emitted document back and require the
+  // fields downstream dashboards key on.
+  auto parsed = Json::Parse(dumped);
+  if (!parsed.ok() || !parsed->is_object()) {
+    std::fprintf(stderr,
+                 "BENCH_rpc.json self-check: emitted JSON does not parse\n");
+    return 1;
+  }
+  const char* required[] = {"ping_us", "tick_ms", "recovery_ms",
+                            "recovery_ms_mean", "kills", "restarts"};
+  for (const char* field : required) {
+    if (parsed->Get(field) == nullptr) {
+      std::fprintf(stderr, "BENCH_rpc.json self-check: missing field %s\n",
+                   field);
+      return 1;
+    }
+  }
+  for (const char* nested : {"p50", "p90", "p99"}) {
+    if (parsed->Get("ping_us")->Get(nested) == nullptr ||
+        parsed->Get("tick_ms")->Get(nested) == nullptr) {
+      std::fprintf(stderr,
+                   "BENCH_rpc.json self-check: missing percentile %s\n",
+                   nested);
+      return 1;
+    }
+  }
+  if (kills > 0 && stats.kills != kills) {
+    std::fprintf(stderr, "chaos under-delivered: %lld of %d kills\n",
+                 stats.kills, kills);
+    return 1;
+  }
+
+  {
+    std::ofstream out(out_path, std::ios::trunc);
+    out << dumped << "\n";
+    if (!out.good()) {
+      std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
+      return 1;
+    }
+  }
+  std::printf("wrote %s\n", out_path.c_str());
+  std::filesystem::remove_all(sockdir, ec);
+  return 0;
+}

@@ -1,0 +1,23 @@
+// Framed message exchange over a connected descriptor: one WriteFrame /
+// ReadFrame pair per protocol message, built on the EINTR-safe loops in
+// net/io.h and the codec in net/frame.h.
+#pragma once
+
+#include <string_view>
+
+#include "common/result.h"
+#include "net/frame.h"
+
+namespace sparktune::net {
+
+// Encode + write one frame before the deadline.
+Status WriteFrame(int fd, MsgKind kind, std::string_view payload,
+                  int deadline_ms);
+
+// Read exactly one frame before the deadline. Header-validation failures
+// are kInvalidArgument, torn reads and CRC mismatches kDataLoss, a clean
+// close before the first header byte kUnavailable. The declared payload
+// length is validated against kMaxFramePayload before any allocation.
+Result<Frame> ReadFrame(int fd, int deadline_ms);
+
+}  // namespace sparktune::net

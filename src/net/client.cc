@@ -1,0 +1,121 @@
+#include "net/client.h"
+
+#include "common/strings.h"
+#include "net/socket.h"
+
+namespace sparktune::net {
+
+std::vector<int> ReconnectDelaysMs(const RetryPolicy& policy, int unit_ms) {
+  std::vector<int> delays;
+  const int attempts = policy.max_attempts < 1 ? 1 : policy.max_attempts;
+  delays.reserve(static_cast<size_t>(attempts));
+  delays.push_back(0);  // attempt 1 is immediate
+  for (int k = 1; k < attempts; ++k) {
+    delays.push_back(policy.BackoffPeriods(k) * unit_ms);
+  }
+  return delays;
+}
+
+bool ReconnectState::ShouldAttempt() {
+  if (skip_remaining > 0) {
+    --skip_remaining;
+    return false;
+  }
+  return true;
+}
+
+void ReconnectState::RecordFailure(const RetryPolicy& policy) {
+  ++failures;
+  skip_remaining = policy.BackoffPeriods(failures);
+}
+
+void ReconnectState::RecordSuccess() {
+  failures = 0;
+  skip_remaining = 0;
+}
+
+ShardClient::ShardClient(ShardClientOptions options)
+    : options_(std::move(options)) {}
+
+ShardClient::~ShardClient() = default;
+
+Status ShardClient::ConnectOnce() {
+  if (connected()) return Status::OK();
+  auto fd = UnixConnect(options_.socket_path, options_.connect_timeout_ms);
+  if (!fd.ok()) return fd.status();
+  fd_ = std::move(fd).value();
+  return Status::OK();
+}
+
+Status ShardClient::Connect() {
+  if (connected()) return Status::OK();
+  const std::vector<int> delays =
+      ReconnectDelaysMs(options_.reconnect, options_.backoff_unit_ms);
+  Status last = Status::Unavailable("no connect attempt made");
+  for (size_t k = 0; k < delays.size(); ++k) {
+    SleepMs(delays[k]);
+    last = ConnectOnce();
+    if (last.ok()) return last;
+  }
+  return Status::Unavailable(StrFormat(
+      "connect(%s) failed after %zu attempts: %s",
+      options_.socket_path.c_str(), delays.size(), last.message().c_str()));
+}
+
+Status ShardClient::Send(MsgKind kind, const Json& body, int deadline_ms) {
+  if (!connected()) {
+    SPARKTUNE_RETURN_IF_ERROR(ConnectOnce());
+  }
+  Status st = WriteFrame(fd_.get(), kind, body.Dump(), deadline_ms);
+  if (!st.ok()) Disconnect();
+  return st;
+}
+
+Result<Json> ShardClient::Receive(MsgKind kind, int deadline_ms) {
+  if (!connected()) return Status::Unavailable("not connected");
+  auto frame = ReadFrame(fd_.get(), deadline_ms);
+  if (!frame.ok()) {
+    // Torn/timed-out/corrupt response: the stream is unsynchronized.
+    Disconnect();
+    return frame.status();
+  }
+  if (frame->kind != kind) {
+    Disconnect();
+    return Status::Internal(StrFormat(
+        "response kind mismatch: sent %s, got %s", MsgKindName(kind),
+        MsgKindName(frame->kind)));
+  }
+  auto doc = Json::Parse(frame->payload);
+  if (!doc.ok() || !doc->is_object()) {
+    Disconnect();
+    return Status::DataLoss("response envelope is not a JSON object");
+  }
+  if (!doc->GetBoolOr("ok", false)) {
+    // In-band service error: the connection itself stays healthy.
+    const std::string code = doc->GetStringOr("code", "Internal");
+    const std::string message = doc->GetStringOr("message", "(no message)");
+    if (code == "InvalidArgument") return Status::InvalidArgument(message);
+    if (code == "NotFound") return Status::NotFound(message);
+    if (code == "OutOfRange") return Status::OutOfRange(message);
+    if (code == "FailedPrecondition") {
+      return Status::FailedPrecondition(message);
+    }
+    if (code == "Unavailable") return Status::Unavailable(message);
+    if (code == "DataLoss") return Status::DataLoss(message);
+    return Status::Internal(message);
+  }
+  return *std::move(doc);
+}
+
+Result<Json> ShardClient::Call(MsgKind kind, const Json& body) {
+  return Call(kind, body, options_.call_timeout_ms);
+}
+
+Result<Json> ShardClient::Call(MsgKind kind, const Json& body,
+                               int deadline_ms) {
+  const int64_t start = MonotonicMs();
+  SPARKTUNE_RETURN_IF_ERROR(Send(kind, body, deadline_ms));
+  return Receive(kind, RemainingMs(start, deadline_ms));
+}
+
+}  // namespace sparktune::net

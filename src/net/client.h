@@ -1,0 +1,91 @@
+// ShardClient: the control plane's connection to one worker process.
+//
+// One request/response exchange per Call(); Send()/Receive() split the
+// exchange so the supervisor can pipeline a tick across shards (write
+// every shard's batch first, then collect responses). Reconnects follow
+// the service RetryPolicy's backoff schedule — the k-th attempt waits
+// BackoffPeriods(k) * backoff_unit_ms, so the wall schedule is the same
+// deterministic curve the in-service watchdog uses (no ad-hoc backoff
+// math in the net layer), pinned by tests/rpc_test.cc.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/backoff.h"
+#include "common/json.h"
+#include "common/result.h"
+#include "net/channel.h"
+#include "net/io.h"
+
+namespace sparktune::net {
+
+struct ShardClientOptions {
+  std::string socket_path;
+  // Budget for one connect attempt (the schedule below spaces attempts).
+  int connect_timeout_ms = 1000;
+  // Default per-call deadline: frame write + response read.
+  int call_timeout_ms = 20000;
+  // Reconnect schedule: max_attempts connect tries, the k-th preceded by
+  // BackoffPeriods(k-1) * backoff_unit_ms of sleep (the first is
+  // immediate).
+  RetryPolicy reconnect;
+  int backoff_unit_ms = 20;
+};
+
+// The delay (ms) slept before each reconnect attempt: index k-1 holds the
+// pause before attempt k. Attempt 1 is immediate; attempt k > 1 waits
+// RetryPolicy::BackoffPeriods(k-1) * unit_ms. Exposed so tests pin the
+// schedule against the watchdog's own backoff curve.
+std::vector<int> ReconnectDelaysMs(const RetryPolicy& policy, int unit_ms);
+
+// Tick-domain reconnect pacing for supervisors that probe a dead shard
+// once per Tick() instead of sleeping: after the k-th consecutive failed
+// attempt the next try is BackoffPeriods(k) ticks later. Deterministic in
+// the failure count alone.
+struct ReconnectState {
+  int failures = 0;
+  int skip_remaining = 0;
+
+  // True when this tick should attempt a connect (and consumes the tick).
+  bool ShouldAttempt();
+  void RecordFailure(const RetryPolicy& policy);
+  void RecordSuccess();
+};
+
+class ShardClient {
+ public:
+  explicit ShardClient(ShardClientOptions options);
+  ~ShardClient();
+  ShardClient(const ShardClient&) = delete;
+  ShardClient& operator=(const ShardClient&) = delete;
+
+  // Connect, retrying per ReconnectDelaysMs. kUnavailable when every
+  // attempt fails.
+  Status Connect();
+  // One connect attempt, no schedule (per-tick probing).
+  Status ConnectOnce();
+  bool connected() const { return fd_.valid(); }
+  void Disconnect() { fd_.Reset(); }
+
+  // One request/response exchange. The response frame must echo the
+  // request kind and carry a JSON object envelope ({"ok":true,...} or
+  // {"ok":false,"code":...,"message":...}); an error envelope comes back
+  // as its decoded Status. Transport failures disconnect and return
+  // kUnavailable — the next Call() redials.
+  Result<Json> Call(MsgKind kind, const Json& body);
+  Result<Json> Call(MsgKind kind, const Json& body, int deadline_ms);
+
+  // Pipelined half-exchanges. A Send() must be matched by one Receive()
+  // of the same kind before the next Send() on this client.
+  Status Send(MsgKind kind, const Json& body, int deadline_ms);
+  Result<Json> Receive(MsgKind kind, int deadline_ms);
+
+  const ShardClientOptions& options() const { return options_; }
+
+ private:
+  ShardClientOptions options_;
+  UniqueFd fd_;
+};
+
+}  // namespace sparktune::net

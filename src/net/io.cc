@@ -1,0 +1,135 @@
+#include "net/io.h"
+
+#include <cerrno>
+#include <cstring>
+#include <ctime>
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "common/result.h"
+#include "common/strings.h"
+
+namespace sparktune::net {
+
+void UniqueFd::Reset(int fd) {
+  if (fd_ >= 0) {
+    int rc;
+    do {
+      rc = ::close(fd_);
+    } while (rc != 0 && errno == EINTR);
+  }
+  fd_ = fd;
+}
+
+int64_t MonotonicMs() {
+  struct timespec ts;
+  // lint:allow(no-wall-clock) real-socket deadline clock; bounds blocking I/O only and never feeds tuner state
+  ::clock_gettime(CLOCK_MONOTONIC, &ts);
+  return static_cast<int64_t>(ts.tv_sec) * 1000 +
+         static_cast<int64_t>(ts.tv_nsec) / 1000000;
+}
+
+int RemainingMs(int64_t start_ms, int deadline_ms) {
+  if (deadline_ms < 0) return -1;
+  const int64_t elapsed = MonotonicMs() - start_ms;
+  const int64_t left = static_cast<int64_t>(deadline_ms) - elapsed;
+  return left > 0 ? static_cast<int>(left) : 0;
+}
+
+namespace {
+
+Status WaitEvent(int fd, short events, int deadline_ms, const char* what) {
+  const int64_t start = MonotonicMs();
+  for (;;) {
+    struct pollfd pfd;
+    pfd.fd = fd;
+    pfd.events = events;
+    pfd.revents = 0;
+    const int budget = RemainingMs(start, deadline_ms);
+    const int rc = ::poll(&pfd, 1, budget);
+    if (rc > 0) return Status::OK();  // readable/writable/error — let the
+                                      // following read/write surface it
+    if (rc == 0) {
+      return Status::Unavailable(StrFormat(
+          "deadline (%d ms) waiting for socket %s", deadline_ms, what));
+    }
+    if (errno == EINTR) continue;
+    return Status::Internal(StrFormat("poll: %s", std::strerror(errno)));
+  }
+}
+
+}  // namespace
+
+Status WaitReadable(int fd, int deadline_ms) {
+  return WaitEvent(fd, POLLIN, deadline_ms, "readability");
+}
+
+Status WaitWritable(int fd, int deadline_ms) {
+  return WaitEvent(fd, POLLOUT, deadline_ms, "writability");
+}
+
+Status ReadFull(int fd, void* buf, size_t n, int deadline_ms) {
+  const int64_t start = MonotonicMs();
+  char* p = static_cast<char*>(buf);
+  size_t done = 0;
+  while (done < n) {
+    SPARKTUNE_RETURN_IF_ERROR(
+        WaitReadable(fd, RemainingMs(start, deadline_ms)));
+    const ssize_t rc = ::recv(fd, p + done, n - done, 0);
+    if (rc > 0) {
+      done += static_cast<size_t>(rc);
+      continue;
+    }
+    if (rc == 0) {
+      if (done == 0) return Status::Unavailable("connection closed by peer");
+      return Status::DataLoss(StrFormat(
+          "connection closed mid-message: %zu of %zu bytes", done, n));
+    }
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) continue;  // re-poll
+    if (errno == ECONNRESET || errno == EPIPE) {
+      if (done == 0) return Status::Unavailable("connection reset by peer");
+      return Status::DataLoss(StrFormat(
+          "connection reset mid-message: %zu of %zu bytes", done, n));
+    }
+    return Status::Internal(StrFormat("recv: %s", std::strerror(errno)));
+  }
+  return Status::OK();
+}
+
+Status WriteFull(int fd, const void* buf, size_t n, int deadline_ms) {
+  const int64_t start = MonotonicMs();
+  const char* p = static_cast<const char*>(buf);
+  size_t done = 0;
+  while (done < n) {
+    SPARKTUNE_RETURN_IF_ERROR(
+        WaitWritable(fd, RemainingMs(start, deadline_ms)));
+    // MSG_NOSIGNAL: a vanished peer must surface as a Status, not SIGPIPE.
+    const ssize_t rc = ::send(fd, p + done, n - done, MSG_NOSIGNAL);
+    if (rc >= 0) {
+      done += static_cast<size_t>(rc);
+      continue;
+    }
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) continue;  // re-poll
+    if (errno == EPIPE || errno == ECONNRESET) {
+      return Status::Unavailable(StrFormat(
+          "peer gone after %zu of %zu bytes", done, n));
+    }
+    return Status::Internal(StrFormat("send: %s", std::strerror(errno)));
+  }
+  return Status::OK();
+}
+
+void SleepMs(int ms) {
+  if (ms <= 0) return;
+  struct timespec req;
+  req.tv_sec = ms / 1000;
+  req.tv_nsec = static_cast<long>(ms % 1000) * 1000000L;
+  struct timespec rem;
+  while (::nanosleep(&req, &rem) != 0 && errno == EINTR) req = rem;
+}
+
+}  // namespace sparktune::net

@@ -1,0 +1,74 @@
+// Low-level descriptor I/O for the net layer: EINTR-safe, SIGPIPE-immune
+// read/write loops with per-call deadlines (DESIGN.md §9).
+//
+// Deadlines are wall milliseconds of CLOCK_MONOTONIC — the one place in
+// the tree outside src/sparksim where real time is allowed, because these
+// deadlines bound blocking on a real socket and never feed tuner state.
+// A deadline of -1 blocks indefinitely; 0 polls.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+#include "common/status.h"
+
+namespace sparktune::net {
+
+// Move-only RAII file descriptor.
+class UniqueFd {
+ public:
+  UniqueFd() = default;
+  explicit UniqueFd(int fd) : fd_(fd) {}
+  ~UniqueFd() { Reset(); }
+  UniqueFd(UniqueFd&& other) noexcept : fd_(other.Release()) {}
+  UniqueFd& operator=(UniqueFd&& other) noexcept {
+    if (this != &other) {
+      Reset();
+      fd_ = other.Release();
+    }
+    return *this;
+  }
+  UniqueFd(const UniqueFd&) = delete;
+  UniqueFd& operator=(const UniqueFd&) = delete;
+
+  int get() const { return fd_; }
+  bool valid() const { return fd_ >= 0; }
+  int Release() {
+    int fd = fd_;
+    fd_ = -1;
+    return fd;
+  }
+  void Reset(int fd = -1);
+
+ private:
+  int fd_ = -1;
+};
+
+// Milliseconds on the monotonic clock (deadline arithmetic only).
+int64_t MonotonicMs();
+
+// Remaining budget of a deadline that started `start_ms` ago with
+// `deadline_ms` total; -1 stays -1 (infinite), exhausted budgets clamp
+// to 0 (poll once, then time out).
+int RemainingMs(int64_t start_ms, int deadline_ms);
+
+// EINTR-safe poll for readability/writability. kUnavailable on timeout,
+// kInternal on poll failure.
+Status WaitReadable(int fd, int deadline_ms);
+Status WaitWritable(int fd, int deadline_ms);
+
+// Read exactly `n` bytes before the deadline elapses.
+//   * peer closed before the first byte: kUnavailable ("connection closed")
+//   * peer closed mid-buffer: kDataLoss (a torn message)
+//   * deadline exhausted: kUnavailable
+Status ReadFull(int fd, void* buf, size_t n, int deadline_ms);
+
+// Write exactly `n` bytes before the deadline elapses. Uses
+// send(MSG_NOSIGNAL) so a dead peer yields kUnavailable (EPIPE), never a
+// process-killing SIGPIPE.
+Status WriteFull(int fd, const void* buf, size_t n, int deadline_ms);
+
+// EINTR-safe sleep (reconnect backoff pacing).
+void SleepMs(int ms);
+
+}  // namespace sparktune::net

@@ -1,0 +1,106 @@
+#include "net/socket.h"
+
+#include <cerrno>
+#include <cstring>
+
+#include <fcntl.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include "common/strings.h"
+
+namespace sparktune::net {
+
+namespace {
+
+Status FillAddr(const std::string& path, struct sockaddr_un* addr) {
+  if (path.empty()) {
+    return Status::InvalidArgument("empty socket path");
+  }
+  if (path.size() >= sizeof(addr->sun_path)) {
+    return Status::InvalidArgument(StrFormat(
+        "socket path too long (%zu >= %zu): %s", path.size(),
+        sizeof(addr->sun_path), path.c_str()));
+  }
+  std::memset(addr, 0, sizeof(*addr));
+  addr->sun_family = AF_UNIX;
+  std::memcpy(addr->sun_path, path.c_str(), path.size() + 1);
+  return Status::OK();
+}
+
+Result<UniqueFd> NewSocket() {
+  int fd = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC | SOCK_NONBLOCK, 0);
+  if (fd < 0) {
+    return Status::Internal(StrFormat("socket: %s", std::strerror(errno)));
+  }
+  return UniqueFd(fd);
+}
+
+}  // namespace
+
+Result<UniqueFd> UnixListen(const std::string& path, int backlog) {
+  struct sockaddr_un addr;
+  SPARKTUNE_RETURN_IF_ERROR(FillAddr(path, &addr));
+  SPARKTUNE_ASSIGN_OR_RETURN(fd, NewSocket());
+  ::unlink(path.c_str());  // stale address from a killed incarnation
+  if (::bind(fd.get(), reinterpret_cast<struct sockaddr*>(&addr),
+             sizeof(addr)) != 0) {
+    return Status::Unavailable(StrFormat(
+        "bind(%s): %s", path.c_str(), std::strerror(errno)));
+  }
+  if (::listen(fd.get(), backlog) != 0) {
+    return Status::Unavailable(StrFormat(
+        "listen(%s): %s", path.c_str(), std::strerror(errno)));
+  }
+  return std::move(fd);
+}
+
+Result<UniqueFd> UnixAccept(int listen_fd, int deadline_ms) {
+  const int64_t start = MonotonicMs();
+  for (;;) {
+    SPARKTUNE_RETURN_IF_ERROR(
+        WaitReadable(listen_fd, RemainingMs(start, deadline_ms)));
+    int fd = ::accept4(listen_fd, nullptr, nullptr,
+                       SOCK_CLOEXEC | SOCK_NONBLOCK);
+    if (fd >= 0) return UniqueFd(fd);
+    if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK ||
+        errno == ECONNABORTED) {
+      continue;  // raced with a dying client; wait again
+    }
+    return Status::Internal(StrFormat("accept: %s", std::strerror(errno)));
+  }
+}
+
+Result<UniqueFd> UnixConnect(const std::string& path, int deadline_ms) {
+  struct sockaddr_un addr;
+  SPARKTUNE_RETURN_IF_ERROR(FillAddr(path, &addr));
+  SPARKTUNE_ASSIGN_OR_RETURN(fd, NewSocket());
+  int rc;
+  do {
+    rc = ::connect(fd.get(), reinterpret_cast<struct sockaddr*>(&addr),
+                   sizeof(addr));
+  } while (rc != 0 && errno == EINTR);
+  if (rc != 0 && errno != EINPROGRESS && errno != EAGAIN) {
+    return Status::Unavailable(StrFormat(
+        "connect(%s): %s", path.c_str(), std::strerror(errno)));
+  }
+  if (rc != 0) {
+    // Non-blocking connect in flight: wait for writability, then read the
+    // resolution out of SO_ERROR.
+    SPARKTUNE_RETURN_IF_ERROR(WaitWritable(fd.get(), deadline_ms));
+    int err = 0;
+    socklen_t len = sizeof(err);
+    if (::getsockopt(fd.get(), SOL_SOCKET, SO_ERROR, &err, &len) != 0) {
+      return Status::Internal(StrFormat(
+          "getsockopt(SO_ERROR): %s", std::strerror(errno)));
+    }
+    if (err != 0) {
+      return Status::Unavailable(StrFormat(
+          "connect(%s): %s", path.c_str(), std::strerror(err)));
+    }
+  }
+  return std::move(fd);
+}
+
+}  // namespace sparktune::net

@@ -1,0 +1,26 @@
+// Unix-domain stream sockets for the shard protocol (DESIGN.md §9).
+// All descriptors come back CLOEXEC so fork/exec'd workers never inherit
+// a sibling's connection.
+#pragma once
+
+#include <string>
+
+#include "common/result.h"
+#include "net/io.h"
+
+namespace sparktune::net {
+
+// Bind + listen on `path`. A stale socket file at `path` (a previous
+// incarnation's leftover) is unlinked first — the control plane respawns
+// workers onto the same address.
+Result<UniqueFd> UnixListen(const std::string& path, int backlog = 8);
+
+// Accept one connection; kUnavailable on deadline.
+Result<UniqueFd> UnixAccept(int listen_fd, int deadline_ms);
+
+// Connect to `path`; kUnavailable when the socket is absent, refusing, or
+// the deadline elapses (one attempt — retry scheduling lives in
+// ShardClient, driven by RetryPolicy::BackoffPeriods).
+Result<UniqueFd> UnixConnect(const std::string& path, int deadline_ms);
+
+}  // namespace sparktune::net

@@ -4,31 +4,9 @@
 #include <cassert>
 
 #include "common/rng.h"
+#include "service/placement.h"
 
 namespace sparktune {
-
-namespace {
-
-// Placement hashing is self-contained (FNV-1a + splitmix64 finalizer) so
-// shard assignment is identical across platforms and standard libraries —
-// std::hash makes no such promise.
-uint64_t Fnv1a(const std::string& s) {
-  uint64_t h = 0xcbf29ce484222325ULL;
-  for (unsigned char c : s) {
-    h ^= c;
-    h *= 0x100000001b3ULL;
-  }
-  return h;
-}
-
-uint64_t Mix64(uint64_t x) {
-  x += 0x9E3779B97F4A7C15ULL;
-  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
-  x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
-  return x ^ (x >> 31);
-}
-
-}  // namespace
 
 ServiceSupervisor::ServiceSupervisor(const ConfigSpace* space,
                                      ServiceSupervisorOptions options)
@@ -42,21 +20,13 @@ ServiceSupervisor::ServiceSupervisor(const ConfigSpace* space,
 }
 
 int ServiceSupervisor::PreferredShard(const std::string& id) const {
-  // Rendezvous (highest-random-weight) hashing over the live shards: each
-  // task independently ranks every shard, so killing one shard moves only
-  // that shard's tasks and leaves every other placement untouched.
-  const uint64_t task_hash = Fnv1a(id);
-  int best = -1;
-  uint64_t best_score = 0;
-  for (size_t s = 0; s < shards_.size(); ++s) {
-    if (shards_[s].service == nullptr) continue;
-    uint64_t score = Mix64(task_hash ^ Mix64(static_cast<uint64_t>(s) + 1));
-    if (best < 0 || score > best_score) {
-      best = static_cast<int>(s);
-      best_score = score;
-    }
-  }
-  return best;
+  // Rendezvous hashing over the live shards (service/placement.h, shared
+  // with the multi-process control plane): each task independently ranks
+  // every shard, so killing one shard moves only that shard's tasks and
+  // leaves every other placement untouched.
+  return placement::Rendezvous(id, num_shards(), [this](int s) {
+    return shards_[static_cast<size_t>(s)].service != nullptr;
+  });
 }
 
 Status ServiceSupervisor::RegisterTask(const std::string& id,

@@ -1,0 +1,38 @@
+// Cross-TU alias fixture header: every member below is declared through a
+// type alias, never a literal std::unordered_* / std::mutex spelling — the
+// laundering the SymbolIndex alias pre-pass exists to see through. Linted
+// as a pair with idx/bad_alias_iter.cc (findings) and
+// idx/clean_alias_iter.cc (clean) via LintFilesIndexed.
+#pragma once
+
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace lintfix {
+
+// Direct alias, `using` spelling.
+using ScoreMap = std::unordered_map<std::string, double>;
+// Transitive: an alias of an alias must classify identically.
+using CacheMap = ScoreMap;
+// The typedef spelling.
+typedef std::unordered_map<int, int> IdMap;
+// A mutex behind an alias participates in guard discipline.
+using Guard = std::mutex;
+// Ordered alias: members of this type must NOT classify as unordered.
+using Rows = std::vector<int>;
+
+struct AliasedRegistry {
+  double Total() const;
+
+  ScoreMap scores_;   // unordered via direct alias
+  CacheMap cache_;    // unordered via transitive alias
+  IdMap ids_;         // unordered via typedef
+  Rows rows_;         // ordered; iteration is always fine
+
+  Guard alias_mu_;
+  int alias_hits_ = 0;  // lint:guarded-by(alias_mu_)
+};
+
+}  // namespace lintfix

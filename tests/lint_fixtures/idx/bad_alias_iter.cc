@@ -1,0 +1,32 @@
+// Cross-TU bad fixture: iterates members whose unordered-ness is hidden
+// behind type aliases declared in idx/alias_types.h. Per-file linting sees
+// nothing; with the alias-aware index every walk is a finding.
+// Expected (indexed with alias_types.h):
+//   line 15: unordered-member-iter   (range-for over scores_, direct alias)
+//   line 23: unordered-member-iter   (range-for over cache_, alias of alias)
+//   line 30: unordered-member-iter   (iterator walk over ids_, typedef)
+#include <string>
+#include <vector>
+
+#include "alias_types.h"
+
+std::vector<std::string> AliasKeys(const lintfix::AliasedRegistry& r) {
+  std::vector<std::string> keys;
+  for (const auto& [key, value] : r.scores_) {
+    keys.push_back(key);
+  }
+  return keys;
+}
+
+double CacheSum(const lintfix::AliasedRegistry& r) {
+  double sum = 0.0;
+  for (const auto& [key, value] : r.cache_) {
+    sum += value;
+  }
+  return sum;
+}
+
+int FirstId(const lintfix::AliasedRegistry& r) {
+  auto it = r.ids_.begin();
+  return it == r.ids_.end() ? -1 : it->second;
+}

@@ -1,0 +1,31 @@
+// Cross-TU clean fixture for alias indexing: point lookups into
+// alias-typed unordered members never observe hash order; iterating the
+// *ordered* alias (Rows -> std::vector) is always fine even with
+// alias_types.h indexed; an order-independent reduction over an
+// alias-typed unordered member carries a use-site reasoned allow.
+#include <string>
+
+#include "alias_types.h"
+
+double AliasLookup(const lintfix::AliasedRegistry& r,
+                   const std::string& key) {
+  auto it = r.scores_.find(key);
+  return it == r.scores_.end() ? 0.0 : it->second;
+}
+
+int RowTotal(const lintfix::AliasedRegistry& r) {
+  int total = 0;
+  for (int row : r.rows_) {
+    total += row;
+  }
+  return total;
+}
+
+int CountPositive(const lintfix::AliasedRegistry& r) {
+  int n = 0;
+  // lint:allow(unordered-member-iter) integer count, order-independent
+  for (const auto& [key, value] : r.cache_) {
+    if (value > 0.0) ++n;
+  }
+  return n;
+}

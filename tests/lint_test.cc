@@ -243,6 +243,47 @@ TEST(LintCrossTU, CleanCounterpartsStaySilent) {
   ExpectIndexedFindings("idx/rng_helpers.h", "idx/clean_rng_escape.cc", {});
 }
 
+TEST(LintCrossTU, AliasedMembersTriggerUnorderedMemberIter) {
+  ExpectIndexedFindings("idx/alias_types.h", "idx/bad_alias_iter.cc",
+                        {{"unordered-member-iter", 15},
+                         {"unordered-member-iter", 23},
+                         {"unordered-member-iter", 30}});
+}
+
+TEST(LintCrossTU, AliasedMembersSilentWithoutIndex) {
+  // Per-file linting cannot see through the alias declared in the header:
+  // the exact laundering the alias pre-pass closes.
+  ExpectFindings("idx/bad_alias_iter.cc", {});
+}
+
+TEST(LintCrossTU, AliasedCleanCounterpartStaysSilent) {
+  ExpectIndexedFindings("idx/alias_types.h", "idx/clean_alias_iter.cc", {});
+}
+
+TEST(LintCrossTU, IndexRecordsAliasesTransitively) {
+  sparktune::lint::SymbolIndex index =
+      sparktune::lint::BuildIndex({FixturePath("idx/alias_types.h"),
+                                   FixturePath("idx/bad_alias_iter.cc")});
+  // Direct alias, alias-of-alias, and the typedef spelling all classify.
+  EXPECT_TRUE(index.IsUnorderedAlias("ScoreMap"));
+  EXPECT_TRUE(index.IsUnorderedAlias("CacheMap"));
+  EXPECT_TRUE(index.IsUnorderedAlias("IdMap"));
+  EXPECT_TRUE(index.IsMutexAlias("Guard"));
+  // Ordered alias must not classify as unordered.
+  EXPECT_FALSE(index.IsUnorderedAlias("Rows"));
+  EXPECT_FALSE(index.IsUnorderedAlias("NoSuchAlias"));
+  EXPECT_GE(index.alias_count(), 5u);
+  // Members declared through aliases classify like literal spellings.
+  EXPECT_NE(index.FindUnorderedMember("scores_"), nullptr);
+  EXPECT_NE(index.FindUnorderedMember("cache_"), nullptr);
+  EXPECT_NE(index.FindUnorderedMember("ids_"), nullptr);
+  EXPECT_EQ(index.FindUnorderedMember("rows_"), nullptr);
+  EXPECT_TRUE(index.IsMutexMember("alias_mu_"));
+  const auto* hits = index.FindGuardedMember("alias_hits_");
+  ASSERT_NE(hits, nullptr);
+  EXPECT_EQ(hits->guarded_by, "alias_mu_");
+}
+
 TEST(LintCrossTU, IndexRecordsMembersAndSignatures) {
   sparktune::lint::SymbolIndex index =
       sparktune::lint::BuildIndex({FixturePath("idx/registry.h"),

@@ -1,0 +1,709 @@
+// Multi-process tuning service tests (DESIGN.md §9): frame-codec
+// hardening (torn/bit-flipped/oversized frames decode to typed errors,
+// never crash or over-read — run under ASan/UBSan via the sanitizer
+// matrix), the RetryPolicy-pinned reconnect schedule, socket deadline
+// behavior, the ShardServer dispatcher, and the headline property — a
+// fleet driven over real sockets through real SIGKILLed-and-respawned
+// worker processes delivers a per-task trajectory bit-identical to an
+// undisturbed in-process TuningService run, at nt=1 and nt=4.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/strings.h"
+#include "net/channel.h"
+#include "net/client.h"
+#include "net/frame.h"
+#include "net/io.h"
+#include "net/socket.h"
+#include "service/process_supervisor.h"
+#include "service/shard_server.h"
+#include "service/wire.h"
+#include "sparksim/hibench.h"
+#include "sparksim/spark_conf.h"
+
+namespace sparktune {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string TempDir(const std::string& tag) {
+  std::string dir =
+      (fs::temp_directory_path() / ("sparktune-rpc-test-" + tag)).string();
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  return dir;
+}
+
+// ---------------------------------------------------------------------------
+// Frame codec hardening.
+// ---------------------------------------------------------------------------
+
+TEST(FrameCodec, RoundTripAndBackToBackFrames) {
+  const std::string payload = R"({"ok":true,"x":[1,2,3]})";
+  std::string wire = net::EncodeFrame(net::MsgKind::kExecute, payload);
+  ASSERT_EQ(wire.size(), net::kFrameHeaderBytes + payload.size());
+
+  size_t consumed = 0;
+  auto frame = net::DecodeFrame(wire, &consumed);
+  ASSERT_TRUE(frame.ok()) << frame.status().ToString();
+  EXPECT_EQ(frame->kind, net::MsgKind::kExecute);
+  EXPECT_EQ(frame->payload, payload);
+  EXPECT_EQ(consumed, wire.size());
+
+  // Two frames back to back: the first decode consumes exactly one.
+  std::string two = wire + net::EncodeFrame(net::MsgKind::kPing, "{}");
+  auto first = net::DecodeFrame(two, &consumed);
+  ASSERT_TRUE(first.ok());
+  EXPECT_EQ(first->kind, net::MsgKind::kExecute);
+  auto second = net::DecodeFrame(
+      std::string_view(two).substr(consumed), &consumed);
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(second->kind, net::MsgKind::kPing);
+  EXPECT_EQ(second->payload, "{}");
+}
+
+TEST(FrameCodec, TornPrefixesAreDataLoss) {
+  const std::string wire =
+      net::EncodeFrame(net::MsgKind::kCheckpoint, R"({"a":1})");
+  for (size_t cut = 0; cut < wire.size(); ++cut) {
+    auto frame = net::DecodeFrame(std::string_view(wire.data(), cut));
+    ASSERT_FALSE(frame.ok()) << "cut=" << cut;
+    EXPECT_EQ(frame.status().code(), Status::Code::kDataLoss)
+        << "cut=" << cut;
+  }
+}
+
+TEST(FrameCodec, EveryBitFlipIsATypedError) {
+  const std::string payload = R"({"kind":"corpus","v":[0.25,7]})";
+  const std::string wire = net::EncodeFrame(net::MsgKind::kHarvest, payload);
+  for (size_t i = 0; i < wire.size(); ++i) {
+    for (int bit = 0; bit < 8; ++bit) {
+      std::string corrupt = wire;
+      corrupt[i] = static_cast<char>(corrupt[i] ^ (1 << bit));
+      auto frame = net::DecodeFrame(corrupt);
+      // A flip can never decode to success: header fields are validated
+      // and the payload is CRC-framed. It must come back as a typed
+      // error, never a crash or over-read (ASan backs this up).
+      ASSERT_FALSE(frame.ok()) << "byte " << i << " bit " << bit;
+      const Status::Code code = frame.status().code();
+      EXPECT_TRUE(code == Status::Code::kDataLoss ||
+                  code == Status::Code::kInvalidArgument)
+          << "byte " << i << " bit " << bit << ": "
+          << frame.status().ToString();
+    }
+  }
+}
+
+// Hand-build a header with full control over each field.
+std::string RawHeader(uint32_t magic, uint8_t version, uint8_t kind,
+                      uint16_t reserved, uint32_t len, uint32_t crc) {
+  std::string h(net::kFrameHeaderBytes, '\0');
+  auto put32 = [&h](size_t at, uint32_t v) {
+    h[at] = static_cast<char>(v & 0xff);
+    h[at + 1] = static_cast<char>((v >> 8) & 0xff);
+    h[at + 2] = static_cast<char>((v >> 16) & 0xff);
+    h[at + 3] = static_cast<char>((v >> 24) & 0xff);
+  };
+  put32(0, magic);
+  h[4] = static_cast<char>(version);
+  h[5] = static_cast<char>(kind);
+  h[6] = static_cast<char>(reserved & 0xff);
+  h[7] = static_cast<char>((reserved >> 8) & 0xff);
+  put32(8, len);
+  put32(12, crc);
+  return h;
+}
+
+TEST(FrameCodec, MalformedHeadersAreInvalidArgument) {
+  const uint8_t kind = static_cast<uint8_t>(net::MsgKind::kPing);
+  struct Case {
+    const char* name;
+    std::string header;
+  };
+  const Case cases[] = {
+      {"bad magic", RawHeader(0xDEADBEEF, net::kFrameVersion, kind, 0, 2, 0)},
+      {"bad version",
+       RawHeader(net::kFrameMagic, net::kFrameVersion + 1, kind, 0, 2, 0)},
+      {"bad kind", RawHeader(net::kFrameMagic, net::kFrameVersion, 0, 0, 2, 0)},
+      {"kind past range",
+       RawHeader(net::kFrameMagic, net::kFrameVersion, 200, 0, 2, 0)},
+      {"nonzero reserved",
+       RawHeader(net::kFrameMagic, net::kFrameVersion, kind, 7, 2, 0)},
+      {"zero length",
+       RawHeader(net::kFrameMagic, net::kFrameVersion, kind, 0, 0, 0)},
+      {"oversized length",
+       RawHeader(net::kFrameMagic, net::kFrameVersion, kind, 0,
+                 net::kMaxFramePayload + 1, 0)},
+  };
+  for (const Case& c : cases) {
+    net::MsgKind decoded_kind;
+    uint32_t crc = 0;
+    auto len = net::DecodeFrameHeader(c.header, &decoded_kind, &crc);
+    ASSERT_FALSE(len.ok()) << c.name;
+    EXPECT_EQ(len.status().code(), Status::Code::kInvalidArgument) << c.name;
+    // The full-frame decoder agrees (padding keeps the buffer long).
+    auto frame = net::DecodeFrame(c.header + std::string(64, 'x'));
+    ASSERT_FALSE(frame.ok()) << c.name;
+    EXPECT_EQ(frame.status().code(), Status::Code::kInvalidArgument)
+        << c.name;
+  }
+}
+
+TEST(FrameCodec, CrcMismatchIsDataLoss) {
+  std::string wire = net::EncodeFrame(net::MsgKind::kRestore, "{\"p\":1}");
+  wire[wire.size() - 1] = static_cast<char>(wire[wire.size() - 1] ^ 0x01);
+  auto frame = net::DecodeFrame(wire);
+  ASSERT_FALSE(frame.ok());
+  EXPECT_EQ(frame.status().code(), Status::Code::kDataLoss);
+}
+
+// ---------------------------------------------------------------------------
+// Reconnect schedule: RetryPolicy::BackoffPeriods is the only source of
+// backoff math in the net layer.
+// ---------------------------------------------------------------------------
+
+TEST(Reconnect, DelaysPinnedToRetryPolicyBackoff) {
+  RetryPolicy policy;  // service default: 3 attempts, base 1, max 8
+  std::vector<int> delays = net::ReconnectDelaysMs(policy, 20);
+  ASSERT_EQ(delays.size(), 3u);
+  EXPECT_EQ(delays[0], 0);  // attempt 1 is immediate
+  EXPECT_EQ(delays[1], policy.BackoffPeriods(1) * 20);
+  EXPECT_EQ(delays[2], policy.BackoffPeriods(2) * 20);
+  EXPECT_EQ(delays[1], 20);
+  EXPECT_EQ(delays[2], 40);
+
+  // The process supervisor's stretched default: 8 attempts, cap 64.
+  RetryPolicy wide{8, 1, 64, 4, 6};
+  delays = net::ReconnectDelaysMs(wide, 20);
+  const int expected[] = {0, 20, 40, 80, 160, 320, 640, 1280};
+  ASSERT_EQ(delays.size(), 8u);
+  for (size_t k = 0; k < delays.size(); ++k) {
+    EXPECT_EQ(delays[k], expected[k]) << "attempt " << k + 1;
+    if (k > 0) {
+      EXPECT_EQ(delays[k],
+                wide.BackoffPeriods(static_cast<int>(k)) * 20);
+    }
+  }
+}
+
+TEST(Reconnect, TickPacingFollowsBackoffPeriods) {
+  RetryPolicy policy;  // base 1, max 8
+  net::ReconnectState state;
+  EXPECT_TRUE(state.ShouldAttempt());
+  state.RecordFailure(policy);  // 1st failure: skip BackoffPeriods(1) = 1
+  EXPECT_FALSE(state.ShouldAttempt());
+  EXPECT_TRUE(state.ShouldAttempt());
+  state.RecordFailure(policy);  // 2nd failure: skip 2 ticks
+  EXPECT_FALSE(state.ShouldAttempt());
+  EXPECT_FALSE(state.ShouldAttempt());
+  EXPECT_TRUE(state.ShouldAttempt());
+  state.RecordSuccess();
+  EXPECT_TRUE(state.ShouldAttempt());
+  EXPECT_EQ(state.failures, 0);
+}
+
+// ---------------------------------------------------------------------------
+// Sockets & deadlines: errors are typed, and nothing hangs.
+// ---------------------------------------------------------------------------
+
+TEST(Socket, ConnectToMissingPathIsUnavailable) {
+  const std::string dir = TempDir("nosock");
+  auto fd = net::UnixConnect(dir + "/absent.sock", /*deadline_ms=*/200);
+  ASSERT_FALSE(fd.ok());
+  EXPECT_EQ(fd.status().code(), Status::Code::kUnavailable);
+}
+
+TEST(Socket, ReadFrameDeadlineExpiresInsteadOfHanging) {
+  const std::string dir = TempDir("deadline");
+  const std::string path = dir + "/s.sock";
+  auto listener = net::UnixListen(path);
+  ASSERT_TRUE(listener.ok()) << listener.status().ToString();
+  auto client = net::UnixConnect(path, 1000);
+  ASSERT_TRUE(client.ok());
+  auto server = net::UnixAccept(listener->get(), 1000);
+  ASSERT_TRUE(server.ok());
+
+  // No bytes in flight: the read must time out as kUnavailable, promptly.
+  const int64_t start = net::MonotonicMs();
+  auto frame = net::ReadFrame(server->get(), /*deadline_ms=*/100);
+  ASSERT_FALSE(frame.ok());
+  EXPECT_EQ(frame.status().code(), Status::Code::kUnavailable);
+  EXPECT_LT(net::MonotonicMs() - start, 5000);
+
+  // A half-written frame followed by silence is a torn read: kDataLoss
+  // (the stream is desynchronized), still within the deadline.
+  std::string wire = net::EncodeFrame(net::MsgKind::kPing, "{}");
+  std::string half = wire.substr(0, wire.size() - 1);
+  ASSERT_TRUE(
+      net::WriteFull(client->get(), half.data(), half.size(), 1000).ok());
+  frame = net::ReadFrame(server->get(), /*deadline_ms=*/100);
+  ASSERT_FALSE(frame.ok());
+  EXPECT_EQ(frame.status().code(), Status::Code::kDataLoss);
+}
+
+TEST(Socket, FrameExchangeOverRealSockets) {
+  const std::string dir = TempDir("exchange");
+  const std::string path = dir + "/s.sock";
+  auto listener = net::UnixListen(path);
+  ASSERT_TRUE(listener.ok());
+  auto client = net::UnixConnect(path, 1000);
+  ASSERT_TRUE(client.ok());
+  auto server = net::UnixAccept(listener->get(), 1000);
+  ASSERT_TRUE(server.ok());
+
+  const std::string payload(100000, 'j');  // multi-read-sized payload
+  ASSERT_TRUE(
+      net::WriteFrame(client->get(), net::MsgKind::kExecute, payload, 2000)
+          .ok());
+  auto frame = net::ReadFrame(server->get(), 2000);
+  ASSERT_TRUE(frame.ok()) << frame.status().ToString();
+  EXPECT_EQ(frame->kind, net::MsgKind::kExecute);
+  EXPECT_EQ(frame->payload, payload);
+}
+
+// ---------------------------------------------------------------------------
+// Wire codecs round-trip exactly.
+// ---------------------------------------------------------------------------
+
+TEST(Wire, ServiceConfigAndTaskSpecRoundTrip) {
+  ServiceConfig config;
+  config.budget = 13;
+  config.ei_stop_threshold = 0.037;
+  config.expert_ranking = true;
+  config.repository_dir = "/tmp/some/dir";
+  config.auto_checkpoint_periods = 3;
+  config.num_threads = 4;
+  auto parsed = ServiceConfigFromJson(ServiceConfigToJson(config));
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(ServiceConfigToJson(*parsed).Dump(),
+            ServiceConfigToJson(config).Dump());
+
+  SimTaskSpec spec;
+  spec.workload = "TeraSort";
+  spec.seed = 0xDEADBEEFCAFEF00DULL;  // needs all 64 bits on the wire
+  spec.period_hours = 0.5;
+  spec.faults.crash_prob = 0.125;
+  spec.faults.seed = 0xFFFFFFFFFFFFFFFFULL;
+  auto spec2 = SimTaskSpecFromJson(SimTaskSpecToJson(spec));
+  ASSERT_TRUE(spec2.ok()) << spec2.status().ToString();
+  EXPECT_EQ(spec2->seed, spec.seed);
+  EXPECT_EQ(spec2->faults.seed, spec.faults.seed);
+  EXPECT_EQ(SimTaskSpecToJson(*spec2).Dump(), SimTaskSpecToJson(spec).Dump());
+
+  EXPECT_EQ(SimTaskSpecFromJson(Json::Object()).status().code(),
+            Status::Code::kInvalidArgument);
+  Json bad_workload = SimTaskSpecToJson(spec);
+  bad_workload.Set("workload", Json::Str("NoSuchJob"));
+  EXPECT_FALSE(SimTaskSpecFromJson(bad_workload).ok());
+}
+
+TEST(Wire, ResultSlotsRoundTripBitExactly) {
+  ClusterSpec cluster = ClusterSpec::HiBenchCluster();
+  ConfigSpace space = BuildSparkSpace(cluster);
+  Observation obs;
+  obs.config = space.Default();
+  obs.objective = 0.1 + 0.2;  // a value that needs %.17g to survive
+  obs.runtime_sec = 123.456789012345678;
+  obs.failure = FailureKind::kTimeout;
+  obs.feasible = false;
+  obs.degraded = true;
+  obs.iteration = 7;
+  Result<Observation> slot(obs);
+  auto back = ResultSlotFromJson(ResultSlotToJson(slot), space);
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  EXPECT_TRUE(back->config == obs.config);
+  EXPECT_EQ(back->objective, obs.objective);
+  EXPECT_EQ(back->runtime_sec, obs.runtime_sec);
+  EXPECT_EQ(back->failure, obs.failure);
+  EXPECT_EQ(back->feasible, obs.feasible);
+  EXPECT_EQ(back->degraded, obs.degraded);
+
+  Result<Observation> error_slot(Status::Unavailable("backing off: t"));
+  auto error_back = ResultSlotFromJson(ResultSlotToJson(error_slot), space);
+  ASSERT_FALSE(error_back.ok());
+  EXPECT_EQ(error_back.status().code(), Status::Code::kUnavailable);
+  EXPECT_EQ(error_back.status().message(), "backing off: t");
+
+  EXPECT_EQ(ResultSlotFromJson(Json::Number(3), space).status().code(),
+            Status::Code::kDataLoss);
+}
+
+// ---------------------------------------------------------------------------
+// ShardServer dispatcher (socket-free).
+// ---------------------------------------------------------------------------
+
+ServiceConfig TestConfig(const std::string& repo_dir = "") {
+  ServiceConfig config;
+  config.budget = 5;
+  config.ei_stop_threshold = 0.0;
+  config.expert_ranking = true;
+  config.repository_dir = repo_dir;
+  return config;
+}
+
+Json ConfigureBody(const ServiceConfig& config) {
+  Json body = Json::Object();
+  body.Set("config", ServiceConfigToJson(config));
+  return body;
+}
+
+TEST(ShardServer, ConfigureIsIdempotentButConflictsAreRejected) {
+  ShardServer server;
+  // Anything but ping/configure before configuration is a typed error.
+  Json ids = Json::Object();
+  ids.Set("ids", Json::Array());
+  Json response = server.Handle(net::MsgKind::kExecute, ids);
+  EXPECT_FALSE(response.GetBoolOr("ok", true));
+  EXPECT_EQ(response.GetStringOr("code", ""), "FailedPrecondition");
+
+  ServiceConfig config = TestConfig();
+  EXPECT_TRUE(server.Handle(net::MsgKind::kConfigure, ConfigureBody(config))
+                  .GetBoolOr("ok", false));
+  // Same bytes: fine. Different bytes: rejected, state unchanged.
+  EXPECT_TRUE(server.Handle(net::MsgKind::kConfigure, ConfigureBody(config))
+                  .GetBoolOr("ok", false));
+  config.budget = 99;
+  response = server.Handle(net::MsgKind::kConfigure, ConfigureBody(config));
+  EXPECT_FALSE(response.GetBoolOr("ok", true));
+  EXPECT_EQ(response.GetStringOr("code", ""), "FailedPrecondition");
+
+  response = server.Handle(net::MsgKind::kPing, Json::Object());
+  EXPECT_TRUE(response.GetBoolOr("ok", false));
+  EXPECT_TRUE(response.GetBoolOr("configured", false));
+}
+
+TEST(ShardServer, ExecuteMatchesInProcessService) {
+  ShardServer server;
+  ASSERT_TRUE(server.Handle(net::MsgKind::kConfigure,
+                            ConfigureBody(TestConfig()))
+                  .GetBoolOr("ok", false));
+  SimTaskSpec spec;
+  spec.workload = "WordCount";
+  spec.seed = 42;
+  Json reg = Json::Object();
+  reg.Set("id", Json::Str("wc"));
+  reg.Set("spec", SimTaskSpecToJson(spec));
+  ASSERT_TRUE(
+      server.Handle(net::MsgKind::kRegisterTask, reg).GetBoolOr("ok", false));
+  // Duplicate registration is rejected.
+  EXPECT_EQ(server.Handle(net::MsgKind::kRegisterTask, reg)
+                .GetStringOr("code", ""),
+            "InvalidArgument");
+
+  // The oracle: same spec through a plain TuningService.
+  ClusterSpec cluster = ClusterSpec::HiBenchCluster();
+  ConfigSpace space = BuildSparkSpace(cluster);
+  TuningService oracle(&space, MakeServiceOptions(TestConfig()));
+  auto evaluator = BuildSimEvaluator(&space, cluster, spec);
+  ASSERT_TRUE(evaluator.ok());
+  ASSERT_TRUE(oracle.RegisterTask("wc", evaluator->get()).ok());
+
+  Json ids = Json::Array();
+  ids.Append(Json::Str("wc"));
+  Json body = Json::Object();
+  body.Set("ids", std::move(ids));
+  for (int period = 0; period < 8; ++period) {
+    Json response = server.Handle(net::MsgKind::kExecute, body);
+    ASSERT_TRUE(response.GetBoolOr("ok", false));
+    const Json* slots = response.Get("slots");
+    ASSERT_NE(slots, nullptr);
+    ASSERT_EQ(slots->size(), 1u);
+    auto got = ResultSlotFromJson(slots->at(0), space);
+    Result<Observation> want = oracle.ExecutePeriodic("wc");
+    ASSERT_EQ(got.ok(), want.ok()) << "period " << period;
+    if (got.ok()) {
+      EXPECT_TRUE(got->config == want->config) << "period " << period;
+      EXPECT_EQ(got->objective, want->objective) << "period " << period;
+    }
+    const Json* periods = response.Get("periods");
+    ASSERT_NE(periods, nullptr);
+    EXPECT_EQ(static_cast<long long>(periods->at(0).AsNumber()), period + 1);
+  }
+}
+
+TEST(ShardServer, SubmitObservationMergesExternalHistories) {
+  const std::string repo_dir = TempDir("submit");
+  ShardServer server;
+  ASSERT_TRUE(server.Handle(net::MsgKind::kConfigure,
+                            ConfigureBody(TestConfig(repo_dir)))
+                  .GetBoolOr("ok", false));
+  ClusterSpec cluster = ClusterSpec::HiBenchCluster();
+  ConfigSpace space = BuildSparkSpace(cluster);
+  Observation obs;
+  obs.config = space.Default();
+  obs.objective = 3.25;
+  Json body = Json::Object();
+  body.Set("id", Json::Str("external-job"));
+  body.Set("obs", DataRepository::ObservationToJson(obs));
+  Json response = server.Handle(net::MsgKind::kSubmitObservation, body);
+  ASSERT_TRUE(response.GetBoolOr("ok", false))
+      << response.GetStringOr("message", "");
+  EXPECT_EQ(response.GetNumberOr("observations", 0), 1.0);
+  response = server.Handle(net::MsgKind::kSubmitObservation, body);
+  EXPECT_EQ(response.GetNumberOr("observations", 0), 2.0);
+
+  DataRepository repo(repo_dir);
+  auto stored = repo.LoadTask("external-job", space);
+  ASSERT_TRUE(stored.ok());
+  EXPECT_EQ(stored->history.size(), 2u);
+
+  // A registered task's history is tuner-owned: submission is rejected.
+  SimTaskSpec spec;
+  spec.workload = "Sort";
+  Json reg = Json::Object();
+  reg.Set("id", Json::Str("mine"));
+  reg.Set("spec", SimTaskSpecToJson(spec));
+  ASSERT_TRUE(
+      server.Handle(net::MsgKind::kRegisterTask, reg).GetBoolOr("ok", false));
+  body.Set("id", Json::Str("mine"));
+  response = server.Handle(net::MsgKind::kSubmitObservation, body);
+  EXPECT_EQ(response.GetStringOr("code", ""), "FailedPrecondition");
+}
+
+// ---------------------------------------------------------------------------
+// End to end over real processes: the headline bit-identity property.
+// ---------------------------------------------------------------------------
+
+void ExpectSameSlot(const Result<Observation>& got,
+                    const Result<Observation>& want, const std::string& id,
+                    long long period) {
+  ASSERT_EQ(got.ok(), want.ok())
+      << id << " period " << period << ": "
+      << (got.ok() ? "ok" : got.status().ToString()) << " vs "
+      << (want.ok() ? "ok" : want.status().ToString());
+  if (!got.ok()) {
+    EXPECT_EQ(got.status().code(), want.status().code())
+        << id << " period " << period;
+    return;
+  }
+  EXPECT_TRUE(got->config == want->config) << id << " period " << period;
+  EXPECT_EQ(got->objective, want->objective) << id << " period " << period;
+  EXPECT_EQ(got->runtime_sec, want->runtime_sec)
+      << id << " period " << period;
+  EXPECT_EQ(got->failure, want->failure) << id << " period " << period;
+  EXPECT_EQ(got->degraded, want->degraded) << id << " period " << period;
+  EXPECT_EQ(got->feasible, want->feasible) << id << " period " << period;
+}
+
+struct FleetSpec {
+  std::vector<std::string> ids;
+  std::vector<SimTaskSpec> specs;
+};
+
+FleetSpec MakeFleet(int tasks) {
+  const char* kWorkloads[] = {"WordCount", "Sort", "TeraSort", "Join"};
+  FleetSpec fleet;
+  for (int i = 0; i < tasks; ++i) {
+    SimTaskSpec spec;
+    spec.workload = kWorkloads[i % 4];
+    spec.seed = 500 + static_cast<uint64_t>(i);
+    fleet.ids.push_back("rpc-task-" + std::to_string(i));
+    fleet.specs.push_back(spec);
+  }
+  return fleet;
+}
+
+// Drives a real multi-process fleet for `ticks` ticks (optionally
+// SIGKILLing the busiest shard at kill_tick and restarting it at
+// restart_tick) and asserts every delivered observation equals the
+// undisturbed in-process oracle's observation for the same period index.
+void RunProcessEquivalence(const std::string& tag, int threads,
+                           bool with_repo, int kill_tick, int restart_tick) {
+  const int kShards = 2, kTasks = 4, kTicks = 7;
+  ProcessSupervisorOptions options;
+  options.shardd_path = SPARKTUNE_SHARDD_PATH;
+  options.socket_dir = TempDir("sock-" + tag);
+  options.num_shards = kShards;
+  options.service = TestConfig();
+  options.service.num_threads = threads;
+  if (with_repo) {
+    options.service.repository_dir = TempDir("repo-" + tag);
+    options.service.auto_checkpoint_periods = 2;
+    options.service.checkpoint_on_phase_change = true;
+  }
+
+  ProcessSupervisor supervisor(options);
+  ASSERT_TRUE(supervisor.Start().ok());
+  FleetSpec fleet = MakeFleet(kTasks);
+  for (int i = 0; i < kTasks; ++i) {
+    ASSERT_TRUE(
+        supervisor.RegisterTask(fleet.ids[i], fleet.specs[i]).ok())
+        << fleet.ids[i];
+  }
+
+  ClusterSpec cluster = ClusterSpec::HiBenchCluster();
+  ConfigSpace space = BuildSparkSpace(cluster);
+  TuningService oracle(&space, MakeServiceOptions(TestConfig()));
+  std::vector<std::unique_ptr<JobEvaluator>> oracle_evaluators;
+  for (int i = 0; i < kTasks; ++i) {
+    auto evaluator = BuildSimEvaluator(&space, cluster, fleet.specs[i]);
+    ASSERT_TRUE(evaluator.ok());
+    ASSERT_TRUE(oracle.RegisterTask(fleet.ids[i], evaluator->get()).ok());
+    oracle_evaluators.push_back(std::move(evaluator).value());
+  }
+
+  int killed = -1;
+  long long compared = 0;
+  for (int t = 1; t <= kTicks; ++t) {
+    if (t == kill_tick) {
+      std::vector<int> load(kShards, 0);
+      for (const std::string& id : fleet.ids) {
+        ++load[supervisor.shard_of(id)];
+      }
+      killed = load[1] > load[0] ? 1 : 0;
+      ASSERT_TRUE(supervisor.KillShard(killed).ok());
+    }
+    if (t == restart_tick && killed >= 0) {
+      ASSERT_TRUE(supervisor.RestartShard(killed).ok());
+    }
+    std::vector<long long> before(fleet.ids.size());
+    for (size_t i = 0; i < fleet.ids.size(); ++i) {
+      before[i] = supervisor.periods(fleet.ids[i]);
+    }
+    std::vector<Result<Observation>> slots = supervisor.Tick();
+    ASSERT_EQ(slots.size(), fleet.ids.size());
+    for (size_t i = 0; i < fleet.ids.size(); ++i) {
+      const long long after = supervisor.periods(fleet.ids[i]);
+      if (after == before[i]) {
+        // Parked: the home shard is down; typed kUnavailable, no period
+        // consumed, trajectory untouched.
+        ASSERT_FALSE(slots[i].ok()) << fleet.ids[i] << " tick " << t;
+        EXPECT_EQ(slots[i].status().code(), Status::Code::kUnavailable)
+            << fleet.ids[i] << " tick " << t;
+        continue;
+      }
+      ASSERT_EQ(after, before[i] + 1) << fleet.ids[i] << " tick " << t;
+      while (oracle.periods(fleet.ids[i]) < before[i]) {
+        (void)oracle.ExecutePeriodic(fleet.ids[i]);
+      }
+      Result<Observation> want = oracle.ExecutePeriodic(fleet.ids[i]);
+      ++compared;
+      ExpectSameSlot(slots[i], want, fleet.ids[i], before[i]);
+    }
+  }
+  EXPECT_GT(compared, 0);
+  if (kill_tick > 0) {
+    EXPECT_EQ(supervisor.stats().kills, 1);
+    EXPECT_EQ(supervisor.stats().restarts, 1);
+    EXPECT_GT(supervisor.stats().parked_slots, 0);
+    if (with_repo) {
+      // At least one task resumed from its on-disk checkpoint generation.
+      EXPECT_GT(supervisor.stats().restored_tasks, 0);
+    } else {
+      EXPECT_GT(supervisor.stats().fresh_replays, 0);
+    }
+  }
+  EXPECT_TRUE(supervisor.Shutdown().ok());
+}
+
+TEST(ProcessService, UndisturbedRunMatchesOracleSingleThread) {
+  RunProcessEquivalence("plain-nt1", 1, false, 0, 0);
+}
+
+TEST(ProcessService, UndisturbedRunMatchesOracleFourThreads) {
+  RunProcessEquivalence("plain-nt4", 4, false, 0, 0);
+}
+
+TEST(ProcessService, SigkillRecoveryIsBitIdenticalSingleThread) {
+  RunProcessEquivalence("chaos-nt1", 1, true, 3, 5);
+}
+
+TEST(ProcessService, SigkillRecoveryIsBitIdenticalFourThreads) {
+  RunProcessEquivalence("chaos-nt4", 4, true, 3, 5);
+}
+
+TEST(ProcessService, SigkillWithoutRepositoryReplaysFromScratch) {
+  RunProcessEquivalence("chaos-norepo", 1, false, 3, 5);
+}
+
+TEST(ProcessService, DownedShardDegradesToTypedUnavailableWithinDeadline) {
+  ProcessSupervisorOptions options;
+  options.shardd_path = SPARKTUNE_SHARDD_PATH;
+  options.socket_dir = TempDir("sock-degrade");
+  options.num_shards = 2;
+  options.service = TestConfig();
+  ProcessSupervisor supervisor(options);
+  ASSERT_TRUE(supervisor.Start().ok());
+  FleetSpec fleet = MakeFleet(4);
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_TRUE(
+        supervisor.RegisterTask(fleet.ids[i], fleet.specs[i]).ok());
+  }
+  (void)supervisor.Tick();
+
+  // Kill BOTH shards: every slot must degrade to typed kUnavailable and
+  // the tick must return promptly — parked requests never hang.
+  ASSERT_TRUE(supervisor.KillShard(0).ok());
+  ASSERT_TRUE(supervisor.KillShard(1).ok());
+  const int64_t start = net::MonotonicMs();
+  std::vector<Result<Observation>> slots = supervisor.Tick();
+  EXPECT_LT(net::MonotonicMs() - start, 10000);
+  ASSERT_EQ(slots.size(), 4u);
+  for (size_t i = 0; i < slots.size(); ++i) {
+    ASSERT_FALSE(slots[i].ok()) << i;
+    EXPECT_EQ(slots[i].status().code(), Status::Code::kUnavailable) << i;
+    EXPECT_EQ(supervisor.periods(fleet.ids[i]), 1) << i;
+  }
+  EXPECT_EQ(supervisor.stats().parked_slots, 4);
+
+  // Registration on a downed home shard is refused, not parked.
+  SimTaskSpec spec;
+  spec.workload = "Scan";
+  EXPECT_EQ(supervisor.RegisterTask("late", spec).code(),
+            Status::Code::kUnavailable);
+
+  // Recovery brings every task back.
+  ASSERT_TRUE(supervisor.RestartShard(0).ok());
+  ASSERT_TRUE(supervisor.RestartShard(1).ok());
+  slots = supervisor.Tick();
+  for (size_t i = 0; i < slots.size(); ++i) {
+    EXPECT_EQ(supervisor.periods(fleet.ids[i]), 2) << i;
+  }
+  EXPECT_TRUE(supervisor.Shutdown().ok());
+}
+
+TEST(ProcessService, FetchSuggestionTravelsTheWire) {
+  ProcessSupervisorOptions options;
+  options.shardd_path = SPARKTUNE_SHARDD_PATH;
+  options.socket_dir = TempDir("sock-suggest");
+  options.num_shards = 1;
+  options.service = TestConfig();
+  ProcessSupervisor supervisor(options);
+  ASSERT_TRUE(supervisor.Start().ok());
+  SimTaskSpec spec;
+  spec.workload = "WordCount";
+  spec.seed = 7;
+  ASSERT_TRUE(supervisor.RegisterTask("wc", spec).ok());
+  for (int t = 0; t < 3; ++t) (void)supervisor.Tick();
+
+  auto suggestion = supervisor.FetchSuggestion("wc");
+  ASSERT_TRUE(suggestion.ok()) << suggestion.status().ToString();
+
+  // Same trajectory in process: the incumbents agree exactly.
+  ClusterSpec cluster = ClusterSpec::HiBenchCluster();
+  ConfigSpace space = BuildSparkSpace(cluster);
+  TuningService oracle(&space, MakeServiceOptions(TestConfig()));
+  auto evaluator = BuildSimEvaluator(&space, cluster, spec);
+  ASSERT_TRUE(evaluator.ok());
+  ASSERT_TRUE(oracle.RegisterTask("wc", evaluator->get()).ok());
+  for (int t = 0; t < 3; ++t) (void)oracle.ExecutePeriodic("wc");
+  Configuration want = oracle.tuner("wc")->BestConfig();
+  auto dump = [](const Configuration& c) {
+    std::string s;
+    for (double v : c.values()) s += StrFormat("%.17g,", v);
+    return s;
+  };
+  EXPECT_TRUE(*suggestion == want)
+      << "got  " << dump(*suggestion) << "\nwant " << dump(want);
+
+  EXPECT_EQ(supervisor.FetchSuggestion("nope").status().code(),
+            Status::Code::kNotFound);
+  EXPECT_TRUE(supervisor.Shutdown().ok());
+}
+
+}  // namespace
+}  // namespace sparktune

@@ -47,6 +47,22 @@ echo "    sarif artifact: build/lint.sarif"
 run_config build "" "$@"
 run_config build-ubsan undefined "$@"
 
+# Multi-process smoke: spawn the control plane + 2 shardd workers over
+# real sockets, SIGKILL one mid-run, and verify every delivered slot
+# against an undisturbed in-process oracle (--verify=1 is the default).
+# Runs on the default build and, with --all, again under ASan+UBSan so
+# the fork/exec + recovery path is sanitizer-clean.
+rpc_smoke() {
+  local dir="$1"
+  echo "==> [$dir] sparktune_service multi-process smoke (kill + recover + verify)"
+  "./$dir/tools/sparktune_service" \
+    --shardd="./$dir/tools/sparktune_shardd" \
+    --sockdir="$dir/rpc-smoke-socks" --repo="$dir/rpc-smoke-repo" \
+    --shards=2 --tasks=4 --ticks=7 --kill-tick=3 --restart-tick=5 \
+    --budget=4 --verify=1
+}
+rpc_smoke build
+
 if [[ "$ALL" -eq 1 ]]; then
   run_config build-tsan thread "$@"
   run_config build-asan-ubsan address,undefined "$@"
@@ -56,6 +72,7 @@ if [[ "$ALL" -eq 1 ]]; then
     echo "==> [$dir] ctest -L stress (chaos/fault stress label)"
     ctest --test-dir "$dir" --output-on-failure -L stress
   done
+  rpc_smoke build-asan-ubsan
   # Fleet-scale throughput/memory snapshot (no sanitizer: real numbers).
   # Emits build/BENCH_fleet.json and enforces the fleet memory budget.
   echo "==> [build] bench_fleet (BENCH_fleet.json + RSS budget)"

@@ -44,6 +44,10 @@ void SymbolIndex::AddFile(const std::string& path,
                           const std::string& content) {
   CleanedSource cs = CleanSource(content);
   std::vector<Token> toks = Tokenize(cs.code);
+  // Same-file aliases are always visible, even without the BuildIndex
+  // pre-pass (the one-file AddFile API used by unit tests).
+  CollectAliasTokens(path, toks);
+  ResolveAliases();
   IndexTokens(path, toks, cs.notes);
 }
 
@@ -53,6 +57,119 @@ void SymbolIndex::AddFileOnDisk(const std::string& path) {
   std::ostringstream ss;
   ss << in.rdbuf();
   AddFile(path, ss.str());
+}
+
+void SymbolIndex::CollectAliases(const std::string& path,
+                                 const std::string& content) {
+  CleanedSource cs = CleanSource(content);
+  CollectAliasTokens(path, Tokenize(cs.code));
+}
+
+void SymbolIndex::CollectAliasesOnDisk(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return;
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  CollectAliases(path, ss.str());
+}
+
+void SymbolIndex::CollectAliasTokens(const std::string& path,
+                                     const std::vector<Token>& toks) {
+  // Classify one RHS token run into an AliasRecord.
+  auto classify = [](AliasRecord* rec, const std::vector<Token>& ts,
+                     size_t from, size_t to) {
+    for (size_t k = from; k < to; ++k) {
+      const std::string& t = ts[k].text;
+      if (UnorderedTypes().count(t)) {
+        rec->unordered = true;
+      } else if (MutexTypes().count(t)) {
+        rec->is_mutex = true;
+      } else if (IsIdent(t)) {
+        rec->deps.push_back(t);  // maybe another alias; resolved later
+      }
+    }
+  };
+  for (size_t i = 0; i < toks.size(); ++i) {
+    const std::string& t = toks[i].text;
+    if (t == "using" && i + 2 < toks.size() && IsIdent(toks[i + 1].text) &&
+        toks[i + 2].text == "=") {
+      // `using NAME = <type>;` (skips using-directives/-declarations,
+      // which have no '='). RHS runs to the statement's ';'.
+      size_t end = i + 3;
+      while (end < toks.size() && toks[end].text != ";") ++end;
+      AliasRecord rec;
+      rec.name = toks[i + 1].text;
+      rec.file = path;
+      rec.line = toks[i + 1].line;
+      classify(&rec, toks, i + 3, end);
+      aliases_.emplace(rec.name, std::move(rec));  // first definition wins
+      i = end;
+      continue;
+    }
+    if (t == "typedef") {
+      // `typedef <type> NAME;` — the declarator is the last identifier
+      // before ';' (function-pointer typedefs misparse harmlessly: their
+      // RHS never names a container or mutex).
+      size_t end = i + 1;
+      while (end < toks.size() && toks[end].text != ";") ++end;
+      size_t name_at = end;
+      for (size_t k = end; k-- > i + 1;) {
+        if (IsIdent(toks[k].text)) {
+          name_at = k;
+          break;
+        }
+      }
+      if (name_at != end) {
+        AliasRecord rec;
+        rec.name = toks[name_at].text;
+        rec.file = path;
+        rec.line = toks[name_at].line;
+        classify(&rec, toks, i + 1, name_at);
+        aliases_.emplace(rec.name, std::move(rec));
+      }
+      i = end;
+    }
+  }
+}
+
+void SymbolIndex::ResolveAliases() {
+  // Fixed point over alias-to-alias references; the alias graph is tiny,
+  // and each pass only ever flips classification bits on, so this
+  // terminates in at most alias_count() passes even with cycles.
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (auto& [name, rec] : aliases_) {
+      if (rec.unordered && rec.is_mutex) continue;
+      for (const std::string& dep : rec.deps) {
+        auto it = aliases_.find(dep);
+        if (it == aliases_.end()) continue;
+        if (it->second.unordered && !rec.unordered) {
+          rec.unordered = true;
+          changed = true;
+        }
+        if (it->second.is_mutex && !rec.is_mutex) {
+          rec.is_mutex = true;
+          changed = true;
+        }
+      }
+    }
+  }
+}
+
+bool SymbolIndex::IsUnorderedAlias(const std::string& name) const {
+  auto it = aliases_.find(name);
+  return it != aliases_.end() && it->second.unordered;
+}
+
+bool SymbolIndex::IsMutexAlias(const std::string& name) const {
+  auto it = aliases_.find(name);
+  return it != aliases_.end() && it->second.is_mutex;
+}
+
+const AliasRecord* SymbolIndex::FindAlias(const std::string& name) const {
+  auto it = aliases_.find(name);
+  return it == aliases_.end() ? nullptr : &it->second;
 }
 
 const MemberRecord* SymbolIndex::FindUnorderedMember(
@@ -246,8 +363,10 @@ void SymbolIndex::IndexTokens(const std::string& path,
     for (size_t k = 0; k < limit; ++k) {
       const std::string& t = st[k]->text;
       if (st[k] == name_tok) break;
-      if (UnorderedTypes().count(t)) rec.unordered = true;
-      if (MutexTypes().count(t)) rec.is_mutex = true;
+      if (UnorderedTypes().count(t) || IsUnorderedAlias(t)) {
+        rec.unordered = true;
+      }
+      if (MutexTypes().count(t) || IsMutexAlias(t)) rec.is_mutex = true;
     }
     // Declaration-site annotations: the declarator's line, any line the
     // (possibly multi-line) statement spans, or the line directly above.
@@ -359,6 +478,11 @@ void SymbolIndex::IndexTokens(const std::string& path,
 
 SymbolIndex BuildIndex(const std::vector<std::string>& paths) {
   SymbolIndex index;
+  // Phase 0: aliases from every file, so a member in file A declared
+  // through an alias defined in file B classifies correctly regardless of
+  // list order.
+  for (const std::string& p : paths) index.CollectAliasesOnDisk(p);
+  index.ResolveAliases();
   for (const std::string& p : paths) index.AddFileOnDisk(p);
   return index;
 }

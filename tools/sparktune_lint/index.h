@@ -14,7 +14,12 @@
 //     which is what makes guard-discipline enforceable tree-wide;
 //   * function signatures (free functions and methods, declarations and
 //     definitions) that accept an Rng by reference or pointer — the
-//     escape routes an un-forked RNG can take into a parallel body.
+//     escape routes an un-forked RNG can take into a parallel body;
+//   * type aliases (`using Cache = std::unordered_map<...>;` and the
+//     typedef spelling), resolved transitively, so a member declared
+//     through an alias classifies exactly like one declared with the
+//     underlying type — aliasing must not launder an unordered container
+//     past unordered-member-iter or a mutex past guard discipline.
 #pragma once
 
 #include <map>
@@ -47,14 +52,42 @@ struct FunctionRecord {
   std::vector<std::string> rng_ref_params;
 };
 
+struct AliasRecord {
+  std::string name;  // alias identifier, e.g. "Cache"
+  std::string file;
+  int line = 0;
+  bool unordered = false;  // RHS (transitively) names an unordered container
+  bool is_mutex = false;   // RHS (transitively) names a mutex type
+  // Identifier tokens on the RHS that were not classified directly; after
+  // ResolveAliases() any of them naming another alias has been folded in.
+  std::vector<std::string> deps;
+};
+
 class SymbolIndex {
  public:
   // Parse one file into the index. Safe to call for every file in the
-  // tree; order does not matter.
+  // tree; order does not matter for members/functions, but aliases
+  // defined in *other* files are only visible after a CollectAliases
+  // pre-pass over those files (BuildIndex does this automatically).
   void AddFile(const std::string& path, const std::string& content);
   // AddFile with disk I/O; unreadable files are skipped (phase 2 reports
   // them as io-error when it tries to lint them).
   void AddFileOnDisk(const std::string& path);
+
+  // Alias pre-pass (phase 0): record `using NAME = ...;` / `typedef ...
+  // NAME;` definitions without touching members or functions. Call for
+  // every file before any AddFile so members in file A declared through
+  // an alias defined in file B classify correctly. Idempotent per alias
+  // (first definition wins, deterministic under a sorted file list).
+  void CollectAliases(const std::string& path, const std::string& content);
+  void CollectAliasesOnDisk(const std::string& path);
+  // Fold alias-to-alias references to a fixed point (`using A = B;` where
+  // B aliases an unordered container makes A unordered too).
+  void ResolveAliases();
+
+  bool IsUnorderedAlias(const std::string& name) const;
+  bool IsMutexAlias(const std::string& name) const;
+  const AliasRecord* FindAlias(const std::string& name) const;
 
   // First record for `name` with the property, or nullptr. Multiple
   // classes may declare a same-named member; the first (lowest path,
@@ -66,17 +99,22 @@ class SymbolIndex {
 
   size_t member_count() const;
   size_t function_count() const;
+  size_t alias_count() const { return aliases_.size(); }
 
  private:
   void IndexTokens(const std::string& path, const std::vector<Token>& toks,
                    const std::map<int, Annotation>& notes);
+  void CollectAliasTokens(const std::string& path,
+                          const std::vector<Token>& toks);
 
   std::map<std::string, std::vector<MemberRecord>> members_;
   std::map<std::string, std::vector<FunctionRecord>> functions_;
+  std::map<std::string, AliasRecord> aliases_;
 };
 
 // Build an index over an explicit, pre-sorted file list (CollectFiles
-// output or a fixture pair).
+// output or a fixture pair). Runs the alias pre-pass over every file
+// first, so cross-file alias references resolve regardless of order.
 SymbolIndex BuildIndex(const std::vector<std::string>& paths);
 
 }  // namespace sparktune::lint

@@ -1,0 +1,270 @@
+// sparktune_service: control-plane CLI and end-to-end smoke for the
+// multi-process tuning service (DESIGN.md §9).
+//
+// Spawns sparktune_shardd workers, registers a small simulated fleet,
+// drives periodic ticks over the wire, SIGKILLs a worker mid-run and
+// restarts it, and — with --verify=1 (default) — checks every delivered
+// observation bit-for-bit against an undisturbed single-process
+// TuningService oracle running the identical specs. Exit 0 means the
+// chaos trajectory converged to the oracle's; tools/check.sh runs this
+// under the default and sanitizer builds.
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <system_error>
+#include <vector>
+
+#include "common/strings.h"
+#include "service/process_supervisor.h"
+#include "sparksim/hibench.h"
+#include "sparksim/spark_conf.h"
+
+namespace {
+
+using sparktune::BuildSimEvaluator;
+using sparktune::ClusterFromName;
+using sparktune::Configuration;
+using sparktune::JobEvaluator;
+using sparktune::MakeServiceOptions;
+using sparktune::Observation;
+using sparktune::ProcessSupervisor;
+using sparktune::ProcessSupervisorOptions;
+using sparktune::Result;
+using sparktune::ServiceConfig;
+using sparktune::SimTaskSpec;
+using sparktune::Status;
+using sparktune::StrFormat;
+using sparktune::TuningService;
+
+// Minimal --name=value parsing (the bench harnesses own the richer
+// bench::Flags; this tool keeps tools/ free of bench includes).
+const char* FlagValue(int argc, char** argv, const char* name) {
+  const std::string prefix = std::string("--") + name + "=";
+  for (int i = argc - 1; i >= 1; --i) {
+    if (std::strncmp(argv[i], prefix.c_str(), prefix.size()) == 0) {
+      return argv[i] + prefix.size();
+    }
+  }
+  return nullptr;
+}
+
+int IntFlag(int argc, char** argv, const char* name, int fallback) {
+  const char* v = FlagValue(argc, argv, name);
+  return v != nullptr ? std::atoi(v) : fallback;
+}
+
+std::string StrFlag(int argc, char** argv, const char* name,
+                    const char* fallback) {
+  const char* v = FlagValue(argc, argv, name);
+  return v != nullptr ? std::string(v) : std::string(fallback);
+}
+
+bool SameSlot(const Result<Observation>& got, const Result<Observation>& want,
+              std::string* why) {
+  if (got.ok() != want.ok()) {
+    *why = StrFormat("ok mismatch: got %d want %d", got.ok() ? 1 : 0,
+                     want.ok() ? 1 : 0);
+    return false;
+  }
+  if (!got.ok()) {
+    if (got.status().code() != want.status().code()) {
+      *why = StrFormat("status mismatch: got %s want %s",
+                       got.status().ToString().c_str(),
+                       want.status().ToString().c_str());
+      return false;
+    }
+    return true;
+  }
+  if (!(got->config == want->config)) {
+    *why = "config mismatch";
+    return false;
+  }
+  if (got->objective != want->objective ||
+      got->runtime_sec != want->runtime_sec ||
+      got->failure != want->failure || got->degraded != want->degraded) {
+    *why = StrFormat("scalar mismatch: objective %.17g vs %.17g",
+                     got->objective, want->objective);
+    return false;
+  }
+  return true;
+}
+
+const char* kWorkloads[] = {"WordCount", "Sort", "TeraSort", "Join",
+                            "PageRank", "Aggregation", "Scan", "Bayes"};
+
+int Fail(const Status& st, const char* where) {
+  std::fprintf(stderr, "sparktune_service: %s: %s\n", where,
+               st.ToString().c_str());
+  return 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string shardd = StrFlag(argc, argv, "shardd", "");
+  if (shardd.empty()) {
+    std::fprintf(stderr,
+                 "usage: sparktune_service --shardd=PATH [--sockdir=DIR] "
+                 "[--repo=DIR] [--shards=N] [--tasks=K] [--ticks=T] "
+                 "[--kill-tick=T] [--restart-tick=T] [--budget=B] "
+                 "[--threads=N] [--verify=0|1]\n");
+    return 2;
+  }
+  std::string sockdir = StrFlag(argc, argv, "sockdir", "");
+  if (sockdir.empty()) {
+    sockdir = StrFormat("/tmp/sparktune-svc-%d", static_cast<int>(getpid()));
+  }
+  std::error_code ec;  // best-effort; UnixListen reports bind failures
+  std::filesystem::create_directories(sockdir, ec);
+
+  const std::string repo = StrFlag(argc, argv, "repo", "");
+  const int shards = IntFlag(argc, argv, "shards", 2);
+  const int tasks = IntFlag(argc, argv, "tasks", 4);
+  const int ticks = IntFlag(argc, argv, "ticks", 8);
+  const int kill_tick = IntFlag(argc, argv, "kill-tick", 3);
+  const int restart_tick = IntFlag(argc, argv, "restart-tick", 5);
+  const int budget = IntFlag(argc, argv, "budget", 6);
+  const int threads = IntFlag(argc, argv, "threads", 1);
+  const bool verify = IntFlag(argc, argv, "verify", 1) != 0;
+
+  ProcessSupervisorOptions options;
+  options.shardd_path = shardd;
+  options.socket_dir = sockdir;
+  options.num_shards = shards;
+  options.service.budget = budget;
+  options.service.ei_stop_threshold = 0.0;
+  options.service.expert_ranking = true;
+  options.service.repository_dir = repo;
+  options.service.auto_checkpoint_periods = 2;
+  options.service.checkpoint_on_phase_change = true;
+  options.service.num_threads = threads;
+
+  ProcessSupervisor supervisor(options);
+  if (Status st = supervisor.Start(); !st.ok()) return Fail(st, "start");
+
+  std::vector<std::string> ids;
+  std::vector<SimTaskSpec> specs;
+  for (int i = 0; i < tasks; ++i) {
+    SimTaskSpec spec;
+    spec.workload = kWorkloads[i % (sizeof(kWorkloads) / sizeof(char*))];
+    spec.seed = 1000 + static_cast<uint64_t>(i);
+    std::string id = StrFormat("svc-task-%d", i);
+    if (Status st = supervisor.RegisterTask(id, spec); !st.ok()) {
+      return Fail(st, "register");
+    }
+    ids.push_back(std::move(id));
+    specs.push_back(spec);
+  }
+
+  // The oracle: one in-process TuningService running identical specs with
+  // no sockets, no kills, and no shared repository. Every period the
+  // process fleet delivers must match the oracle's same-index period.
+  auto cluster = ClusterFromName(options.service.cluster);
+  if (!cluster.ok()) return Fail(cluster.status(), "cluster");
+  sparktune::ConfigSpace space = sparktune::BuildSparkSpace(*cluster);
+  ServiceConfig oracle_config = options.service;
+  oracle_config.repository_dir.clear();  // never touch the fleet's files
+  oracle_config.auto_checkpoint_periods = 0;
+  oracle_config.checkpoint_on_phase_change = false;
+  TuningService oracle(&space, MakeServiceOptions(oracle_config));
+  std::vector<std::unique_ptr<JobEvaluator>> oracle_evaluators;
+  if (verify) {
+    for (size_t i = 0; i < ids.size(); ++i) {
+      auto evaluator = BuildSimEvaluator(&space, *cluster, specs[i]);
+      if (!evaluator.ok()) return Fail(evaluator.status(), "oracle-eval");
+      if (Status st = oracle.RegisterTask(ids[i], evaluator->get());
+          !st.ok()) {
+        return Fail(st, "oracle-register");
+      }
+      oracle_evaluators.push_back(std::move(evaluator).value());
+    }
+  }
+
+  int killed_shard = -1;
+  long long compared = 0, mismatches = 0, parked = 0;
+  for (int t = 1; t <= ticks; ++t) {
+    if (t == kill_tick && kill_tick > 0) {
+      // Kill the shard owning the most tasks so the chaos actually lands.
+      std::vector<int> load(static_cast<size_t>(shards), 0);
+      for (const std::string& id : ids) ++load[supervisor.shard_of(id)];
+      killed_shard = 0;
+      for (int s = 1; s < shards; ++s) {
+        if (load[s] > load[killed_shard]) killed_shard = s;
+      }
+      if (Status st = supervisor.KillShard(killed_shard); !st.ok()) {
+        return Fail(st, "kill");
+      }
+    }
+    if (t == restart_tick && restart_tick > 0 && killed_shard >= 0) {
+      if (Status st = supervisor.RestartShard(killed_shard); !st.ok()) {
+        return Fail(st, "restart");
+      }
+    }
+
+    std::vector<long long> before(ids.size());
+    for (size_t i = 0; i < ids.size(); ++i) {
+      before[i] = supervisor.periods(ids[i]);
+    }
+    std::vector<Result<Observation>> slots = supervisor.Tick();
+    for (size_t i = 0; i < ids.size(); ++i) {
+      const long long after = supervisor.periods(ids[i]);
+      if (after == before[i]) {
+        ++parked;  // no period consumed: the slot is a parked kUnavailable
+        continue;
+      }
+      if (!verify) continue;
+      // Catch the oracle up to this task's pre-tick clock (recovery may
+      // have advanced it past what we compared so far), then compare the
+      // delivered period.
+      while (oracle.periods(ids[i]) < before[i]) {
+        (void)oracle.ExecutePeriodic(ids[i]);
+      }
+      Result<Observation> want = oracle.ExecutePeriodic(ids[i]);
+      std::string why;
+      ++compared;
+      if (!SameSlot(slots[i], want, &why)) {
+        ++mismatches;
+        std::fprintf(stderr, "tick %d task %s period %lld: %s\n", t,
+                     ids[i].c_str(), before[i], why.c_str());
+      }
+    }
+  }
+
+  // Exercise the remaining verbs once: suggestion fetch, checkpoint,
+  // streaming harvest, graceful shutdown.
+  for (const std::string& id : ids) {
+    if (supervisor.shard_alive(supervisor.shard_of(id))) {
+      auto suggestion = supervisor.FetchSuggestion(id);
+      if (!suggestion.ok()) return Fail(suggestion.status(), "suggest");
+    }
+  }
+  sparktune::CheckpointReport checkpoint = supervisor.CheckpointAll();
+  sparktune::HarvestReport harvest = supervisor.HarvestDirty();
+  Status shutdown = supervisor.Shutdown();
+
+  const auto& stats = supervisor.stats();
+  const bool converged = mismatches == 0 && (!verify || compared > 0);
+  std::printf(
+      "{\"shards\":%d,\"tasks\":%d,\"ticks\":%lld,\"kills\":%lld,"
+      "\"restarts\":%lld,\"restored_tasks\":%lld,\"fresh_replays\":%lld,"
+      "\"replayed_periods\":%lld,\"parked_slots\":%lld,\"lost_results\":%lld,"
+      "\"checkpoint_written\":%d,\"harvested\":%d,\"compared\":%lld,"
+      "\"mismatches\":%lld,\"clean_shutdown\":%s,\"converged\":%s}\n",
+      shards, tasks, stats.ticks, stats.kills, stats.restarts,
+      stats.restored_tasks, stats.fresh_replays, stats.replayed_periods,
+      stats.parked_slots, stats.lost_results, checkpoint.written,
+      harvest.harvested, compared, mismatches,
+      shutdown.ok() ? "true" : "false", converged ? "true" : "false");
+  if (!converged) return 1;
+  if (parked != stats.parked_slots) {
+    std::fprintf(stderr, "parked accounting mismatch: %lld vs %lld\n",
+                 parked, stats.parked_slots);
+    return 1;
+  }
+  return 0;
+}

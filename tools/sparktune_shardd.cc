@@ -1,0 +1,43 @@
+// sparktune_shardd: one worker process of the multi-process tuning
+// service (DESIGN.md §9). Listens on a Unix-domain socket, hosts one
+// ShardServer (a lazily-configured TuningService plus its evaluators),
+// and dispatches framed requests until the control plane sends kShutdown.
+//
+// All state arrives over the wire (kConfigure, kRegisterTask, kRestore),
+// so the binary takes exactly one argument: the socket to serve.
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "service/shard_server.h"
+
+namespace {
+
+int Usage() {
+  std::fprintf(stderr, "usage: sparktune_shardd --socket PATH\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string socket_path;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--socket") == 0 && i + 1 < argc) {
+      socket_path = argv[++i];
+    } else if (std::strncmp(argv[i], "--socket=", 9) == 0) {
+      socket_path = argv[i] + 9;
+    } else {
+      return Usage();
+    }
+  }
+  if (socket_path.empty()) return Usage();
+
+  sparktune::ShardServer server;
+  sparktune::Status st = sparktune::ServeShard(socket_path, &server);
+  if (!st.ok()) {
+    std::fprintf(stderr, "sparktune_shardd: %s\n", st.ToString().c_str());
+    return 1;
+  }
+  return 0;
+}
