@@ -11,7 +11,14 @@
 //     scheduling tick pays for process isolation;
 //   * recovery time — SIGKILL a worker mid-soak, then time RestartShard
 //     end to end: respawn, reconnect, reconfigure, repository load, and
-//     per-task restore + deterministic gap replay.
+//     per-task restore + deterministic gap replay;
+//   * supervisor recovery time — with --sup_crashes > 0, Abandon() the
+//     whole control plane mid-soak (simulated supervisor SIGKILL) and
+//     time a fresh supervisor's manifest load + worker re-adoption /
+//     fencing end to end (supervisor_recovery_ms);
+//   * chaos soak — with --chaos_seed != 0, deterministic wire faults
+//     (net/chaos.h) on both directions; per-kind injection counters and
+//     health-monitor auto-restarts land in the output document.
 //
 // Emits BENCH_rpc.json with latency percentiles and per-cycle recovery
 // times, self-checked against the schema before writing (a silent field
@@ -20,8 +27,10 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cstdlib>
 #include <filesystem>
 #include <fstream>
+#include <memory>
 #include <string>
 #include <system_error>
 #include <vector>
@@ -67,6 +76,39 @@ Json PercentileSummary(std::vector<double> samples) {
 const char* kWorkloads[] = {"WordCount", "Sort", "TeraSort", "Join",
                             "PageRank", "Aggregation", "Scan", "Bayes"};
 
+// Counters must survive supervisor crash cycles: Abandon() discards the
+// instance (and its stats), so the soak folds them forward first.
+void Accumulate(ProcessSupervisorStats* into,
+                const ProcessSupervisorStats& s) {
+  into->ticks += s.ticks;
+  into->kills += s.kills;
+  into->restarts += s.restarts;
+  into->restored_tasks += s.restored_tasks;
+  into->fresh_replays += s.fresh_replays;
+  into->replayed_periods += s.replayed_periods;
+  into->parked_slots += s.parked_slots;
+  into->lost_results += s.lost_results;
+  into->worker_failures += s.worker_failures;
+  into->probes += s.probes;
+  into->probe_failures += s.probe_failures;
+  into->auto_restarts += s.auto_restarts;
+  into->recoveries += s.recoveries;
+  into->adopted_workers += s.adopted_workers;
+  into->adopted_tasks += s.adopted_tasks;
+  into->fenced_workers += s.fenced_workers;
+  into->manifest_failures += s.manifest_failures;
+}
+
+void Accumulate(net::ChaosStats* into, const net::ChaosStats& s) {
+  into->exchanges += s.exchanges;
+  into->injected += s.injected;
+  into->torn_writes += s.torn_writes;
+  into->bit_flips += s.bit_flips;
+  into->dup_frames += s.dup_frames;
+  into->delays += s.delays;
+  into->resets += s.resets;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -80,6 +122,12 @@ int main(int argc, char** argv) {
   const int budget = flags.Int("budget", 5);
   const int threads = flags.Threads(1);
   const bool with_repo = flags.Bool("repo", true);
+  const int sup_crashes = flags.Int("sup_crashes", 0);
+  const uint64_t chaos_seed =
+      static_cast<uint64_t>(flags.Int("chaos_seed", 0));
+  const double chaos_prob = std::atof(flags.Str("chaos_prob", "0.1").c_str());
+  const int chaos_arm = flags.Int("chaos_arm", 16);
+  const bool autoheal = flags.Bool("autoheal", chaos_seed != 0);
   std::string sockdir = flags.Str("sockdir", "");
   const std::string out_path = flags.Out("BENCH_rpc.json");
   if (!flags.Validate()) return 1;
@@ -104,9 +152,13 @@ int main(int argc, char** argv) {
     options.service.auto_checkpoint_periods = 2;
     options.service.checkpoint_on_phase_change = true;
   }
+  options.chaos_seed = chaos_seed;
+  options.chaos_prob = chaos_prob;
+  options.chaos_arm_exchanges = chaos_arm;
+  options.health.auto_restart = autoheal;
 
-  ProcessSupervisor supervisor(options);
-  if (Status st = supervisor.Start(); !st.ok()) {
+  auto supervisor = std::make_unique<ProcessSupervisor>(options);
+  if (Status st = supervisor->Start(); !st.ok()) {
     std::fprintf(stderr, "start: %s\n", st.ToString().c_str());
     return 1;
   }
@@ -114,7 +166,7 @@ int main(int argc, char** argv) {
     SimTaskSpec spec;
     spec.workload = kWorkloads[i % (sizeof(kWorkloads) / sizeof(char*))];
     spec.seed = 77000 + static_cast<uint64_t>(i);
-    if (Status st = supervisor.RegisterTask(
+    if (Status st = supervisor->RegisterTask(
             StrFormat("rpc-bench-%d", i), spec);
         !st.ok()) {
       std::fprintf(stderr, "register: %s\n", st.ToString().c_str());
@@ -123,12 +175,25 @@ int main(int argc, char** argv) {
   }
 
   // Ping soak: the minimal full exchange, round-robined over the shards.
+  // Under chaos a ping may draw a wire fault: the failure must be typed
+  // and the sample is simply dropped (counted in ping_failures).
   std::vector<double> ping_us;
   ping_us.reserve(static_cast<size_t>(pings));
+  long long ping_failures = 0;
   for (int i = 0; i < pings; ++i) {
     // lint:allow(no-wall-clock) benchmark timing, as above
     const Clock::time_point start = Clock::now();
-    if (Status st = supervisor.Ping(i % shards); !st.ok()) {
+    if (Status st = supervisor->Ping(i % shards); !st.ok()) {
+      if (chaos_seed != 0 && st.code() != Status::Code::kInternal) {
+        ++ping_failures;
+        // A chaos fault tears the connection down, and the redial loop
+        // lives in Tick: spend untimed ticks until the shard answers
+        // again so one fault doesn't void the rest of the soak.
+        for (int r = 0; r < 4 && !supervisor->Ping(i % shards).ok(); ++r) {
+          (void)supervisor->Tick();
+        }
+        continue;
+      }
       std::fprintf(stderr, "ping: %s\n", st.ToString().c_str());
       return 1;
     }
@@ -137,57 +202,97 @@ int main(int argc, char** argv) {
 
   // Tick soak with chaos cycles spread through it: SIGKILL the busiest
   // shard, let its tasks park for one tick, then time the full recovery.
+  // With --sup_crashes the supervisor itself dies too: Abandon() orphans
+  // the fleet and a fresh instance takes it back over from the manifest.
   std::vector<double> tick_ms;
   std::vector<double> recovery_ms;
+  std::vector<double> sup_recovery_ms;
   tick_ms.reserve(static_cast<size_t>(ticks));
   const int kill_every = kills > 0 ? std::max(2, ticks / (kills + 1)) : 0;
+  const int crash_every =
+      sup_crashes > 0 ? std::max(3, ticks / (sup_crashes + 1)) : 0;
+  ProcessSupervisorStats total{};
+  net::ChaosStats total_chaos{};
   int killed = -1;
+  int kills_issued = 0;
   for (int t = 1; t <= ticks; ++t) {
-    if (killed >= 0) {
+    if (crash_every > 0 && t % crash_every == 0 &&
+        static_cast<int>(sup_recovery_ms.size()) < sup_crashes) {
+      Accumulate(&total, supervisor->stats());
+      Accumulate(&total_chaos, supervisor->chaos_stats());
       // lint:allow(no-wall-clock) benchmark timing, as above
       const Clock::time_point start = Clock::now();
-      if (Status st = supervisor.RestartShard(killed); !st.ok()) {
-        std::fprintf(stderr, "restart: %s\n", st.ToString().c_str());
+      supervisor->Abandon();
+      supervisor = std::make_unique<ProcessSupervisor>(options);
+      if (Status st = supervisor->Recover(); !st.ok()) {
+        std::fprintf(stderr, "recover: %s\n", st.ToString().c_str());
         return 1;
       }
-      recovery_ms.push_back(ElapsedMs(start));
-      killed = -1;
+      sup_recovery_ms.push_back(ElapsedMs(start));
+      // Recovery fences + respawns dead shards itself; the manual cycle
+      // for a previously killed worker is then already complete.
+      if (killed >= 0 && supervisor->shard_alive(killed)) killed = -1;
+    }
+    if (killed >= 0) {
+      if (supervisor->shard_alive(killed)) {
+        killed = -1;  // the health monitor's auto-restart healed it first
+      } else {
+        // lint:allow(no-wall-clock) benchmark timing, as above
+        const Clock::time_point start = Clock::now();
+        if (Status st = supervisor->RestartShard(killed); !st.ok()) {
+          std::fprintf(stderr, "restart: %s\n", st.ToString().c_str());
+          return 1;
+        }
+        recovery_ms.push_back(ElapsedMs(start));
+        killed = -1;
+      }
     } else if (kill_every > 0 && t % kill_every == 0 &&
-               static_cast<int>(recovery_ms.size()) < kills) {
+               kills_issued < kills) {
       std::vector<int> load(static_cast<size_t>(shards), 0);
-      for (const std::string& id : supervisor.task_ids()) {
-        ++load[supervisor.shard_of(id)];
+      for (const std::string& id : supervisor->task_ids()) {
+        ++load[supervisor->shard_of(id)];
       }
       killed = 0;
       for (int s = 1; s < shards; ++s) {
         if (load[s] > load[killed]) killed = s;
       }
-      if (Status st = supervisor.KillShard(killed); !st.ok()) {
+      if (Status st = supervisor->KillShard(killed); !st.ok()) {
         std::fprintf(stderr, "kill: %s\n", st.ToString().c_str());
         return 1;
       }
+      ++kills_issued;
     }
     // lint:allow(no-wall-clock) benchmark timing, as above
     const Clock::time_point start = Clock::now();
-    (void)supervisor.Tick();
+    (void)supervisor->Tick();
     tick_ms.push_back(ElapsedMs(start));
   }
-  if (killed >= 0) {  // soak ended mid-cycle; recover before shutdown
+  if (killed >= 0 && !supervisor->shard_alive(killed)) {
+    // Soak ended mid-cycle; recover before shutdown.
     // lint:allow(no-wall-clock) benchmark timing, as above
     const Clock::time_point start = Clock::now();
-    if (Status st = supervisor.RestartShard(killed); !st.ok()) {
+    if (Status st = supervisor->RestartShard(killed); !st.ok()) {
       std::fprintf(stderr, "restart: %s\n", st.ToString().c_str());
       return 1;
     }
     recovery_ms.push_back(ElapsedMs(start));
   }
 
-  (void)supervisor.CheckpointAll();
-  (void)supervisor.HarvestDirty();
-  const ProcessSupervisorStats stats = supervisor.stats();
-  if (Status st = supervisor.Shutdown(); !st.ok()) {
-    std::fprintf(stderr, "shutdown: %s\n", st.ToString().c_str());
-    return 1;
+  (void)supervisor->CheckpointAll();
+  (void)supervisor->HarvestDirty();
+  Accumulate(&total, supervisor->stats());
+  Accumulate(&total_chaos, supervisor->chaos_stats());
+  const ProcessSupervisorStats& stats = total;
+  if (Status st = supervisor->Shutdown(); !st.ok()) {
+    // Under chaos the kShutdown exchange itself can draw a fault; the
+    // supervisor then falls back to SIGKILL + reap, which is fine for a
+    // soak. Without chaos an unacked shutdown is a real bug.
+    if (chaos_seed == 0) {
+      std::fprintf(stderr, "shutdown: %s\n", st.ToString().c_str());
+      return 1;
+    }
+    std::fprintf(stderr, "shutdown (chaos, killed): %s\n",
+                 st.ToString().c_str());
   }
 
   Json ping_summary = PercentileSummary(ping_us);
@@ -200,18 +305,34 @@ int main(int argc, char** argv) {
   if (!recovery_ms.empty()) {
     recovery_mean /= static_cast<double>(recovery_ms.size());
   }
+  double sup_recovery_mean = 0.0, sup_recovery_max = 0.0;
+  for (double r : sup_recovery_ms) {
+    sup_recovery_mean += r;
+    sup_recovery_max = std::max(sup_recovery_max, r);
+  }
+  if (!sup_recovery_ms.empty()) {
+    sup_recovery_mean /= static_cast<double>(sup_recovery_ms.size());
+  }
   std::printf(
-      "ping us  p50 %.1f  p90 %.1f  p99 %.1f  (%d samples)\n"
+      "ping us  p50 %.1f  p90 %.1f  p99 %.1f  (%d samples, %lld dropped)\n"
       "tick ms  p50 %.2f  p90 %.2f  p99 %.2f  (%d ticks, %d tasks, "
       "%d shards)\n"
       "recovery ms  mean %.1f  max %.1f  (%zu SIGKILL cycles, %lld tasks "
-      "restored, %lld replayed periods, %lld parked slots)\n",
+      "restored, %lld replayed periods, %lld parked slots)\n"
+      "supervisor recovery ms  mean %.1f  max %.1f  (%zu crash cycles, "
+      "%lld adopted, %lld fenced)\n"
+      "chaos  %lld/%lld exchanges faulted (torn %lld flip %lld dup %lld "
+      "delay %lld reset %lld), %lld auto-restarts\n",
       ping_summary.GetNumberOr("p50", 0), ping_summary.GetNumberOr("p90", 0),
-      ping_summary.GetNumberOr("p99", 0), pings,
+      ping_summary.GetNumberOr("p99", 0), pings, ping_failures,
       tick_summary.GetNumberOr("p50", 0), tick_summary.GetNumberOr("p90", 0),
       tick_summary.GetNumberOr("p99", 0), ticks, tasks, shards,
       recovery_mean, recovery_max, recovery_ms.size(), stats.restored_tasks,
-      stats.replayed_periods, stats.parked_slots);
+      stats.replayed_periods, stats.parked_slots, sup_recovery_mean,
+      sup_recovery_max, sup_recovery_ms.size(), stats.adopted_workers,
+      stats.fenced_workers, total_chaos.injected, total_chaos.exchanges,
+      total_chaos.torn_writes, total_chaos.bit_flips, total_chaos.dup_frames,
+      total_chaos.delays, total_chaos.resets, stats.auto_restarts);
 
   Json doc = Json::Object();
   doc.Set("bench", Json::Str("rpc"));
@@ -241,6 +362,42 @@ int main(int argc, char** argv) {
           Json::Number(static_cast<double>(stats.lost_results)));
   doc.Set("worker_failures",
           Json::Number(static_cast<double>(stats.worker_failures)));
+  doc.Set("chaos_seed", Json::Number(static_cast<double>(chaos_seed)));
+  doc.Set("chaos_prob", Json::Number(chaos_prob));
+  doc.Set("autoheal", Json::Bool(autoheal));
+  doc.Set("ping_failures",
+          Json::Number(static_cast<double>(ping_failures)));
+  doc.Set("auto_restarts",
+          Json::Number(static_cast<double>(stats.auto_restarts)));
+  doc.Set("probes", Json::Number(static_cast<double>(stats.probes)));
+  doc.Set("probe_failures",
+          Json::Number(static_cast<double>(stats.probe_failures)));
+  doc.Set("recoveries", Json::Number(static_cast<double>(stats.recoveries)));
+  doc.Set("adopted_workers",
+          Json::Number(static_cast<double>(stats.adopted_workers)));
+  doc.Set("fenced_workers",
+          Json::Number(static_cast<double>(stats.fenced_workers)));
+  Json sup_recoveries = Json::Array();
+  for (double r : sup_recovery_ms) sup_recoveries.Append(Json::Number(r));
+  doc.Set("supervisor_recovery_ms", std::move(sup_recoveries));
+  doc.Set("supervisor_recovery_ms_mean", Json::Number(sup_recovery_mean));
+  doc.Set("supervisor_recovery_ms_max", Json::Number(sup_recovery_max));
+  Json chaos_doc = Json::Object();
+  chaos_doc.Set("exchanges",
+                Json::Number(static_cast<double>(total_chaos.exchanges)));
+  chaos_doc.Set("injected",
+                Json::Number(static_cast<double>(total_chaos.injected)));
+  chaos_doc.Set("torn_writes",
+                Json::Number(static_cast<double>(total_chaos.torn_writes)));
+  chaos_doc.Set("bit_flips",
+                Json::Number(static_cast<double>(total_chaos.bit_flips)));
+  chaos_doc.Set("dup_frames",
+                Json::Number(static_cast<double>(total_chaos.dup_frames)));
+  chaos_doc.Set("delays",
+                Json::Number(static_cast<double>(total_chaos.delays)));
+  chaos_doc.Set("resets",
+                Json::Number(static_cast<double>(total_chaos.resets)));
+  doc.Set("chaos", std::move(chaos_doc));
   const std::string dumped = doc.Dump();
 
   // Schema self-check: parse the emitted document back and require the
@@ -251,8 +408,14 @@ int main(int argc, char** argv) {
                  "BENCH_rpc.json self-check: emitted JSON does not parse\n");
     return 1;
   }
-  const char* required[] = {"ping_us", "tick_ms", "recovery_ms",
-                            "recovery_ms_mean", "kills", "restarts"};
+  const char* required[] = {"ping_us",        "tick_ms",
+                            "recovery_ms",    "recovery_ms_mean",
+                            "kills",          "restarts",
+                            "auto_restarts",  "recoveries",
+                            "adopted_workers", "fenced_workers",
+                            "supervisor_recovery_ms",
+                            "supervisor_recovery_ms_mean",
+                            "chaos"};
   for (const char* field : required) {
     if (parsed->Get(field) == nullptr) {
       std::fprintf(stderr, "BENCH_rpc.json self-check: missing field %s\n",
@@ -269,9 +432,29 @@ int main(int argc, char** argv) {
       return 1;
     }
   }
-  if (kills > 0 && stats.kills != kills) {
+  for (const char* kind : {"exchanges", "injected", "torn_writes",
+                           "bit_flips", "dup_frames", "delays", "resets"}) {
+    if (parsed->Get("chaos")->Get(kind) == nullptr) {
+      std::fprintf(stderr,
+                   "BENCH_rpc.json self-check: missing chaos counter %s\n",
+                   kind);
+      return 1;
+    }
+  }
+  if (stats.kills != kills_issued) {
     std::fprintf(stderr, "chaos under-delivered: %lld of %d kills\n",
-                 stats.kills, kills);
+                 stats.kills, kills_issued);
+    return 1;
+  }
+  if (sup_crashes > 0 &&
+      static_cast<int>(sup_recovery_ms.size()) != sup_crashes) {
+    std::fprintf(stderr,
+                 "supervisor chaos under-delivered: %zu of %d crash cycles\n",
+                 sup_recovery_ms.size(), sup_crashes);
+    return 1;
+  }
+  if (chaos_seed != 0 && total_chaos.injected == 0) {
+    std::fprintf(stderr, "chaos enabled but zero faults injected\n");
     return 1;
   }
 

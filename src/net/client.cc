@@ -35,7 +35,7 @@ void ReconnectState::RecordSuccess() {
 }
 
 ShardClient::ShardClient(ShardClientOptions options)
-    : options_(std::move(options)) {}
+    : options_(std::move(options)), chaos_(options_.chaos) {}
 
 ShardClient::~ShardClient() = default;
 
@@ -66,7 +66,7 @@ Status ShardClient::Send(MsgKind kind, const Json& body, int deadline_ms) {
   if (!connected()) {
     SPARKTUNE_RETURN_IF_ERROR(ConnectOnce());
   }
-  Status st = WriteFrame(fd_.get(), kind, body.Dump(), deadline_ms);
+  Status st = chaos_.WriteFrame(fd_.get(), kind, body.Dump(), deadline_ms);
   if (!st.ok()) Disconnect();
   return st;
 }
@@ -80,8 +80,11 @@ Result<Json> ShardClient::Receive(MsgKind kind, int deadline_ms) {
     return frame.status();
   }
   if (frame->kind != kind) {
+    // A stale or duplicated response means the stream is desynchronized:
+    // type it as data loss (not Internal) so fault handling stays within
+    // the transport taxonomy even under chaos injection.
     Disconnect();
-    return Status::Internal(StrFormat(
+    return Status::DataLoss(StrFormat(
         "response kind mismatch: sent %s, got %s", MsgKindName(kind),
         MsgKindName(frame->kind)));
   }

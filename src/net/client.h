@@ -16,6 +16,7 @@
 #include "common/json.h"
 #include "common/result.h"
 #include "net/channel.h"
+#include "net/chaos.h"
 #include "net/io.h"
 
 namespace sparktune::net {
@@ -31,6 +32,10 @@ struct ShardClientOptions {
   // immediate).
   RetryPolicy reconnect;
   int backoff_unit_ms = 20;
+  // Deterministic wire-fault injection on this client's request writes
+  // (net/chaos.h; seed 0 = off). Every injected fault is a typed
+  // kDataLoss/kUnavailable and disconnects, exactly like a real fault.
+  ChaosOptions chaos;
 };
 
 // The delay (ms) slept before each reconnect attempt: index k-1 holds the
@@ -82,10 +87,12 @@ class ShardClient {
   Result<Json> Receive(MsgKind kind, int deadline_ms);
 
   const ShardClientOptions& options() const { return options_; }
+  const ChaosStats& chaos_stats() const { return chaos_.stats(); }
 
  private:
   ShardClientOptions options_;
   UniqueFd fd_;
+  ChaosChannel chaos_;
 };
 
 }  // namespace sparktune::net

@@ -30,7 +30,7 @@ uint32_t GetU32(std::string_view buf, size_t off) {
 
 bool IsValidMsgKind(uint8_t kind) {
   return kind >= static_cast<uint8_t>(MsgKind::kPing) &&
-         kind <= static_cast<uint8_t>(MsgKind::kShutdown);
+         kind <= static_cast<uint8_t>(MsgKind::kTaskStatus);
 }
 
 const char* MsgKindName(MsgKind kind) {
@@ -46,6 +46,7 @@ const char* MsgKindName(MsgKind kind) {
     case MsgKind::kRestore: return "restore";
     case MsgKind::kLoadRepository: return "load-repository";
     case MsgKind::kShutdown: return "shutdown";
+    case MsgKind::kTaskStatus: return "task-status";
   }
   return "unknown";
 }

@@ -46,6 +46,8 @@ enum class MsgKind : uint8_t {
   kRestore = 9,            // restore from checkpoint + replay the gap
   kLoadRepository = 10,    // load persisted tasks into the knowledge base
   kShutdown = 11,          // graceful exit after the response is written
+  kTaskStatus = 12,        // worker epoch + per-task period clocks/specs;
+                           // supervisor Recover() reconciles against these
 };
 
 bool IsValidMsgKind(uint8_t kind);

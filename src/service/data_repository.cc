@@ -38,6 +38,8 @@ std::string SanitizedFileName(const std::string& id, const char* ext) {
 constexpr char kCheckpointMagic[] = "SPARKTUNE-CKPT1";
 constexpr char kManifestMagic[] = "SPARKTUNE-MAN1";
 
+}  // namespace
+
 Status WriteFramedAtomic(const std::string& path, const char* magic,
                          const std::string& body) {
   std::string tmp = path + ".tmp";
@@ -60,9 +62,9 @@ Status WriteFramedAtomic(const std::string& path, const char* magic,
   return Status::OK();
 }
 
-// `what` names the artifact in error messages ("checkpoint for wc gen 3").
-Result<std::string> ReadFramed(const std::string& path, const char* magic,
-                               const std::string& what) {
+Result<std::string> ReadFramedFile(const std::string& path,
+                                   const char* magic,
+                                   const std::string& what) {
   std::ifstream in(path, std::ios::binary);
   if (!in.good()) return Status::NotFound("no file: " + what);
   std::stringstream buf;
@@ -97,6 +99,8 @@ Result<std::string> ReadFramed(const std::string& path, const char* magic,
   }
   return body;
 }
+
+namespace {
 
 Json VectorToJson(const std::vector<double>& v) {
   Json arr = Json::Array();
@@ -183,7 +187,7 @@ std::vector<long long> DataRepository::ScanGenerations(
 
 std::vector<long long> DataRepository::ManifestGenerations(
     const std::string& id) const {
-  auto body = ReadFramed(ManifestPath(id), kManifestMagic,
+  auto body = ReadFramedFile(ManifestPath(id), kManifestMagic,
                          "manifest for " + id);
   if (!body.ok()) return {};
   auto doc = Json::Parse(*body);
@@ -263,7 +267,7 @@ Result<Json> DataRepository::LoadCheckpoint(const std::string& id) const {
   Status last_error = Status::OK();
   for (long long gen : candidates) {
     auto body =
-        ReadFramed(GenerationPath(id, gen), kCheckpointMagic,
+        ReadFramedFile(GenerationPath(id, gen), kCheckpointMagic,
                    StrFormat("checkpoint for %s gen %lld", id.c_str(), gen));
     if (!body.ok()) {
       if (body.status().code() != Status::Code::kNotFound) {
@@ -284,7 +288,7 @@ Result<Json> DataRepository::LoadCheckpoint(const std::string& id) const {
   }
 
   // Pre-generation layout: a single unsuffixed .ckpt file.
-  auto legacy = ReadFramed(LegacyCheckpointPath(id), kCheckpointMagic,
+  auto legacy = ReadFramedFile(LegacyCheckpointPath(id), kCheckpointMagic,
                            "checkpoint for " + id);
   if (legacy.ok()) {
     auto doc = Json::Parse(*legacy);

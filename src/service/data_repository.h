@@ -21,6 +21,19 @@
 
 namespace sparktune {
 
+// Shared CRC-framed single-file persistence: the body is written to
+// "<path>.tmp" and renamed into place, framed as
+// "<magic> <crc32 hex> <byte count>\n<body>". The declared length catches
+// truncation, the CRC catches bit rot; a torn or corrupt file loads as
+// kDataLoss, a missing one as kNotFound. Checkpoint generations, per-task
+// manifests, and the supervisor manifest all share this frame with
+// distinct magics. `what` names the artifact in error messages.
+Status WriteFramedAtomic(const std::string& path, const char* magic,
+                         const std::string& body);
+Result<std::string> ReadFramedFile(const std::string& path,
+                                   const char* magic,
+                                   const std::string& what);
+
 struct StoredTask {
   std::string id;
   std::vector<double> meta_features;

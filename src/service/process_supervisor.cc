@@ -7,9 +7,12 @@
 #include <cerrno>
 #include <cstring>
 
+#include <algorithm>
+
 #include "common/strings.h"
 #include "net/io.h"
 #include "service/placement.h"
+#include "service/supervisor_manifest.h"
 #include "sparksim/spark_conf.h"
 
 namespace sparktune {
@@ -27,7 +30,13 @@ Json EmptyBody() { return Json::Object(); }
 ProcessSupervisor::ProcessSupervisor(ProcessSupervisorOptions options)
     : options_(std::move(options)) {
   if (options_.num_shards < 1) options_.num_shards = 1;
+  if (options_.manifest_path.empty() && !options_.socket_dir.empty()) {
+    options_.manifest_path = options_.socket_dir + "/supervisor.manifest";
+  }
   workers_.resize(static_cast<size_t>(options_.num_shards));
+  for (Worker& w : workers_) {
+    w.health = ShardHealthMonitor(options_.health);
+  }
 }
 
 ProcessSupervisor::~ProcessSupervisor() { (void)Shutdown(); }
@@ -54,6 +63,22 @@ Status ProcessSupervisor::InitSpace() {
   return Status::OK();
 }
 
+std::unique_ptr<net::ShardClient> ProcessSupervisor::MakeClient(
+    int shard) const {
+  net::ShardClientOptions copts;
+  copts.socket_path = socket_path(shard);
+  copts.connect_timeout_ms = options_.connect_timeout_ms;
+  copts.call_timeout_ms = options_.call_timeout_ms;
+  copts.reconnect = options_.reconnect;
+  copts.backoff_unit_ms = options_.backoff_unit_ms;
+  copts.chaos.seed = options_.chaos_seed;
+  copts.chaos.fault_prob = options_.chaos_prob;
+  copts.chaos.shard = shard;
+  copts.chaos.salt = net::kChaosClientSalt;
+  copts.chaos.arm_after_exchanges = options_.chaos_arm_exchanges;
+  return std::make_unique<net::ShardClient>(copts);
+}
+
 Status ProcessSupervisor::SpawnWorker(int shard) {
   Worker& w = workers_[static_cast<size_t>(shard)];
   if (w.pid > 0) return Status::FailedPrecondition("worker already spawned");
@@ -61,26 +86,37 @@ Status ProcessSupervisor::SpawnWorker(int shard) {
     return Status::InvalidArgument("shardd_path is empty");
   }
   const std::string path = socket_path(shard);
+  std::vector<std::string> args;
+  args.push_back(options_.shardd_path);
+  args.push_back("--socket");
+  args.push_back(path);
+  if (options_.chaos_workers && options_.chaos_seed != 0 &&
+      options_.chaos_prob > 0) {
+    args.push_back(StrFormat("--shard=%d", shard));
+    args.push_back(StrFormat("--chaos_seed=%llu",
+                             static_cast<unsigned long long>(
+                                 options_.chaos_seed)));
+    args.push_back(StrFormat("--chaos_prob=%.17g", options_.chaos_prob));
+    args.push_back(StrFormat("--chaos_arm=%d",
+                             options_.chaos_arm_exchanges));
+  }
   pid_t pid = fork();
   if (pid < 0) {
     return Status::Internal(
         StrFormat("fork failed: %s", std::strerror(errno)));
   }
   if (pid == 0) {
-    // Child. execl only returns on failure; _exit (not in the no-abort
+    // Child. execv only returns on failure; _exit (not in the no-abort
     // set) avoids running the parent's atexit/static destructors twice.
-    execl(options_.shardd_path.c_str(), options_.shardd_path.c_str(),
-          "--socket", path.c_str(), static_cast<char*>(nullptr));
+    std::vector<char*> argv;
+    argv.reserve(args.size() + 1);
+    for (std::string& a : args) argv.push_back(a.data());
+    argv.push_back(nullptr);
+    execv(options_.shardd_path.c_str(), argv.data());
     _exit(127);
   }
   w.pid = pid;
-  net::ShardClientOptions copts;
-  copts.socket_path = path;
-  copts.connect_timeout_ms = options_.connect_timeout_ms;
-  copts.call_timeout_ms = options_.call_timeout_ms;
-  copts.reconnect = options_.reconnect;
-  copts.backoff_unit_ms = options_.backoff_unit_ms;
-  w.client = std::make_unique<net::ShardClient>(copts);
+  w.client = MakeClient(shard);
   w.reconnect = net::ReconnectState{};
   return Status::OK();
 }
@@ -89,6 +125,7 @@ Status ProcessSupervisor::ConfigureWorker(int shard) {
   Worker& w = workers_[static_cast<size_t>(shard)];
   Json body = Json::Object();
   body.Set("config", ServiceConfigToJson(options_.service));
+  body.Set("epoch", Json::Number(static_cast<double>(w.epoch)));
   SPARKTUNE_RETURN_IF_ERROR(
       w.client->Call(net::MsgKind::kConfigure, body).status());
   w.alive = true;
@@ -101,6 +138,7 @@ Status ProcessSupervisor::Start() {
   for (int s = 0; s < num_shards(); ++s) {
     Worker& w = workers_[static_cast<size_t>(s)];
     if (w.alive) continue;
+    if (w.epoch < 1) w.epoch = 1;
     if (w.pid <= 0) {
       SPARKTUNE_RETURN_IF_ERROR(SpawnWorker(s));
     }
@@ -111,6 +149,7 @@ Status ProcessSupervisor::Start() {
           "shard %d failed to start: %s", s, st.message().c_str()));
     }
   }
+  SaveManifest();
   return Status::OK();
 }
 
@@ -143,6 +182,7 @@ Status ProcessSupervisor::RegisterTask(const std::string& id,
   entry.shard = shard;
   index_.emplace(id, tasks_.size());
   tasks_.push_back(std::move(entry));
+  SaveManifest();
   return Status::OK();
 }
 
@@ -174,13 +214,37 @@ void ProcessSupervisor::MarkWorkerDown(int shard) {
   ++stats_.worker_failures;
   if (w.client) w.client->Disconnect();
   w.reconnect.RecordFailure(options_.reconnect);
+  w.health.RecordFailure(stats_.ticks);
   // If the process actually exited, reap it now; a transient transport
   // failure of a live process keeps alive=true and lets the per-tick
   // reconnect pacing redial.
   ReapWorker(shard, /*block=*/false);
+  if (w.pid <= 0) w.health.RecordDeath(stats_.ticks);
 }
 
 std::vector<Result<Observation>> ProcessSupervisor::Tick() {
+  // Tick number first: every health/backoff decision below is phrased in
+  // the current tick so the whole state machine is tick-deterministic.
+  ++stats_.ticks;
+  const long long tick = stats_.ticks;
+
+  // Self-healing: respawn dead shards on the health monitor's backoff
+  // schedule (off unless options_.health.auto_restart).
+  if (options_.health.auto_restart) {
+    for (int s = 0; s < num_shards(); ++s) {
+      Worker& w = workers_[static_cast<size_t>(s)];
+      if (w.alive || w.pid > 0) continue;
+      if (!w.health.ShouldAttemptRestart(tick)) continue;
+      Status st = RestartShardInternal(s);
+      if (st.ok()) {
+        w.health.RecordRestart(tick);
+        ++stats_.auto_restarts;
+      } else {
+        w.health.RecordRestartFailure(tick);
+      }
+    }
+  }
+
   // Redial transiently-disconnected live workers, paced by ReconnectState
   // (RetryPolicy::BackoffPeriods in the tick domain, net/client.h).
   for (int s = 0; s < num_shards(); ++s) {
@@ -193,6 +257,29 @@ std::vector<Result<Observation>> ProcessSupervisor::Tick() {
     } else {
       w.reconnect.RecordFailure(options_.reconnect);
       ReapWorker(s, /*block=*/false);
+    }
+  }
+
+  // Heartbeat probes: one kPing per connected shard on the policy cadence.
+  // A pong from a different epoch means a stale incarnation answered the
+  // socket — treat it as a failed probe and take the shard down.
+  for (int s = 0; s < num_shards(); ++s) {
+    Worker& w = workers_[static_cast<size_t>(s)];
+    if (!w.alive || !w.client || !w.client->connected()) continue;
+    if (!w.health.ShouldProbe(tick)) continue;
+    ++stats_.probes;
+    auto pong = w.client->Call(net::MsgKind::kPing, EmptyBody());
+    bool healthy = pong.ok();
+    if (healthy) {
+      const long long reported =
+          static_cast<long long>(pong->GetNumberOr("epoch", 0));
+      if (reported != 0 && reported != w.epoch) healthy = false;
+    }
+    if (healthy) {
+      w.health.RecordSuccess();
+    } else {
+      ++stats_.probe_failures;
+      MarkWorkerDown(s);
     }
   }
 
@@ -216,6 +303,9 @@ std::vector<Result<Observation>> ProcessSupervisor::Tick() {
     for (const std::string& id : batches[s]) ids.Append(Json::Str(id));
     Json body = Json::Object();
     body.Set("ids", std::move(ids));
+    // Fencing token: a stale incarnation that somehow still owns the
+    // socket answers this with kFailedPrecondition instead of executing.
+    body.Set("epoch", Json::Number(static_cast<double>(w.epoch)));
     Status st = w.client->Send(net::MsgKind::kExecute, body,
                                options_.call_timeout_ms);
     if (st.ok()) {
@@ -242,12 +332,18 @@ std::vector<Result<Observation>> ProcessSupervisor::Tick() {
       MarkWorkerDown(static_cast<int>(s));
       continue;  // the batch parks below
     }
+    w.health.RecordSuccess();
     for (size_t k = 0; k < batches[s].size(); ++k) {
       slots[positions[s][k]] = ResultSlotFromJson(jslots->at(k), space_);
-      // Worker period clocks are authoritative (see header: a worker can
-      // execute + checkpoint and die before the response is read).
-      tasks_[positions[s][k]].periods =
+      // Worker period clocks are authoritative but never rewind: adopt
+      // max(acked, reported). (A worker can execute + checkpoint and die
+      // before the response is read — reported runs AHEAD; a duplicated
+      // response frame under chaos can replay an OLDER clock.)
+      const long long reported =
           static_cast<long long>(jperiods->at(k).AsNumber());
+      if (reported > tasks_[positions[s][k]].periods) {
+        tasks_[positions[s][k]].periods = reported;
+      }
     }
   }
 
@@ -263,7 +359,7 @@ std::vector<Result<Observation>> ProcessSupervisor::Tick() {
           tasks_[i].id.c_str())));
     }
   }
-  ++stats_.ticks;
+  SaveManifest();
   return results;
 }
 
@@ -281,7 +377,9 @@ Status ProcessSupervisor::KillShard(int shard) {
   w.pid = -1;
   w.alive = false;
   if (w.client) w.client->Disconnect();
+  w.health.RecordDeath(stats_.ticks);
   ++stats_.kills;
+  SaveManifest();
   return Status::OK();
 }
 
@@ -291,14 +389,46 @@ Status ProcessSupervisor::RestartShard(int shard) {
   }
   Worker& w = workers_[static_cast<size_t>(shard)];
   if (w.alive || w.pid > 0) return Status::FailedPrecondition("shard is alive");
+  Status st = RestartShardInternal(shard);
+  if (st.ok()) {
+    w.health.RecordRestart(stats_.ticks);
+  } else {
+    w.health.RecordRestartFailure(stats_.ticks);
+  }
+  return st;
+}
+
+Status ProcessSupervisor::RestartShardInternal(int shard) {
+  Worker& w = workers_[static_cast<size_t>(shard)];
+  // Every incarnation gets a fresh fencing epoch, even on a failed
+  // attempt — epochs only need monotonicity, not density.
+  ++w.epoch;
   SPARKTUNE_RETURN_IF_ERROR(SpawnWorker(shard));
-  SPARKTUNE_RETURN_IF_ERROR(w.client->Connect());
-  SPARKTUNE_RETURN_IF_ERROR(ConfigureWorker(shard));
-  ++stats_.restarts;
-  // Best-effort repository load so re-attached meta-surrogates see the
-  // harvested knowledge (an empty repository on first boot is normal).
-  (void)w.client->Call(net::MsgKind::kLoadRepository, EmptyBody());
-  return RecoverShardTasks(shard);
+  Status st = w.client->Connect();
+  if (st.ok()) st = ConfigureWorker(shard);
+  if (st.ok()) {
+    ++stats_.restarts;
+    // Best-effort repository load so re-attached meta-surrogates see the
+    // harvested knowledge (an empty repository on first boot is normal).
+    (void)w.client->Call(net::MsgKind::kLoadRepository, EmptyBody());
+    st = RecoverShardTasks(shard);
+  }
+  if (!st.ok()) {
+    // All-or-nothing: a half-recovered worker running fresh clocks against
+    // acked history would fork the trajectory. Kill the fresh child so the
+    // shard returns to cleanly-dead and the next attempt starts over.
+    if (w.pid > 0) {
+      kill(w.pid, SIGKILL);
+      int status = 0;
+      (void)waitpid(w.pid, &status, 0);
+    }
+    w.pid = -1;
+    w.alive = false;
+    if (w.client) w.client->Disconnect();
+    return st;
+  }
+  SaveManifest();
+  return Status::OK();
 }
 
 Status ProcessSupervisor::RecoverShardTasks(int shard) {
@@ -340,6 +470,157 @@ Status ProcessSupervisor::RecoverShardTasks(int shard) {
     task.periods = worker_periods;
   }
   return first;
+}
+
+void ProcessSupervisor::Abandon() {
+  // Simulated SIGKILL of this supervisor: forget everything about the
+  // fleet without signaling it. No manifest rewrite either — a dead
+  // process cannot tidy its own durable state.
+  for (Worker& w : workers_) {
+    if (w.client) {
+      w.client->Disconnect();
+      w.client.reset();
+    }
+    w.pid = -1;
+    w.alive = false;
+  }
+}
+
+void ProcessSupervisor::ReconcileTaskStatus(int shard, const Json& env) {
+  const Json* jtasks = env.Get("tasks");
+  if (jtasks == nullptr || !jtasks->is_array()) return;
+  for (const Json& e : jtasks->elements()) {
+    const std::string id = e.GetStringOr("id", "");
+    if (id.empty()) continue;
+    const long long reported =
+        static_cast<long long>(e.GetNumberOr("periods", 0));
+    auto it = index_.find(id);
+    if (it != index_.end()) {
+      TaskEntry& task = tasks_[it->second];
+      if (reported > task.periods) task.periods = reported;
+      continue;
+    }
+    // The worker knows a task the manifest does not (registered between
+    // the last manifest write and the crash): adopt it outright.
+    const Json* spec = e.Get("spec");
+    if (spec == nullptr) continue;
+    auto decoded = SimTaskSpecFromJson(*spec);
+    if (!decoded.ok()) continue;
+    TaskEntry entry;
+    entry.id = id;
+    entry.spec = *decoded;
+    entry.shard = shard;
+    entry.periods = reported;
+    index_.emplace(id, tasks_.size());
+    tasks_.push_back(std::move(entry));
+    ++stats_.adopted_tasks;
+  }
+}
+
+Status ProcessSupervisor::Recover() {
+  if (options_.manifest_path.empty()) {
+    return Status::FailedPrecondition(
+        "no manifest path configured; cannot recover");
+  }
+  SPARKTUNE_ASSIGN_OR_RETURN(
+      manifest, LoadSupervisorManifest(options_.manifest_path));
+  // Adopt the crashed supervisor's view of the world wholesale; the
+  // manifest outranks whatever this instance was constructed with.
+  options_.service = manifest.service;
+  options_.num_shards = manifest.num_shards;
+  space_ready_ = false;
+  SPARKTUNE_RETURN_IF_ERROR(InitSpace());
+  workers_.clear();
+  workers_.resize(static_cast<size_t>(manifest.num_shards));
+  for (Worker& w : workers_) {
+    w.health = ShardHealthMonitor(options_.health);
+  }
+  tasks_.clear();
+  index_.clear();
+  for (const TaskManifestEntry& t : manifest.tasks) {
+    TaskEntry entry;
+    entry.id = t.id;
+    entry.spec = t.spec;
+    entry.shard = t.shard;
+    entry.periods = t.periods;
+    index_.emplace(entry.id, tasks_.size());
+    tasks_.push_back(std::move(entry));
+  }
+  for (int s = 0; s < num_shards(); ++s) {
+    Worker& w = workers_[static_cast<size_t>(s)];
+    w.epoch = manifest.shards[static_cast<size_t>(s)].epoch;
+    const long long pid = manifest.shards[static_cast<size_t>(s)].pid;
+    w.client = MakeClient(s);
+    bool adopted = false;
+    if (pid > 0 && w.client->ConnectOnce().ok()) {
+      // Adoption handshake: the worker must be configured AND at exactly
+      // the manifest's epoch — anything else is a stale or foreign
+      // incarnation and gets fenced.
+      auto pong = w.client->Call(net::MsgKind::kPing, EmptyBody());
+      if (pong.ok() && pong->GetBoolOr("configured", false) &&
+          static_cast<long long>(pong->GetNumberOr("epoch", 0)) == w.epoch) {
+        auto status = w.client->Call(net::MsgKind::kTaskStatus, EmptyBody());
+        if (status.ok()) {
+          w.pid = static_cast<pid_t>(pid);
+          w.alive = true;
+          w.reconnect = net::ReconnectState{};
+          w.health.RecordSuccess();
+          // Worker clocks may have advanced past the manifest's acked
+          // counts while unsupervised; reconcile forward, never back.
+          ReconcileTaskStatus(s, *status);
+          ++stats_.adopted_workers;
+          adopted = true;
+        }
+      }
+    }
+    if (!adopted) {
+      if (w.client) w.client->Disconnect();
+      if (pid > 0) {
+        // Fence: whatever owns that pid must not keep serving acked state.
+        kill(static_cast<pid_t>(pid), SIGKILL);
+        int status = 0;
+        (void)waitpid(static_cast<pid_t>(pid), &status, 0);
+        ++stats_.fenced_workers;
+      }
+      w.pid = -1;
+      w.alive = false;
+      Status st = RestartShardInternal(s);  // respawns at manifest epoch+1
+      if (st.ok()) {
+        w.health.RecordRestart(stats_.ticks);
+      } else {
+        // Leave the shard cleanly dead; auto-restart (or a manual
+        // RestartShard) retries on the backoff schedule.
+        w.health.RecordRestartFailure(stats_.ticks);
+      }
+    }
+  }
+  ++stats_.recoveries;
+  SaveManifest();
+  return Status::OK();
+}
+
+void ProcessSupervisor::SaveManifest() {
+  if (options_.manifest_path.empty()) return;
+  SupervisorManifest manifest;
+  manifest.num_shards = num_shards();
+  manifest.service = options_.service;
+  for (const Worker& w : workers_) {
+    ShardManifestEntry e;
+    e.epoch = w.epoch < 1 ? 1 : w.epoch;
+    e.pid = w.pid;
+    manifest.shards.push_back(e);
+  }
+  for (const TaskEntry& t : tasks_) {
+    TaskManifestEntry e;
+    e.id = t.id;
+    e.shard = t.shard;
+    e.periods = t.periods;
+    e.spec = t.spec;
+    manifest.tasks.push_back(std::move(e));
+  }
+  if (!SaveSupervisorManifest(options_.manifest_path, manifest).ok()) {
+    ++stats_.manifest_failures;
+  }
 }
 
 CheckpointReport ProcessSupervisor::CheckpointAll() {
@@ -488,6 +769,40 @@ std::vector<std::string> ProcessSupervisor::task_ids() const {
   ids.reserve(tasks_.size());
   for (const TaskEntry& task : tasks_) ids.push_back(task.id);
   return ids;
+}
+
+ShardHealth ProcessSupervisor::shard_health(int shard) const {
+  if (shard < 0 || shard >= num_shards()) return ShardHealth::kDown;
+  return workers_[static_cast<size_t>(shard)].health.state();
+}
+
+long long ProcessSupervisor::shard_epoch(int shard) const {
+  if (shard < 0 || shard >= num_shards()) return 0;
+  return workers_[static_cast<size_t>(shard)].epoch;
+}
+
+long long ProcessSupervisor::total_quarantines() const {
+  long long total = 0;
+  for (const Worker& w : workers_) total += w.health.quarantines();
+  return total;
+}
+
+net::ChaosStats ProcessSupervisor::chaos_stats() const {
+  // Counters of the CURRENT client incarnations; a respawned shard's
+  // fresh channel restarts from zero (indicative, not an exact ledger).
+  net::ChaosStats total;
+  for (const Worker& w : workers_) {
+    if (!w.client) continue;
+    const net::ChaosStats& s = w.client->chaos_stats();
+    total.exchanges += s.exchanges;
+    total.injected += s.injected;
+    total.torn_writes += s.torn_writes;
+    total.bit_flips += s.bit_flips;
+    total.dup_frames += s.dup_frames;
+    total.delays += s.delays;
+    total.resets += s.resets;
+  }
+  return total;
 }
 
 }  // namespace sparktune

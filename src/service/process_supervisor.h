@@ -30,6 +30,7 @@
 #include <vector>
 
 #include "net/client.h"
+#include "service/health.h"
 #include "service/tuning_service.h"
 #include "service/wire.h"
 
@@ -59,6 +60,23 @@ struct ProcessSupervisorOptions {
                         /*max_backoff_periods=*/64,
                         /*circuit_break_failures=*/4, /*park_periods=*/6};
   int backoff_unit_ms = 20;
+  // Deterministic wire chaos (net/chaos.h): seed 0 disables. When enabled
+  // every request write (supervisor side) and — with chaos_workers — every
+  // response write (worker side, via --chaos_seed) draws faults from the
+  // (seed, shard, direction, exchange index) schedule. Each freshly
+  // spawned channel gets chaos_arm_exchanges exempt exchanges so
+  // configure/recovery traffic on a new incarnation can land.
+  uint64_t chaos_seed = 0;
+  double chaos_prob = 0.0;
+  int chaos_arm_exchanges = 16;
+  bool chaos_workers = true;
+  // Heartbeat liveness + auto-restart policy (service/health.h).
+  // health.auto_restart=false preserves manual-restart-only semantics.
+  HealthPolicy health;
+  // Supervisor manifest path; empty derives
+  // "<socket_dir>/supervisor.manifest". The manifest is what Recover()
+  // reads after a supervisor crash.
+  std::string manifest_path;
 };
 
 struct ProcessSupervisorStats {
@@ -73,6 +91,15 @@ struct ProcessSupervisorStats {
                                     // never delivered (clock ran ahead)
   long long worker_failures = 0;    // transport failures marking a worker
                                     // down outside KillShard
+  long long probes = 0;             // heartbeat pings spent
+  long long probe_failures = 0;     // probes that failed or were fenced
+  long long auto_restarts = 0;      // health-monitor-driven respawns
+  long long recoveries = 0;         // successful Recover() runs
+  long long adopted_workers = 0;    // live workers re-adopted by Recover()
+  long long adopted_tasks = 0;      // worker-known tasks missing from the
+                                    // manifest, adopted on recovery
+  long long fenced_workers = 0;     // stale incarnations killed/fenced
+  long long manifest_failures = 0;  // best-effort manifest writes that failed
 };
 
 class ProcessSupervisor {
@@ -99,13 +126,30 @@ class ProcessSupervisor {
   std::vector<Result<Observation>> Tick();
 
   // Chaos: SIGKILL the worker process (no warning, no flush) and reap it.
-  // Its tasks park until RestartShard. The last live shard can be killed —
-  // parking degrades every slot but nothing hangs.
+  // Its tasks park until RestartShard (or the health monitor's
+  // auto-restart). The last live shard can be killed — parking degrades
+  // every slot but nothing hangs.
   Status KillShard(int shard);
-  // Respawn the worker on the same socket, reconfigure it, reload the
-  // repository, then re-register + restore + replay every parked task of
-  // this shard up to its acked period count.
+  // Respawn the worker on the same socket at epoch+1, reconfigure it,
+  // reload the repository, then re-register + restore + replay every
+  // parked task of this shard up to its acked period count. All-or-
+  // nothing: any failure after the spawn kills the fresh child again so
+  // the shard returns to cleanly-dead (a half-recovered worker running
+  // fresh clocks against acked history would fork the trajectory).
   Status RestartShard(int shard);
+
+  // Simulate supervisor death: drop every connection and forget every
+  // child WITHOUT signaling or reaping — workers keep running as orphans,
+  // exactly as if this process had been SIGKILLed. A fresh supervisor
+  // (same options) must Recover() from the manifest to take over.
+  void Abandon();
+  // Take over a crashed supervisor's fleet from its manifest: rebuild the
+  // placement map and acked clocks, re-adopt still-running workers via a
+  // ping + epoch handshake (reconciling worker-reported period clocks via
+  // kTaskStatus — never rewinding), and fence + respawn the rest at
+  // epoch+1. kNotFound when no manifest exists (call Start() instead);
+  // kDataLoss when the manifest is torn.
+  Status Recover();
 
   // Routed to every live shard; aggregated.
   CheckpointReport CheckpointAll();
@@ -132,15 +176,27 @@ class ProcessSupervisor {
   std::vector<std::string> task_ids() const;
   const ProcessSupervisorStats& stats() const { return stats_; }
   std::string socket_path(int shard) const;
+  const std::string& manifest_path() const { return options_.manifest_path; }
+  ShardHealth shard_health(int shard) const;
+  long long shard_epoch(int shard) const;
+  long long total_quarantines() const;
+  // Aggregated client-side chaos counters across every shard channel.
+  net::ChaosStats chaos_stats() const;
 
  private:
   struct Worker {
     pid_t pid = -1;          // -1 = never spawned / reaped
     bool alive = false;      // process believed up and configured
+    // Fencing epoch: 0 = never started; Start() assigns 1; every respawn
+    // (manual, auto, or recovery fence) increments. Carried by
+    // kConfigure/kExecute so a stale incarnation gets kFailedPrecondition.
+    long long epoch = 0;
     std::unique_ptr<net::ShardClient> client;
     // Tick-domain reconnect pacing for transient disconnects of a live
     // process (net/client.h ReconnectState, RetryPolicy-driven).
     net::ReconnectState reconnect;
+    // Heartbeat liveness state machine (service/health.h).
+    ShardHealthMonitor health;
   };
   struct TaskEntry {
     std::string id;
@@ -153,14 +209,27 @@ class ProcessSupervisor {
   // Resolves the cluster + config space the control plane decodes
   // observations against (lazily; Start and RegisterTask call it).
   Status InitSpace();
+  // Fresh ShardClient for `shard` with this supervisor's deadlines,
+  // reconnect schedule, and chaos options.
+  std::unique_ptr<net::ShardClient> MakeClient(int shard) const;
   Status SpawnWorker(int shard);
   Status ConfigureWorker(int shard);
+  // RestartShard minus health bookkeeping (shared with auto-restart and
+  // the recovery fence path). Kill-on-failure: see RestartShard.
+  Status RestartShardInternal(int shard);
   // Register + restore + replay every task homed on `shard`.
   Status RecoverShardTasks(int shard);
+  // Fold a worker's kTaskStatus reply into the placement map: clocks adopt
+  // max(acked, reported) and worker-known tasks missing from the manifest
+  // are adopted outright.
+  void ReconcileTaskStatus(int shard, const Json& env);
   // Mark a worker down after a transport failure and reap it if the
   // process actually exited.
   void MarkWorkerDown(int shard);
   void ReapWorker(int shard, bool block);
+  // Best-effort durable snapshot of the control plane (supervisor
+  // manifest); failures only bump stats_.manifest_failures.
+  void SaveManifest();
 
   ProcessSupervisorOptions options_;
   ClusterSpec cluster_;

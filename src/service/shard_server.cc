@@ -36,6 +36,8 @@ Result<Json> ShardServer::Dispatch(net::MsgKind kind, const Json& body) {
       return HandleRestore(body);
     case net::MsgKind::kLoadRepository:
       return HandleLoadRepository();
+    case net::MsgKind::kTaskStatus:
+      return HandleTaskStatus();
     case net::MsgKind::kShutdown: {
       shutdown_ = true;
       return OkEnvelope();
@@ -55,6 +57,7 @@ Status ShardServer::RequireConfigured() const {
 Result<Json> ShardServer::HandlePing() {
   Json env = OkEnvelope();
   env.Set("configured", Json::Bool(configured()));
+  env.Set("epoch", Json::Number(static_cast<double>(epoch_)));
   env.Set("num_tasks", Json::Number(
       service_ ? static_cast<double>(service_->num_tasks()) : 0.0));
   return env;
@@ -65,15 +68,29 @@ Result<Json> ShardServer::HandleConfigure(const Json& body) {
   if (config_json == nullptr) {
     return Status::InvalidArgument("configure request has no config");
   }
+  // Epoch fencing: a configure from an older epoch is a zombie control
+  // plane and must not re-arm this worker; a newer (or equal) epoch
+  // re-fences in place.
+  const long long epoch =
+      static_cast<long long>(body.GetNumberOr("epoch", 0));
+  if (epoch < epoch_) {
+    return Status::FailedPrecondition(StrFormat(
+        "stale epoch: worker fenced at %lld, configure carries %lld",
+        epoch_, epoch));
+  }
   SPARKTUNE_ASSIGN_OR_RETURN(config, ServiceConfigFromJson(*config_json));
   // Canonical bytes (our own codec's dump) make the idempotence check
   // independent of the client's key order or float formatting.
   const std::string bytes = ServiceConfigToJson(config).Dump();
   if (service_ != nullptr) {
-    if (bytes == config_bytes_) return OkEnvelope();
+    if (bytes == config_bytes_) {
+      epoch_ = epoch;
+      return OkEnvelope();
+    }
     return Status::FailedPrecondition(
         "shard already configured with a different config");
   }
+  epoch_ = epoch;
   SPARKTUNE_ASSIGN_OR_RETURN(cluster, ClusterFromName(config.cluster));
   config_ = config;
   config_bytes_ = bytes;
@@ -166,6 +183,18 @@ Result<Json> ShardServer::HandleFetchSuggestion(const Json& body) {
 
 Result<Json> ShardServer::HandleExecute(const Json& body) {
   SPARKTUNE_RETURN_IF_ERROR(RequireConfigured());
+  // Fencing: the token must match exactly. A request below our epoch is a
+  // zombie control plane; a request above it means *we* are the zombie (we
+  // missed a re-fence) — either way executing would fork the trajectory.
+  if (body.Has("epoch")) {
+    const long long epoch =
+        static_cast<long long>(body.GetNumberOr("epoch", 0));
+    if (epoch != epoch_) {
+      return Status::FailedPrecondition(StrFormat(
+          "stale epoch: worker fenced at %lld, execute carries %lld",
+          epoch_, epoch));
+    }
+  }
   const Json* ids_json = body.Get("ids");
   if (ids_json == nullptr || !ids_json->is_array()) {
     return Status::InvalidArgument("execute request has no ids array");
@@ -269,8 +298,29 @@ Result<Json> ShardServer::HandleLoadRepository() {
   return env;
 }
 
+Result<Json> ShardServer::HandleTaskStatus() {
+  SPARKTUNE_RETURN_IF_ERROR(RequireConfigured());
+  // Everything a fresh supervisor needs to re-adopt this worker after a
+  // control-plane crash: the fencing epoch plus every task's spec and
+  // authoritative period clock (specs_ is ordered, so the reply bytes are
+  // deterministic).
+  Json jtasks = Json::Array();
+  for (const auto& [id, spec] : specs_) {
+    Json t = Json::Object();
+    t.Set("id", Json::Str(id));
+    t.Set("periods",
+          Json::Number(static_cast<double>(service_->periods(id))));
+    t.Set("spec", SimTaskSpecToJson(spec));
+    jtasks.Append(std::move(t));
+  }
+  Json env = OkEnvelope();
+  env.Set("epoch", Json::Number(static_cast<double>(epoch_)));
+  env.Set("tasks", std::move(jtasks));
+  return env;
+}
+
 Status ServeShard(const std::string& socket_path, ShardServer* server,
-                  int write_deadline_ms) {
+                  int write_deadline_ms, net::ChaosChannel* chaos) {
   SPARKTUNE_ASSIGN_OR_RETURN(listen_fd, net::UnixListen(socket_path));
   while (!server->shutdown_requested()) {
     auto conn = net::UnixAccept(listen_fd.get(), /*deadline_ms=*/-1);
@@ -299,8 +349,12 @@ Status ServeShard(const std::string& socket_path, ShardServer* server,
         response = ErrorEnvelope(
             Status::InvalidArgument("request body is not a JSON object"));
       }
-      Status ws = net::WriteFrame(conn->get(), frame->kind, response.Dump(),
-                                  write_deadline_ms);
+      const std::string reply = response.Dump();
+      Status ws = chaos != nullptr
+                      ? chaos->WriteFrame(conn->get(), frame->kind, reply,
+                                          write_deadline_ms)
+                      : net::WriteFrame(conn->get(), frame->kind, reply,
+                                        write_deadline_ms);
       if (!ws.ok()) break;
     }
   }

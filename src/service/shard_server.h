@@ -13,6 +13,7 @@
 #include <memory>
 #include <string>
 
+#include "net/chaos.h"
 #include "net/frame.h"
 #include "service/tuning_service.h"
 #include "service/wire.h"
@@ -35,6 +36,8 @@ class ShardServer {
   bool shutdown_requested() const { return shutdown_; }
   bool configured() const { return service_ != nullptr; }
   const TuningService* service() const { return service_.get(); }
+  // Fencing epoch this worker was configured at (0 = unfenced legacy).
+  long long epoch() const { return epoch_; }
 
  private:
   // Handlers return the extra response fields; Handle wraps Status errors
@@ -50,10 +53,18 @@ class ShardServer {
   Result<Json> HandleCheckpoint();
   Result<Json> HandleRestore(const Json& body);
   Result<Json> HandleLoadRepository();
+  Result<Json> HandleTaskStatus();
 
   Status RequireConfigured() const;
 
   bool shutdown_ = false;
+  // Epoch fencing (DESIGN.md §9): the shard's fencing token, set by
+  // kConfigure and carried by every kExecute. A request from an older
+  // epoch — or an execute against a worker that missed a re-fence — is
+  // typed kFailedPrecondition so a zombie incarnation can never
+  // split-brain the fleet. 0 means "never fenced" (legacy callers that
+  // omit the token are accepted unchanged).
+  long long epoch_ = 0;
   // Configuration is idempotent: the canonical bytes of the accepted
   // config reject a later conflicting kConfigure.
   std::string config_bytes_;
@@ -72,8 +83,12 @@ class ShardServer {
 // disconnects (re-accept) or a kShutdown request is acknowledged (return).
 // Malformed frames (kDataLoss / kInvalidArgument from the codec) close the
 // connection — the byte stream is unsynchronized — without killing the
-// worker. `write_deadline_ms` bounds each response write.
+// worker. `write_deadline_ms` bounds each response write. A non-null
+// `chaos` channel injects deterministic wire faults into response writes
+// (net/chaos.h); a faulted write drops the connection like any other
+// write failure, so damage never leaves a desynchronized stream behind.
 Status ServeShard(const std::string& socket_path, ShardServer* server,
-                  int write_deadline_ms = 20000);
+                  int write_deadline_ms = 20000,
+                  net::ChaosChannel* chaos = nullptr);
 
 }  // namespace sparktune

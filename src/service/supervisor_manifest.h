@@ -1,0 +1,53 @@
+// Supervisor manifest (DESIGN.md §9): the control plane's own durable
+// state, written with the same CRC-framed tmp+rename discipline as task
+// checkpoints. One JSON document holds everything a fresh supervisor needs
+// to take over after the old one is SIGKILLed: the service config, the
+// static placement map with acked per-task period clocks, and per-shard
+// fencing epochs + child PIDs so still-running workers can be re-adopted
+// (ping + epoch handshake) and zombies fenced.
+//
+// The manifest is rewritten after every state transition (start, register,
+// tick, kill, restart, recover), so at worst it trails the workers by one
+// tick — and worker-reported clocks are authoritative on recovery, so a
+// stale manifest can only under-claim, never rewind, a trajectory.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/json.h"
+#include "common/result.h"
+#include "service/wire.h"
+
+namespace sparktune {
+
+struct ShardManifestEntry {
+  long long epoch = 1;  // fencing token carried by kConfigure/kExecute
+  long long pid = -1;   // last known worker PID (-1 = dead/never spawned)
+};
+
+struct TaskManifestEntry {
+  std::string id;
+  int shard = -1;         // static rendezvous home
+  long long periods = 0;  // acked period clock at manifest-write time
+  SimTaskSpec spec;
+};
+
+struct SupervisorManifest {
+  int num_shards = 0;
+  ServiceConfig service;
+  std::vector<ShardManifestEntry> shards;  // index = shard
+  std::vector<TaskManifestEntry> tasks;    // registration order
+};
+
+Json SupervisorManifestToJson(const SupervisorManifest& manifest);
+Result<SupervisorManifest> SupervisorManifestFromJson(const Json& j);
+
+// Atomic CRC-framed write / load (data_repository.h framing, magic
+// "SPARKTUNE-SUPV1"). Load returns kNotFound when no manifest exists
+// (first boot) and kDataLoss when the file is torn or corrupt.
+Status SaveSupervisorManifest(const std::string& path,
+                              const SupervisorManifest& manifest);
+Result<SupervisorManifest> LoadSupervisorManifest(const std::string& path);
+
+}  // namespace sparktune

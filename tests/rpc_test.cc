@@ -7,12 +7,14 @@
 // worker processes delivers a per-task trajectory bit-identical to an
 // undisturbed in-process TuningService run, at nt=1 and nt=4.
 #include <gtest/gtest.h>
+#include <sys/socket.h>
 
 #include <filesystem>
 #include <memory>
 #include <string>
 #include <vector>
 
+#include "common/rng.h"
 #include "common/strings.h"
 #include "net/channel.h"
 #include "net/client.h"
@@ -162,6 +164,109 @@ TEST(FrameCodec, CrcMismatchIsDataLoss) {
 }
 
 // ---------------------------------------------------------------------------
+// Frame-codec fuzz: seeded adversarial byte streams through the real
+// socket read path. Every outcome must be a typed status within the
+// deadline — never a crash, hang, or over-read (ASan/UBSan in the matrix
+// back the memory-safety half of that claim).
+// ---------------------------------------------------------------------------
+
+// Pushes `bytes` through one end of a socketpair, closes it, and reads
+// frames from the other end until the stream errors or drains.
+void ExpectTypedFrameStream(const std::string& bytes, const char* what) {
+  int fds[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+  net::UniqueFd reader(fds[0]);
+  {
+    net::UniqueFd writer(fds[1]);
+    if (!bytes.empty()) {
+      ASSERT_TRUE(
+          net::WriteFull(writer.get(), bytes.data(), bytes.size(), 2000).ok())
+          << what;
+    }
+  }  // writer closes: the reader sees EOF after the garbage
+  const int64_t start = net::MonotonicMs();
+  for (int hop = 0; hop < 64; ++hop) {
+    auto frame = net::ReadFrame(reader.get(), /*deadline_ms=*/2000);
+    if (frame.ok()) continue;  // a mutation can leave a decodable frame
+    const Status::Code code = frame.status().code();
+    EXPECT_TRUE(code == Status::Code::kDataLoss ||
+                code == Status::Code::kInvalidArgument ||
+                code == Status::Code::kUnavailable)
+        << what << ": " << frame.status().ToString();
+    break;
+  }
+  EXPECT_LT(net::MonotonicMs() - start, 10000) << what;
+}
+
+TEST(FrameCodec, FuzzRandomByteStreamsAreTypedAndBounded) {
+  Rng rng(0xF0CC5EEDULL);
+  for (int round = 0; round < 64; ++round) {
+    const size_t len = static_cast<size_t>(rng.UniformInt(0, 256));
+    std::string bytes(len, '\0');
+    for (char& c : bytes) {
+      c = static_cast<char>(rng.UniformInt(0, 255));
+    }
+    // Random bytes essentially never carry the magic + CRC, so the decode
+    // must reject them without reading past the buffer.
+    auto direct = net::DecodeFrame(bytes);
+    if (!direct.ok()) {
+      const Status::Code code = direct.status().code();
+      EXPECT_TRUE(code == Status::Code::kDataLoss ||
+                  code == Status::Code::kInvalidArgument)
+          << "round " << round << ": " << direct.status().ToString();
+    }
+    ExpectTypedFrameStream(bytes, "random stream");
+  }
+}
+
+TEST(FrameCodec, FuzzMutatedValidFramesAreTypedAndBounded) {
+  Rng rng(0xBADF00D5ULL);
+  const net::MsgKind kinds[] = {net::MsgKind::kPing, net::MsgKind::kExecute,
+                                net::MsgKind::kCheckpoint,
+                                net::MsgKind::kTaskStatus};
+  for (int round = 0; round < 64; ++round) {
+    // A valid frame with a random JSON-ish payload...
+    const size_t len = static_cast<size_t>(rng.UniformInt(2, 192));
+    std::string payload(len, ' ');
+    for (char& c : payload) {
+      c = static_cast<char>(rng.UniformInt(32, 126));
+    }
+    std::string wire = net::EncodeFrame(
+        kinds[rng.UniformInt(0, 3)], payload);
+    // ...seeded mutations: truncate, flip bits, splice garbage, prepend.
+    switch (rng.UniformInt(0, 3)) {
+      case 0:
+        wire.resize(static_cast<size_t>(
+            rng.UniformInt(0, static_cast<int64_t>(wire.size()) - 1)));
+        break;
+      case 1:
+        for (int flips = rng.UniformInt(1, 8); flips > 0; --flips) {
+          const size_t bit = static_cast<size_t>(rng.UniformInt(
+              0, static_cast<int64_t>(wire.size()) * 8 - 1));
+          wire[bit / 8] = static_cast<char>(
+              static_cast<unsigned char>(wire[bit / 8]) ^ (1u << (bit % 8)));
+        }
+        break;
+      case 2: {
+        const size_t at = static_cast<size_t>(
+            rng.UniformInt(0, static_cast<int64_t>(wire.size())));
+        std::string garbage(static_cast<size_t>(rng.UniformInt(1, 32)), '\0');
+        for (char& c : garbage) {
+          c = static_cast<char>(rng.UniformInt(0, 255));
+        }
+        wire.insert(at, garbage);
+        break;
+      }
+      default:
+        wire.insert(0, std::string(
+            static_cast<size_t>(rng.UniformInt(1, 16)), '\xff'));
+        break;
+    }
+    ExpectTypedFrameStream(wire, "mutated frame");
+  }
+}
+
+// ---------------------------------------------------------------------------
 // Reconnect schedule: RetryPolicy::BackoffPeriods is the only source of
 // backoff math in the net layer.
 // ---------------------------------------------------------------------------
@@ -188,6 +293,29 @@ TEST(Reconnect, DelaysPinnedToRetryPolicyBackoff) {
                 wide.BackoffPeriods(static_cast<int>(k)) * 20);
     }
   }
+}
+
+TEST(Reconnect, LargeMaxAttemptsClampToCapWithoutOverflow) {
+  // A pathological policy — thousands of attempts, a huge cap — must
+  // produce a schedule that saturates at max_backoff_periods * unit and
+  // never wraps negative (BackoffPeriods clamps the shift, not the
+  // product of an overflowed shift).
+  RetryPolicy wide{/*max_attempts=*/5000, /*base_backoff_periods=*/1,
+                   /*max_backoff_periods=*/1 << 20,
+                   /*circuit_break_failures=*/4, /*park_periods=*/6};
+  std::vector<int> delays = net::ReconnectDelaysMs(wide, 3);
+  ASSERT_EQ(delays.size(), 5000u);
+  EXPECT_EQ(delays[0], 0);
+  const int cap_ms = wide.max_backoff_periods * 3;
+  for (size_t k = 1; k < delays.size(); ++k) {
+    ASSERT_GE(delays[k], 0) << "attempt " << k + 1;
+    ASSERT_LE(delays[k], cap_ms) << "attempt " << k + 1;
+    ASSERT_GE(delays[k], delays[k - 1]) << "attempt " << k + 1;
+  }
+  // Once the exponent would overflow the shift width, every delay is
+  // exactly the cap — including attempt indices far past 64.
+  EXPECT_EQ(delays[100], cap_ms);
+  EXPECT_EQ(delays[4999], cap_ms);
 }
 
 TEST(Reconnect, TickPacingFollowsBackoffPeriods) {

@@ -61,7 +61,22 @@ rpc_smoke() {
     --shards=2 --tasks=4 --ticks=7 --kill-tick=3 --restart-tick=5 \
     --budget=4 --verify=1
 }
+# Self-healing smoke: deterministic wire chaos on both directions, a
+# worker SIGKILL healed by the heartbeat auto-restart (no manual
+# --restart-tick), and a supervisor SIGKILL (--crash-tick) recovered from
+# the manifest — still verified slot-for-slot against the oracle.
+rpc_smoke_chaos() {
+  local dir="$1"
+  echo "==> [$dir] sparktune_service self-healing smoke (chaos + crash + autoheal + verify)"
+  "./$dir/tools/sparktune_service" \
+    --shardd="./$dir/tools/sparktune_shardd" \
+    --sockdir="$dir/rpc-chaos-socks" --repo="$dir/rpc-chaos-repo" \
+    --shards=2 --tasks=4 --ticks=10 --kill-tick=3 --restart-tick=0 \
+    --crash-tick=6 --autoheal=1 --chaos_seed=7 --chaos_prob=0.05 \
+    --chaos_arm=12 --budget=4 --verify=1
+}
 rpc_smoke build
+rpc_smoke_chaos build
 
 if [[ "$ALL" -eq 1 ]]; then
   run_config build-tsan thread "$@"
@@ -73,6 +88,14 @@ if [[ "$ALL" -eq 1 ]]; then
     ctest --test-dir "$dir" --output-on-failure -L stress
   done
   rpc_smoke build-asan-ubsan
+  rpc_smoke_chaos build-asan-ubsan
+  # Isolated chaos-net pass: the self-healing control-plane suite
+  # (ChaosChannel typing, health machine, fencing, crash recovery) by
+  # label on the default build and under ASan+UBSan.
+  for dir in build build-asan-ubsan; do
+    echo "==> [$dir] ctest -L chaos-net (self-healing control plane)"
+    ctest --test-dir "$dir" --output-on-failure -L chaos-net
+  done
   # Fleet-scale throughput/memory snapshot (no sanitizer: real numbers).
   # Emits build/BENCH_fleet.json and enforces the fleet memory budget.
   echo "==> [build] bench_fleet (BENCH_fleet.json + RSS budget)"

@@ -3,7 +3,11 @@
 //
 // Spawns sparktune_shardd workers, registers a small simulated fleet,
 // drives periodic ticks over the wire, SIGKILLs a worker mid-run and
-// restarts it, and — with --verify=1 (default) — checks every delivered
+// restarts it (manually at --restart-tick, or via the heartbeat monitor
+// with --autoheal=1), optionally SIGKILLs the SUPERVISOR itself at
+// --crash-tick (Abandon + a fresh ProcessSupervisor Recover()s from the
+// manifest), optionally damages both wire directions with --chaos_seed /
+// --chaos_prob, and — with --verify=1 (default) — checks every delivered
 // observation bit-for-bit against an undisturbed single-process
 // TuningService oracle running the identical specs. Exit 0 means the
 // chaos trajectory converged to the oracle's; tools/check.sh runs this
@@ -56,6 +60,11 @@ const char* FlagValue(int argc, char** argv, const char* name) {
 int IntFlag(int argc, char** argv, const char* name, int fallback) {
   const char* v = FlagValue(argc, argv, name);
   return v != nullptr ? std::atoi(v) : fallback;
+}
+
+double DblFlag(int argc, char** argv, const char* name, double fallback) {
+  const char* v = FlagValue(argc, argv, name);
+  return v != nullptr ? std::atof(v) : fallback;
 }
 
 std::string StrFlag(int argc, char** argv, const char* name,
@@ -111,8 +120,10 @@ int main(int argc, char** argv) {
     std::fprintf(stderr,
                  "usage: sparktune_service --shardd=PATH [--sockdir=DIR] "
                  "[--repo=DIR] [--shards=N] [--tasks=K] [--ticks=T] "
-                 "[--kill-tick=T] [--restart-tick=T] [--budget=B] "
-                 "[--threads=N] [--verify=0|1]\n");
+                 "[--kill-tick=T] [--restart-tick=T] [--crash-tick=T] "
+                 "[--autoheal=0|1] [--chaos_seed=S] [--chaos_prob=P] "
+                 "[--chaos_arm=K] [--budget=B] [--threads=N] "
+                 "[--verify=0|1]\n");
     return 2;
   }
   std::string sockdir = StrFlag(argc, argv, "sockdir", "");
@@ -128,9 +139,17 @@ int main(int argc, char** argv) {
   const int ticks = IntFlag(argc, argv, "ticks", 8);
   const int kill_tick = IntFlag(argc, argv, "kill-tick", 3);
   const int restart_tick = IntFlag(argc, argv, "restart-tick", 5);
+  const int crash_tick = IntFlag(argc, argv, "crash-tick", 0);
+  const bool autoheal = IntFlag(argc, argv, "autoheal", 0) != 0;
   const int budget = IntFlag(argc, argv, "budget", 6);
   const int threads = IntFlag(argc, argv, "threads", 1);
   const bool verify = IntFlag(argc, argv, "verify", 1) != 0;
+  const uint64_t chaos_seed = static_cast<uint64_t>(
+      std::strtoull(StrFlag(argc, argv, "chaos_seed", "0").c_str(),
+                    nullptr, 10));
+  const double chaos_prob = DblFlag(argc, argv, "chaos_prob", 0.05);
+  const int chaos_arm = IntFlag(argc, argv, "chaos_arm", 16);
+  const bool chaos = chaos_seed != 0 && chaos_prob > 0;
 
   ProcessSupervisorOptions options;
   options.shardd_path = shardd;
@@ -143,9 +162,15 @@ int main(int argc, char** argv) {
   options.service.auto_checkpoint_periods = 2;
   options.service.checkpoint_on_phase_change = true;
   options.service.num_threads = threads;
+  if (chaos) {
+    options.chaos_seed = chaos_seed;
+    options.chaos_prob = chaos_prob;
+    options.chaos_arm_exchanges = chaos_arm;
+  }
+  options.health.auto_restart = autoheal;
 
-  ProcessSupervisor supervisor(options);
-  if (Status st = supervisor.Start(); !st.ok()) return Fail(st, "start");
+  auto sup = std::make_unique<ProcessSupervisor>(options);
+  if (Status st = sup->Start(); !st.ok()) return Fail(st, "start");
 
   std::vector<std::string> ids;
   std::vector<SimTaskSpec> specs;
@@ -154,7 +179,7 @@ int main(int argc, char** argv) {
     spec.workload = kWorkloads[i % (sizeof(kWorkloads) / sizeof(char*))];
     spec.seed = 1000 + static_cast<uint64_t>(i);
     std::string id = StrFormat("svc-task-%d", i);
-    if (Status st = supervisor.RegisterTask(id, spec); !st.ok()) {
+    if (Status st = sup->RegisterTask(id, spec); !st.ok()) {
       return Fail(st, "register");
     }
     ids.push_back(std::move(id));
@@ -187,41 +212,58 @@ int main(int argc, char** argv) {
 
   int killed_shard = -1;
   long long compared = 0, mismatches = 0, parked = 0;
+  sparktune::ProcessSupervisorStats carried;  // stats lost to crash cycles
   for (int t = 1; t <= ticks; ++t) {
+    if (t == crash_tick && crash_tick > 0) {
+      // Supervisor death: Abandon() forgets the fleet without signaling
+      // it (the workers run on as orphans), then a brand-new supervisor
+      // takes over from the manifest alone.
+      carried = sup->stats();
+      sup->Abandon();
+      sup = std::make_unique<ProcessSupervisor>(options);
+      if (Status st = sup->Recover(); !st.ok()) return Fail(st, "recover");
+      // Recover() fences+respawns dead shards, so the manual restart
+      // below would find the shard already alive.
+      if (killed_shard >= 0 && sup->shard_alive(killed_shard)) {
+        killed_shard = -1;
+      }
+    }
     if (t == kill_tick && kill_tick > 0) {
       // Kill the shard owning the most tasks so the chaos actually lands.
       std::vector<int> load(static_cast<size_t>(shards), 0);
-      for (const std::string& id : ids) ++load[supervisor.shard_of(id)];
+      for (const std::string& id : ids) ++load[sup->shard_of(id)];
       killed_shard = 0;
       for (int s = 1; s < shards; ++s) {
         if (load[s] > load[killed_shard]) killed_shard = s;
       }
-      if (Status st = supervisor.KillShard(killed_shard); !st.ok()) {
+      if (Status st = sup->KillShard(killed_shard); !st.ok()) {
         return Fail(st, "kill");
       }
     }
-    if (t == restart_tick && restart_tick > 0 && killed_shard >= 0) {
-      if (Status st = supervisor.RestartShard(killed_shard); !st.ok()) {
+    if (t == restart_tick && restart_tick > 0 && killed_shard >= 0 &&
+        !sup->shard_alive(killed_shard)) {
+      if (Status st = sup->RestartShard(killed_shard); !st.ok()) {
         return Fail(st, "restart");
       }
     }
 
     std::vector<long long> before(ids.size());
     for (size_t i = 0; i < ids.size(); ++i) {
-      before[i] = supervisor.periods(ids[i]);
+      before[i] = sup->periods(ids[i]);
     }
-    std::vector<Result<Observation>> slots = supervisor.Tick();
+    std::vector<Result<Observation>> slots = sup->Tick();
     for (size_t i = 0; i < ids.size(); ++i) {
-      const long long after = supervisor.periods(ids[i]);
+      const long long after = sup->periods(ids[i]);
       if (after == before[i]) {
         ++parked;  // no period consumed: the slot is a parked kUnavailable
         continue;
       }
       if (!verify) continue;
-      // Catch the oracle up to this task's pre-tick clock (recovery may
-      // have advanced it past what we compared so far), then compare the
-      // delivered period.
-      while (oracle.periods(ids[i]) < before[i]) {
+      // Catch the oracle up to the period the delivered slot belongs to —
+      // after-1, not before, because recovery replay AND chaos-lost
+      // responses can advance a worker clock by more than one period
+      // between deliveries — then compare that period bit-for-bit.
+      while (oracle.periods(ids[i]) < after - 1) {
         (void)oracle.ExecutePeriodic(ids[i]);
       }
       Result<Observation> want = oracle.ExecutePeriodic(ids[i]);
@@ -230,40 +272,63 @@ int main(int argc, char** argv) {
       if (!SameSlot(slots[i], want, &why)) {
         ++mismatches;
         std::fprintf(stderr, "tick %d task %s period %lld: %s\n", t,
-                     ids[i].c_str(), before[i], why.c_str());
+                     ids[i].c_str(), after - 1, why.c_str());
       }
     }
   }
 
   // Exercise the remaining verbs once: suggestion fetch, checkpoint,
-  // streaming harvest, graceful shutdown.
+  // streaming harvest, graceful shutdown. Under wire chaos a fetch can
+  // legitimately lose its exchange — any TYPED failure is acceptable
+  // there; an untyped one never is.
   for (const std::string& id : ids) {
-    if (supervisor.shard_alive(supervisor.shard_of(id))) {
-      auto suggestion = supervisor.FetchSuggestion(id);
-      if (!suggestion.ok()) return Fail(suggestion.status(), "suggest");
+    if (sup->shard_alive(sup->shard_of(id))) {
+      auto suggestion = sup->FetchSuggestion(id);
+      if (!suggestion.ok()) {
+        if (!chaos ||
+            suggestion.status().code() == Status::Code::kInternal) {
+          return Fail(suggestion.status(), "suggest");
+        }
+      }
     }
   }
-  sparktune::CheckpointReport checkpoint = supervisor.CheckpointAll();
-  sparktune::HarvestReport harvest = supervisor.HarvestDirty();
-  Status shutdown = supervisor.Shutdown();
+  sparktune::CheckpointReport checkpoint = sup->CheckpointAll();
+  sparktune::HarvestReport harvest = sup->HarvestDirty();
+  const sparktune::net::ChaosStats wire = sup->chaos_stats();
+  Status shutdown = sup->Shutdown();
 
-  const auto& stats = supervisor.stats();
+  const auto& stats = sup->stats();
   const bool converged = mismatches == 0 && (!verify || compared > 0);
   std::printf(
       "{\"shards\":%d,\"tasks\":%d,\"ticks\":%lld,\"kills\":%lld,"
       "\"restarts\":%lld,\"restored_tasks\":%lld,\"fresh_replays\":%lld,"
       "\"replayed_periods\":%lld,\"parked_slots\":%lld,\"lost_results\":%lld,"
+      "\"auto_restarts\":%lld,\"recoveries\":%lld,\"adopted_workers\":%lld,"
+      "\"fenced_workers\":%lld,\"probes\":%lld,\"quarantines\":%lld,"
+      "\"chaos_injected\":%lld,"
       "\"checkpoint_written\":%d,\"harvested\":%d,\"compared\":%lld,"
       "\"mismatches\":%lld,\"clean_shutdown\":%s,\"converged\":%s}\n",
-      shards, tasks, stats.ticks, stats.kills, stats.restarts,
-      stats.restored_tasks, stats.fresh_replays, stats.replayed_periods,
-      stats.parked_slots, stats.lost_results, checkpoint.written,
-      harvest.harvested, compared, mismatches,
-      shutdown.ok() ? "true" : "false", converged ? "true" : "false");
+      shards, tasks, carried.ticks + stats.ticks,
+      carried.kills + stats.kills, carried.restarts + stats.restarts,
+      carried.restored_tasks + stats.restored_tasks,
+      carried.fresh_replays + stats.fresh_replays,
+      carried.replayed_periods + stats.replayed_periods,
+      carried.parked_slots + stats.parked_slots,
+      carried.lost_results + stats.lost_results,
+      carried.auto_restarts + stats.auto_restarts, stats.recoveries,
+      stats.adopted_workers, stats.fenced_workers,
+      carried.probes + stats.probes, sup->total_quarantines(),
+      wire.injected, checkpoint.written, harvest.harvested, compared,
+      mismatches, shutdown.ok() ? "true" : "false",
+      converged ? "true" : "false");
   if (!converged) return 1;
-  if (parked != stats.parked_slots) {
+  // Delivered-but-stale chaos frames and crash cycles both decouple the
+  // tool's park count from the supervisor's; the strict cross-check only
+  // holds on the undisturbed-wire, single-incarnation run.
+  if (!chaos && crash_tick <= 0 &&
+      parked != carried.parked_slots + stats.parked_slots) {
     std::fprintf(stderr, "parked accounting mismatch: %lld vs %lld\n",
-                 parked, stats.parked_slots);
+                 parked, carried.parked_slots + stats.parked_slots);
     return 1;
   }
   return 0;

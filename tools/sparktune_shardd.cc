@@ -4,37 +4,66 @@
 // and dispatches framed requests until the control plane sends kShutdown.
 //
 // All state arrives over the wire (kConfigure, kRegisterTask, kRestore),
-// so the binary takes exactly one argument: the socket to serve.
+// so the binary takes one required argument — the socket to serve — plus
+// optional deterministic wire-chaos flags (net/chaos.h): --chaos_seed
+// arms a ChaosChannel on the RESPONSE path, drawing faults from the
+// (seed, --shard, server salt, exchange index) schedule so a soak can
+// damage both directions of the wire reproducibly.
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <string>
 
+#include "net/chaos.h"
 #include "service/shard_server.h"
 
 namespace {
 
 int Usage() {
-  std::fprintf(stderr, "usage: sparktune_shardd --socket PATH\n");
+  std::fprintf(stderr,
+               "usage: sparktune_shardd --socket PATH [--shard N]\n"
+               "         [--chaos_seed S] [--chaos_prob P] [--chaos_arm K]\n");
   return 2;
+}
+
+// Accepts both "--flag VALUE" and "--flag=VALUE"; returns nullptr when
+// argv[i] is not `flag`.
+const char* FlagValue(const char* flag, int argc, char** argv, int* i) {
+  const size_t n = std::strlen(flag);
+  if (std::strncmp(argv[*i], flag, n) != 0) return nullptr;
+  if (argv[*i][n] == '=') return argv[*i] + n + 1;
+  if (argv[*i][n] == '\0' && *i + 1 < argc) return argv[++*i];
+  return nullptr;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
   std::string socket_path;
+  sparktune::net::ChaosOptions chaos;
+  chaos.salt = sparktune::net::kChaosServerSalt;
   for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--socket") == 0 && i + 1 < argc) {
-      socket_path = argv[++i];
-    } else if (std::strncmp(argv[i], "--socket=", 9) == 0) {
-      socket_path = argv[i] + 9;
+    if (const char* v = FlagValue("--socket", argc, argv, &i)) {
+      socket_path = v;
+    } else if (const char* v = FlagValue("--shard", argc, argv, &i)) {
+      chaos.shard = std::atoi(v);
+    } else if (const char* v = FlagValue("--chaos_seed", argc, argv, &i)) {
+      chaos.seed = std::strtoull(v, nullptr, 10);
+    } else if (const char* v = FlagValue("--chaos_prob", argc, argv, &i)) {
+      chaos.fault_prob = std::atof(v);
+    } else if (const char* v = FlagValue("--chaos_arm", argc, argv, &i)) {
+      chaos.arm_after_exchanges = std::atoi(v);
     } else {
       return Usage();
     }
   }
   if (socket_path.empty()) return Usage();
 
+  sparktune::net::ChaosChannel chaos_channel(chaos);
   sparktune::ShardServer server;
-  sparktune::Status st = sparktune::ServeShard(socket_path, &server);
+  sparktune::Status st = sparktune::ServeShard(
+      socket_path, &server, /*write_deadline_ms=*/20000,
+      chaos_channel.enabled() ? &chaos_channel : nullptr);
   if (!st.ok()) {
     std::fprintf(stderr, "sparktune_shardd: %s\n", st.ToString().c_str());
     return 1;
